@@ -1,0 +1,321 @@
+//! Beta distributions on `[0, 1]` and on a scaled support `[0, R]`.
+//!
+//! The paper's priors are Beta distributions *defined on a restricted
+//! range*: e.g. Scenario 1 puts `Beta(20, 20)` on `[0, 0.002]` for the old
+//! release's pfd. [`ScaledBeta`] models exactly that: if `Y ~ Beta(α, β)`
+//! then `X = R·Y` with density `f(x) = f_Y(x/R)/R` on `[0, R]`.
+
+use std::fmt;
+
+use crate::special::{betainc, ln_beta};
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamError {
+    what: String,
+}
+
+impl ParamError {
+    fn new(what: impl Into<String>) -> ParamError {
+        ParamError { what: what.into() }
+    }
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// A Beta(α, β) distribution scaled to the support `[0, R]`.
+///
+/// # Example
+///
+/// ```
+/// use wsu_bayes::beta::ScaledBeta;
+///
+/// // Scenario 1's prior for the old release: Beta(20, 20) on [0, 0.002].
+/// let prior = ScaledBeta::new(20.0, 20.0, 0.002).unwrap();
+/// assert!((prior.mean() - 1e-3).abs() < 1e-12);
+/// assert!((prior.cdf(1e-3) - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaledBeta {
+    alpha: f64,
+    beta: f64,
+    range: f64,
+}
+
+impl ScaledBeta {
+    /// Creates a `Beta(alpha, beta)` scaled to `[0, range]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `alpha` or `beta` is not strictly
+    /// positive, or `range` is not in `(0, 1]` (the support is a pfd).
+    pub fn new(alpha: f64, beta: f64, range: f64) -> Result<ScaledBeta, ParamError> {
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(ParamError::new(format!("alpha = {alpha}")));
+        }
+        if !(beta.is_finite() && beta > 0.0) {
+            return Err(ParamError::new(format!("beta = {beta}")));
+        }
+        if !(range.is_finite() && range > 0.0 && range <= 1.0) {
+            return Err(ParamError::new(format!("range = {range}")));
+        }
+        Ok(ScaledBeta { alpha, beta, range })
+    }
+
+    /// A standard `Beta(alpha, beta)` on `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ScaledBeta::new`].
+    pub fn standard(alpha: f64, beta: f64) -> Result<ScaledBeta, ParamError> {
+        ScaledBeta::new(alpha, beta, 1.0)
+    }
+
+    /// Shape parameter α.
+    pub fn alpha(self) -> f64 {
+        self.alpha
+    }
+
+    /// Shape parameter β.
+    pub fn beta(self) -> f64 {
+        self.beta
+    }
+
+    /// Upper end of the support.
+    pub fn range(self) -> f64 {
+        self.range
+    }
+
+    /// Mean `R·α/(α+β)`.
+    pub fn mean(self) -> f64 {
+        self.range * self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Variance `R²·αβ/((α+β)²(α+β+1))`.
+    pub fn variance(self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.range * self.range * self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Log of the density at `x` (`NEG_INFINITY` outside the support and,
+    /// for α, β > 1, at the endpoints).
+    pub fn ln_pdf(self, x: f64) -> f64 {
+        if !(0.0..=self.range).contains(&x) {
+            return f64::NEG_INFINITY;
+        }
+        let y = x / self.range;
+        let ln_core = if y == 0.0 {
+            if self.alpha < 1.0 {
+                return f64::INFINITY;
+            } else if self.alpha == 1.0 {
+                0.0
+            } else {
+                return f64::NEG_INFINITY;
+            }
+        } else {
+            (self.alpha - 1.0) * y.ln()
+        };
+        let ln_tail = if y == 1.0 {
+            if self.beta < 1.0 {
+                return f64::INFINITY;
+            } else if self.beta == 1.0 {
+                0.0
+            } else {
+                return f64::NEG_INFINITY;
+            }
+        } else {
+            (self.beta - 1.0) * (1.0 - y).ln()
+        };
+        ln_core + ln_tail - ln_beta(self.alpha, self.beta) - self.range.ln()
+    }
+
+    /// Density at `x`.
+    pub fn pdf(self, x: f64) -> f64 {
+        self.ln_pdf(x).exp()
+    }
+
+    /// CDF at `x`, clamped to `[0, 1]` outside the support.
+    pub fn cdf(self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= self.range {
+            1.0
+        } else {
+            betainc(self.alpha, self.beta, x / self.range)
+        }
+    }
+
+    /// Probability mass in the interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn mass(self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "mass requires lo <= hi");
+        (self.cdf(hi) - self.cdf(lo)).max(0.0)
+    }
+
+    /// Quantile (inverse CDF) via bisection, accurate to ~1e-12 of the
+    /// support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} not in [0, 1]");
+        if q == 0.0 {
+            return 0.0;
+        }
+        if q == 1.0 {
+            return self.range;
+        }
+        let mut lo = 0.0;
+        let mut hi = self.range;
+        for _ in 0..100 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+impl fmt::Display for ScaledBeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Beta({}, {}) on [0, {}]",
+            self.alpha, self.beta, self.range
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario1_prior_moments() {
+        let p = ScaledBeta::new(20.0, 20.0, 0.002).unwrap();
+        assert!((p.mean() - 0.001).abs() < 1e-15);
+        // sd of Beta(20,20) is ~0.078 -> scaled ~1.56e-4.
+        assert!((p.variance().sqrt() - 0.078 * 0.002).abs() < 2e-6);
+    }
+
+    #[test]
+    fn scenario2_prior_mean() {
+        // Beta(1, 10) on [0, 0.01]: mean = 0.01/11 ~ 9.1e-4 (paper: ~1e-3).
+        let p = ScaledBeta::new(1.0, 10.0, 0.01).unwrap();
+        assert!((p.mean() - 0.01 / 11.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn new_release_prior_mean() {
+        // Beta(2, 3) on [0, 0.002]: mean 0.8e-3 as in the paper.
+        let p = ScaledBeta::new(2.0, 3.0, 0.002).unwrap();
+        assert!((p.mean() - 0.8e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let p = ScaledBeta::new(2.0, 3.0, 0.002).unwrap();
+        let n = 20_000;
+        let w = 0.002 / n as f64;
+        let integral: f64 = (0..n).map(|i| p.pdf((i as f64 + 0.5) * w) * w).sum();
+        assert!((integral - 1.0).abs() < 1e-6, "integral {integral}");
+    }
+
+    #[test]
+    fn cdf_matches_numeric_integration() {
+        let p = ScaledBeta::new(2.0, 3.0, 1.0).unwrap();
+        let n = 100_000;
+        let mut acc = 0.0;
+        let w = 0.4 / n as f64;
+        for i in 0..n {
+            acc += p.pdf((i as f64 + 0.5) * w) * w;
+        }
+        assert!((acc - p.cdf(0.4)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_boundaries() {
+        let p = ScaledBeta::new(2.0, 3.0, 0.5).unwrap();
+        assert_eq!(p.cdf(-1.0), 0.0);
+        assert_eq!(p.cdf(0.0), 0.0);
+        assert_eq!(p.cdf(0.5), 1.0);
+        assert_eq!(p.cdf(2.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let p = ScaledBeta::new(20.0, 20.0, 0.002).unwrap();
+        for &q in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = p.quantile(q);
+            assert!((p.cdf(x) - q).abs() < 1e-9, "q={q}");
+        }
+        assert_eq!(p.quantile(0.0), 0.0);
+        assert_eq!(p.quantile(1.0), 0.002);
+    }
+
+    #[test]
+    fn symmetric_beta_median_is_midpoint() {
+        let p = ScaledBeta::new(20.0, 20.0, 0.002).unwrap();
+        assert!((p.quantile(0.5) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_sums_over_partition() {
+        let p = ScaledBeta::new(2.0, 3.0, 0.01).unwrap();
+        let parts = 7;
+        let w = 0.01 / parts as f64;
+        let total: f64 = (0..parts)
+            .map(|i| p.mass(i as f64 * w, (i + 1) as f64 * w))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        // Beta(1, 1) on [0, R] is uniform.
+        let p = ScaledBeta::new(1.0, 1.0, 0.5).unwrap();
+        assert!((p.pdf(0.25) - 2.0).abs() < 1e-10);
+        assert!((p.cdf(0.25) - 0.5).abs() < 1e-12);
+        assert!((p.quantile(0.4) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_pdf_edge_cases() {
+        let p = ScaledBeta::new(2.0, 3.0, 1.0).unwrap();
+        assert_eq!(p.ln_pdf(-0.1), f64::NEG_INFINITY);
+        assert_eq!(p.ln_pdf(1.1), f64::NEG_INFINITY);
+        assert_eq!(p.ln_pdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(p.ln_pdf(1.0), f64::NEG_INFINITY);
+        let uniform = ScaledBeta::new(1.0, 1.0, 1.0).unwrap();
+        assert!((uniform.ln_pdf(0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ScaledBeta::new(0.0, 1.0, 1.0).is_err());
+        assert!(ScaledBeta::new(1.0, -1.0, 1.0).is_err());
+        assert!(ScaledBeta::new(1.0, 1.0, 0.0).is_err());
+        assert!(ScaledBeta::new(1.0, 1.0, 2.0).is_err());
+        let err = ScaledBeta::new(f64::NAN, 1.0, 1.0).unwrap_err();
+        assert!(err.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn display_mentions_parameters() {
+        let p = ScaledBeta::new(2.0, 3.0, 0.002).unwrap();
+        assert_eq!(p.to_string(), "Beta(2, 3) on [0, 0.002]");
+    }
+}

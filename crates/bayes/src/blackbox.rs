@@ -1,0 +1,222 @@
+//! Black-box inference (paper Section 5.1, eq. (1)).
+//!
+//! The WS is a black box: on each demand it either succeeds or fails
+//! (Fig. 6). Given a scaled-Beta prior over the pfd and an observation of
+//! `r` failures in `n` demands, the posterior is
+//!
+//! ```text
+//! f(x | r, n) ∝ L(n, r | x) · f(x),   L(n, r | x) = C(n, r) xʳ (1−x)ⁿ⁻ʳ
+//! ```
+//!
+//! computed here on a 1-D grid in log-space. When the prior support is the
+//! whole unit interval the Beta prior is conjugate and the posterior is
+//! `Beta(α+r, β+n−r)` exactly; the grid implementation is validated
+//! against that closed form in the tests.
+
+use crate::beta::ScaledBeta;
+use crate::posterior::GridPosterior;
+
+/// Black-box Bayesian inference for a single release's pfd.
+///
+/// # Example
+///
+/// ```
+/// use wsu_bayes::beta::ScaledBeta;
+/// use wsu_bayes::blackbox::BlackBoxInference;
+///
+/// let prior = ScaledBeta::standard(1.0, 1.0).unwrap(); // uniform
+/// let inf = BlackBoxInference::new(prior, 1024);
+/// let post = inf.posterior(10, 1);
+/// // Conjugate answer: Beta(2, 10), mean 2/12.
+/// assert!((post.mean() - 2.0 / 12.0).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlackBoxInference {
+    prior: ScaledBeta,
+    cells: usize,
+    /// Per-cell prior masses, precomputed.
+    prior_mass: Vec<f64>,
+    /// Per-cell `ln(mid)` and `ln(1 − mid)` for the likelihood.
+    ln_mid: Vec<f64>,
+    ln_one_minus_mid: Vec<f64>,
+    edges: Vec<f64>,
+}
+
+impl BlackBoxInference {
+    /// Creates an inference engine over a uniform grid of `cells` cells
+    /// spanning the prior's support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells == 0`.
+    pub fn new(prior: ScaledBeta, cells: usize) -> BlackBoxInference {
+        assert!(cells > 0, "need at least one grid cell");
+        let range = prior.range();
+        let w = range / cells as f64;
+        let edges: Vec<f64> = (0..=cells).map(|i| i as f64 * w).collect();
+        let mut prior_mass = Vec::with_capacity(cells);
+        let mut ln_mid = Vec::with_capacity(cells);
+        let mut ln_one_minus_mid = Vec::with_capacity(cells);
+        for i in 0..cells {
+            let lo = edges[i];
+            let hi = edges[i + 1];
+            let mid = 0.5 * (lo + hi);
+            prior_mass.push(prior.mass(lo, hi));
+            ln_mid.push(mid.ln());
+            ln_one_minus_mid.push((1.0 - mid).ln());
+        }
+        BlackBoxInference {
+            prior,
+            cells,
+            prior_mass,
+            ln_mid,
+            ln_one_minus_mid,
+            edges,
+        }
+    }
+
+    /// The prior this engine was built with.
+    pub fn prior(&self) -> ScaledBeta {
+        self.prior
+    }
+
+    /// Grid resolution.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Posterior over the pfd after observing `failures` failures in
+    /// `demands` demands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failures > demands`.
+    pub fn posterior(&self, demands: u64, failures: u64) -> GridPosterior {
+        assert!(
+            failures <= demands,
+            "failures ({failures}) exceed demands ({demands})"
+        );
+        let r = failures as f64;
+        let s = (demands - failures) as f64;
+        let ln_w: Vec<f64> = (0..self.cells)
+            .map(|i| {
+                let prior = self.prior_mass[i];
+                if prior == 0.0 {
+                    return f64::NEG_INFINITY;
+                }
+                // xlny convention: a zero count contributes nothing even
+                // when the log-probability is -inf at a grid endpoint.
+                let like_fail = if r == 0.0 { 0.0 } else { r * self.ln_mid[i] };
+                let like_ok = if s == 0.0 {
+                    0.0
+                } else {
+                    s * self.ln_one_minus_mid[i]
+                };
+                prior.ln() + like_fail + like_ok
+            })
+            .collect();
+        let max = ln_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = ln_w
+            .into_iter()
+            .map(|w| if w.is_finite() { (w - max).exp() } else { 0.0 })
+            .collect();
+        GridPosterior::from_weights(self.edges.clone(), weights)
+    }
+
+    /// The prior expressed on the same grid (posterior with no evidence).
+    pub fn prior_on_grid(&self) -> GridPosterior {
+        self.posterior(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// With support [0, 1] the Beta prior is conjugate; the grid result
+    /// must match `Beta(α+r, β+n−r)` percentiles closely.
+    #[test]
+    fn grid_matches_conjugate_posterior() {
+        let prior = ScaledBeta::standard(2.0, 3.0).unwrap();
+        let inf = BlackBoxInference::new(prior, 4096);
+        let (n, r) = (50u64, 4u64);
+        let grid = inf.posterior(n, r);
+        let exact = ScaledBeta::standard(2.0 + r as f64, 3.0 + (n - r) as f64).unwrap();
+        for &c in &[0.1, 0.5, 0.9, 0.99] {
+            let g = grid.percentile(c);
+            let e = exact.quantile(c);
+            assert!((g - e).abs() < 2e-3, "c={c}: grid {g} vs exact {e}");
+        }
+        assert!((grid.mean() - exact.mean()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn no_evidence_returns_prior() {
+        let prior = ScaledBeta::new(20.0, 20.0, 0.002).unwrap();
+        let inf = BlackBoxInference::new(prior, 1024);
+        let post = inf.prior_on_grid();
+        assert!((post.mean() - prior.mean()).abs() < 1e-6);
+        assert!((post.percentile(0.99) - prior.quantile(0.99)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clean_run_tightens_the_posterior() {
+        let prior = ScaledBeta::new(2.0, 3.0, 0.002).unwrap();
+        let inf = BlackBoxInference::new(prior, 1024);
+        let p0 = inf.posterior(0, 0).percentile(0.99);
+        let p1 = inf.posterior(1_000, 0).percentile(0.99);
+        let p2 = inf.posterior(10_000, 0).percentile(0.99);
+        assert!(p1 < p0, "{p1} !< {p0}");
+        assert!(p2 < p1, "{p2} !< {p1}");
+    }
+
+    #[test]
+    fn failures_push_posterior_up() {
+        let prior = ScaledBeta::new(2.0, 3.0, 0.01).unwrap();
+        let inf = BlackBoxInference::new(prior, 1024);
+        let clean = inf.posterior(1_000, 0).mean();
+        let dirty = inf.posterior(1_000, 8).mean();
+        assert!(dirty > clean);
+        // With 8/1000 observed, the posterior mean should approach 8e-3.
+        assert!((dirty - 8e-3).abs() < 2e-3, "mean {dirty}");
+    }
+
+    #[test]
+    fn confidence_grows_with_clean_evidence() {
+        let prior = ScaledBeta::new(2.0, 3.0, 0.002).unwrap();
+        let inf = BlackBoxInference::new(prior, 1024);
+        let target = 1e-3;
+        let c0 = inf.posterior(0, 0).confidence(target);
+        let c1 = inf.posterior(2_000, 0).confidence(target);
+        let c2 = inf.posterior(20_000, 0).confidence(target);
+        assert!(c0 < c1 && c1 < c2, "{c0} {c1} {c2}");
+        assert!(c2 > 0.99);
+    }
+
+    #[test]
+    fn posterior_concentrates_on_true_rate() {
+        // 100 failures in 100_000 demands -> pfd ~ 1e-3.
+        let prior = ScaledBeta::new(1.0, 1.0, 0.01).unwrap();
+        let inf = BlackBoxInference::new(prior, 2048);
+        let post = inf.posterior(100_000, 100);
+        assert!((post.mean() - 1e-3).abs() < 2e-4, "mean {}", post.mean());
+        // 99% credible upper bound is near the Poisson upper bound (~1.25e-3).
+        let ub = post.percentile(0.99);
+        assert!(ub > 1e-3 && ub < 1.5e-3, "ub {ub}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed demands")]
+    fn rejects_more_failures_than_demands() {
+        let prior = ScaledBeta::standard(1.0, 1.0).unwrap();
+        BlackBoxInference::new(prior, 16).posterior(1, 2);
+    }
+
+    #[test]
+    fn accessors() {
+        let prior = ScaledBeta::standard(1.0, 1.0).unwrap();
+        let inf = BlackBoxInference::new(prior, 16);
+        assert_eq!(inf.cells(), 16);
+        assert_eq!(inf.prior(), prior);
+    }
+}

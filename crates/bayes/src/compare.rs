@@ -1,0 +1,154 @@
+//! Choosing between Web Services by confidence (paper Section 2.2).
+//!
+//! The paper's example: WS A has confidence 99% that its pfd is below
+//! 1e-3 and 70% that it is below 1e-4; WS B has 95% and 90%
+//! respectively. Which one to use *depends on the dependability
+//! context*: A wins at the 1e-3 target, B at the stricter 1e-4. This
+//! module implements exactly that selection over [`GridPosterior`]s.
+
+use crate::posterior::GridPosterior;
+
+/// A candidate service with its posterior over the pfd.
+#[derive(Debug, Clone)]
+pub struct Candidate<'a> {
+    /// Display name.
+    pub name: &'a str,
+    /// Posterior over the candidate's pfd.
+    pub posterior: &'a GridPosterior,
+}
+
+impl<'a> Candidate<'a> {
+    /// Creates a candidate.
+    pub fn new(name: &'a str, posterior: &'a GridPosterior) -> Candidate<'a> {
+        Candidate { name, posterior }
+    }
+}
+
+/// The outcome of a comparison at one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Choice<'a> {
+    /// The pfd target compared at.
+    pub target: f64,
+    /// The winning candidate's name.
+    pub winner: &'a str,
+    /// The winner's confidence at the target.
+    pub confidence: f64,
+}
+
+/// Picks the candidate with the highest confidence of meeting `target`.
+/// Ties go to the earlier candidate (stable).
+///
+/// Returns `None` for an empty candidate list.
+///
+/// # Panics
+///
+/// Panics if `target` is not finite.
+pub fn choose_at<'a>(candidates: &[Candidate<'a>], target: f64) -> Option<Choice<'a>> {
+    assert!(target.is_finite(), "target must be finite");
+    let mut best: Option<Choice<'a>> = None;
+    for candidate in candidates {
+        let confidence = candidate.posterior.confidence(target);
+        let better = match &best {
+            Some(current) => confidence > current.confidence,
+            None => true,
+        };
+        if better {
+            best = Some(Choice {
+                target,
+                winner: candidate.name,
+                confidence,
+            });
+        }
+    }
+    best
+}
+
+/// Evaluates the choice across several targets — the paper's point that
+/// the preferred WS can flip as the target tightens.
+pub fn choose_across<'a>(candidates: &[Candidate<'a>], targets: &[f64]) -> Vec<Choice<'a>> {
+    targets
+        .iter()
+        .filter_map(|&t| choose_at(candidates, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posterior::GridPosterior;
+
+    /// Builds a posterior over [0, 1e-3 * cells] whose mass profile we
+    /// control per cell.
+    fn posterior(weights: Vec<f64>) -> GridPosterior {
+        let edges: Vec<f64> = (0..=weights.len()).map(|i| i as f64 * 1e-4).collect();
+        GridPosterior::from_weights(edges, weights)
+    }
+
+    #[test]
+    fn paper_example_flips_with_the_target() {
+        // WS A: most mass just below 1e-3, little below 1e-4.
+        //   cells of width 1e-4: [0,1e-4) gets 0.70, rest up to 1e-3
+        //   gets 0.29, tail 0.01 -> conf(1e-4)=0.70, conf(1e-3)=0.99.
+        let a = posterior(vec![
+            0.70,
+            0.29 / 9.0,
+            0.29 / 9.0,
+            0.29 / 9.0,
+            0.29 / 9.0,
+            0.29 / 9.0,
+            0.29 / 9.0,
+            0.29 / 9.0,
+            0.29 / 9.0,
+            0.29 / 9.0,
+            0.01,
+        ]);
+        // WS B: conf(1e-4)=0.90, conf(1e-3)=0.95.
+        let b = posterior(vec![
+            0.90,
+            0.05 / 9.0,
+            0.05 / 9.0,
+            0.05 / 9.0,
+            0.05 / 9.0,
+            0.05 / 9.0,
+            0.05 / 9.0,
+            0.05 / 9.0,
+            0.05 / 9.0,
+            0.05 / 9.0,
+            0.05,
+        ]);
+        let candidates = [Candidate::new("A", &a), Candidate::new("B", &b)];
+
+        let loose = choose_at(&candidates, 1e-3).unwrap();
+        assert_eq!(loose.winner, "A");
+        assert!((loose.confidence - 0.99).abs() < 1e-9);
+
+        let strict = choose_at(&candidates, 1e-4).unwrap();
+        assert_eq!(strict.winner, "B");
+        assert!((strict.confidence - 0.90).abs() < 1e-9);
+    }
+
+    #[test]
+    fn choose_across_reports_each_target() {
+        let a = posterior(vec![0.5, 0.5]);
+        let b = posterior(vec![0.6, 0.4]);
+        let candidates = [Candidate::new("A", &a), Candidate::new("B", &b)];
+        let choices = choose_across(&candidates, &[1e-4, 2e-4]);
+        assert_eq!(choices.len(), 2);
+        assert_eq!(choices[0].winner, "B");
+        // At the full support both are certain; tie goes to A (stable).
+        assert_eq!(choices[1].winner, "A");
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        assert!(choose_at(&[], 1e-3).is_none());
+        assert!(choose_across(&[], &[1e-3]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_target_panics() {
+        let a = posterior(vec![1.0]);
+        let _ = choose_at(&[Candidate::new("A", &a)], f64::NAN);
+    }
+}

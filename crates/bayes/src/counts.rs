@@ -1,0 +1,204 @@
+//! Joint outcome bookkeeping for two releases run side by side.
+//!
+//! Table 1 of the paper scores each demand into one of four events:
+//! both releases fail (α, count `r1`), only the old release fails
+//! (β, `r2`), only the new release fails (γ, `r3`), or both succeed
+//! (δ, `r4 = n − r1 − r2 − r3`). [`JointCounts`] accumulates these and is
+//! the sufficient statistic for the white-box inference.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counts of the four joint outcomes over `n` demands.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JointCounts {
+    n: u64,
+    both_failed: u64,
+    only_a_failed: u64,
+    only_b_failed: u64,
+}
+
+impl JointCounts {
+    /// Creates an empty tally.
+    pub fn new() -> JointCounts {
+        JointCounts::default()
+    }
+
+    /// Creates a tally from explicit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the failure counts exceed `n`.
+    pub fn from_raw(
+        n: u64,
+        both_failed: u64,
+        only_a_failed: u64,
+        only_b_failed: u64,
+    ) -> JointCounts {
+        assert!(
+            both_failed + only_a_failed + only_b_failed <= n,
+            "failure counts exceed demand count"
+        );
+        JointCounts {
+            n,
+            both_failed,
+            only_a_failed,
+            only_b_failed,
+        }
+    }
+
+    /// Records one demand scored as `(a_failed, b_failed)`.
+    pub fn record(&mut self, a_failed: bool, b_failed: bool) {
+        self.n += 1;
+        match (a_failed, b_failed) {
+            (true, true) => self.both_failed += 1,
+            (true, false) => self.only_a_failed += 1,
+            (false, true) => self.only_b_failed += 1,
+            (false, false) => {}
+        }
+    }
+
+    /// Total demands `n`.
+    pub fn demands(&self) -> u64 {
+        self.n
+    }
+
+    /// `r1`: demands on which both releases failed.
+    pub fn both_failed(&self) -> u64 {
+        self.both_failed
+    }
+
+    /// `r2`: demands on which only release A (old) failed.
+    pub fn only_a_failed(&self) -> u64 {
+        self.only_a_failed
+    }
+
+    /// `r3`: demands on which only release B (new) failed.
+    pub fn only_b_failed(&self) -> u64 {
+        self.only_b_failed
+    }
+
+    /// `r4`: demands on which both releases succeeded.
+    pub fn both_succeeded(&self) -> u64 {
+        self.n - self.both_failed - self.only_a_failed - self.only_b_failed
+    }
+
+    /// Total failures of release A (`r1 + r2`).
+    pub fn a_failures(&self) -> u64 {
+        self.both_failed + self.only_a_failed
+    }
+
+    /// Total failures of release B (`r1 + r3`).
+    pub fn b_failures(&self) -> u64 {
+        self.both_failed + self.only_b_failed
+    }
+
+    /// Empirical estimate of `P_A` (0 when no demands yet).
+    pub fn a_rate(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.a_failures() as f64 / self.n as f64
+        }
+    }
+
+    /// Empirical estimate of `P_B`.
+    pub fn b_rate(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.b_failures() as f64 / self.n as f64
+        }
+    }
+
+    /// Empirical estimate of `P_AB`.
+    pub fn coincidence_rate(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.both_failed as f64 / self.n as f64
+        }
+    }
+}
+
+impl AddAssign for JointCounts {
+    fn add_assign(&mut self, rhs: JointCounts) {
+        self.n += rhs.n;
+        self.both_failed += rhs.both_failed;
+        self.only_a_failed += rhs.only_a_failed;
+        self.only_b_failed += rhs.only_b_failed;
+    }
+}
+
+impl fmt::Display for JointCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} r1={} r2={} r3={} r4={}",
+            self.n,
+            self.both_failed,
+            self.only_a_failed,
+            self.only_b_failed,
+            self.both_succeeded()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_all_four_events() {
+        let mut c = JointCounts::new();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        c.record(false, false);
+        assert_eq!(c.demands(), 5);
+        assert_eq!(c.both_failed(), 1);
+        assert_eq!(c.only_a_failed(), 1);
+        assert_eq!(c.only_b_failed(), 1);
+        assert_eq!(c.both_succeeded(), 2);
+    }
+
+    #[test]
+    fn marginal_failure_counts() {
+        let c = JointCounts::from_raw(100, 5, 10, 3);
+        assert_eq!(c.a_failures(), 15);
+        assert_eq!(c.b_failures(), 8);
+        assert!((c.a_rate() - 0.15).abs() < 1e-12);
+        assert!((c.b_rate() - 0.08).abs() < 1e-12);
+        assert!((c.coincidence_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let c = JointCounts::new();
+        assert_eq!(c.a_rate(), 0.0);
+        assert_eq!(c.b_rate(), 0.0);
+        assert_eq!(c.coincidence_rate(), 0.0);
+        assert_eq!(c.both_succeeded(), 0);
+    }
+
+    #[test]
+    fn add_assign_merges() {
+        let mut a = JointCounts::from_raw(10, 1, 2, 3);
+        let b = JointCounts::from_raw(20, 2, 0, 1);
+        a += b;
+        assert_eq!(a, JointCounts::from_raw(30, 3, 2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed demand count")]
+    fn from_raw_rejects_inconsistent_counts() {
+        let _ = JointCounts::from_raw(3, 2, 2, 2);
+    }
+
+    #[test]
+    fn display_shows_all_counts() {
+        let c = JointCounts::from_raw(10, 1, 2, 3);
+        assert_eq!(c.to_string(), "n=10 r1=1 r2=2 r3=3 r4=4");
+    }
+}

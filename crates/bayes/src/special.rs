@@ -1,0 +1,265 @@
+//! Special functions needed by the inference code.
+//!
+//! Self-contained implementations (no external numeric crates): Lanczos
+//! log-gamma, the regularized incomplete beta function via Lentz's
+//! continued fraction, and a numerically stable log-sum-exp.
+
+/// Natural log of the gamma function, via the Lanczos approximation
+/// (g = 7, 9 coefficients; ~15 significant digits for x > 0).
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the inference code never needs the reflection
+/// branch, so requesting it is a bug).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural log of the beta function `B(a, b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` — the CDF of a
+/// `Beta(a, b)` distribution at `x`.
+///
+/// Uses the continued-fraction expansion with the standard symmetry
+/// transformation for fast convergence.
+///
+/// # Panics
+///
+/// Panics if `a <= 0`, `b <= 0` or `x` is outside `[0, 1]`.
+pub fn betainc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "betainc requires a, b > 0");
+    assert!((0.0..=1.0).contains(&x), "betainc requires x in [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() * beta_cf(a, b, x) / a).clamp(0.0, 1.0)
+    } else {
+        (1.0 - (ln_front.exp() * beta_cf(b, a, 1.0 - x) / b)).clamp(0.0, 1.0)
+    }
+}
+
+/// Lentz's algorithm for the incomplete-beta continued fraction.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Numerically stable `ln(Σ exp(xs))`.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice or a slice of all
+/// `NEG_INFINITY`.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// `x * ln(y)` with the convention `0 * ln(0) = 0`, as needed by
+/// multinomial log-likelihoods with zero counts.
+pub fn xlny(x: f64, y: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else {
+        x * y.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x).
+        for &x in &[0.7, 1.3, 2.5, 10.0, 42.5] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() < 1e-10, "x={x}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn ln_beta_symmetry() {
+        assert!((ln_beta(2.0, 3.0) - ln_beta(3.0, 2.0)).abs() < 1e-12);
+        // B(1, 1) = 1.
+        assert!(ln_beta(1.0, 1.0).abs() < 1e-12);
+        // B(2, 3) = 1/12.
+        assert!((ln_beta(2.0, 3.0) - (1.0f64 / 12.0).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn betainc_uniform_case() {
+        // I_x(1, 1) = x.
+        for &x in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert!((betainc(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn betainc_closed_forms() {
+        // I_x(2, 2) = 3x^2 - 2x^3.
+        for &x in &[0.1, 0.25, 0.5, 0.75, 0.99] {
+            let expect = 3.0 * x * x - 2.0 * x * x * x;
+            assert!((betainc(2.0, 2.0, x) - expect).abs() < 1e-10, "x={x}");
+        }
+        // I_x(1, b) = 1 - (1-x)^b.
+        for &x in &[0.01, 0.2, 0.6] {
+            let expect = 1.0 - (1.0f64 - x).powi(10);
+            assert!((betainc(1.0, 10.0, x) - expect).abs() < 1e-10);
+        }
+        // I_x(a, 1) = x^a.
+        for &x in &[0.3, 0.8] {
+            assert!((betainc(5.0, 1.0, x) - x.powi(5)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn betainc_symmetry() {
+        // I_x(a, b) = 1 - I_{1-x}(b, a).
+        for &(a, b, x) in &[(2.0, 3.0, 0.2), (20.0, 20.0, 0.7), (0.5, 2.5, 0.4)] {
+            let lhs = betainc(a, b, x);
+            let rhs = 1.0 - betainc(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn betainc_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            let v = betainc(3.0, 7.0, x);
+            assert!(v >= prev - 1e-14);
+            prev = v;
+        }
+        assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betainc_median_of_symmetric_beta() {
+        assert!((betainc(20.0, 20.0, 0.5) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "x in [0, 1]")]
+    fn betainc_rejects_out_of_range() {
+        betainc(2.0, 2.0, 1.5);
+    }
+
+    #[test]
+    fn log_sum_exp_basic() {
+        let xs = [0.0, 0.0];
+        assert!((log_sum_exp(&xs) - 2f64.ln()).abs() < 1e-12);
+        // Invariance to shifts.
+        let a = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((a - (1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_degenerate() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
+        let xs = [f64::NEG_INFINITY, 0.0];
+        assert!(log_sum_exp(&xs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xlny_zero_convention() {
+        assert_eq!(xlny(0.0, 0.0), 0.0);
+        assert_eq!(xlny(2.0, 1.0), 0.0);
+        assert!((xlny(2.0, std::f64::consts::E) - 2.0).abs() < 1e-12);
+        assert_eq!(xlny(1.0, 0.0), f64::NEG_INFINITY);
+    }
+}

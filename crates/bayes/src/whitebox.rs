@@ -1,0 +1,572 @@
+//! White-box (trivariate) inference for two releases run side by side
+//! (paper Section 5.1, eqs. (2)–(6)).
+//!
+//! When the managed upgrade runs the old release A and the new release B
+//! in parallel, each demand is scored into one of the four events of
+//! Table 1. The failure behaviour of the pair is described by three
+//! probabilities — `P_A`, `P_B` and the coincident-failure probability
+//! `P_AB` — with joint prior
+//!
+//! ```text
+//! f(p_A, p_B, p_AB) = f_A(p_A) · f_B(p_B) · f(p_AB | p_A, p_B)
+//! ```
+//!
+//! The paper's "indifference" choice makes `P_AB | P_A, P_B` uniform on
+//! `[0, min(P_A, P_B)]` — a deliberately conservative prior (expected
+//! coincidence = half the smaller marginal). The multinomial likelihood of
+//! the observed counts `(r1, r2, r3, n−r1−r2−r3)` then updates the joint,
+//! and the marginals of eqs. (3)–(5) fall out by summation over the grid.
+//!
+//! The joint is discretised on a `(p_A, p_B, q)` grid with
+//! `p_AB = q · min(p_A, p_B)`; a uniform `q` on `[0, 1]` is *exactly* the
+//! indifference prior, and other [`CoincidencePrior`] variants support the
+//! prior-sensitivity ablation.
+
+use crate::beta::ScaledBeta;
+use crate::counts::JointCounts;
+use crate::posterior::GridPosterior;
+
+/// The conditional prior of the coincident-failure probability
+/// `P_AB | P_A, P_B`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoincidencePrior {
+    /// Uniform on `[0, min(P_A, P_B)]` — the paper's "indifference"
+    /// assumption.
+    IndifferenceUniform,
+    /// Uniform on `[0, c·min(P_A, P_B)]` for `c` in `(0, 1]`; smaller `c`
+    /// encodes optimism about coincident failures (ablation A4).
+    ScaledUniform(f64),
+    /// Deterministic `P_AB = f·min(P_A, P_B)`.
+    FixedFraction(f64),
+    /// Deterministic independence, `P_AB = P_A·P_B`.
+    Independent,
+}
+
+impl CoincidencePrior {
+    fn validate(self) {
+        match self {
+            CoincidencePrior::ScaledUniform(c) => {
+                assert!(
+                    c > 0.0 && c <= 1.0,
+                    "ScaledUniform parameter {c} not in (0, 1]"
+                );
+            }
+            CoincidencePrior::FixedFraction(f) => {
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "FixedFraction parameter {f} not in [0, 1]"
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Grid points of the mixing variable with their prior masses.
+    fn q_grid(self, resolution: usize) -> Vec<(QPoint, f64)> {
+        match self {
+            CoincidencePrior::IndifferenceUniform => uniform_q(1.0, resolution),
+            CoincidencePrior::ScaledUniform(c) => uniform_q(c, resolution),
+            CoincidencePrior::FixedFraction(f) => vec![(QPoint::Fraction(f), 1.0)],
+            CoincidencePrior::Independent => vec![(QPoint::Product, 1.0)],
+        }
+    }
+}
+
+/// One grid point of the coincidence mixing variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum QPoint {
+    /// `P_AB = q · min(P_A, P_B)`.
+    Fraction(f64),
+    /// `P_AB = P_A · P_B`.
+    Product,
+}
+
+impl QPoint {
+    #[inline]
+    fn p_ab(self, pa: f64, pb: f64) -> f64 {
+        match self {
+            QPoint::Fraction(q) => q * pa.min(pb),
+            QPoint::Product => pa * pb,
+        }
+    }
+}
+
+fn uniform_q(upper: f64, resolution: usize) -> Vec<(QPoint, f64)> {
+    let mass = 1.0 / resolution as f64;
+    (0..resolution)
+        .map(|k| {
+            let q = upper * (k as f64 + 0.5) / resolution as f64;
+            (QPoint::Fraction(q), mass)
+        })
+        .collect()
+}
+
+/// Grid resolution of the joint prior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolution {
+    /// Cells along the `P_A` axis.
+    pub a_cells: usize,
+    /// Cells along the `P_B` axis.
+    pub b_cells: usize,
+    /// Grid points of the coincidence mixing variable.
+    pub q_cells: usize,
+}
+
+impl Default for Resolution {
+    /// 96 × 96 × 32 — accurate to well under a grid cell for the paper's
+    /// scenarios while keeping a posterior update around a millisecond in
+    /// release builds.
+    fn default() -> Resolution {
+        Resolution {
+            a_cells: 96,
+            b_cells: 96,
+            q_cells: 32,
+        }
+    }
+}
+
+/// White-box inference engine. Construction precomputes the prior masses
+/// and the per-cell log-probabilities of the four Table 1 events, so each
+/// posterior update is a single fused pass over the grid.
+#[derive(Debug, Clone)]
+pub struct WhiteBoxInference {
+    prior_a: ScaledBeta,
+    prior_b: ScaledBeta,
+    coincidence: CoincidencePrior,
+    resolution: Resolution,
+    a_edges: Vec<f64>,
+    b_edges: Vec<f64>,
+    /// Per-cell log prior mass; NEG_INFINITY where the prior vanishes.
+    ln_prior: Vec<f64>,
+    /// Per-cell `ln` of the four event probabilities (p11, p10, p01, p00).
+    ln_p11: Vec<f64>,
+    ln_p10: Vec<f64>,
+    ln_p01: Vec<f64>,
+    ln_p00: Vec<f64>,
+    /// Per-cell `p_AB` values, for the coincidence marginal.
+    p_ab: Vec<f64>,
+    /// Number of q points actually used.
+    q_points: usize,
+}
+
+impl WhiteBoxInference {
+    /// Creates an engine with the default resolution.
+    pub fn new(
+        prior_a: ScaledBeta,
+        prior_b: ScaledBeta,
+        coincidence: CoincidencePrior,
+    ) -> WhiteBoxInference {
+        WhiteBoxInference::with_resolution(prior_a, prior_b, coincidence, Resolution::default())
+    }
+
+    /// Creates an engine with an explicit grid resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any resolution component is zero or a coincidence-prior
+    /// parameter is out of range.
+    pub fn with_resolution(
+        prior_a: ScaledBeta,
+        prior_b: ScaledBeta,
+        coincidence: CoincidencePrior,
+        resolution: Resolution,
+    ) -> WhiteBoxInference {
+        assert!(
+            resolution.a_cells > 0 && resolution.b_cells > 0 && resolution.q_cells > 0,
+            "grid resolution components must be positive"
+        );
+        coincidence.validate();
+        let (na, nb) = (resolution.a_cells, resolution.b_cells);
+        let a_edges: Vec<f64> = (0..=na)
+            .map(|i| prior_a.range() * i as f64 / na as f64)
+            .collect();
+        let b_edges: Vec<f64> = (0..=nb)
+            .map(|j| prior_b.range() * j as f64 / nb as f64)
+            .collect();
+        let a_mass: Vec<f64> = (0..na)
+            .map(|i| prior_a.mass(a_edges[i], a_edges[i + 1]))
+            .collect();
+        let b_mass: Vec<f64> = (0..nb)
+            .map(|j| prior_b.mass(b_edges[j], b_edges[j + 1]))
+            .collect();
+        let q_grid = coincidence.q_grid(resolution.q_cells);
+        let q_points = q_grid.len();
+
+        let cells = na * nb * q_points;
+        let mut ln_prior = Vec::with_capacity(cells);
+        let mut ln_p11 = Vec::with_capacity(cells);
+        let mut ln_p10 = Vec::with_capacity(cells);
+        let mut ln_p01 = Vec::with_capacity(cells);
+        let mut ln_p00 = Vec::with_capacity(cells);
+        let mut p_ab_values = Vec::with_capacity(cells);
+
+        for i in 0..na {
+            let pa = 0.5 * (a_edges[i] + a_edges[i + 1]);
+            for j in 0..nb {
+                let pb = 0.5 * (b_edges[j] + b_edges[j + 1]);
+                let base_mass = a_mass[i] * b_mass[j];
+                for &(qp, q_mass) in &q_grid {
+                    let p11 = qp.p_ab(pa, pb);
+                    let p10 = pa - p11;
+                    let p01 = pb - p11;
+                    let p00 = 1.0 - pa - pb + p11;
+                    let prior = base_mass * q_mass;
+                    let valid = prior > 0.0 && p11 >= 0.0 && p10 >= 0.0 && p01 >= 0.0 && p00 > 0.0;
+                    if valid {
+                        ln_prior.push(prior.ln());
+                        // ln(0) = -inf is fine: xlny handles zero counts.
+                        ln_p11.push(p11.ln());
+                        ln_p10.push(p10.ln());
+                        ln_p01.push(p01.ln());
+                        ln_p00.push(p00.ln());
+                    } else {
+                        ln_prior.push(f64::NEG_INFINITY);
+                        ln_p11.push(f64::NEG_INFINITY);
+                        ln_p10.push(f64::NEG_INFINITY);
+                        ln_p01.push(f64::NEG_INFINITY);
+                        ln_p00.push(f64::NEG_INFINITY);
+                    }
+                    p_ab_values.push(p11);
+                }
+            }
+        }
+
+        WhiteBoxInference {
+            prior_a,
+            prior_b,
+            coincidence,
+            resolution,
+            a_edges,
+            b_edges,
+            ln_prior,
+            ln_p11,
+            ln_p10,
+            ln_p01,
+            ln_p00,
+            p_ab: p_ab_values,
+            q_points,
+        }
+    }
+
+    /// The prior over the old release's pfd.
+    pub fn prior_a(&self) -> ScaledBeta {
+        self.prior_a
+    }
+
+    /// The prior over the new release's pfd.
+    pub fn prior_b(&self) -> ScaledBeta {
+        self.prior_b
+    }
+
+    /// The coincidence prior.
+    pub fn coincidence(&self) -> CoincidencePrior {
+        self.coincidence
+    }
+
+    /// The grid resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Computes the joint posterior given observed counts.
+    pub fn posterior(&self, counts: &JointCounts) -> WhiteBoxPosterior {
+        let r1 = counts.both_failed() as f64;
+        let r2 = counts.only_a_failed() as f64;
+        let r3 = counts.only_b_failed() as f64;
+        let r4 = counts.both_succeeded() as f64;
+        let cells = self.ln_prior.len();
+        let mut ln_w = vec![f64::NEG_INFINITY; cells];
+        let mut max = f64::NEG_INFINITY;
+        for (c, slot) in ln_w.iter_mut().enumerate() {
+            let prior = self.ln_prior[c];
+            if prior == f64::NEG_INFINITY {
+                continue;
+            }
+            let mut w = prior;
+            if r1 > 0.0 {
+                w += r1 * self.ln_p11[c];
+            }
+            if r2 > 0.0 {
+                w += r2 * self.ln_p10[c];
+            }
+            if r3 > 0.0 {
+                w += r3 * self.ln_p01[c];
+            }
+            if r4 > 0.0 {
+                w += r4 * self.ln_p00[c];
+            }
+            *slot = w;
+            if w > max {
+                max = w;
+            }
+        }
+        assert!(
+            max.is_finite(),
+            "posterior vanished everywhere: counts {counts} are impossible under the prior"
+        );
+        let weights: Vec<f64> = ln_w
+            .iter()
+            .map(|&w| if w.is_finite() { (w - max).exp() } else { 0.0 })
+            .collect();
+        WhiteBoxPosterior {
+            a_edges: self.a_edges.clone(),
+            b_edges: self.b_edges.clone(),
+            q_points: self.q_points,
+            weights,
+            p_ab: self.p_ab.clone(),
+            pab_range: self.prior_a.range().min(self.prior_b.range()),
+        }
+    }
+
+    /// The joint prior expressed as a posterior with no evidence.
+    pub fn prior_posterior(&self) -> WhiteBoxPosterior {
+        self.posterior(&JointCounts::new())
+    }
+}
+
+/// The (unnormalised) joint posterior on the grid, with marginalisation
+/// queries (paper eqs. (3)–(5)).
+#[derive(Debug, Clone)]
+pub struct WhiteBoxPosterior {
+    a_edges: Vec<f64>,
+    b_edges: Vec<f64>,
+    q_points: usize,
+    weights: Vec<f64>,
+    p_ab: Vec<f64>,
+    pab_range: f64,
+}
+
+impl WhiteBoxPosterior {
+    /// Marginal posterior of `P_A` (eq. (4)).
+    pub fn marginal_a(&self) -> GridPosterior {
+        let na = self.a_edges.len() - 1;
+        let nb = self.b_edges.len() - 1;
+        let mut sums = vec![0.0; na];
+        let mut idx = 0;
+        for sum_i in sums.iter_mut() {
+            for _ in 0..nb * self.q_points {
+                *sum_i += self.weights[idx];
+                idx += 1;
+            }
+        }
+        GridPosterior::from_weights(self.a_edges.clone(), sums)
+    }
+
+    /// Marginal posterior of `P_B` (eq. (5)).
+    pub fn marginal_b(&self) -> GridPosterior {
+        let na = self.a_edges.len() - 1;
+        let nb = self.b_edges.len() - 1;
+        let mut sums = vec![0.0; nb];
+        let mut idx = 0;
+        for _ in 0..na {
+            for sum_j in sums.iter_mut() {
+                for _ in 0..self.q_points {
+                    *sum_j += self.weights[idx];
+                    idx += 1;
+                }
+            }
+        }
+        GridPosterior::from_weights(self.b_edges.clone(), sums)
+    }
+
+    /// Marginal posterior of the coincident-failure probability `P_AB`
+    /// (eq. (3)), projected onto a uniform grid of `bins` cells over
+    /// `[0, min(range_A, range_B)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`.
+    pub fn marginal_ab(&self, bins: usize) -> GridPosterior {
+        assert!(bins > 0, "need at least one bin");
+        let range = self.pab_range;
+        let mut sums = vec![0.0; bins];
+        for (c, &w) in self.weights.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let v = self.p_ab[c];
+            let bin = ((v / range) * bins as f64) as usize;
+            sums[bin.min(bins - 1)] += w;
+        }
+        let edges: Vec<f64> = (0..=bins).map(|i| range * i as f64 / bins as f64).collect();
+        GridPosterior::from_weights(edges, sums)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario1_engine(res: Resolution) -> WhiteBoxInference {
+        let prior_a = ScaledBeta::new(20.0, 20.0, 0.002).unwrap();
+        let prior_b = ScaledBeta::new(2.0, 3.0, 0.002).unwrap();
+        WhiteBoxInference::with_resolution(
+            prior_a,
+            prior_b,
+            CoincidencePrior::IndifferenceUniform,
+            res,
+        )
+    }
+
+    fn small() -> Resolution {
+        Resolution {
+            a_cells: 40,
+            b_cells: 40,
+            q_cells: 12,
+        }
+    }
+
+    #[test]
+    fn prior_marginals_match_the_priors() {
+        let engine = scenario1_engine(small());
+        let prior = engine.prior_posterior();
+        let ma = prior.marginal_a();
+        let mb = prior.marginal_b();
+        assert!((ma.mean() - 1e-3).abs() < 2e-5, "mean_a {}", ma.mean());
+        assert!((mb.mean() - 0.8e-3).abs() < 2e-5, "mean_b {}", mb.mean());
+        // 99th percentile of the A prior ~ mean + 2.33 sd.
+        let exact = engine.prior_a().quantile(0.99);
+        assert!(
+            (ma.percentile(0.99) - exact).abs() < 5e-5,
+            "{} vs {}",
+            ma.percentile(0.99),
+            exact
+        );
+    }
+
+    #[test]
+    fn indifference_prior_halves_the_smaller_marginal() {
+        // E[P_AB | P_A, P_B] = min(P_A, P_B)/2 under indifference; so the
+        // prior mean of P_AB should be E[min(P_A,P_B)]/2 < min of means/2.
+        let engine = scenario1_engine(small());
+        let mab = engine.prior_posterior().marginal_ab(64);
+        let mean = mab.mean();
+        assert!(mean > 0.0 && mean < 0.8e-3 / 2.0 + 1e-5, "mean {mean}");
+    }
+
+    #[test]
+    fn clean_evidence_tightens_b() {
+        let engine = scenario1_engine(small());
+        let prior_p99 = engine.prior_posterior().marginal_b().percentile(0.99);
+        let counts = JointCounts::from_raw(20_000, 0, 0, 0);
+        let post_p99 = engine.posterior(&counts).marginal_b().percentile(0.99);
+        assert!(post_p99 < prior_p99, "{post_p99} !< {prior_p99}");
+    }
+
+    #[test]
+    fn failures_of_b_push_b_up_not_a() {
+        let engine = scenario1_engine(small());
+        let prior = engine.prior_posterior();
+        // 30 B-only failures in 10_000 demands.
+        let counts = JointCounts::from_raw(10_000, 0, 0, 30);
+        let post = engine.posterior(&counts);
+        assert!(post.marginal_b().mean() > prior.marginal_b().mean());
+        // A's posterior should have *fallen* (10_000 clean demands for A).
+        assert!(post.marginal_a().mean() < prior.marginal_a().mean());
+    }
+
+    #[test]
+    fn posterior_concentrates_on_true_marginals() {
+        // Large-sample check: posterior means approach the empirical rates.
+        let engine = scenario1_engine(Resolution {
+            a_cells: 80,
+            b_cells: 80,
+            q_cells: 16,
+        });
+        // pa = 1e-3, pb = 0.8e-3, pab = 0.3e-3 over 50_000 demands.
+        let counts = JointCounts::from_raw(50_000, 15, 35, 25);
+        let post = engine.posterior(&counts);
+        let ma = post.marginal_a().mean();
+        let mb = post.marginal_b().mean();
+        assert!((ma - 1e-3).abs() < 2e-4, "ma {ma}");
+        assert!((mb - 0.8e-3).abs() < 2e-4, "mb {mb}");
+        let mab = post.marginal_ab(64).mean();
+        assert!((mab - 0.3e-3).abs() < 1.5e-4, "mab {mab}");
+    }
+
+    #[test]
+    fn coincident_failures_update_pab() {
+        let engine = scenario1_engine(small());
+        let prior_ab = engine.prior_posterior().marginal_ab(32).mean();
+        let counts = JointCounts::from_raw(10_000, 20, 0, 0);
+        let post_ab = engine.posterior(&counts).marginal_ab(32).mean();
+        assert!(post_ab > prior_ab, "{post_ab} !< {prior_ab}");
+    }
+
+    #[test]
+    fn independent_coincidence_prior_is_supported() {
+        let prior = ScaledBeta::new(2.0, 3.0, 0.002).unwrap();
+        let engine = WhiteBoxInference::with_resolution(
+            prior,
+            prior,
+            CoincidencePrior::Independent,
+            small(),
+        );
+        // Under independence with pfds <= 0.002, P_AB <= 4e-6: all the
+        // mass must land in the lowest projection bin.
+        let mab = engine.prior_posterior().marginal_ab(32);
+        let first_bin_width = 0.002 / 32.0;
+        assert!(mab.confidence(first_bin_width) > 0.999);
+        assert!(mab.mean() <= first_bin_width);
+    }
+
+    #[test]
+    fn fixed_fraction_prior_is_supported() {
+        let prior = ScaledBeta::new(2.0, 3.0, 0.002).unwrap();
+        let engine = WhiteBoxInference::with_resolution(
+            prior,
+            prior,
+            CoincidencePrior::FixedFraction(0.5),
+            small(),
+        );
+        let post = engine.posterior(&JointCounts::from_raw(1000, 1, 1, 1));
+        assert!(post.marginal_a().mean() > 0.0);
+    }
+
+    #[test]
+    fn scaled_uniform_is_less_conservative_than_indifference() {
+        let prior_a = ScaledBeta::new(20.0, 20.0, 0.002).unwrap();
+        let prior_b = ScaledBeta::new(2.0, 3.0, 0.002).unwrap();
+        let indiff = WhiteBoxInference::with_resolution(
+            prior_a,
+            prior_b,
+            CoincidencePrior::IndifferenceUniform,
+            small(),
+        );
+        let optimistic = WhiteBoxInference::with_resolution(
+            prior_a,
+            prior_b,
+            CoincidencePrior::ScaledUniform(0.2),
+            small(),
+        );
+        let ab_indiff = indiff.prior_posterior().marginal_ab(32).mean();
+        let ab_opt = optimistic.prior_posterior().marginal_ab(32).mean();
+        assert!(ab_opt < ab_indiff, "{ab_opt} !< {ab_indiff}");
+    }
+
+    #[test]
+    fn marginals_are_normalised() {
+        let engine = scenario1_engine(small());
+        let post = engine.posterior(&JointCounts::from_raw(5_000, 2, 3, 1));
+        for marg in [post.marginal_a(), post.marginal_b(), post.marginal_ab(16)] {
+            let total: f64 = marg.masses().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in (0, 1]")]
+    fn scaled_uniform_rejects_bad_parameter() {
+        let prior = ScaledBeta::new(2.0, 3.0, 0.002).unwrap();
+        let _ = WhiteBoxInference::new(prior, prior, CoincidencePrior::ScaledUniform(0.0));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let engine = scenario1_engine(small());
+        assert_eq!(engine.resolution(), small());
+        assert_eq!(engine.coincidence(), CoincidencePrior::IndifferenceUniform);
+        assert_eq!(engine.prior_a().alpha(), 20.0);
+        assert_eq!(engine.prior_b().alpha(), 2.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Monte-Carlo cross-check of the white-box grid posterior.
+//!
+//! The grid integration in `wsu_bayes::whitebox` is the numerical heart
+//! of the reproduction. This test validates it against a completely
+//! independent estimator: importance sampling from the prior
+//! (`p_A ~ ScaledBeta`, `p_B ~ ScaledBeta`, `q ~ U[0,1]`,
+//! `p_AB = q·min(p_A, p_B)`) with multinomial likelihood weights.
+
+use wsu_bayes::beta::ScaledBeta;
+use wsu_bayes::counts::JointCounts;
+use wsu_bayes::whitebox::{CoincidencePrior, Resolution, WhiteBoxInference};
+use wsu_simcore::rng::StreamRng;
+
+/// Debug builds use a smaller sample (and a looser tolerance) so the
+/// cross-check stays inside a routine `cargo test` budget; release
+/// builds run the full-strength check.
+#[cfg(debug_assertions)]
+const SAMPLES: usize = 60_000;
+#[cfg(not(debug_assertions))]
+const SAMPLES: usize = 400_000;
+
+#[cfg(debug_assertions)]
+const TOLERANCE: f64 = 0.05;
+#[cfg(not(debug_assertions))]
+const TOLERANCE: f64 = 0.02;
+
+#[cfg(debug_assertions)]
+const MIN_ESS: f64 = 800.0;
+#[cfg(not(debug_assertions))]
+const MIN_ESS: f64 = 5_000.0;
+
+struct McPosterior {
+    /// (p_A, p_B, weight) samples.
+    samples: Vec<(f64, f64, f64)>,
+    total_weight: f64,
+}
+
+impl McPosterior {
+    fn confidence_b(&self, target: f64) -> f64 {
+        self.samples
+            .iter()
+            .filter(|(_, pb, _)| *pb <= target)
+            .map(|(_, _, w)| w)
+            .sum::<f64>()
+            / self.total_weight
+    }
+
+    fn confidence_a(&self, target: f64) -> f64 {
+        self.samples
+            .iter()
+            .filter(|(pa, _, _)| *pa <= target)
+            .map(|(_, _, w)| w)
+            .sum::<f64>()
+            / self.total_weight
+    }
+
+    fn effective_sample_size(&self) -> f64 {
+        let sum_sq: f64 = self.samples.iter().map(|(_, _, w)| w * w).sum();
+        self.total_weight * self.total_weight / sum_sq
+    }
+}
+
+/// A tabulated inverse CDF: 4096 precomputed quantiles with linear
+/// interpolation — exact enough for the cross-check tolerance and ~100x
+/// faster than per-draw bisection.
+struct QuantileTable {
+    values: Vec<f64>,
+}
+
+impl QuantileTable {
+    fn new(prior: ScaledBeta) -> QuantileTable {
+        let n = 4096;
+        let values = (0..=n)
+            .map(|i| prior.quantile(i as f64 / n as f64))
+            .collect();
+        QuantileTable { values }
+    }
+
+    fn sample(&self, u: f64) -> f64 {
+        let n = self.values.len() - 1;
+        let x = u * n as f64;
+        let idx = (x as usize).min(n - 1);
+        let frac = x - idx as f64;
+        self.values[idx] + (self.values[idx + 1] - self.values[idx]) * frac
+    }
+}
+
+fn mc_posterior(
+    prior_a: ScaledBeta,
+    prior_b: ScaledBeta,
+    counts: &JointCounts,
+    samples: usize,
+    seed: u64,
+) -> McPosterior {
+    let table_a = QuantileTable::new(prior_a);
+    let table_b = QuantileTable::new(prior_b);
+    let mut rng = StreamRng::from_seed(seed);
+    let r1 = counts.both_failed() as f64;
+    let r2 = counts.only_a_failed() as f64;
+    let r3 = counts.only_b_failed() as f64;
+    let r4 = counts.both_succeeded() as f64;
+    let mut out = Vec::with_capacity(samples);
+    let mut total = 0.0;
+    // Log-weights are shifted by their running maximum at the end; store
+    // raw logs first.
+    let mut logs = Vec::with_capacity(samples);
+    let mut max_log = f64::NEG_INFINITY;
+    for _ in 0..samples {
+        let pa = table_a.sample(rng.next_f64());
+        let pb = table_b.sample(rng.next_f64());
+        let q = rng.next_f64();
+        let p11 = q * pa.min(pb);
+        let p10 = pa - p11;
+        let p01 = pb - p11;
+        let p00 = 1.0 - pa - pb + p11;
+        let mut lw = 0.0;
+        for (r, p) in [(r1, p11), (r2, p10), (r3, p01), (r4, p00)] {
+            if r > 0.0 {
+                if p <= 0.0 {
+                    lw = f64::NEG_INFINITY;
+                    break;
+                }
+                lw += r * p.ln();
+            }
+        }
+        logs.push((pa, pb, lw));
+        if lw > max_log {
+            max_log = lw;
+        }
+    }
+    for (pa, pb, lw) in logs {
+        let w = if lw.is_finite() { (lw - max_log).exp() } else { 0.0 };
+        total += w;
+        out.push((pa, pb, w));
+    }
+    McPosterior {
+        samples: out,
+        total_weight: total,
+    }
+}
+
+#[test]
+fn grid_matches_importance_sampling_scenario1() {
+    let prior_a = ScaledBeta::new(20.0, 20.0, 0.002).unwrap();
+    let prior_b = ScaledBeta::new(2.0, 3.0, 0.002).unwrap();
+    let counts = JointCounts::from_raw(2_000, 1, 2, 1);
+
+    let engine = WhiteBoxInference::with_resolution(
+        prior_a,
+        prior_b,
+        CoincidencePrior::IndifferenceUniform,
+        Resolution {
+            a_cells: 96,
+            b_cells: 96,
+            q_cells: 32,
+        },
+    );
+    let posterior = engine.posterior(&counts);
+    let marginal_a = posterior.marginal_a();
+    let marginal_b = posterior.marginal_b();
+
+    let mc = mc_posterior(prior_a, prior_b, &counts, SAMPLES, 2024);
+    assert!(
+        mc.effective_sample_size() > MIN_ESS,
+        "degenerate importance weights: ESS {}",
+        mc.effective_sample_size()
+    );
+
+    for target in [0.5e-3, 0.8e-3, 1.0e-3, 1.3e-3, 1.6e-3] {
+        let grid_b = marginal_b.confidence(target);
+        let mc_b = mc.confidence_b(target);
+        assert!(
+            (grid_b - mc_b).abs() < TOLERANCE,
+            "B at {target}: grid {grid_b} vs MC {mc_b}"
+        );
+        let grid_a = marginal_a.confidence(target);
+        let mc_a = mc.confidence_a(target);
+        assert!(
+            (grid_a - mc_a).abs() < TOLERANCE,
+            "A at {target}: grid {grid_a} vs MC {mc_a}"
+        );
+    }
+}
+
+#[test]
+fn grid_matches_importance_sampling_scenario2() {
+    let prior_a = ScaledBeta::new(1.0, 10.0, 0.01).unwrap();
+    let prior_b = ScaledBeta::new(2.0, 3.0, 0.01).unwrap();
+    // A failing visibly more than B, as in the paper's Scenario 2 truth.
+    let counts = JointCounts::from_raw(1_000, 1, 4, 0);
+
+    let engine = WhiteBoxInference::with_resolution(
+        prior_a,
+        prior_b,
+        CoincidencePrior::IndifferenceUniform,
+        Resolution {
+            a_cells: 96,
+            b_cells: 96,
+            q_cells: 32,
+        },
+    );
+    let posterior = engine.posterior(&counts);
+    let marginal_b = posterior.marginal_b();
+
+    let mc = mc_posterior(prior_a, prior_b, &counts, SAMPLES, 77);
+    assert!(mc.effective_sample_size() > MIN_ESS);
+
+    for target in [1e-3, 2e-3, 4e-3, 6e-3] {
+        let grid = marginal_b.confidence(target);
+        let sampled = mc.confidence_b(target);
+        assert!(
+            (grid - sampled).abs() < TOLERANCE,
+            "B at {target}: grid {grid} vs MC {sampled}"
+        );
+    }
+}

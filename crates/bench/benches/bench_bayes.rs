@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the Bayesian machinery: the white-box posterior
+//! update (the per-checkpoint cost of the study), its marginalisation,
+//! and the black-box conjugate-grid path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsu_bayes::beta::ScaledBeta;
+use wsu_bayes::blackbox::BlackBoxInference;
+use wsu_bayes::counts::JointCounts;
+use wsu_bayes::whitebox::{CoincidencePrior, Resolution, WhiteBoxInference};
+
+fn whitebox_engine(res: Resolution) -> WhiteBoxInference {
+    WhiteBoxInference::with_resolution(
+        ScaledBeta::new(20.0, 20.0, 0.002).unwrap(),
+        ScaledBeta::new(2.0, 3.0, 0.002).unwrap(),
+        CoincidencePrior::IndifferenceUniform,
+        res,
+    )
+}
+
+fn whitebox_posterior(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayes/whitebox_posterior");
+    let counts = JointCounts::from_raw(50_000, 15, 35, 25);
+    for (label, res) in [
+        (
+            "48x48x16",
+            Resolution {
+                a_cells: 48,
+                b_cells: 48,
+                q_cells: 16,
+            },
+        ),
+        (
+            "64x64x24",
+            Resolution {
+                a_cells: 64,
+                b_cells: 64,
+                q_cells: 24,
+            },
+        ),
+        (
+            "96x96x32",
+            Resolution {
+                a_cells: 96,
+                b_cells: 96,
+                q_cells: 32,
+            },
+        ),
+    ] {
+        let engine = whitebox_engine(res);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &counts, |b, counts| {
+            b.iter(|| black_box(engine.posterior(counts)));
+        });
+    }
+    group.finish();
+}
+
+fn whitebox_marginals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayes/marginals");
+    let engine = whitebox_engine(Resolution::default());
+    let posterior = engine.posterior(&JointCounts::from_raw(50_000, 15, 35, 25));
+    group.bench_function("marginal_b_p99", |b| {
+        b.iter(|| black_box(posterior.marginal_b().percentile(0.99)));
+    });
+    group.bench_function("marginal_ab_64bins", |b| {
+        b.iter(|| black_box(posterior.marginal_ab(64)));
+    });
+    group.finish();
+}
+
+fn blackbox_posterior(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayes/blackbox_posterior");
+    for cells in [256usize, 1024, 4096] {
+        let prior = ScaledBeta::new(2.0, 3.0, 0.01).unwrap();
+        let inf = BlackBoxInference::new(prior, cells);
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &cells, |b, _| {
+            b.iter(|| black_box(inf.posterior(10_000, 8).percentile(0.99)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    whitebox_posterior,
+    whitebox_marginals,
+    blackbox_posterior
+);
+criterion_main!(benches);

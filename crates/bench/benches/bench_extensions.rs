@@ -1,0 +1,94 @@
+//! Benchmarks of the extension features: composite invocation, the
+//! capacity study's event-driven queueing simulation, the rollback
+//! assessment and the single-release tracker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsu_bayes::beta::ScaledBeta;
+use wsu_core::composite::CompositeService;
+use wsu_core::single_release::SingleReleaseTracker;
+use wsu_experiments::capacity::{run_capacity, CapacityConfig, Dispatch};
+use wsu_experiments::DEFAULT_SEED;
+use wsu_simcore::dist::DelayModel;
+use wsu_simcore::rng::StreamRng;
+use wsu_workload::outcomes::CorrelatedOutcomes;
+use wsu_workload::runs::RunSpec;
+use wsu_workload::timing::ExecTimeModel;
+use wsu_wstack::endpoint::SyntheticService;
+use wsu_wstack::message::Envelope;
+use wsu_wstack::outcome::OutcomeProfile;
+
+fn composite_invoke(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/composite_invoke");
+    for parts in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(parts), &parts, |b, &n| {
+            let mut builder = CompositeService::builder("Shop");
+            for i in 0..n {
+                builder = builder.component(
+                    format!("component-{i}"),
+                    SyntheticService::builder("C", "1.0")
+                        .outcomes(OutcomeProfile::new(0.99, 0.005, 0.005))
+                        .exec_time(DelayModel::constant(0.01))
+                        .build(),
+                );
+            }
+            let mut composite = builder.build();
+            let request = Envelope::request("checkout");
+            let mut rng = StreamRng::from_seed(1);
+            b.iter(|| black_box(composite.invoke(&request, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn capacity_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/capacity_cell_2k");
+    group.sample_size(10);
+    let gen = CorrelatedOutcomes::from_run(&RunSpec::run2());
+    for dispatch in [Dispatch::Parallel, Dispatch::Sequential] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dispatch:?}")),
+            &dispatch,
+            |b, &d| {
+                b.iter(|| {
+                    black_box(run_capacity(
+                        d,
+                        &gen,
+                        ExecTimeModel::calibrated(),
+                        CapacityConfig {
+                            arrival_rate: 0.5,
+                            demands: 2_000,
+                            timeout: 3.0,
+                            adjudication_delay: 0.1,
+                        },
+                        DEFAULT_SEED,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn single_release_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions/single_release");
+    group.bench_function("observe_1k_plus_report", |b| {
+        b.iter(|| {
+            let mut tracker =
+                SingleReleaseTracker::new(ScaledBeta::new(1.0, 9.0, 0.05).unwrap(), 256);
+            for i in 0..1_000u32 {
+                tracker.observe("1.0", i % 400 == 0);
+            }
+            black_box(tracker.reported_confidence(1e-2))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    composite_invoke,
+    capacity_cell,
+    single_release_tracker
+);
+criterion_main!(benches);

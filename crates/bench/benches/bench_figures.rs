@@ -1,0 +1,41 @@
+//! Benchmarks regeneration of Figs. 7 and 8 (percentile curves) at
+//! reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsu_bayes::whitebox::Resolution;
+use wsu_experiments::bayes_study::StudyConfig;
+use wsu_experiments::figures::{run_fig7, run_fig8};
+use wsu_experiments::DEFAULT_SEED;
+
+fn config(demands: u64, every: u64) -> StudyConfig {
+    StudyConfig {
+        demands,
+        checkpoint_every: every,
+        resolution: Resolution {
+            a_cells: 48,
+            b_cells: 48,
+            q_cells: 16,
+        },
+        confidence: 0.99,
+        target: 1e-3,
+        seed: DEFAULT_SEED,
+    }
+}
+
+fn figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig7_scenario1", |b| {
+        let cfg = config(5_000, 500);
+        b.iter(|| black_box(run_fig7(&cfg)));
+    });
+    group.bench_function("fig8_scenario2", |b| {
+        let cfg = config(2_000, 200);
+        b.iter(|| black_box(run_fig8(&cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

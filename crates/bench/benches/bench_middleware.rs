@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the middleware hot path: one demand end to end
+//! under each operating mode, and the adjudicator on collected
+//! responses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsu_core::adjudicate::{Adjudicator, CollectedResponse, SelectionPolicy};
+use wsu_core::middleware::{MiddlewareConfig, UpgradeMiddleware};
+use wsu_core::modes::{OperatingMode, SequentialOrder};
+use wsu_core::release::ReleaseId;
+use wsu_simcore::rng::StreamRng;
+use wsu_simcore::time::SimDuration;
+use wsu_wstack::endpoint::SyntheticService;
+use wsu_wstack::message::Envelope;
+use wsu_wstack::outcome::{OutcomeProfile, ResponseClass};
+
+fn middleware_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("middleware/process");
+    let modes = [
+        OperatingMode::ParallelReliability,
+        OperatingMode::ParallelResponsiveness,
+        OperatingMode::ParallelDynamic { quorum: 1 },
+        OperatingMode::Sequential {
+            order: SequentialOrder::Deployment,
+        },
+    ];
+    for mode in modes {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &m| {
+            let mut config = MiddlewareConfig::paper(2.0);
+            config.mode = m;
+            let mut mw = UpgradeMiddleware::new(config);
+            mw.deploy(
+                SyntheticService::builder("Svc", "1.0")
+                    .outcomes(OutcomeProfile::new(0.7, 0.15, 0.15))
+                    .exec_time_mean(0.7)
+                    .build(),
+            );
+            mw.deploy(
+                SyntheticService::builder("Svc", "1.1")
+                    .outcomes(OutcomeProfile::new(0.7, 0.15, 0.15))
+                    .exec_time_mean(0.7)
+                    .build(),
+            );
+            let request = Envelope::request("invoke");
+            let mut rng = StreamRng::from_seed(7);
+            b.iter(|| black_box(mw.process(&request, &mut rng).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn adjudicator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("middleware/adjudicate");
+    let collected = [
+        CollectedResponse {
+            release: ReleaseId::new(0),
+            class: ResponseClass::Correct,
+            exec_time: SimDuration::from_secs(0.4),
+        },
+        CollectedResponse {
+            release: ReleaseId::new(1),
+            class: ResponseClass::NonEvidentFailure,
+            exec_time: SimDuration::from_secs(0.6),
+        },
+    ];
+    for policy in [
+        SelectionPolicy::Random,
+        SelectionPolicy::Fastest,
+        SelectionPolicy::Majority,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &p| {
+                let adj = Adjudicator::new(p);
+                let mut rng = StreamRng::from_seed(9);
+                b.iter(|| black_box(adj.adjudicate(&collected, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, middleware_modes, adjudicator);
+criterion_main!(benches);

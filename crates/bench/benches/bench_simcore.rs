@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the simulation substrate: RNG streams, event
+//! queue and a closed-loop engine run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsu_simcore::dist::Exponential;
+use wsu_simcore::engine::{Engine, Handler};
+use wsu_simcore::queue::EventQueue;
+use wsu_simcore::rng::StreamRng;
+use wsu_simcore::time::{SimDuration, SimTime};
+
+fn rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simcore/rng");
+    group.bench_function("next_u64", |b| {
+        let mut rng = StreamRng::from_seed(1);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    group.bench_function("exponential_sample", |b| {
+        let mut rng = StreamRng::from_seed(2);
+        let exp = Exponential::with_mean(0.7);
+        b.iter(|| black_box(exp.sample(&mut rng)));
+    });
+    group.bench_function("pick_weighted_3", |b| {
+        let mut rng = StreamRng::from_seed(3);
+        let weights = [0.7, 0.15, 0.15];
+        b.iter(|| black_box(rng.pick_weighted(&weights)));
+    });
+    group.finish();
+}
+
+fn queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simcore/queue");
+    for n in [1_000u64, 10_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let mut rng = StreamRng::from_seed(4);
+                for i in 0..n {
+                    q.push(SimTime::from_secs(rng.next_f64() * 100.0), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    sum += e;
+                }
+                black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+struct Loop {
+    remaining: u64,
+}
+
+impl Handler<()> for Loop {
+    fn handle(&mut self, engine: &mut Engine<()>, _event: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            engine.schedule_in(SimDuration::from_secs(1.0), ());
+        }
+    }
+}
+
+fn engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simcore/engine");
+    group.bench_function("closed_loop_10k_events", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new();
+            engine.schedule_at(SimTime::ZERO, ());
+            let mut world = Loop { remaining: 10_000 };
+            black_box(engine.run(&mut world))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, rng, queue, engine);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmarks regeneration of Table 2 (duration of managed upgrade) at
+//! reduced scale: one (scenario, detection) study per iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsu_bayes::whitebox::Resolution;
+use wsu_experiments::bayes_study::{run_study, Detection, StudyConfig};
+use wsu_experiments::DEFAULT_SEED;
+use wsu_workload::scenario::Scenario;
+
+fn bench_config(demands: u64, every: u64) -> StudyConfig {
+    StudyConfig {
+        demands,
+        checkpoint_every: every,
+        resolution: Resolution {
+            a_cells: 48,
+            b_cells: 48,
+            q_cells: 16,
+        },
+        confidence: 0.99,
+        target: 1e-3,
+        seed: DEFAULT_SEED,
+    }
+}
+
+fn table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for detection in Detection::paper_regimes() {
+        group.bench_with_input(
+            BenchmarkId::new("scenario1", detection.label()),
+            &detection,
+            |b, &d| {
+                let config = bench_config(5_000, 500);
+                b.iter(|| black_box(run_study(&Scenario::one(), d, &config)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scenario2", detection.label()),
+            &detection,
+            |b, &d| {
+                let config = bench_config(2_000, 200);
+                b.iter(|| black_box(run_study(&Scenario::two(), d, &config)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

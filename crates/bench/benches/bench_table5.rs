@@ -1,0 +1,46 @@
+//! Benchmarks regeneration of Table 5 (correlated releases): one run
+//! (four workloads share the structure; run 1 is representative) across
+//! the three paper timeouts at 2,000 requests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsu_experiments::midsim::simulate_run;
+use wsu_experiments::table5::run_table5_with;
+use wsu_experiments::{DEFAULT_SEED, PAPER_TIMEOUTS};
+use wsu_workload::outcomes::CorrelatedOutcomes;
+use wsu_workload::runs::RunSpec;
+use wsu_workload::timing::ExecTimeModel;
+
+fn table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    for spec in RunSpec::all() {
+        let gen = CorrelatedOutcomes::from_run(&spec);
+        group.bench_with_input(BenchmarkId::new("run", spec.run), &spec.run, |b, _| {
+            b.iter(|| {
+                black_box(simulate_run(
+                    &gen,
+                    ExecTimeModel::paper(),
+                    2_000,
+                    &PAPER_TIMEOUTS,
+                    DEFAULT_SEED,
+                    "bench",
+                ))
+            });
+        });
+    }
+    group.bench_function("full_table_2k", |b| {
+        b.iter(|| {
+            black_box(run_table5_with(
+                DEFAULT_SEED,
+                2_000,
+                &PAPER_TIMEOUTS,
+                ExecTimeModel::paper(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table5);
+criterion_main!(benches);

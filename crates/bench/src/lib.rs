@@ -1,0 +1,7 @@
+//! Benchmark-only crate: see the `benches/` directory.
+//!
+//! Each paper table/figure has a bench that regenerates it at reduced
+//! scale (so `cargo bench` terminates quickly) and prints the same rows
+//! the experiment binaries do at full scale. Micro-benchmarks cover the
+//! middleware hot path, the Bayesian posterior update and the simulation
+//! engine.

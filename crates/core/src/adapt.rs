@@ -1,0 +1,222 @@
+//! Run-time adaptation of mode 3's reliability/responsiveness trade-off
+//! (paper Section 4.2, operating mode 3).
+//!
+//! > "The number of responses and the timeout can be changed dynamically
+//! > so that different configurations for the adjudicated response can
+//! > be defined."
+//!
+//! [`DynamicModeController`] implements a simple hysteresis policy over
+//! the monitored system statistics: when the observed mean response time
+//! exceeds a target, it lowers the quorum (responsiveness); when the
+//! observed non-evident-failure fraction exceeds a budget, it raises the
+//! quorum back toward full adjudication (reliability).
+
+use wsu_simcore::time::SimDuration;
+use wsu_wstack::outcome::ResponseClass;
+
+use crate::middleware::{MiddlewareConfig, UpgradeMiddleware};
+use crate::modes::OperatingMode;
+use crate::monitor::SystemStats;
+
+/// The controller's last action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adaptation {
+    /// Quorum lowered (favouring responsiveness).
+    LoweredQuorum(usize),
+    /// Quorum raised (favouring reliability).
+    RaisedQuorum(usize),
+    /// Nothing changed.
+    Unchanged,
+}
+
+/// Hysteresis controller for [`OperatingMode::ParallelDynamic`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicModeController {
+    /// Mean response time above which the quorum is lowered.
+    pub response_time_target: SimDuration,
+    /// Fraction of non-evident failures above which the quorum is
+    /// raised.
+    pub ner_budget: f64,
+    /// Upper quorum bound (usually the number of deployed releases).
+    pub max_quorum: usize,
+}
+
+impl DynamicModeController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ner_budget` is outside `[0, 1]` or `max_quorum == 0`.
+    pub fn new(
+        response_time_target: SimDuration,
+        ner_budget: f64,
+        max_quorum: usize,
+    ) -> DynamicModeController {
+        assert!(
+            (0.0..=1.0).contains(&ner_budget),
+            "NER budget {ner_budget} not in [0, 1]"
+        );
+        assert!(max_quorum > 0, "max quorum must be positive");
+        DynamicModeController {
+            response_time_target,
+            ner_budget,
+            max_quorum,
+        }
+    }
+
+    /// Decides the next quorum from the current one and the monitored
+    /// statistics. Raising reliability takes precedence over lowering
+    /// latency.
+    pub fn next_quorum(&self, current: usize, stats: &SystemStats) -> usize {
+        let total = stats.total_responses();
+        if total == 0 {
+            return current.clamp(1, self.max_quorum);
+        }
+        let ner_fraction = stats.count(ResponseClass::NonEvidentFailure) as f64 / total as f64;
+        if ner_fraction > self.ner_budget && current < self.max_quorum {
+            return current + 1;
+        }
+        if stats.mean_response_time() > self.response_time_target.as_secs() && current > 1 {
+            return current - 1;
+        }
+        current.clamp(1, self.max_quorum)
+    }
+
+    /// Applies the decision to a middleware running in dynamic mode.
+    /// Middleware in any other mode is left untouched.
+    pub fn adapt(&self, middleware: &mut UpgradeMiddleware, stats: &SystemStats) -> Adaptation {
+        let config = middleware.config();
+        let OperatingMode::ParallelDynamic { quorum } = config.mode else {
+            return Adaptation::Unchanged;
+        };
+        let next = self.next_quorum(quorum, stats);
+        if next == quorum {
+            return Adaptation::Unchanged;
+        }
+        let mut new_config: MiddlewareConfig = config;
+        new_config.mode = OperatingMode::ParallelDynamic { quorum: next };
+        middleware.set_config(new_config);
+        if next > quorum {
+            Adaptation::RaisedQuorum(next)
+        } else {
+            Adaptation::LoweredQuorum(next)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::MonitoringSubsystem;
+    use wsu_simcore::rng::StreamRng;
+    use wsu_wstack::endpoint::SyntheticService;
+    use wsu_wstack::message::Envelope;
+    use wsu_wstack::outcome::OutcomeProfile;
+
+    fn middleware_with(mode: OperatingMode, profile: OutcomeProfile) -> UpgradeMiddleware {
+        let mut config = MiddlewareConfig::paper(2.0);
+        config.mode = mode;
+        let mut mw = UpgradeMiddleware::new(config);
+        for version in ["1.0", "1.1"] {
+            mw.deploy(
+                SyntheticService::builder("Svc", version)
+                    .outcomes(profile)
+                    .exec_time_mean(0.7)
+                    .build(),
+            );
+        }
+        mw
+    }
+
+    fn run_demands(mw: &mut UpgradeMiddleware, n: usize, seed: u64) -> MonitoringSubsystem {
+        let mut monitor = MonitoringSubsystem::new(0);
+        let mut rng = StreamRng::from_seed(seed);
+        let mut mon_rng = StreamRng::from_seed(seed + 1);
+        for _ in 0..n {
+            let record = mw.process(&Envelope::request("invoke"), &mut rng).unwrap();
+            monitor.observe(&record, &mut mon_rng);
+        }
+        monitor
+    }
+
+    #[test]
+    fn lowers_quorum_when_too_slow() {
+        let mut mw = middleware_with(
+            OperatingMode::ParallelDynamic { quorum: 2 },
+            OutcomeProfile::always_correct(),
+        );
+        let monitor = run_demands(&mut mw, 500, 1);
+        // Waiting for both of two mean-1.4s releases: well above 1.0s.
+        let controller = DynamicModeController::new(SimDuration::from_secs(1.0), 0.5, 2);
+        let action = controller.adapt(&mut mw, monitor.system_stats());
+        assert_eq!(action, Adaptation::LoweredQuorum(1));
+        assert_eq!(
+            mw.config().mode,
+            OperatingMode::ParallelDynamic { quorum: 1 }
+        );
+    }
+
+    #[test]
+    fn raises_quorum_when_too_many_wrong_answers() {
+        let mut mw = middleware_with(
+            OperatingMode::ParallelDynamic { quorum: 1 },
+            OutcomeProfile::new(0.5, 0.0, 0.5),
+        );
+        let monitor = run_demands(&mut mw, 500, 2);
+        // Half the adjudicated responses are non-evident failures:
+        // blow the 10% budget, raise the quorum despite the latency.
+        let controller = DynamicModeController::new(SimDuration::from_secs(0.1), 0.10, 2);
+        let action = controller.adapt(&mut mw, monitor.system_stats());
+        assert_eq!(action, Adaptation::RaisedQuorum(2));
+    }
+
+    #[test]
+    fn leaves_satisfied_system_alone() {
+        let mut mw = middleware_with(
+            OperatingMode::ParallelDynamic { quorum: 1 },
+            OutcomeProfile::always_correct(),
+        );
+        let monitor = run_demands(&mut mw, 200, 3);
+        let controller = DynamicModeController::new(SimDuration::from_secs(10.0), 0.5, 2);
+        assert_eq!(
+            controller.adapt(&mut mw, monitor.system_stats()),
+            Adaptation::Unchanged
+        );
+    }
+
+    #[test]
+    fn ignores_non_dynamic_modes() {
+        let mut mw = middleware_with(
+            OperatingMode::ParallelReliability,
+            OutcomeProfile::always_correct(),
+        );
+        let monitor = run_demands(&mut mw, 100, 4);
+        let controller = DynamicModeController::new(SimDuration::from_secs(0.01), 0.0, 2);
+        assert_eq!(
+            controller.adapt(&mut mw, monitor.system_stats()),
+            Adaptation::Unchanged
+        );
+        assert_eq!(mw.config().mode, OperatingMode::ParallelReliability);
+    }
+
+    #[test]
+    fn quorum_respects_bounds() {
+        let controller = DynamicModeController::new(SimDuration::from_secs(1.0), 0.1, 3);
+        let stats_empty = {
+            let mw = &mut middleware_with(
+                OperatingMode::ParallelDynamic { quorum: 1 },
+                OutcomeProfile::always_correct(),
+            );
+            run_demands(mw, 0, 5)
+        };
+        // No data: clamp only.
+        assert_eq!(controller.next_quorum(9, stats_empty.system_stats()), 3);
+        assert_eq!(controller.next_quorum(0, stats_empty.system_stats()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NER budget")]
+    fn rejects_bad_budget() {
+        let _ = DynamicModeController::new(SimDuration::from_secs(1.0), 1.5, 2);
+    }
+}

@@ -1,0 +1,350 @@
+//! Response adjudication (paper Section 5.2.1).
+//!
+//! After the middleware has collected the responses that arrived within
+//! the timeout, the adjudicator produces the single response returned to
+//! the consumer, following the paper's rules:
+//!
+//! 1. if **all** collected responses are evidently incorrect, the
+//!    middleware raises an exception (the adjudicated response is itself
+//!    evidently incorrect);
+//! 2. if all releases returned the **same** response (correct or
+//!    non-evidently incorrect), that response is returned;
+//! 3. if **all collected responses are valid** (none evidently
+//!    incorrect) but differ, a [`SelectionPolicy`] picks one — the paper
+//!    selects **at random**, so a correct response may lose to a
+//!    non-evident failure;
+//! 4. if a **single valid** response was collected, it is returned (it
+//!    may be non-evidently incorrect);
+//! 5. if **no** response was collected, the middleware reports
+//!    "Web Service unavailable".
+
+use wsu_simcore::rng::StreamRng;
+use wsu_simcore::time::SimDuration;
+use wsu_wstack::outcome::ResponseClass;
+
+use crate::release::ReleaseId;
+
+/// One response collected from a release within the timeout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectedResponse {
+    /// Which release produced it.
+    pub release: ReleaseId,
+    /// Ground-truth class of the response (used for *scoring*; the
+    /// adjudicator itself may only distinguish evident failures).
+    pub class: ResponseClass,
+    /// The release's execution time.
+    pub exec_time: SimDuration,
+}
+
+/// The adjudicated outcome presented to the consumer of the WS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemVerdict {
+    /// A response was returned; its ground-truth class is recorded.
+    Response(ResponseClass),
+    /// No response was collected within the timeout.
+    Unavailable,
+}
+
+impl SystemVerdict {
+    /// Ground-truth class of the returned response, if any.
+    pub fn class(self) -> Option<ResponseClass> {
+        match self {
+            SystemVerdict::Response(c) => Some(c),
+            SystemVerdict::Unavailable => None,
+        }
+    }
+
+    /// Returns `true` if the consumer received a correct response.
+    pub fn is_correct(self) -> bool {
+        self.class() == Some(ResponseClass::Correct)
+    }
+}
+
+/// The result of adjudication: the verdict plus which release's response
+/// was forwarded (when one was).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adjudication {
+    /// The verdict presented to the consumer.
+    pub verdict: SystemVerdict,
+    /// The release whose response was forwarded, if a specific one was.
+    pub source: Option<ReleaseId>,
+}
+
+/// How to pick among several *valid but differing* responses (rule 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionPolicy {
+    /// Pick uniformly at random — the paper's middleware.
+    Random,
+    /// Pick the response that arrived first.
+    Fastest,
+    /// Pick the class held by the majority of valid responses, breaking
+    /// ties at random among the majority classes; with two releases this
+    /// behaves like `Random` unless responses agree.
+    Majority,
+}
+
+/// The adjudicator: rules 1–5 parameterised by a selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adjudicator {
+    policy: SelectionPolicy,
+}
+
+impl Adjudicator {
+    /// Creates an adjudicator with the given selection policy.
+    pub fn new(policy: SelectionPolicy) -> Adjudicator {
+        Adjudicator { policy }
+    }
+
+    /// The paper's adjudicator: random selection among valid responses.
+    pub fn paper() -> Adjudicator {
+        Adjudicator::new(SelectionPolicy::Random)
+    }
+
+    /// The selection policy.
+    pub fn policy(&self) -> SelectionPolicy {
+        self.policy
+    }
+
+    /// Adjudicates the collected responses.
+    pub fn adjudicate(&self, collected: &[CollectedResponse], rng: &mut StreamRng) -> Adjudication {
+        // Rule 5: nothing collected.
+        if collected.is_empty() {
+            return Adjudication {
+                verdict: SystemVerdict::Unavailable,
+                source: None,
+            };
+        }
+        let valid: Vec<&CollectedResponse> =
+            collected.iter().filter(|r| r.class.is_valid()).collect();
+        // Rule 1: all evidently incorrect -> exception.
+        if valid.is_empty() {
+            return Adjudication {
+                verdict: SystemVerdict::Response(ResponseClass::EvidentFailure),
+                source: None,
+            };
+        }
+        // Rule 4: a single valid response.
+        if valid.len() == 1 {
+            return Adjudication {
+                verdict: SystemVerdict::Response(valid[0].class),
+                source: Some(valid[0].release),
+            };
+        }
+        // Rule 2: all valid responses identical. Correct responses are
+        // identical by definition; coincident non-evident failures are
+        // conservatively assumed identical (the paper's back-to-back
+        // assumption).
+        let first_class = valid[0].class;
+        if valid.iter().all(|r| r.class == first_class) {
+            // Attribute to the fastest of the agreeing responses.
+            let fastest = valid
+                .iter()
+                .min_by(|a, b| a.exec_time.cmp(&b.exec_time))
+                .expect("non-empty valid set");
+            return Adjudication {
+                verdict: SystemVerdict::Response(first_class),
+                source: Some(fastest.release),
+            };
+        }
+        // Rule 3: several valid, differing responses.
+        let chosen = match self.policy {
+            SelectionPolicy::Random => {
+                let idx = rng.next_below(valid.len() as u64) as usize;
+                valid[idx]
+            }
+            SelectionPolicy::Fastest => valid
+                .iter()
+                .min_by(|a, b| a.exec_time.cmp(&b.exec_time))
+                .expect("non-empty valid set"),
+            SelectionPolicy::Majority => {
+                let mut counts = [0usize; 3];
+                for r in &valid {
+                    counts[r.class.index()] += 1;
+                }
+                let best = *counts.iter().max().expect("three classes");
+                let majority: Vec<&&CollectedResponse> = valid
+                    .iter()
+                    .filter(|r| counts[r.class.index()] == best)
+                    .collect();
+                let idx = rng.next_below(majority.len() as u64) as usize;
+                majority[idx]
+            }
+        };
+        Adjudication {
+            verdict: SystemVerdict::Response(chosen.class),
+            source: Some(chosen.release),
+        }
+    }
+}
+
+impl Default for Adjudicator {
+    /// The paper's adjudicator.
+    fn default() -> Adjudicator {
+        Adjudicator::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(release: usize, class: ResponseClass, secs: f64) -> CollectedResponse {
+        CollectedResponse {
+            release: ReleaseId::new(release),
+            class,
+            exec_time: SimDuration::from_secs(secs),
+        }
+    }
+
+    #[test]
+    fn rule5_empty_is_unavailable() {
+        let adj = Adjudicator::paper();
+        let mut rng = StreamRng::from_seed(1);
+        let a = adj.adjudicate(&[], &mut rng);
+        assert_eq!(a.verdict, SystemVerdict::Unavailable);
+        assert_eq!(a.source, None);
+        assert_eq!(a.verdict.class(), None);
+    }
+
+    #[test]
+    fn rule1_all_evident_raises_exception() {
+        let adj = Adjudicator::paper();
+        let mut rng = StreamRng::from_seed(2);
+        let a = adj.adjudicate(
+            &[
+                resp(0, ResponseClass::EvidentFailure, 0.5),
+                resp(1, ResponseClass::EvidentFailure, 0.6),
+            ],
+            &mut rng,
+        );
+        assert_eq!(
+            a.verdict,
+            SystemVerdict::Response(ResponseClass::EvidentFailure)
+        );
+        assert_eq!(a.source, None);
+    }
+
+    #[test]
+    fn rule4_single_valid_passes_through() {
+        let adj = Adjudicator::paper();
+        let mut rng = StreamRng::from_seed(3);
+        let a = adj.adjudicate(
+            &[
+                resp(0, ResponseClass::EvidentFailure, 0.2),
+                resp(1, ResponseClass::NonEvidentFailure, 0.9),
+            ],
+            &mut rng,
+        );
+        assert_eq!(
+            a.verdict,
+            SystemVerdict::Response(ResponseClass::NonEvidentFailure)
+        );
+        assert_eq!(a.source, Some(ReleaseId::new(1)));
+    }
+
+    #[test]
+    fn rule2_agreement_returns_the_class() {
+        let adj = Adjudicator::paper();
+        let mut rng = StreamRng::from_seed(4);
+        let a = adj.adjudicate(
+            &[
+                resp(0, ResponseClass::Correct, 0.8),
+                resp(1, ResponseClass::Correct, 0.3),
+            ],
+            &mut rng,
+        );
+        assert!(a.verdict.is_correct());
+        // Attributed to the faster source.
+        assert_eq!(a.source, Some(ReleaseId::new(1)));
+    }
+
+    #[test]
+    fn rule3_random_picks_each_side_roughly_half() {
+        let adj = Adjudicator::paper();
+        let mut rng = StreamRng::from_seed(5);
+        let collected = [
+            resp(0, ResponseClass::Correct, 0.5),
+            resp(1, ResponseClass::NonEvidentFailure, 0.4),
+        ];
+        let n = 20_000;
+        let correct = (0..n)
+            .filter(|_| adj.adjudicate(&collected, &mut rng).verdict.is_correct())
+            .count();
+        assert!((correct as f64 / n as f64 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn fastest_policy_prefers_quickest_valid() {
+        let adj = Adjudicator::new(SelectionPolicy::Fastest);
+        let mut rng = StreamRng::from_seed(6);
+        let a = adj.adjudicate(
+            &[
+                resp(0, ResponseClass::Correct, 0.5),
+                resp(1, ResponseClass::NonEvidentFailure, 0.4),
+            ],
+            &mut rng,
+        );
+        assert_eq!(
+            a.verdict,
+            SystemVerdict::Response(ResponseClass::NonEvidentFailure)
+        );
+        assert_eq!(a.source, Some(ReleaseId::new(1)));
+    }
+
+    #[test]
+    fn majority_policy_with_three_releases() {
+        let adj = Adjudicator::new(SelectionPolicy::Majority);
+        let mut rng = StreamRng::from_seed(7);
+        let a = adj.adjudicate(
+            &[
+                resp(0, ResponseClass::Correct, 0.5),
+                resp(1, ResponseClass::Correct, 0.6),
+                resp(2, ResponseClass::NonEvidentFailure, 0.1),
+            ],
+            &mut rng,
+        );
+        assert!(a.verdict.is_correct());
+    }
+
+    #[test]
+    fn majority_policy_tie_breaks_randomly() {
+        let adj = Adjudicator::new(SelectionPolicy::Majority);
+        let mut rng = StreamRng::from_seed(8);
+        let collected = [
+            resp(0, ResponseClass::Correct, 0.5),
+            resp(1, ResponseClass::NonEvidentFailure, 0.4),
+        ];
+        let n = 20_000;
+        let correct = (0..n)
+            .filter(|_| adj.adjudicate(&collected, &mut rng).verdict.is_correct())
+            .count();
+        assert!((correct as f64 / n as f64 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn evident_failures_never_win_when_a_valid_exists() {
+        for policy in [
+            SelectionPolicy::Random,
+            SelectionPolicy::Fastest,
+            SelectionPolicy::Majority,
+        ] {
+            let adj = Adjudicator::new(policy);
+            let mut rng = StreamRng::from_seed(9);
+            let a = adj.adjudicate(
+                &[
+                    resp(0, ResponseClass::EvidentFailure, 0.1),
+                    resp(1, ResponseClass::Correct, 0.9),
+                ],
+                &mut rng,
+            );
+            assert!(a.verdict.is_correct(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn defaults_and_accessors() {
+        assert_eq!(Adjudicator::default().policy(), SelectionPolicy::Random);
+        assert!(SystemVerdict::Response(ResponseClass::Correct).is_correct());
+        assert!(!SystemVerdict::Unavailable.is_correct());
+    }
+}

@@ -1,0 +1,422 @@
+//! Publishing confidence in Web Services (paper Section 6.2).
+//!
+//! The paper describes several ways a provider (or broker) can expose the
+//! confidence in a WS to its consumers:
+//!
+//! 1. extend the operation's response with a confidence part —
+//!    [`augment_response`] (message level) together with
+//!    [`extend_response_with_confidence`] (description level);
+//! 2. publish a separate `OperationConf` operation —
+//!    [`ConfidenceDirectory::handle_conf_request`];
+//! 3. publish a *paired* `<op>Conf` operation carrying both result and
+//!    confidence — [`paired_response`]; backward compatible;
+//! 4. transparent **protocol handlers** that attach/strip the confidence
+//!    on each message — [`ProtocolHandler`];
+//! 5. a dedicated trusted **mediator** WS that proxies all traffic,
+//!    measures confidence itself and republishes it —
+//!    [`MediatorService`].
+//!
+//! [`extend_response_with_confidence`]:
+//! wsu_wstack::wsdl::ServiceDescription::extend_response_with_confidence
+
+use std::collections::HashMap;
+
+use wsu_bayes::beta::ScaledBeta;
+use wsu_bayes::blackbox::BlackBoxInference;
+use wsu_simcore::rng::StreamRng;
+use wsu_wstack::endpoint::ServiceEndpoint;
+use wsu_wstack::message::{Envelope, Fault, FaultCode, Value};
+use wsu_wstack::outcome::ResponseClass;
+use wsu_wstack::registry::{PublishedConfidence, Registry, RegistryError, ServiceKey};
+
+use crate::error::CoreError;
+
+/// The message part name used for attached confidence values.
+pub const CONFIDENCE_PART: &str = "Conf";
+
+/// Option 1 at the message level: returns a copy of `response` with the
+/// confidence attached as a trailing `<Op>Conf` double part.
+pub fn augment_response(response: &Envelope, confidence: f64) -> Envelope {
+    let mut augmented = response.clone();
+    let part = format!("{}{CONFIDENCE_PART}", capitalize(response.operation()));
+    augmented.set_part(part, confidence);
+    augmented
+}
+
+/// Option 3 at the message level: a response to the paired `<op>Conf`
+/// operation, carrying the original parts plus the confidence.
+pub fn paired_response(response: &Envelope, confidence: f64) -> Envelope {
+    let mut paired = Envelope::response(format!("{}{CONFIDENCE_PART}", response.operation()));
+    for (name, value) in response.parts() {
+        paired.set_part(name.clone(), value.clone());
+    }
+    paired.set_part(
+        format!("{}{CONFIDENCE_PART}", capitalize(response.operation())),
+        confidence,
+    );
+    paired
+}
+
+/// Extracts an attached confidence from a response, if present.
+pub fn extract_confidence(response: &Envelope) -> Option<f64> {
+    response
+        .parts()
+        .iter()
+        .rev()
+        .find(|(name, _)| name.ends_with(CONFIDENCE_PART))
+        .and_then(|(_, value)| value.as_double())
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Option 2: a per-operation confidence store answering `OperationConf`
+/// requests.
+#[derive(Debug, Clone, Default)]
+pub struct ConfidenceDirectory {
+    per_operation: HashMap<String, f64>,
+}
+
+impl ConfidenceDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> ConfidenceDirectory {
+        ConfidenceDirectory::default()
+    }
+
+    /// Publishes (or updates) the confidence for an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is outside `[0, 1]`.
+    pub fn publish(&mut self, operation: impl Into<String>, confidence: f64) {
+        assert!(
+            (0.0..=1.0).contains(&confidence),
+            "confidence {confidence} not in [0, 1]"
+        );
+        self.per_operation.insert(operation.into(), confidence);
+    }
+
+    /// Reads the confidence for an operation.
+    pub fn confidence(&self, operation: &str) -> Option<f64> {
+        self.per_operation.get(operation).copied()
+    }
+
+    /// Handles an `OperationConf` request (`operation` string parameter)
+    /// and produces the response envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoSuchOperation`] if the request has no
+    /// `operation` parameter or the operation is unknown.
+    pub fn handle_conf_request(&self, request: &Envelope) -> Result<Envelope, CoreError> {
+        let op = request
+            .part("operation")
+            .and_then(Value::as_str)
+            .ok_or_else(|| CoreError::NoSuchOperation("<missing operation parameter>".into()))?;
+        let confidence = self
+            .confidence(op)
+            .ok_or_else(|| CoreError::NoSuchOperation(op.to_owned()))?;
+        Ok(Envelope::response("OperationConf").with_part("OpConf", confidence))
+    }
+}
+
+/// Option 4: transparent protocol handlers.
+///
+/// The service-side handler attaches the current confidence to every
+/// outgoing response; the client-side handler strips it off and hands the
+/// application the original message plus the confidence. A client
+/// without a handler keeps functioning — the extra part is simply
+/// ignored.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolHandler;
+
+impl ProtocolHandler {
+    /// Service side: attach the confidence.
+    pub fn attach(response: &Envelope, confidence: f64) -> Envelope {
+        augment_response(response, confidence)
+    }
+
+    /// Client side: strip the confidence, returning the application
+    /// payload and the confidence (if one was attached).
+    pub fn strip(response: &Envelope) -> (Envelope, Option<f64>) {
+        let confidence = extract_confidence(response);
+        if confidence.is_none() {
+            return (response.clone(), None);
+        }
+        let mut stripped = Envelope::response(response.operation());
+        for (name, value) in response.parts() {
+            if !name.ends_with(CONFIDENCE_PART) {
+                stripped.set_part(name.clone(), value.clone());
+            }
+        }
+        (stripped, confidence)
+    }
+}
+
+/// Option 5: a trusted mediator WS proxying all traffic to an upstream
+/// service, measuring the confidence in its correctness from the traffic
+/// it sees, and republishing it (to consumers and to a registry).
+///
+/// The mediator judges correctness like a consumer would: evident
+/// failures are visible on the wire; non-evident failures are counted
+/// only if the mediator's own oracle catches them (here: ground truth is
+/// available in the simulated invocation, so the mediator is a perfect
+/// judge — imperfect judging is modelled by the detectors in
+/// `wsu-detect`).
+pub struct MediatorService<S> {
+    upstream: S,
+    inference: BlackBoxInference,
+    demands: u64,
+    failures: u64,
+    pfd_target: f64,
+}
+
+impl<S: ServiceEndpoint> MediatorService<S> {
+    /// Creates a mediator with a prior over the upstream's pfd and the
+    /// pfd target it publishes confidence against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfd_target` is outside `(0, 1)`.
+    pub fn new(upstream: S, prior: ScaledBeta, pfd_target: f64) -> MediatorService<S> {
+        assert!(
+            pfd_target > 0.0 && pfd_target < 1.0,
+            "pfd target {pfd_target} not in (0, 1)"
+        );
+        MediatorService {
+            upstream,
+            inference: BlackBoxInference::new(prior, 512),
+            demands: 0,
+            failures: 0,
+            pfd_target,
+        }
+    }
+
+    /// Proxies one request, returning the upstream response with the
+    /// current confidence attached.
+    pub fn mediate(&mut self, request: &Envelope, rng: &mut StreamRng) -> Envelope {
+        let invocation = self.upstream.invoke(request, rng);
+        self.demands += 1;
+        if invocation.class != ResponseClass::Correct {
+            self.failures += 1;
+        }
+        let confidence = self.current_confidence();
+        if invocation.response.is_fault() {
+            // Faults pass through unmodified; confidence goes with data
+            // responses only.
+            let fault = invocation
+                .response
+                .fault_info()
+                .cloned()
+                .unwrap_or_else(|| Fault::new(FaultCode::Receiver, "unknown"));
+            return Envelope::fault(request.operation(), fault);
+        }
+        augment_response(&invocation.response, confidence)
+    }
+
+    /// The mediator's current confidence that the upstream's pfd is at or
+    /// below the configured target.
+    pub fn current_confidence(&self) -> f64 {
+        self.inference
+            .posterior(self.demands, self.failures)
+            .confidence(self.pfd_target)
+    }
+
+    /// Demands proxied.
+    pub fn demands(&self) -> u64 {
+        self.demands
+    }
+
+    /// Failures observed.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Publishes the current confidence to a registry record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegistryError`] for an unknown key.
+    pub fn publish_to_registry(
+        &self,
+        registry: &mut Registry,
+        key: ServiceKey,
+    ) -> Result<(), RegistryError> {
+        registry.publish_confidence(
+            key,
+            PublishedConfidence::new(self.pfd_target, self.current_confidence()),
+        )
+    }
+
+    /// Access to the upstream endpoint.
+    pub fn upstream(&self) -> &S {
+        &self.upstream
+    }
+}
+
+impl<S> std::fmt::Debug for MediatorService<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MediatorService")
+            .field("demands", &self.demands)
+            .field("failures", &self.failures)
+            .field("pfd_target", &self.pfd_target)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsu_wstack::endpoint::SyntheticService;
+    use wsu_wstack::outcome::OutcomeProfile;
+    use wsu_wstack::registry::ServiceRecord;
+    use wsu_wstack::wsdl::ServiceDescription;
+
+    #[test]
+    fn augment_adds_trailing_conf_part() {
+        let resp = Envelope::response("operation1").with_part("Op1Result", "ok");
+        let augmented = augment_response(&resp, 0.97);
+        assert_eq!(
+            augmented.part("Operation1Conf").and_then(Value::as_double),
+            Some(0.97)
+        );
+        assert_eq!(
+            augmented.part("Op1Result").and_then(Value::as_str),
+            Some("ok")
+        );
+        assert_eq!(extract_confidence(&augmented), Some(0.97));
+    }
+
+    #[test]
+    fn paired_response_carries_both() {
+        let resp = Envelope::response("operation1").with_part("Op1Result", "ok");
+        let paired = paired_response(&resp, 0.9);
+        assert_eq!(paired.operation(), "operation1Conf");
+        assert_eq!(paired.part("Op1Result").and_then(Value::as_str), Some("ok"));
+        assert_eq!(extract_confidence(&paired), Some(0.9));
+    }
+
+    #[test]
+    fn extract_from_plain_response_is_none() {
+        let resp = Envelope::response("op").with_part("result", "ok");
+        assert_eq!(extract_confidence(&resp), None);
+    }
+
+    #[test]
+    fn directory_publishes_and_answers() {
+        let mut dir = ConfidenceDirectory::new();
+        dir.publish("operation1", 0.95);
+        assert_eq!(dir.confidence("operation1"), Some(0.95));
+        assert_eq!(dir.confidence("other"), None);
+        let request = Envelope::request("OperationConf").with_part("operation", "operation1");
+        let response = dir.handle_conf_request(&request).unwrap();
+        assert_eq!(
+            response.part("OpConf").and_then(Value::as_double),
+            Some(0.95)
+        );
+    }
+
+    #[test]
+    fn directory_errors_on_unknown_operation() {
+        let dir = ConfidenceDirectory::new();
+        let request = Envelope::request("OperationConf").with_part("operation", "ghost");
+        assert!(matches!(
+            dir.handle_conf_request(&request),
+            Err(CoreError::NoSuchOperation(_))
+        ));
+        let no_param = Envelope::request("OperationConf");
+        assert!(dir.handle_conf_request(&no_param).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn directory_rejects_bad_confidence() {
+        ConfidenceDirectory::new().publish("op", 1.2);
+    }
+
+    #[test]
+    fn protocol_handlers_round_trip() {
+        let resp = Envelope::response("op").with_part("result", 7i64);
+        let wire = ProtocolHandler::attach(&resp, 0.8);
+        let (stripped, conf) = ProtocolHandler::strip(&wire);
+        assert_eq!(conf, Some(0.8));
+        assert_eq!(stripped, resp);
+    }
+
+    #[test]
+    fn strip_without_handler_content_passes_through() {
+        let resp = Envelope::response("op").with_part("result", 7i64);
+        let (same, conf) = ProtocolHandler::strip(&resp);
+        assert_eq!(conf, None);
+        assert_eq!(same, resp);
+    }
+
+    #[test]
+    fn mediator_attaches_growing_confidence() {
+        let upstream = SyntheticService::builder("Svc", "1.0")
+            .outcomes(OutcomeProfile::always_correct())
+            .build();
+        let prior = ScaledBeta::new(1.0, 1.0, 0.1).unwrap();
+        let mut mediator = MediatorService::new(upstream, prior, 0.01);
+        let mut rng = StreamRng::from_seed(1);
+        let c0 = mediator.current_confidence();
+        let mut last = Envelope::response("noop");
+        for _ in 0..500 {
+            last = mediator.mediate(&Envelope::request("invoke"), &mut rng);
+        }
+        let c1 = mediator.current_confidence();
+        assert!(c1 > c0, "{c1} !> {c0}");
+        assert_eq!(extract_confidence(&last), Some(c1));
+        assert_eq!(mediator.demands(), 500);
+        assert_eq!(mediator.failures(), 0);
+        assert_eq!(mediator.upstream().describe().release(), "1.0");
+    }
+
+    #[test]
+    fn mediator_counts_failures_and_passes_faults() {
+        let upstream = SyntheticService::builder("Svc", "1.0")
+            .outcomes(OutcomeProfile::new(0.0, 1.0, 0.0))
+            .build();
+        let prior = ScaledBeta::new(1.0, 1.0, 1.0).unwrap();
+        let mut mediator = MediatorService::new(upstream, prior, 0.5);
+        let mut rng = StreamRng::from_seed(2);
+        let resp = mediator.mediate(&Envelope::request("invoke"), &mut rng);
+        assert!(resp.is_fault());
+        assert_eq!(mediator.failures(), 1);
+    }
+
+    #[test]
+    fn mediator_publishes_to_registry() {
+        let upstream = SyntheticService::builder("Svc", "1.0").build();
+        let prior = ScaledBeta::new(1.0, 1.0, 0.1).unwrap();
+        let mut mediator = MediatorService::new(upstream, prior, 0.01);
+        let mut rng = StreamRng::from_seed(3);
+        for _ in 0..100 {
+            mediator.mediate(&Envelope::request("invoke"), &mut rng);
+        }
+        let mut registry = Registry::new();
+        let key = registry.publish(ServiceRecord::new(
+            "Svc",
+            "http://node/svc",
+            "test",
+            ServiceDescription::new("Svc", "1.0"),
+        ));
+        mediator.publish_to_registry(&mut registry, key).unwrap();
+        let published = registry.get(key).unwrap().confidence.unwrap();
+        assert_eq!(published.pfd_target, 0.01);
+        assert!(published.confidence > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pfd target")]
+    fn mediator_rejects_bad_target() {
+        let upstream = SyntheticService::builder("Svc", "1.0").build();
+        let prior = ScaledBeta::new(1.0, 1.0, 0.1).unwrap();
+        let _ = MediatorService::new(upstream, prior, 0.0);
+    }
+}

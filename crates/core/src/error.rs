@@ -1,0 +1,80 @@
+//! Error types for the managed-upgrade middleware.
+
+use std::fmt;
+
+use crate::release::ReleaseId;
+
+/// Errors raised by middleware and management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The referenced release is not deployed.
+    UnknownRelease(ReleaseId),
+    /// An operation needed at least one active release.
+    NoActiveReleases,
+    /// The release is in a state that forbids the operation (e.g.
+    /// restarting a release that is not suspended).
+    InvalidReleaseState {
+        /// The release concerned.
+        release: ReleaseId,
+        /// What was attempted.
+        operation: &'static str,
+    },
+    /// A configuration value was rejected.
+    InvalidConfig(String),
+    /// The requested operation is not published by the service.
+    NoSuchOperation(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownRelease(id) => write!(f, "unknown release {id}"),
+            CoreError::NoActiveReleases => f.write_str("no active releases deployed"),
+            CoreError::InvalidReleaseState { release, operation } => {
+                write!(
+                    f,
+                    "release {release} cannot be {operation} in its current state"
+                )
+            }
+            CoreError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            CoreError::NoSuchOperation(op) => write!(f, "no such operation `{op}`"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let id = ReleaseId::new(3);
+        assert!(CoreError::UnknownRelease(id)
+            .to_string()
+            .contains("unknown release"));
+        assert_eq!(
+            CoreError::NoActiveReleases.to_string(),
+            "no active releases deployed"
+        );
+        assert!(CoreError::InvalidReleaseState {
+            release: id,
+            operation: "restarted"
+        }
+        .to_string()
+        .contains("restarted"));
+        assert!(CoreError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(CoreError::NoSuchOperation("op9".into())
+            .to_string()
+            .contains("op9"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<CoreError>();
+    }
+}

@@ -1,0 +1,150 @@
+//! A bounded structured event log.
+//!
+//! The management subsystem "is also responsible … for logging the
+//! information which may be needed for further analysis" (Section 4.1).
+//! [`EventLog`] is a ring buffer of timestamped entries the orchestrator
+//! writes decisions and reconfigurations into.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Severity / kind of a log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogLevel {
+    /// Routine information.
+    Info,
+    /// Something unusual (e.g. a release suspended).
+    Warning,
+    /// A management decision (e.g. the switch to the new release).
+    Decision,
+}
+
+/// One log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The demand count when the entry was written.
+    pub demand: u64,
+    /// Severity.
+    pub level: LogLevel,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[demand {}] {:?}: {}",
+            self.demand, self.level, self.message
+        )
+    }
+}
+
+/// A bounded, append-only log.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    entries: VecDeque<LogEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Creates a log holding at most `capacity` entries (0 disables
+    /// retention but still counts writes).
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog {
+            entries: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an entry.
+    pub fn push(&mut self, demand: u64, level: LogLevel, message: impl Into<String>) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(LogEntry {
+            demand,
+            level,
+            message: message.into(),
+        });
+    }
+
+    /// Retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// Retained entries of a given level.
+    pub fn entries_at(&self, level: LogLevel) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter().filter(move |e| e.level == level)
+    }
+
+    /// Entries evicted (or never retained) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut log = EventLog::new(10);
+        log.push(1, LogLevel::Info, "started");
+        log.push(2, LogLevel::Decision, "switched");
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+        let messages: Vec<&str> = log.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(messages, vec!["started", "switched"]);
+        assert_eq!(log.entries_at(LogLevel::Decision).count(), 1);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut log = EventLog::new(2);
+        for i in 0..5 {
+            log.push(i, LogLevel::Info, format!("e{i}"));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let demands: Vec<u64> = log.entries().map(|e| e.demand).collect();
+        assert_eq!(demands, vec![3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_only() {
+        let mut log = EventLog::new(0);
+        log.push(1, LogLevel::Warning, "x");
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn entry_display() {
+        let entry = LogEntry {
+            demand: 7,
+            level: LogLevel::Decision,
+            message: "switch".into(),
+        };
+        assert_eq!(entry.to_string(), "[demand 7] Decision: switch");
+    }
+}

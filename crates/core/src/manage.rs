@@ -1,0 +1,493 @@
+//! The management subsystem: switching criteria, assessment and
+//! reconfiguration (paper Sections 4.4 and 5.1.1.2).
+//!
+//! The key decision the managed upgrade must take is *when to switch*
+//! from the old release (A) to the new one (B). The paper studies three
+//! criteria, all expressed over Bayesian posteriors:
+//!
+//! * **Criterion 1** — B reaches the dependability level the *prior*
+//!   credited to A at deployment time: if `P(P_A ≤ X) = c` held a priori,
+//!   wait until `P(P_B ≤ X) ≥ c`.
+//! * **Criterion 2** — B reaches an explicit target with a given
+//!   confidence: `P(P_B ≤ target) ≥ c`.
+//! * **Criterion 3** — with a given confidence B is better than A *now*:
+//!   the posterior percentiles satisfy `T_B(c) ≤ T_A(c)`.
+
+use wsu_bayes::beta::ScaledBeta;
+use wsu_bayes::counts::JointCounts;
+use wsu_bayes::posterior::GridPosterior;
+use wsu_bayes::whitebox::{CoincidencePrior, Resolution, WhiteBoxInference};
+
+use crate::error::CoreError;
+use crate::release::{ReleaseId, ReleaseSet, ReleaseState};
+
+/// A switching criterion (Section 5.1.1.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwitchCriterion {
+    /// Criterion 1: B reaches the dependability the prior credited to A.
+    ReachPriorOfOld {
+        /// The confidence level `c` (e.g. 0.99).
+        confidence: f64,
+    },
+    /// Criterion 2: B meets an explicit pfd target with confidence `c`.
+    ReachTarget {
+        /// The pfd target (e.g. `1e-3`).
+        target: f64,
+        /// The confidence level `c`.
+        confidence: f64,
+    },
+    /// Criterion 3: with confidence `c`, B is no worse than A.
+    BetterThanOld {
+        /// The confidence level `c`.
+        confidence: f64,
+    },
+}
+
+impl SwitchCriterion {
+    /// Criterion 1 at the given confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)`.
+    pub fn reach_prior_of_old(confidence: f64) -> SwitchCriterion {
+        check_confidence(confidence);
+        SwitchCriterion::ReachPriorOfOld { confidence }
+    }
+
+    /// Criterion 2 at the given target and confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)` or `target` not in
+    /// `(0, 1)`.
+    pub fn reach_target(target: f64, confidence: f64) -> SwitchCriterion {
+        check_confidence(confidence);
+        assert!(
+            target > 0.0 && target < 1.0,
+            "pfd target {target} not in (0, 1)"
+        );
+        SwitchCriterion::ReachTarget { target, confidence }
+    }
+
+    /// Criterion 3 at the given confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)`.
+    pub fn better_than_old(confidence: f64) -> SwitchCriterion {
+        check_confidence(confidence);
+        SwitchCriterion::BetterThanOld { confidence }
+    }
+
+    /// Evaluates the criterion against the assessment inputs.
+    pub fn satisfied(
+        &self,
+        prior_a: &ScaledBeta,
+        marginal_a: &GridPosterior,
+        marginal_b: &GridPosterior,
+    ) -> bool {
+        match *self {
+            SwitchCriterion::ReachPriorOfOld { confidence } => {
+                let x = prior_a.quantile(confidence);
+                marginal_b.confidence(x) >= confidence
+            }
+            SwitchCriterion::ReachTarget { target, confidence } => {
+                marginal_b.confidence(target) >= confidence
+            }
+            SwitchCriterion::BetterThanOld { confidence } => {
+                marginal_b.percentile(confidence) <= marginal_a.percentile(confidence)
+            }
+        }
+    }
+
+    /// A short label used in experiment reports.
+    pub fn label(&self) -> String {
+        match self {
+            SwitchCriterion::ReachPriorOfOld { confidence } => {
+                format!("criterion-1(c={confidence})")
+            }
+            SwitchCriterion::ReachTarget { target, confidence } => {
+                format!("criterion-2(target={target}, c={confidence})")
+            }
+            SwitchCriterion::BetterThanOld { confidence } => {
+                format!("criterion-3(c={confidence})")
+            }
+        }
+    }
+}
+
+fn check_confidence(confidence: f64) {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence {confidence} not in (0, 1)"
+    );
+}
+
+/// The decision produced by one assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchDecision {
+    /// Keep running the managed upgrade.
+    KeepTransitional,
+    /// The criterion is met: switch to the new release.
+    SwitchToNew,
+}
+
+/// A guard that *aborts* the upgrade when the evidence says the new
+/// release is worse than the old one — the rollback counterpart of the
+/// switching criteria. (The paper only switches *forward*; modern
+/// canary systems make this guard explicit, and the architecture
+/// supports it for free: the middleware simply phases the new release
+/// out instead of the old.)
+///
+/// The test is deliberately conservative: abort only when B's *lower*
+/// `(1 − c)` percentile exceeds A's *upper* `c` percentile — i.e. with
+/// confidence at least `c` on each side, B's pfd exceeds A's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbortPolicy {
+    /// The confidence level `c` (e.g. 0.99).
+    pub confidence: f64,
+}
+
+impl AbortPolicy {
+    /// Creates an abort policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)`.
+    pub fn new(confidence: f64) -> AbortPolicy {
+        check_confidence(confidence);
+        AbortPolicy { confidence }
+    }
+
+    /// Returns `true` if the upgrade should be aborted.
+    pub fn should_abort(&self, marginal_a: &GridPosterior, marginal_b: &GridPosterior) -> bool {
+        marginal_b.percentile(1.0 - self.confidence) > marginal_a.percentile(self.confidence)
+    }
+}
+
+/// One assessment of the managed upgrade's state.
+#[derive(Debug, Clone)]
+pub struct Assessment {
+    /// Demands the assessment is based on.
+    pub demands: u64,
+    /// Posterior marginal over the old release's pfd.
+    pub marginal_a: GridPosterior,
+    /// Posterior marginal over the new release's pfd.
+    pub marginal_b: GridPosterior,
+    /// The decision under the configured criterion.
+    pub decision: SwitchDecision,
+}
+
+/// Automatic recovery of failed releases (Section 4.1's "recovery of the
+/// failed releases").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Suspend a release after this many consecutive evident failures.
+    pub suspend_after: u32,
+    /// Restart suspended releases automatically on the next sweep.
+    pub auto_restart: bool,
+}
+
+impl Default for RecoveryPolicy {
+    /// Suspend after 10 consecutive evident failures; restart
+    /// automatically.
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            suspend_after: 10,
+            auto_restart: true,
+        }
+    }
+}
+
+/// A recovery action taken during a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// The release was suspended.
+    Suspended(ReleaseId),
+    /// The release was restarted.
+    Restarted(ReleaseId),
+}
+
+/// The management subsystem: owns the inference engine, the switching
+/// criterion and the recovery policy.
+#[derive(Debug, Clone)]
+pub struct ManagementSubsystem {
+    inference: WhiteBoxInference,
+    criterion: SwitchCriterion,
+    recovery: Option<RecoveryPolicy>,
+}
+
+impl ManagementSubsystem {
+    /// Creates a management subsystem with the default grid resolution.
+    pub fn new(
+        prior_a: ScaledBeta,
+        prior_b: ScaledBeta,
+        coincidence: CoincidencePrior,
+        criterion: SwitchCriterion,
+    ) -> ManagementSubsystem {
+        ManagementSubsystem::with_resolution(
+            prior_a,
+            prior_b,
+            coincidence,
+            criterion,
+            Resolution::default(),
+        )
+    }
+
+    /// Creates a management subsystem with an explicit grid resolution.
+    pub fn with_resolution(
+        prior_a: ScaledBeta,
+        prior_b: ScaledBeta,
+        coincidence: CoincidencePrior,
+        criterion: SwitchCriterion,
+        resolution: Resolution,
+    ) -> ManagementSubsystem {
+        ManagementSubsystem {
+            inference: WhiteBoxInference::with_resolution(
+                prior_a,
+                prior_b,
+                coincidence,
+                resolution,
+            ),
+            criterion,
+            recovery: Some(RecoveryPolicy::default()),
+        }
+    }
+
+    /// The configured criterion.
+    pub fn criterion(&self) -> SwitchCriterion {
+        self.criterion
+    }
+
+    /// Replaces the switching criterion (a run-time knob of the test
+    /// harness).
+    pub fn set_criterion(&mut self, criterion: SwitchCriterion) {
+        self.criterion = criterion;
+    }
+
+    /// The recovery policy, if enabled.
+    pub fn recovery_policy(&self) -> Option<RecoveryPolicy> {
+        self.recovery
+    }
+
+    /// Enables, replaces or disables the recovery policy.
+    pub fn set_recovery_policy(&mut self, policy: Option<RecoveryPolicy>) {
+        self.recovery = policy;
+    }
+
+    /// The inference engine (for custom queries).
+    pub fn inference(&self) -> &WhiteBoxInference {
+        &self.inference
+    }
+
+    /// Assesses the upgrade against the observed joint counts.
+    pub fn assess(&self, counts: &JointCounts) -> Assessment {
+        let posterior = self.inference.posterior(counts);
+        let marginal_a = posterior.marginal_a();
+        let marginal_b = posterior.marginal_b();
+        let decision =
+            if self
+                .criterion
+                .satisfied(&self.inference.prior_a(), &marginal_a, &marginal_b)
+            {
+                SwitchDecision::SwitchToNew
+            } else {
+                SwitchDecision::KeepTransitional
+            };
+        Assessment {
+            demands: counts.demands(),
+            marginal_a,
+            marginal_b,
+            decision,
+        }
+    }
+
+    /// Applies the recovery policy to the release set, suspending
+    /// releases with long evident-failure streaks and restarting
+    /// suspended ones (when `auto_restart`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates release-set errors (none are expected for ids obtained
+    /// from the set itself).
+    pub fn apply_recovery(
+        &self,
+        releases: &mut ReleaseSet,
+    ) -> Result<Vec<RecoveryAction>, CoreError> {
+        let Some(policy) = self.recovery else {
+            return Ok(Vec::new());
+        };
+        let mut actions = Vec::new();
+        for info in releases.infos() {
+            match info.state {
+                ReleaseState::Active => {
+                    let streak = releases.consecutive_evident_failures(info.id)?;
+                    if streak >= policy.suspend_after {
+                        releases.suspend(info.id)?;
+                        actions.push(RecoveryAction::Suspended(info.id));
+                    }
+                }
+                ReleaseState::Suspended if policy.auto_restart => {
+                    releases.restart(info.id)?;
+                    actions.push(RecoveryAction::Restarted(info.id));
+                }
+                _ => {}
+            }
+        }
+        Ok(actions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsu_bayes::whitebox::Resolution;
+    use wsu_wstack::endpoint::SyntheticService;
+    use wsu_wstack::outcome::OutcomeProfile;
+
+    fn small_res() -> Resolution {
+        Resolution {
+            a_cells: 40,
+            b_cells: 40,
+            q_cells: 10,
+        }
+    }
+
+    fn scenario1_manager(criterion: SwitchCriterion) -> ManagementSubsystem {
+        ManagementSubsystem::with_resolution(
+            ScaledBeta::new(20.0, 20.0, 0.002).unwrap(),
+            ScaledBeta::new(2.0, 3.0, 0.002).unwrap(),
+            CoincidencePrior::IndifferenceUniform,
+            criterion,
+            small_res(),
+        )
+    }
+
+    #[test]
+    fn criterion1_needs_evidence() {
+        let mgr = scenario1_manager(SwitchCriterion::reach_prior_of_old(0.99));
+        // No evidence: prior of B is too loose to match A's tight prior.
+        let a0 = mgr.assess(&JointCounts::new());
+        assert_eq!(a0.decision, SwitchDecision::KeepTransitional);
+        // Long clean run: B's posterior tightens below A's prior P99.
+        let clean = JointCounts::from_raw(100_000, 0, 0, 0);
+        let a1 = mgr.assess(&clean);
+        assert_eq!(a1.decision, SwitchDecision::SwitchToNew);
+        assert_eq!(a1.demands, 100_000);
+    }
+
+    #[test]
+    fn criterion2_tracks_explicit_target() {
+        let mgr = scenario1_manager(SwitchCriterion::reach_target(1e-3, 0.99));
+        assert_eq!(
+            mgr.assess(&JointCounts::new()).decision,
+            SwitchDecision::KeepTransitional
+        );
+        // Many failures of B keep the criterion unmet.
+        let dirty = JointCounts::from_raw(20_000, 0, 0, 200);
+        assert_eq!(
+            mgr.assess(&dirty).decision,
+            SwitchDecision::KeepTransitional
+        );
+        // A long clean run meets it.
+        let clean = JointCounts::from_raw(100_000, 0, 0, 0);
+        assert_eq!(mgr.assess(&clean).decision, SwitchDecision::SwitchToNew);
+    }
+
+    #[test]
+    fn criterion3_compares_percentiles() {
+        let mgr = scenario1_manager(SwitchCriterion::better_than_old(0.99));
+        let clean = JointCounts::from_raw(60_000, 0, 0, 0);
+        let assessment = mgr.assess(&clean);
+        assert!(assessment.marginal_b.percentile(0.99) <= assessment.marginal_a.percentile(0.99));
+        assert_eq!(assessment.decision, SwitchDecision::SwitchToNew);
+        // B failing often: criterion unmet.
+        let dirty = JointCounts::from_raw(10_000, 0, 0, 300);
+        assert_eq!(
+            mgr.assess(&dirty).decision,
+            SwitchDecision::KeepTransitional
+        );
+    }
+
+    #[test]
+    fn criterion_labels() {
+        assert!(SwitchCriterion::reach_prior_of_old(0.99)
+            .label()
+            .contains("criterion-1"));
+        assert!(SwitchCriterion::reach_target(1e-3, 0.99)
+            .label()
+            .contains("criterion-2"));
+        assert!(SwitchCriterion::better_than_old(0.9)
+            .label()
+            .contains("criterion-3"));
+    }
+
+    #[test]
+    fn criterion_setters() {
+        let mut mgr = scenario1_manager(SwitchCriterion::better_than_old(0.99));
+        mgr.set_criterion(SwitchCriterion::reach_target(1e-3, 0.9));
+        assert_eq!(
+            mgr.criterion(),
+            SwitchCriterion::ReachTarget {
+                target: 1e-3,
+                confidence: 0.9
+            }
+        );
+        assert!(mgr.recovery_policy().is_some());
+        mgr.set_recovery_policy(None);
+        assert!(mgr.recovery_policy().is_none());
+    }
+
+    #[test]
+    fn recovery_suspends_and_restarts() {
+        let mut mgr = scenario1_manager(SwitchCriterion::better_than_old(0.99));
+        mgr.set_recovery_policy(Some(RecoveryPolicy {
+            suspend_after: 3,
+            auto_restart: true,
+        }));
+        let mut releases = ReleaseSet::new();
+        let bad = releases.deploy(
+            SyntheticService::builder("Svc", "1.0")
+                .outcomes(OutcomeProfile::new(0.0, 1.0, 0.0))
+                .build(),
+        );
+        let mut rng = wsu_simcore::rng::StreamRng::from_seed(1);
+        for _ in 0..3 {
+            releases
+                .invoke(
+                    bad,
+                    &wsu_wstack::message::Envelope::request("invoke"),
+                    &mut rng,
+                )
+                .unwrap();
+        }
+        let actions = mgr.apply_recovery(&mut releases).unwrap();
+        assert_eq!(actions, vec![RecoveryAction::Suspended(bad)]);
+        assert_eq!(releases.state(bad).unwrap(), ReleaseState::Suspended);
+        // Next sweep restarts it.
+        let actions = mgr.apply_recovery(&mut releases).unwrap();
+        assert_eq!(actions, vec![RecoveryAction::Restarted(bad)]);
+        assert_eq!(releases.state(bad).unwrap(), ReleaseState::Active);
+    }
+
+    #[test]
+    fn recovery_disabled_is_a_no_op() {
+        let mut mgr = scenario1_manager(SwitchCriterion::better_than_old(0.99));
+        mgr.set_recovery_policy(None);
+        let mut releases = ReleaseSet::new();
+        releases.deploy(SyntheticService::builder("Svc", "1.0").build());
+        assert!(mgr.apply_recovery(&mut releases).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn rejects_bad_confidence() {
+        let _ = SwitchCriterion::better_than_old(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target")]
+    fn rejects_bad_target() {
+        let _ = SwitchCriterion::reach_target(0.0, 0.9);
+    }
+}

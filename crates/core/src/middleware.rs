@@ -1,0 +1,659 @@
+//! The upgrading middleware (paper Sections 4.1 and 5.2.1).
+//!
+//! [`UpgradeMiddleware`] intercepts each consumer request, relays it to
+//! the deployed releases according to the configured
+//! [`modes::OperatingMode`](crate::modes::OperatingMode) and collects responses
+//! that arrive within the timeout, adjudicates them, and returns a single
+//! response to the consumer — while recording everything the monitoring
+//! subsystem needs.
+//!
+//! ## Timing model
+//!
+//! Virtual time within one demand follows the paper's eq. (8):
+//!
+//! ```text
+//! ExTime(WS) = min(TimeOut, max(ExTime(Release(i)))) + dT
+//! ```
+//!
+//! where `dT` is the middleware's own adjudication delay. Responses whose
+//! execution time exceeds the timeout are *not collected* (the release is
+//! scored "no response received within TimeOut" — NRDT in the tables).
+
+use wsu_simcore::rng::StreamRng;
+use wsu_simcore::time::SimDuration;
+use wsu_wstack::endpoint::ServiceEndpoint;
+use wsu_wstack::message::Envelope;
+use wsu_wstack::outcome::ResponseClass;
+
+use crate::adjudicate::{Adjudicator, CollectedResponse, SystemVerdict};
+use crate::error::CoreError;
+use crate::modes::{OperatingMode, SequentialOrder};
+use crate::release::{ReleaseId, ReleaseInfo, ReleaseSet};
+
+/// Middleware configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiddlewareConfig {
+    /// Operating mode (Section 4.2). Default: parallel for maximum
+    /// reliability, the mode of the paper's simulation study.
+    pub mode: OperatingMode,
+    /// How long the middleware waits for release responses.
+    pub timeout: SimDuration,
+    /// `dT`: the middleware's adjudication delay (paper: 0.1 s).
+    pub adjudication_delay: SimDuration,
+    /// The adjudicator applied to collected responses.
+    pub adjudicator: Adjudicator,
+}
+
+impl MiddlewareConfig {
+    /// The paper's simulation configuration with the given timeout:
+    /// parallel-reliability mode, `dT = 0.1 s`, random-valid adjudication.
+    pub fn paper(timeout_secs: f64) -> MiddlewareConfig {
+        MiddlewareConfig {
+            mode: OperatingMode::ParallelReliability,
+            timeout: SimDuration::from_secs(timeout_secs),
+            adjudication_delay: SimDuration::from_secs(0.1),
+            adjudicator: Adjudicator::paper(),
+        }
+    }
+}
+
+impl Default for MiddlewareConfig {
+    /// The paper's configuration with the middle timeout (2.0 s).
+    fn default() -> MiddlewareConfig {
+        MiddlewareConfig::paper(2.0)
+    }
+}
+
+/// What the middleware observed of one release on one demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReleaseObservation {
+    /// The release.
+    pub release: ReleaseId,
+    /// Ground-truth class of its response.
+    pub class: ResponseClass,
+    /// Its execution time (even if it exceeded the timeout).
+    pub exec_time: SimDuration,
+    /// Whether the response arrived within the timeout (`false` counts
+    /// as NRDT for this release).
+    pub within_timeout: bool,
+}
+
+/// What the consumer of the composite WS experienced on one demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemObservation {
+    /// The adjudicated verdict.
+    pub verdict: SystemVerdict,
+    /// How long the consumer waited (includes `dT`).
+    pub response_time: SimDuration,
+    /// The release whose response was forwarded, if a specific one.
+    pub source: Option<ReleaseId>,
+    /// How many responses were collected within the timeout.
+    pub responders: usize,
+}
+
+/// The full record of one demand, for monitoring and logging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandRecord {
+    /// Demand sequence number (assigned by the middleware).
+    pub seq: u64,
+    /// Per-release observations, in the order releases were invoked.
+    /// Sequential mode only contains entries for releases actually tried.
+    pub per_release: Vec<ReleaseObservation>,
+    /// The consumer-visible outcome.
+    pub system: SystemObservation,
+}
+
+impl DemandRecord {
+    /// The observation for a given release, if it was invoked.
+    pub fn observation(&self, release: ReleaseId) -> Option<&ReleaseObservation> {
+        self.per_release.iter().find(|o| o.release == release)
+    }
+}
+
+/// The upgrading middleware.
+pub struct UpgradeMiddleware {
+    releases: ReleaseSet,
+    config: MiddlewareConfig,
+    demands: u64,
+}
+
+impl UpgradeMiddleware {
+    /// Creates a middleware with no releases deployed.
+    pub fn new(config: MiddlewareConfig) -> UpgradeMiddleware {
+        UpgradeMiddleware {
+            releases: ReleaseSet::new(),
+            config,
+            demands: 0,
+        }
+    }
+
+    /// Deploys a release behind the interface; returns its id.
+    pub fn deploy(&mut self, endpoint: impl ServiceEndpoint + 'static) -> ReleaseId {
+        self.releases.deploy(endpoint)
+    }
+
+    /// Deploys a boxed release.
+    pub fn deploy_boxed(&mut self, endpoint: Box<dyn ServiceEndpoint>) -> ReleaseId {
+        self.releases.deploy_boxed(endpoint)
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> MiddlewareConfig {
+        self.config
+    }
+
+    /// Reconfigures the middleware (mode, timeout, adjudicator — the
+    /// run-time knobs of the paper's test harness, Section 6.1).
+    pub fn set_config(&mut self, config: MiddlewareConfig) {
+        self.config = config;
+    }
+
+    /// Access to the release set (lifecycle operations).
+    pub fn releases(&self) -> &ReleaseSet {
+        &self.releases
+    }
+
+    /// Mutable access to the release set.
+    pub fn releases_mut(&mut self) -> &mut ReleaseSet {
+        &mut self.releases
+    }
+
+    /// Release metadata, convenience for `releases().infos()`.
+    pub fn release_infos(&self) -> Vec<ReleaseInfo> {
+        self.releases.infos()
+    }
+
+    /// Demands processed so far.
+    pub fn demands(&self) -> u64 {
+        self.demands
+    }
+
+    /// Processes one consumer request end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoActiveReleases`] if nothing is deployed and
+    /// active.
+    pub fn process(
+        &mut self,
+        request: &Envelope,
+        rng: &mut StreamRng,
+    ) -> Result<DemandRecord, CoreError> {
+        let active = self.releases.active_ids();
+        if active.is_empty() {
+            return Err(CoreError::NoActiveReleases);
+        }
+        let seq = self.demands;
+        self.demands += 1;
+        let record = match self.config.mode {
+            OperatingMode::Sequential { order } => {
+                self.process_sequential(seq, request, &active, order, rng)?
+            }
+            _ => self.process_parallel(seq, request, &active, rng)?,
+        };
+        Ok(record)
+    }
+
+    /// Parallel modes: invoke everyone, then collect per the mode.
+    fn process_parallel(
+        &mut self,
+        seq: u64,
+        request: &Envelope,
+        active: &[ReleaseId],
+        rng: &mut StreamRng,
+    ) -> Result<DemandRecord, CoreError> {
+        let timeout = self.config.timeout;
+        let dt = self.config.adjudication_delay;
+        let mut per_release = Vec::with_capacity(active.len());
+        for &id in active {
+            let inv = self.releases.invoke(id, request, rng)?;
+            per_release.push(ReleaseObservation {
+                release: id,
+                class: inv.class,
+                exec_time: inv.exec_time,
+                within_timeout: inv.exec_time <= timeout,
+            });
+        }
+
+        // Responses in arrival order, truncated to the timeout.
+        let mut arrived: Vec<&ReleaseObservation> =
+            per_release.iter().filter(|o| o.within_timeout).collect();
+        arrived.sort_by_key(|a| a.exec_time);
+
+        let system = match self.config.mode {
+            OperatingMode::ParallelReliability => {
+                let collected: Vec<CollectedResponse> = arrived
+                    .iter()
+                    .map(|o| CollectedResponse {
+                        release: o.release,
+                        class: o.class,
+                        exec_time: o.exec_time,
+                    })
+                    .collect();
+                let adj = self.config.adjudicator.adjudicate(&collected, rng);
+                // Wait for everyone or the timeout, whichever first.
+                let all_in = per_release.iter().all(|o| o.within_timeout);
+                let wait = if all_in {
+                    per_release
+                        .iter()
+                        .map(|o| o.exec_time)
+                        .fold(SimDuration::ZERO, SimDuration::max)
+                } else {
+                    timeout
+                };
+                SystemObservation {
+                    verdict: adj.verdict,
+                    response_time: wait + dt,
+                    source: adj.source,
+                    responders: collected.len(),
+                }
+            }
+            OperatingMode::ParallelResponsiveness => {
+                // Return the first valid response as soon as it arrives.
+                match arrived.iter().find(|o| o.class.is_valid()) {
+                    Some(first_valid) => SystemObservation {
+                        verdict: SystemVerdict::Response(first_valid.class),
+                        response_time: first_valid.exec_time + dt,
+                        source: Some(first_valid.release),
+                        responders: arrived.len(),
+                    },
+                    None if !arrived.is_empty() => SystemObservation {
+                        // Only evident failures arrived; the middleware
+                        // learns this for sure when the timeout expires.
+                        verdict: SystemVerdict::Response(ResponseClass::EvidentFailure),
+                        response_time: timeout + dt,
+                        source: None,
+                        responders: arrived.len(),
+                    },
+                    None => SystemObservation {
+                        verdict: SystemVerdict::Unavailable,
+                        response_time: timeout + dt,
+                        source: None,
+                        responders: 0,
+                    },
+                }
+            }
+            OperatingMode::ParallelDynamic { quorum } => {
+                let quorum = quorum.max(1);
+                let taken: Vec<&&ReleaseObservation> = arrived.iter().take(quorum).collect();
+                let collected: Vec<CollectedResponse> = taken
+                    .iter()
+                    .map(|o| CollectedResponse {
+                        release: o.release,
+                        class: o.class,
+                        exec_time: o.exec_time,
+                    })
+                    .collect();
+                let adj = self.config.adjudicator.adjudicate(&collected, rng);
+                let wait = if arrived.len() >= quorum {
+                    collected
+                        .iter()
+                        .map(|c| c.exec_time)
+                        .fold(SimDuration::ZERO, SimDuration::max)
+                } else {
+                    // Quorum never reached: the timeout expires first.
+                    timeout
+                };
+                SystemObservation {
+                    verdict: adj.verdict,
+                    response_time: wait + dt,
+                    source: adj.source,
+                    responders: collected.len(),
+                }
+            }
+            OperatingMode::Sequential { .. } => unreachable!("handled by process_sequential"),
+        };
+
+        Ok(DemandRecord {
+            seq,
+            per_release,
+            system,
+        })
+    }
+
+    /// Mode 4: one release at a time; each attempt is bounded by the
+    /// timeout; attempt durations accumulate into the consumer's wait.
+    fn process_sequential(
+        &mut self,
+        seq: u64,
+        request: &Envelope,
+        active: &[ReleaseId],
+        order: SequentialOrder,
+        rng: &mut StreamRng,
+    ) -> Result<DemandRecord, CoreError> {
+        let timeout = self.config.timeout;
+        let dt = self.config.adjudication_delay;
+        let mut order_ids: Vec<ReleaseId> = active.to_vec();
+        if order == SequentialOrder::Random {
+            // Fisher–Yates with the demand's RNG stream.
+            for i in (1..order_ids.len()).rev() {
+                let j = rng.next_below((i + 1) as u64) as usize;
+                order_ids.swap(i, j);
+            }
+        }
+        let mut per_release = Vec::new();
+        let mut waited = SimDuration::ZERO;
+        let mut any_evident_collected = false;
+        let mut outcome: Option<(SystemVerdict, Option<ReleaseId>)> = None;
+        for &id in &order_ids {
+            let inv = self.releases.invoke(id, request, rng)?;
+            let within = inv.exec_time <= timeout;
+            per_release.push(ReleaseObservation {
+                release: id,
+                class: inv.class,
+                exec_time: inv.exec_time,
+                within_timeout: within,
+            });
+            waited += inv.exec_time.min(timeout);
+            if !within {
+                // Timed out: try the next release.
+                continue;
+            }
+            if inv.class.is_valid() {
+                outcome = Some((SystemVerdict::Response(inv.class), Some(id)));
+                break;
+            }
+            any_evident_collected = true;
+        }
+        let (verdict, source) = outcome.unwrap_or({
+            if any_evident_collected {
+                (SystemVerdict::Response(ResponseClass::EvidentFailure), None)
+            } else {
+                (SystemVerdict::Unavailable, None)
+            }
+        });
+        let responders = per_release.iter().filter(|o| o.within_timeout).count();
+        Ok(DemandRecord {
+            seq,
+            per_release,
+            system: SystemObservation {
+                verdict,
+                response_time: waited + dt,
+                source,
+                responders,
+            },
+        })
+    }
+}
+
+impl std::fmt::Debug for UpgradeMiddleware {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpgradeMiddleware")
+            .field("config", &self.config)
+            .field("releases", &self.releases)
+            .field("demands", &self.demands)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsu_simcore::dist::DelayModel;
+    use wsu_wstack::endpoint::{PlannedResponse, ScriptedEndpoint, SyntheticService};
+    use wsu_wstack::outcome::OutcomeProfile;
+
+    fn planned(class: ResponseClass, secs: f64) -> PlannedResponse {
+        PlannedResponse {
+            class,
+            exec_time: SimDuration::from_secs(secs),
+        }
+    }
+
+    fn scripted(version: &str, plan: &[(ResponseClass, f64)]) -> ScriptedEndpoint {
+        let mut ep = ScriptedEndpoint::new("Svc", version);
+        ep.extend(plan.iter().map(|&(c, t)| planned(c, t)));
+        ep
+    }
+
+    fn run_one(mw: &mut UpgradeMiddleware, seed: u64) -> DemandRecord {
+        let mut rng = StreamRng::from_seed(seed);
+        mw.process(&Envelope::request("invoke"), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn no_releases_is_an_error() {
+        let mut mw = UpgradeMiddleware::new(MiddlewareConfig::default());
+        let mut rng = StreamRng::from_seed(1);
+        assert_eq!(
+            mw.process(&Envelope::request("invoke"), &mut rng),
+            Err(CoreError::NoActiveReleases)
+        );
+    }
+
+    #[test]
+    fn parallel_reliability_waits_for_slower_release() {
+        let mut mw = UpgradeMiddleware::new(MiddlewareConfig::paper(1.5));
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 0.4)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 0.9)]));
+        let rec = run_one(&mut mw, 2);
+        assert!(rec.system.verdict.is_correct());
+        // max(0.4, 0.9) + dT = 1.0.
+        assert!((rec.system.response_time.as_secs() - 1.0).abs() < 1e-12);
+        assert_eq!(rec.system.responders, 2);
+        assert_eq!(rec.per_release.len(), 2);
+    }
+
+    #[test]
+    fn late_response_is_not_collected() {
+        let mut mw = UpgradeMiddleware::new(MiddlewareConfig::paper(1.5));
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 0.4)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 2.5)]));
+        let rec = run_one(&mut mw, 3);
+        assert!(rec.system.verdict.is_correct());
+        assert_eq!(rec.system.responders, 1);
+        // One release straggled: the middleware waits out the timeout.
+        assert!((rec.system.response_time.as_secs() - 1.6).abs() < 1e-12);
+        let slow = rec.observation(ReleaseId::new(1)).unwrap();
+        assert!(!slow.within_timeout);
+    }
+
+    #[test]
+    fn both_late_is_unavailable() {
+        let mut mw = UpgradeMiddleware::new(MiddlewareConfig::paper(1.5));
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 9.0)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 9.0)]));
+        let rec = run_one(&mut mw, 4);
+        assert_eq!(rec.system.verdict, SystemVerdict::Unavailable);
+        assert_eq!(rec.system.responders, 0);
+    }
+
+    #[test]
+    fn all_evident_raises_exception() {
+        let mut mw = UpgradeMiddleware::new(MiddlewareConfig::paper(1.5));
+        mw.deploy(scripted("1.0", &[(ResponseClass::EvidentFailure, 0.4)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::EvidentFailure, 0.5)]));
+        let rec = run_one(&mut mw, 5);
+        assert_eq!(
+            rec.system.verdict,
+            SystemVerdict::Response(ResponseClass::EvidentFailure)
+        );
+    }
+
+    #[test]
+    fn single_valid_wins_over_evident() {
+        let mut mw = UpgradeMiddleware::new(MiddlewareConfig::paper(1.5));
+        mw.deploy(scripted("1.0", &[(ResponseClass::EvidentFailure, 0.4)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::NonEvidentFailure, 0.5)]));
+        let rec = run_one(&mut mw, 6);
+        assert_eq!(
+            rec.system.verdict,
+            SystemVerdict::Response(ResponseClass::NonEvidentFailure)
+        );
+        assert_eq!(rec.system.source, Some(ReleaseId::new(1)));
+    }
+
+    #[test]
+    fn responsiveness_returns_fastest_valid() {
+        let mut config = MiddlewareConfig::paper(1.5);
+        config.mode = OperatingMode::ParallelResponsiveness;
+        let mut mw = UpgradeMiddleware::new(config);
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 1.2)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 0.3)]));
+        let rec = run_one(&mut mw, 7);
+        assert!(rec.system.verdict.is_correct());
+        assert_eq!(rec.system.source, Some(ReleaseId::new(1)));
+        // 0.3 + dT.
+        assert!((rec.system.response_time.as_secs() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn responsiveness_skips_evident_failure() {
+        let mut config = MiddlewareConfig::paper(1.5);
+        config.mode = OperatingMode::ParallelResponsiveness;
+        let mut mw = UpgradeMiddleware::new(config);
+        mw.deploy(scripted("1.0", &[(ResponseClass::EvidentFailure, 0.1)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 0.8)]));
+        let rec = run_one(&mut mw, 8);
+        assert!(rec.system.verdict.is_correct());
+        assert!((rec.system.response_time.as_secs() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_quorum_one_behaves_like_responsiveness_timing() {
+        let mut config = MiddlewareConfig::paper(1.5);
+        config.mode = OperatingMode::ParallelDynamic { quorum: 1 };
+        let mut mw = UpgradeMiddleware::new(config);
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 1.2)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 0.3)]));
+        let rec = run_one(&mut mw, 9);
+        assert!(rec.system.verdict.is_correct());
+        assert!((rec.system.response_time.as_secs() - 0.4).abs() < 1e-12);
+        assert_eq!(rec.system.responders, 1);
+    }
+
+    #[test]
+    fn dynamic_quorum_two_waits_for_both() {
+        let mut config = MiddlewareConfig::paper(1.5);
+        config.mode = OperatingMode::ParallelDynamic { quorum: 2 };
+        let mut mw = UpgradeMiddleware::new(config);
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 1.2)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 0.3)]));
+        let rec = run_one(&mut mw, 10);
+        assert!((rec.system.response_time.as_secs() - 1.3).abs() < 1e-12);
+        assert_eq!(rec.system.responders, 2);
+    }
+
+    #[test]
+    fn dynamic_quorum_unreached_waits_for_timeout() {
+        let mut config = MiddlewareConfig::paper(1.5);
+        config.mode = OperatingMode::ParallelDynamic { quorum: 2 };
+        let mut mw = UpgradeMiddleware::new(config);
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 0.3)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 5.0)]));
+        let rec = run_one(&mut mw, 11);
+        assert!(rec.system.verdict.is_correct());
+        assert!((rec.system.response_time.as_secs() - 1.6).abs() < 1e-12);
+        assert_eq!(rec.system.responders, 1);
+    }
+
+    #[test]
+    fn sequential_stops_at_first_valid() {
+        let mut config = MiddlewareConfig::paper(1.5);
+        config.mode = OperatingMode::Sequential {
+            order: SequentialOrder::Deployment,
+        };
+        let mut mw = UpgradeMiddleware::new(config);
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 0.4)]));
+        // Would fail, but must never be invoked.
+        mw.deploy(scripted("1.1", &[]));
+        let rec = run_one(&mut mw, 12);
+        assert!(rec.system.verdict.is_correct());
+        assert_eq!(rec.per_release.len(), 1);
+        assert!((rec.system.response_time.as_secs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_tries_next_on_evident_failure() {
+        let mut config = MiddlewareConfig::paper(1.5);
+        config.mode = OperatingMode::Sequential {
+            order: SequentialOrder::Deployment,
+        };
+        let mut mw = UpgradeMiddleware::new(config);
+        mw.deploy(scripted("1.0", &[(ResponseClass::EvidentFailure, 0.4)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 0.6)]));
+        let rec = run_one(&mut mw, 13);
+        assert!(rec.system.verdict.is_correct());
+        assert_eq!(rec.per_release.len(), 2);
+        // 0.4 + 0.6 + dT.
+        assert!((rec.system.response_time.as_secs() - 1.1).abs() < 1e-12);
+        assert_eq!(rec.system.source, Some(ReleaseId::new(1)));
+    }
+
+    #[test]
+    fn sequential_timeout_counts_and_moves_on() {
+        let mut config = MiddlewareConfig::paper(1.5);
+        config.mode = OperatingMode::Sequential {
+            order: SequentialOrder::Deployment,
+        };
+        let mut mw = UpgradeMiddleware::new(config);
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 99.0)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 0.6)]));
+        let rec = run_one(&mut mw, 14);
+        assert!(rec.system.verdict.is_correct());
+        // Capped first attempt (1.5) + 0.6 + dT.
+        assert!((rec.system.response_time.as_secs() - 2.2).abs() < 1e-12);
+        assert!(!rec.per_release[0].within_timeout);
+    }
+
+    #[test]
+    fn sequential_all_evident_is_exception() {
+        let mut config = MiddlewareConfig::paper(1.5);
+        config.mode = OperatingMode::Sequential {
+            order: SequentialOrder::Deployment,
+        };
+        let mut mw = UpgradeMiddleware::new(config);
+        mw.deploy(scripted("1.0", &[(ResponseClass::EvidentFailure, 0.4)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::EvidentFailure, 0.4)]));
+        let rec = run_one(&mut mw, 15);
+        assert_eq!(
+            rec.system.verdict,
+            SystemVerdict::Response(ResponseClass::EvidentFailure)
+        );
+    }
+
+    #[test]
+    fn sequential_all_timed_out_is_unavailable() {
+        let mut config = MiddlewareConfig::paper(1.5);
+        config.mode = OperatingMode::Sequential {
+            order: SequentialOrder::Deployment,
+        };
+        let mut mw = UpgradeMiddleware::new(config);
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 9.0)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 9.0)]));
+        let rec = run_one(&mut mw, 16);
+        assert_eq!(rec.system.verdict, SystemVerdict::Unavailable);
+    }
+
+    #[test]
+    fn suspended_release_is_not_invoked() {
+        let mut mw = UpgradeMiddleware::new(MiddlewareConfig::paper(1.5));
+        let a = mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 0.4)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 0.5)]));
+        mw.releases_mut().suspend(a).unwrap();
+        let rec = run_one(&mut mw, 17);
+        assert_eq!(rec.per_release.len(), 1);
+        assert_eq!(rec.per_release[0].release, ReleaseId::new(1));
+    }
+
+    #[test]
+    fn demand_counter_and_reconfig() {
+        let mut mw = UpgradeMiddleware::new(MiddlewareConfig::paper(1.5));
+        mw.deploy(
+            SyntheticService::builder("Svc", "1.0")
+                .outcomes(OutcomeProfile::always_correct())
+                .exec_time(DelayModel::constant(0.1))
+                .build(),
+        );
+        let mut rng = StreamRng::from_seed(18);
+        for _ in 0..3 {
+            mw.process(&Envelope::request("invoke"), &mut rng).unwrap();
+        }
+        assert_eq!(mw.demands(), 3);
+        let mut cfg = mw.config();
+        cfg.timeout = SimDuration::from_secs(3.0);
+        mw.set_config(cfg);
+        assert_eq!(mw.config().timeout.as_secs(), 3.0);
+        assert_eq!(mw.release_infos().len(), 1);
+    }
+}

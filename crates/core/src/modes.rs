@@ -1,0 +1,125 @@
+//! Operating modes with several WS releases (paper Section 4.2).
+//!
+//! 1. **Parallel execution for maximum reliability** — all releases run
+//!    concurrently; the middleware waits (up to the timeout) for all
+//!    responses and adjudicates.
+//! 2. **Parallel execution for maximum responsiveness** — all releases
+//!    run concurrently; the fastest *valid* (not evidently incorrect)
+//!    response is returned immediately.
+//! 3. **Parallel execution with dynamically changed
+//!    reliability/responsiveness** — wait for up to a configured number
+//!    of responses, but no longer than the timeout, then adjudicate; the
+//!    quorum and timeout may be changed at run time.
+//! 4. **Sequential execution for minimal server capacity** — releases
+//!    are invoked one at a time (fixed or random order); the next is
+//!    tried only if the previous response was evidently incorrect or
+//!    timed out.
+
+use std::fmt;
+
+/// Visit order for sequential execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SequentialOrder {
+    /// Deployment order (old release first).
+    Deployment,
+    /// A fresh uniformly random order per demand.
+    Random,
+}
+
+/// The middleware's operating mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OperatingMode {
+    /// Mode 1: run all releases, wait for all (bounded by the timeout),
+    /// adjudicate everything collected.
+    ParallelReliability,
+    /// Mode 2: run all releases, return the fastest valid response.
+    ParallelResponsiveness,
+    /// Mode 3: run all releases, adjudicate once `quorum` responses have
+    /// been collected or the timeout expires, whichever is first.
+    ParallelDynamic {
+        /// How many responses to wait for before adjudicating early.
+        quorum: usize,
+    },
+    /// Mode 4: run releases one at a time, stopping at the first response
+    /// that is not evidently incorrect.
+    Sequential {
+        /// The order in which releases are tried.
+        order: SequentialOrder,
+    },
+}
+
+impl OperatingMode {
+    /// Returns `true` for the modes that dispatch to all releases at
+    /// once.
+    pub fn is_parallel(self) -> bool {
+        !matches!(self, OperatingMode::Sequential { .. })
+    }
+
+    /// A short label used in experiment reports.
+    pub fn label(self) -> String {
+        match self {
+            OperatingMode::ParallelReliability => "parallel-reliability".to_owned(),
+            OperatingMode::ParallelResponsiveness => "parallel-responsiveness".to_owned(),
+            OperatingMode::ParallelDynamic { quorum } => {
+                format!("parallel-dynamic(quorum={quorum})")
+            }
+            OperatingMode::Sequential { order } => match order {
+                SequentialOrder::Deployment => "sequential(deployment)".to_owned(),
+                SequentialOrder::Random => "sequential(random)".to_owned(),
+            },
+        }
+    }
+}
+
+impl Default for OperatingMode {
+    /// Mode 1, the mode the paper's simulation study uses.
+    fn default() -> OperatingMode {
+        OperatingMode::ParallelReliability
+    }
+}
+
+impl fmt::Display for OperatingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_predicate() {
+        assert!(OperatingMode::ParallelReliability.is_parallel());
+        assert!(OperatingMode::ParallelResponsiveness.is_parallel());
+        assert!(OperatingMode::ParallelDynamic { quorum: 1 }.is_parallel());
+        assert!(!OperatingMode::Sequential {
+            order: SequentialOrder::Deployment
+        }
+        .is_parallel());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            OperatingMode::ParallelReliability.to_string(),
+            "parallel-reliability"
+        );
+        assert_eq!(
+            OperatingMode::ParallelDynamic { quorum: 2 }.to_string(),
+            "parallel-dynamic(quorum=2)"
+        );
+        assert_eq!(
+            OperatingMode::Sequential {
+                order: SequentialOrder::Random
+            }
+            .to_string(),
+            "sequential(random)"
+        );
+    }
+
+    #[test]
+    fn default_is_parallel_reliability() {
+        assert_eq!(OperatingMode::default(), OperatingMode::ParallelReliability);
+    }
+}

@@ -1,0 +1,406 @@
+//! Deployed releases and their lifecycle.
+//!
+//! The middleware manages a set of releases of the same service — in the
+//! paper's study two (WS 1.0 and WS 1.1), but the architecture allows
+//! more ("one or more old releases being kept operational"). Each release
+//! is a [`ServiceEndpoint`] with a lifecycle state the management
+//! subsystem drives: `Active → Suspended → Active` (recovery) and
+//! `Active → PhasedOut` (after the switch).
+
+use std::fmt;
+
+use wsu_simcore::rng::StreamRng;
+use wsu_wstack::endpoint::{Invocation, ServiceEndpoint};
+use wsu_wstack::message::Envelope;
+
+use crate::error::CoreError;
+
+/// Identifies one deployed release within a middleware instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReleaseId(usize);
+
+impl ReleaseId {
+    /// Creates an id (indices are assigned by the [`ReleaseSet`]).
+    pub fn new(index: usize) -> ReleaseId {
+        ReleaseId(index)
+    }
+
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ReleaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "release#{}", self.0)
+    }
+}
+
+/// Lifecycle state of a deployed release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReleaseState {
+    /// Serving demands.
+    Active,
+    /// Temporarily out of rotation (e.g. after repeated evident
+    /// failures); can be restarted.
+    Suspended,
+    /// Permanently removed from rotation after the switch.
+    PhasedOut,
+}
+
+impl ReleaseState {
+    /// Returns `true` if the release should receive demands.
+    pub fn is_serving(self) -> bool {
+        self == ReleaseState::Active
+    }
+}
+
+/// Metadata about a deployed release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleaseInfo {
+    /// The release's id in the set.
+    pub id: ReleaseId,
+    /// The service name from the release's description.
+    pub service: String,
+    /// The release string from the description (e.g. `"1.1"`).
+    pub version: String,
+    /// Current lifecycle state.
+    pub state: ReleaseState,
+}
+
+/// One deployed release: endpoint plus state.
+struct Deployed {
+    endpoint: Box<dyn ServiceEndpoint>,
+    state: ReleaseState,
+    consecutive_evident_failures: u32,
+}
+
+/// The set of deployed releases behind one middleware instance.
+pub struct ReleaseSet {
+    releases: Vec<Deployed>,
+}
+
+impl ReleaseSet {
+    /// Creates an empty set.
+    pub fn new() -> ReleaseSet {
+        ReleaseSet {
+            releases: Vec::new(),
+        }
+    }
+
+    /// Deploys a release, returning its id. New releases start `Active`.
+    pub fn deploy(&mut self, endpoint: impl ServiceEndpoint + 'static) -> ReleaseId {
+        self.deploy_boxed(Box::new(endpoint))
+    }
+
+    /// Deploys a boxed release.
+    pub fn deploy_boxed(&mut self, endpoint: Box<dyn ServiceEndpoint>) -> ReleaseId {
+        let id = ReleaseId(self.releases.len());
+        self.releases.push(Deployed {
+            endpoint,
+            state: ReleaseState::Active,
+            consecutive_evident_failures: 0,
+        });
+        id
+    }
+
+    /// Number of deployed releases (any state).
+    pub fn len(&self) -> usize {
+        self.releases.len()
+    }
+
+    /// Returns `true` if no releases are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.releases.is_empty()
+    }
+
+    /// Ids of releases currently serving demands, in deployment order.
+    pub fn active_ids(&self) -> Vec<ReleaseId> {
+        self.releases
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.state.is_serving())
+            .map(|(i, _)| ReleaseId(i))
+            .collect()
+    }
+
+    /// Metadata for every deployed release.
+    pub fn infos(&self) -> Vec<ReleaseInfo> {
+        self.releases
+            .iter()
+            .enumerate()
+            .map(|(i, d)| ReleaseInfo {
+                id: ReleaseId(i),
+                service: d.endpoint.describe().service().to_owned(),
+                version: d.endpoint.describe().release().to_owned(),
+                state: d.state,
+            })
+            .collect()
+    }
+
+    /// Current state of a release.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRelease`] for an unknown id.
+    pub fn state(&self, id: ReleaseId) -> Result<ReleaseState, CoreError> {
+        self.releases
+            .get(id.0)
+            .map(|d| d.state)
+            .ok_or(CoreError::UnknownRelease(id))
+    }
+
+    /// Invokes a release, updating its consecutive-evident-failure count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRelease`] for an unknown id and
+    /// [`CoreError::InvalidReleaseState`] if the release is not active.
+    pub fn invoke(
+        &mut self,
+        id: ReleaseId,
+        request: &Envelope,
+        rng: &mut StreamRng,
+    ) -> Result<Invocation, CoreError> {
+        let deployed = self
+            .releases
+            .get_mut(id.0)
+            .ok_or(CoreError::UnknownRelease(id))?;
+        if !deployed.state.is_serving() {
+            return Err(CoreError::InvalidReleaseState {
+                release: id,
+                operation: "invoked",
+            });
+        }
+        let invocation = deployed.endpoint.invoke(request, rng);
+        if invocation.class == wsu_wstack::outcome::ResponseClass::EvidentFailure {
+            deployed.consecutive_evident_failures += 1;
+        } else {
+            deployed.consecutive_evident_failures = 0;
+        }
+        Ok(invocation)
+    }
+
+    /// Consecutive evident failures of a release (for recovery policies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRelease`] for an unknown id.
+    pub fn consecutive_evident_failures(&self, id: ReleaseId) -> Result<u32, CoreError> {
+        self.releases
+            .get(id.0)
+            .map(|d| d.consecutive_evident_failures)
+            .ok_or(CoreError::UnknownRelease(id))
+    }
+
+    /// Suspends an active release (takes it out of rotation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRelease`] or
+    /// [`CoreError::InvalidReleaseState`] if it is not active.
+    pub fn suspend(&mut self, id: ReleaseId) -> Result<(), CoreError> {
+        self.transition(
+            id,
+            ReleaseState::Active,
+            ReleaseState::Suspended,
+            "suspended",
+        )
+    }
+
+    /// Restarts a suspended release (recovery of a failed release,
+    /// Section 4.1). Resets the failure counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRelease`] or
+    /// [`CoreError::InvalidReleaseState`] if it is not suspended.
+    pub fn restart(&mut self, id: ReleaseId) -> Result<(), CoreError> {
+        self.transition(
+            id,
+            ReleaseState::Suspended,
+            ReleaseState::Active,
+            "restarted",
+        )?;
+        self.releases[id.0].consecutive_evident_failures = 0;
+        Ok(())
+    }
+
+    /// Permanently phases a release out of the composite service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRelease`]; phasing out is allowed from
+    /// any state except `PhasedOut` itself.
+    pub fn phase_out(&mut self, id: ReleaseId) -> Result<(), CoreError> {
+        let deployed = self
+            .releases
+            .get_mut(id.0)
+            .ok_or(CoreError::UnknownRelease(id))?;
+        if deployed.state == ReleaseState::PhasedOut {
+            return Err(CoreError::InvalidReleaseState {
+                release: id,
+                operation: "phased out",
+            });
+        }
+        deployed.state = ReleaseState::PhasedOut;
+        Ok(())
+    }
+
+    fn transition(
+        &mut self,
+        id: ReleaseId,
+        from: ReleaseState,
+        to: ReleaseState,
+        operation: &'static str,
+    ) -> Result<(), CoreError> {
+        let deployed = self
+            .releases
+            .get_mut(id.0)
+            .ok_or(CoreError::UnknownRelease(id))?;
+        if deployed.state != from {
+            return Err(CoreError::InvalidReleaseState {
+                release: id,
+                operation,
+            });
+        }
+        deployed.state = to;
+        Ok(())
+    }
+}
+
+impl Default for ReleaseSet {
+    fn default() -> ReleaseSet {
+        ReleaseSet::new()
+    }
+}
+
+impl fmt::Debug for ReleaseSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.infos()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsu_wstack::endpoint::SyntheticService;
+    use wsu_wstack::outcome::OutcomeProfile;
+
+    fn service(version: &str) -> SyntheticService {
+        SyntheticService::builder("Svc", version).build()
+    }
+
+    #[test]
+    fn deploy_assigns_sequential_ids() {
+        let mut set = ReleaseSet::new();
+        let a = set.deploy(service("1.0"));
+        let b = set.deploy(service("1.1"));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(set.active_ids(), vec![a, b]);
+    }
+
+    #[test]
+    fn infos_reflect_descriptions() {
+        let mut set = ReleaseSet::new();
+        set.deploy(service("1.0"));
+        set.deploy(service("1.1"));
+        let infos = set.infos();
+        assert_eq!(infos[0].version, "1.0");
+        assert_eq!(infos[1].version, "1.1");
+        assert_eq!(infos[0].service, "Svc");
+        assert_eq!(infos[0].state, ReleaseState::Active);
+    }
+
+    #[test]
+    fn lifecycle_transitions() {
+        let mut set = ReleaseSet::new();
+        let id = set.deploy(service("1.0"));
+        set.suspend(id).unwrap();
+        assert_eq!(set.state(id).unwrap(), ReleaseState::Suspended);
+        assert!(set.active_ids().is_empty());
+        set.restart(id).unwrap();
+        assert_eq!(set.state(id).unwrap(), ReleaseState::Active);
+        set.phase_out(id).unwrap();
+        assert_eq!(set.state(id).unwrap(), ReleaseState::PhasedOut);
+    }
+
+    #[test]
+    fn invalid_transitions_error() {
+        let mut set = ReleaseSet::new();
+        let id = set.deploy(service("1.0"));
+        assert!(set.restart(id).is_err()); // not suspended
+        set.phase_out(id).unwrap();
+        assert!(set.suspend(id).is_err());
+        assert!(set.phase_out(id).is_err()); // already phased out
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut set = ReleaseSet::new();
+        let ghost = ReleaseId::new(42);
+        assert_eq!(set.state(ghost), Err(CoreError::UnknownRelease(ghost)));
+        assert!(set.suspend(ghost).is_err());
+        assert!(set.consecutive_evident_failures(ghost).is_err());
+        let mut rng = StreamRng::from_seed(1);
+        assert!(set
+            .invoke(ghost, &Envelope::request("invoke"), &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn invoking_suspended_release_errors() {
+        let mut set = ReleaseSet::new();
+        let id = set.deploy(service("1.0"));
+        set.suspend(id).unwrap();
+        let mut rng = StreamRng::from_seed(2);
+        let err = set
+            .invoke(id, &Envelope::request("invoke"), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidReleaseState { .. }));
+    }
+
+    #[test]
+    fn evident_failure_counter_tracks_streaks() {
+        let mut set = ReleaseSet::new();
+        let id = set.deploy(
+            SyntheticService::builder("Svc", "1.0")
+                .outcomes(OutcomeProfile::new(0.0, 1.0, 0.0))
+                .build(),
+        );
+        let mut rng = StreamRng::from_seed(3);
+        for expected in 1..=3u32 {
+            set.invoke(id, &Envelope::request("invoke"), &mut rng)
+                .unwrap();
+            assert_eq!(set.consecutive_evident_failures(id).unwrap(), expected);
+        }
+        // Recovery resets the counter.
+        set.suspend(id).unwrap();
+        set.restart(id).unwrap();
+        assert_eq!(set.consecutive_evident_failures(id).unwrap(), 0);
+    }
+
+    #[test]
+    fn successful_invocation_resets_counter() {
+        let mut set = ReleaseSet::new();
+        let id = set.deploy(service("1.0")); // always correct
+        let mut rng = StreamRng::from_seed(4);
+        set.invoke(id, &Envelope::request("invoke"), &mut rng)
+            .unwrap();
+        assert_eq!(set.consecutive_evident_failures(id).unwrap(), 0);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let mut set = ReleaseSet::new();
+        let id = set.deploy(service("1.0"));
+        assert_eq!(id.to_string(), "release#0");
+        assert!(format!("{set:?}").contains("1.0"));
+        assert!(ReleaseState::Active.is_serving());
+        assert!(!ReleaseState::PhasedOut.is_serving());
+    }
+}

@@ -1,0 +1,261 @@
+//! Third-party upgrade with a **single** operational release
+//! (paper Section 3.2).
+//!
+//! When the provider keeps only the newest release deployed, the
+//! composite's options are limited: if releases are at least
+//! *distinguishable* (the release string is visible), the consumer can
+//! detect the swap and adjust the confidence it publishes. The paper's
+//! conservative rule:
+//!
+//! > "A conservative view when calculating the impact of the upgrade …
+//! > would be treating the upgraded component WS as if it were no
+//! > better than the old release, i.e. the confidence in its
+//! > dependability is no higher than the confidence in the old
+//! > release."
+//!
+//! [`SingleReleaseTracker`] implements that: per release it runs a
+//! black-box inference from the release's own evidence, and the
+//! *reported* confidence is capped by the confidence the previous
+//! release had accumulated at the moment of the swap.
+
+use wsu_bayes::beta::ScaledBeta;
+use wsu_bayes::blackbox::BlackBoxInference;
+use wsu_bayes::posterior::GridPosterior;
+
+/// Evidence accumulated for one release generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleaseEpoch {
+    /// The release identifier observed (e.g. `"1.1"`).
+    pub release: String,
+    /// Demands served by this release.
+    pub demands: u64,
+    /// Failures observed.
+    pub failures: u64,
+}
+
+/// Tracks confidence across undetectable-in-advance release swaps.
+#[derive(Debug, Clone)]
+pub struct SingleReleaseTracker {
+    inference: BlackBoxInference,
+    current: Option<ReleaseEpoch>,
+    /// Posterior of the previous release at the swap, kept as the
+    /// conservative cap for the current release.
+    cap: Option<GridPosterior>,
+    history: Vec<ReleaseEpoch>,
+}
+
+impl SingleReleaseTracker {
+    /// Creates a tracker with the consumer's prior over any release's
+    /// pfd and a grid of `cells` cells.
+    pub fn new(prior: ScaledBeta, cells: usize) -> SingleReleaseTracker {
+        SingleReleaseTracker {
+            inference: BlackBoxInference::new(prior, cells),
+            current: None,
+            cap: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// Records one demand against the release identified by `release`.
+    /// A change of identifier is the (only) upgrade signal; it archives
+    /// the old epoch and installs its posterior as the new cap.
+    ///
+    /// Returns `true` if this demand detected an upgrade.
+    pub fn observe(&mut self, release: &str, failed: bool) -> bool {
+        let mut swapped = false;
+        match &mut self.current {
+            Some(epoch) if epoch.release == release => {}
+            current => {
+                // First observation or a swap.
+                if let Some(previous) = current.take() {
+                    self.cap = Some(
+                        self.inference
+                            .posterior(previous.demands, previous.failures),
+                    );
+                    self.history.push(previous);
+                    swapped = true;
+                }
+                *current = Some(ReleaseEpoch {
+                    release: release.to_owned(),
+                    demands: 0,
+                    failures: 0,
+                });
+            }
+        }
+        let epoch = self.current.as_mut().expect("epoch installed above");
+        epoch.demands += 1;
+        if failed {
+            epoch.failures += 1;
+        }
+        swapped
+    }
+
+    /// The release currently observed, if any demand has been seen.
+    pub fn current_release(&self) -> Option<&str> {
+        self.current.as_ref().map(|e| e.release.as_str())
+    }
+
+    /// The current epoch's evidence.
+    pub fn current_epoch(&self) -> Option<&ReleaseEpoch> {
+        self.current.as_ref()
+    }
+
+    /// Archived epochs of previous releases, oldest first.
+    pub fn history(&self) -> &[ReleaseEpoch] {
+        &self.history
+    }
+
+    /// Confidence from the current release's **own evidence only**
+    /// (prior + this epoch's observations).
+    pub fn fresh_confidence(&self, target: f64) -> f64 {
+        match &self.current {
+            Some(epoch) => self
+                .inference
+                .posterior(epoch.demands, epoch.failures)
+                .confidence(target),
+            None => self.inference.prior_on_grid().confidence(target),
+        }
+    }
+
+    /// The conservative confidence the consumer should *publish*
+    /// (Section 3.2): the fresh confidence, capped by the previous
+    /// release's confidence at the swap — the new release is treated as
+    /// no better than the old one until its own evidence says otherwise
+    /// ... which, under this rule, can only *lower* the report.
+    pub fn reported_confidence(&self, target: f64) -> f64 {
+        let fresh = self.fresh_confidence(target);
+        match &self.cap {
+            Some(cap) => fresh.min(cap.confidence(target)),
+            None => fresh,
+        }
+    }
+
+    /// The conservative percentile bound at confidence `c`: the *larger*
+    /// (worse) of the fresh and capped percentiles.
+    pub fn reported_percentile(&self, c: f64) -> f64 {
+        let fresh = match &self.current {
+            Some(epoch) => self
+                .inference
+                .posterior(epoch.demands, epoch.failures)
+                .percentile(c),
+            None => self.inference.prior_on_grid().percentile(c),
+        };
+        match &self.cap {
+            Some(cap) => fresh.max(cap.percentile(c)),
+            None => fresh,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> SingleReleaseTracker {
+        SingleReleaseTracker::new(ScaledBeta::new(1.0, 9.0, 0.05).unwrap(), 512)
+    }
+
+    #[test]
+    fn no_observations_reports_the_prior() {
+        let t = tracker();
+        assert_eq!(t.current_release(), None);
+        let prior_conf = t.fresh_confidence(1e-2);
+        assert!(prior_conf > 0.0 && prior_conf < 1.0);
+        assert_eq!(t.reported_confidence(1e-2), prior_conf);
+    }
+
+    #[test]
+    fn clean_demands_grow_confidence() {
+        let mut t = tracker();
+        for _ in 0..100 {
+            assert!(!t.observe("1.0", false));
+        }
+        let c100 = t.reported_confidence(1e-2);
+        for _ in 0..900 {
+            t.observe("1.0", false);
+        }
+        let c1000 = t.reported_confidence(1e-2);
+        assert!(c1000 > c100);
+        assert_eq!(t.current_release(), Some("1.0"));
+        assert_eq!(t.current_epoch().unwrap().demands, 1000);
+    }
+
+    #[test]
+    fn swap_is_detected_and_archived() {
+        let mut t = tracker();
+        for _ in 0..500 {
+            t.observe("1.0", false);
+        }
+        assert!(t.observe("1.1", false), "swap must be flagged");
+        assert_eq!(t.current_release(), Some("1.1"));
+        assert_eq!(t.history().len(), 1);
+        assert_eq!(t.history()[0].release, "1.0");
+        assert_eq!(t.history()[0].demands, 500);
+        assert_eq!(t.current_epoch().unwrap().demands, 1);
+    }
+
+    #[test]
+    fn new_release_confidence_is_capped_by_old() {
+        let mut t = tracker();
+        // Old release: modest evidence, some failures.
+        for i in 0..1_000 {
+            t.observe("1.0", i % 200 == 0); // 5 failures in 1000
+        }
+        let old_conf = t.reported_confidence(1e-2);
+        t.observe("1.1", false);
+        // A long clean run on 1.1: the fresh posterior alone would give
+        // higher confidence than the old release ever had, but the
+        // conservative report stays capped.
+        for _ in 0..50_000 {
+            t.observe("1.1", false);
+        }
+        let fresh = t.fresh_confidence(1e-2);
+        let reported = t.reported_confidence(1e-2);
+        assert!(fresh > old_conf, "fresh {fresh} vs old {old_conf}");
+        assert!(
+            (reported - reported.min(old_conf)).abs() < 1e-12,
+            "reported {reported} must not exceed the old cap {old_conf}"
+        );
+    }
+
+    #[test]
+    fn bad_new_release_lowers_the_report_below_the_cap() {
+        let mut t = tracker();
+        for _ in 0..10_000 {
+            t.observe("1.0", false);
+        }
+        // New release fails a lot: its own evidence dominates downward.
+        for i in 0..2_000 {
+            t.observe("1.1", i % 20 == 0); // 5% failures
+        }
+        let reported = t.reported_confidence(1e-2);
+        assert!(reported < 0.5, "reported {reported}");
+    }
+
+    #[test]
+    fn reported_percentile_is_conservative() {
+        let mut t = tracker();
+        for _ in 0..5_000 {
+            t.observe("1.0", false);
+        }
+        let old_p99 = t.reported_percentile(0.99);
+        for _ in 0..100_000 {
+            t.observe("1.1", false);
+        }
+        // Even with overwhelming clean evidence the reported bound does
+        // not drop below what the old release had established.
+        assert!(t.reported_percentile(0.99) >= old_p99 - 1e-12);
+    }
+
+    #[test]
+    fn multiple_swaps_accumulate_history() {
+        let mut t = tracker();
+        for release in ["1.0", "1.1", "2.0"] {
+            for _ in 0..10 {
+                t.observe(release, false);
+            }
+        }
+        assert_eq!(t.history().len(), 2);
+        assert_eq!(t.current_release(), Some("2.0"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of the middleware's per-demand invariants under
+//! arbitrary release behaviours, modes and timeouts.
+
+use proptest::prelude::*;
+
+use wsu_core::adjudicate::SystemVerdict;
+use wsu_core::middleware::{MiddlewareConfig, UpgradeMiddleware};
+use wsu_core::modes::{OperatingMode, SequentialOrder};
+use wsu_simcore::rng::StreamRng;
+use wsu_simcore::time::SimDuration;
+use wsu_wstack::endpoint::{PlannedResponse, ScriptedEndpoint};
+use wsu_wstack::message::Envelope;
+use wsu_wstack::outcome::ResponseClass;
+
+fn arb_class() -> impl Strategy<Value = ResponseClass> {
+    prop_oneof![
+        Just(ResponseClass::Correct),
+        Just(ResponseClass::EvidentFailure),
+        Just(ResponseClass::NonEvidentFailure),
+    ]
+}
+
+fn arb_mode() -> impl Strategy<Value = OperatingMode> {
+    prop_oneof![
+        Just(OperatingMode::ParallelReliability),
+        Just(OperatingMode::ParallelResponsiveness),
+        (1usize..4).prop_map(|quorum| OperatingMode::ParallelDynamic { quorum }),
+        Just(OperatingMode::Sequential {
+            order: SequentialOrder::Deployment
+        }),
+        Just(OperatingMode::Sequential {
+            order: SequentialOrder::Random
+        }),
+    ]
+}
+
+proptest! {
+    /// Per-demand invariants hold for any pair behaviour, mode and
+    /// timeout.
+    #[test]
+    fn demand_record_invariants(
+        class_a in arb_class(),
+        class_b in arb_class(),
+        time_a in 0.01f64..6.0,
+        time_b in 0.01f64..6.0,
+        timeout in 0.5f64..4.0,
+        mode in arb_mode(),
+        seed in any::<u64>(),
+    ) {
+        let mut config = MiddlewareConfig::paper(timeout);
+        config.mode = mode;
+        let dt = config.adjudication_delay;
+        let mut mw = UpgradeMiddleware::new(config);
+        let mut a = ScriptedEndpoint::new("Svc", "1.0");
+        a.push(PlannedResponse { class: class_a, exec_time: SimDuration::from_secs(time_a) });
+        let mut b = ScriptedEndpoint::new("Svc", "1.1");
+        b.push(PlannedResponse { class: class_b, exec_time: SimDuration::from_secs(time_b) });
+        mw.deploy(a);
+        mw.deploy(b);
+
+        let mut rng = StreamRng::from_seed(seed);
+        let record = mw.process(&Envelope::request("invoke"), &mut rng).unwrap();
+
+        // Responders equals the within-timeout observations.
+        let within = record.per_release.iter().filter(|o| o.within_timeout).count();
+        if mode == OperatingMode::ParallelReliability {
+            prop_assert_eq!(record.system.responders, within);
+        } else {
+            prop_assert!(record.system.responders <= within.max(record.per_release.len()));
+        }
+
+        // Verdict consistency with the observations.
+        match record.system.verdict {
+            SystemVerdict::Unavailable => {
+                prop_assert_eq!(within, 0, "unavailable despite responses");
+            }
+            SystemVerdict::Response(class) => {
+                if class.is_valid() {
+                    prop_assert!(
+                        record
+                            .per_release
+                            .iter()
+                            .any(|o| o.within_timeout && o.class == class),
+                        "forwarded class {class:?} nobody produced"
+                    );
+                }
+            }
+        }
+
+        // Source, when present, points at an invoked release with the
+        // forwarded class.
+        if let (SystemVerdict::Response(class), Some(source)) =
+            (record.system.verdict, record.system.source)
+        {
+            prop_assert!(record
+                .per_release
+                .iter()
+                .any(|o| o.release == source && o.class == class));
+        }
+
+        // Timing bounds: parallel modes answer within timeout + dT; the
+        // sequential mode within (#attempts * timeout) + dT.
+        let bound = match mode {
+            OperatingMode::Sequential { .. } => {
+                timeout * record.per_release.len() as f64 + dt.as_secs()
+            }
+            _ => timeout + dt.as_secs(),
+        };
+        prop_assert!(
+            record.system.response_time.as_secs() <= bound + 1e-9,
+            "response time {} exceeds bound {bound}",
+            record.system.response_time.as_secs()
+        );
+        // And it always includes the adjudication delay.
+        prop_assert!(record.system.response_time >= dt);
+    }
+
+    /// Sequential mode never invokes a second release after a valid
+    /// first response.
+    #[test]
+    fn sequential_short_circuits(
+        class_b in arb_class(),
+        seed in any::<u64>(),
+    ) {
+        let mut config = MiddlewareConfig::paper(2.0);
+        config.mode = OperatingMode::Sequential { order: SequentialOrder::Deployment };
+        let mut mw = UpgradeMiddleware::new(config);
+        let mut a = ScriptedEndpoint::new("Svc", "1.0");
+        a.push(PlannedResponse {
+            class: ResponseClass::Correct,
+            exec_time: SimDuration::from_secs(0.5),
+        });
+        let mut b = ScriptedEndpoint::new("Svc", "1.1");
+        b.push(PlannedResponse { class: class_b, exec_time: SimDuration::from_secs(0.5) });
+        mw.deploy(a);
+        mw.deploy(b);
+        let mut rng = StreamRng::from_seed(seed);
+        let record = mw.process(&Envelope::request("invoke"), &mut rng).unwrap();
+        prop_assert_eq!(record.per_release.len(), 1);
+        prop_assert!(record.system.verdict.is_correct());
+    }
+
+    /// Processing is deterministic in (inputs, seed) for every mode.
+    #[test]
+    fn processing_is_deterministic(
+        class_a in arb_class(),
+        class_b in arb_class(),
+        mode in arb_mode(),
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let mut config = MiddlewareConfig::paper(2.0);
+            config.mode = mode;
+            let mut mw = UpgradeMiddleware::new(config);
+            let mut a = ScriptedEndpoint::new("Svc", "1.0");
+            a.push(PlannedResponse {
+                class: class_a,
+                exec_time: SimDuration::from_secs(0.4),
+            });
+            let mut b = ScriptedEndpoint::new("Svc", "1.1");
+            b.push(PlannedResponse {
+                class: class_b,
+                exec_time: SimDuration::from_secs(0.6),
+            });
+            mw.deploy(a);
+            mw.deploy(b);
+            let mut rng = StreamRng::from_seed(seed);
+            mw.process(&Envelope::request("invoke"), &mut rng).unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,142 @@
+//! Back-to-back comparison testing.
+//!
+//! With two releases running side by side, a cheap detector is to compare
+//! their responses: a mismatch proves at least one failed. The paper
+//! evaluates this under the *pessimistic assumption* that all coincident
+//! failures are identical and therefore invisible to comparison — the
+//! observed score `11` (both failed) becomes `00` (both succeeded).
+//!
+//! In reality some coincident failures differ, in which case comparison
+//! does flag the demand; [`BackToBackDetector::with_identical_probability`]
+//! models that middle ground (probability that a coincident failure is
+//! *identical*, hence masked).
+
+use wsu_simcore::rng::StreamRng;
+
+use crate::oracle::{DemandOutcome, FailureDetector};
+
+/// Comparison-based detection over the two releases' responses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackToBackDetector {
+    /// Probability that a coincident failure produces *identical* wrong
+    /// responses (and is therefore masked). 1.0 is the paper's pessimistic
+    /// assumption.
+    p_identical: f64,
+}
+
+impl BackToBackDetector {
+    /// The paper's pessimistic variant: every coincident failure is
+    /// identical and masked.
+    pub fn pessimistic() -> BackToBackDetector {
+        BackToBackDetector { p_identical: 1.0 }
+    }
+
+    /// A variant where a coincident failure is masked only with
+    /// probability `p_identical`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_identical` is outside `[0, 1]`.
+    pub fn with_identical_probability(p_identical: f64) -> BackToBackDetector {
+        assert!(
+            (0.0..=1.0).contains(&p_identical),
+            "identical probability {p_identical} not in [0, 1]"
+        );
+        BackToBackDetector { p_identical }
+    }
+
+    /// The masking probability.
+    pub fn p_identical(self) -> f64 {
+        self.p_identical
+    }
+}
+
+impl FailureDetector for BackToBackDetector {
+    fn name(&self) -> String {
+        if self.p_identical == 1.0 {
+            "back-to-back".to_owned()
+        } else {
+            format!("back-to-back(p_id={})", self.p_identical)
+        }
+    }
+
+    fn observe(&mut self, truth: DemandOutcome, rng: &mut StreamRng) -> DemandOutcome {
+        if truth.is_coincident() && rng.bernoulli(self.p_identical) {
+            // Identical wrong answers compare equal: nothing to see.
+            DemandOutcome::BOTH_OK
+        } else {
+            // A mismatch pinpoints the failing release(s): single failures
+            // are caught by comparing against the other (correct) release,
+            // and differing coincident failures are caught on both sides.
+            truth
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pessimistic_masks_coincident_failures() {
+        let mut det = BackToBackDetector::pessimistic();
+        let mut rng = StreamRng::from_seed(1);
+        assert_eq!(
+            det.observe(DemandOutcome::BOTH_FAILED, &mut rng),
+            DemandOutcome::BOTH_OK
+        );
+    }
+
+    #[test]
+    fn single_failures_pass_through() {
+        let mut det = BackToBackDetector::pessimistic();
+        let mut rng = StreamRng::from_seed(2);
+        for truth in [
+            DemandOutcome::new(true, false),
+            DemandOutcome::new(false, true),
+        ] {
+            assert_eq!(det.observe(truth, &mut rng), truth);
+        }
+        assert_eq!(
+            det.observe(DemandOutcome::BOTH_OK, &mut rng),
+            DemandOutcome::BOTH_OK
+        );
+    }
+
+    #[test]
+    fn partial_masking_rate() {
+        let mut det = BackToBackDetector::with_identical_probability(0.3);
+        let mut rng = StreamRng::from_seed(3);
+        let n = 100_000;
+        let masked = (0..n)
+            .filter(|_| det.observe(DemandOutcome::BOTH_FAILED, &mut rng) == DemandOutcome::BOTH_OK)
+            .count();
+        assert!((masked as f64 / n as f64 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_identical_probability_detects_everything() {
+        let mut det = BackToBackDetector::with_identical_probability(0.0);
+        let mut rng = StreamRng::from_seed(4);
+        assert_eq!(
+            det.observe(DemandOutcome::BOTH_FAILED, &mut rng),
+            DemandOutcome::BOTH_FAILED
+        );
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(BackToBackDetector::pessimistic().name(), "back-to-back");
+        assert_eq!(
+            BackToBackDetector::with_identical_probability(0.5).name(),
+            "back-to-back(p_id=0.5)"
+        );
+        assert_eq!(BackToBackDetector::pessimistic().p_identical(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn rejects_bad_probability() {
+        let _ = BackToBackDetector::with_identical_probability(2.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Class-aware pair detection.
+//!
+//! The binary detectors in [`crate::oracle`] treat a "failure" as a
+//! single event, as the paper's study does. In reality the detection
+//! machinery differs by failure mode (Section 2.1): an **evident**
+//! failure is caught by generic means (exceptions, timeouts) with
+//! certainty, while a **non-evident** failure is caught only with the
+//! oracle's coverage, and correct responses may be flagged spuriously.
+//! [`ClassAwareDetector`] scores a pair of [`ResponseClass`]es through
+//! two per-release [`ClassOracle`]s and reduces the verdicts to the
+//! [`DemandOutcome`] the Bayesian inference consumes.
+
+use wsu_simcore::rng::StreamRng;
+use wsu_wstack::outcome::ResponseClass;
+
+use crate::classify::ClassOracle;
+use crate::oracle::DemandOutcome;
+
+/// Scores a release pair with per-class detection characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassAwareDetector {
+    oracle_a: ClassOracle,
+    oracle_b: ClassOracle,
+}
+
+impl ClassAwareDetector {
+    /// Creates a detector with the same oracle on both releases.
+    pub fn symmetric(oracle: ClassOracle) -> ClassAwareDetector {
+        ClassAwareDetector {
+            oracle_a: oracle,
+            oracle_b: oracle,
+        }
+    }
+
+    /// Creates a detector with distinct per-release oracles.
+    pub fn new(oracle_a: ClassOracle, oracle_b: ClassOracle) -> ClassAwareDetector {
+        ClassAwareDetector { oracle_a, oracle_b }
+    }
+
+    /// The oracle judging release A.
+    pub fn oracle_a(&self) -> ClassOracle {
+        self.oracle_a
+    }
+
+    /// The oracle judging release B.
+    pub fn oracle_b(&self) -> ClassOracle {
+        self.oracle_b
+    }
+
+    /// Scores one demand's pair of ground-truth response classes.
+    pub fn observe_pair(
+        &mut self,
+        a: ResponseClass,
+        b: ResponseClass,
+        rng: &mut StreamRng,
+    ) -> DemandOutcome {
+        DemandOutcome::new(
+            self.oracle_a.judge(a, rng).is_failure(),
+            self.oracle_b.judge(b, rng).is_failure(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evident_failures_always_scored() {
+        let mut det = ClassAwareDetector::symmetric(ClassOracle::new(0.0, 0.0));
+        let mut rng = StreamRng::from_seed(1);
+        let seen = det.observe_pair(
+            ResponseClass::EvidentFailure,
+            ResponseClass::EvidentFailure,
+            &mut rng,
+        );
+        assert_eq!(seen, DemandOutcome::BOTH_FAILED);
+    }
+
+    #[test]
+    fn non_evident_failures_scored_with_coverage() {
+        let mut det = ClassAwareDetector::symmetric(ClassOracle::new(0.85, 0.0));
+        let mut rng = StreamRng::from_seed(2);
+        let n = 100_000;
+        let caught_a = (0..n)
+            .filter(|_| {
+                det.observe_pair(
+                    ResponseClass::NonEvidentFailure,
+                    ResponseClass::Correct,
+                    &mut rng,
+                )
+                .a_failed
+            })
+            .count();
+        assert!((caught_a as f64 / n as f64 - 0.85).abs() < 0.01);
+    }
+
+    #[test]
+    fn correct_pairs_clean_without_false_alarms() {
+        let mut det = ClassAwareDetector::symmetric(ClassOracle::perfect());
+        let mut rng = StreamRng::from_seed(3);
+        for _ in 0..1_000 {
+            let seen = det.observe_pair(ResponseClass::Correct, ResponseClass::Correct, &mut rng);
+            assert_eq!(seen, DemandOutcome::BOTH_OK);
+        }
+    }
+
+    #[test]
+    fn asymmetric_oracles() {
+        // A's oracle is blind to NER, B's is perfect.
+        let mut det = ClassAwareDetector::new(ClassOracle::new(0.0, 0.0), ClassOracle::perfect());
+        let mut rng = StreamRng::from_seed(4);
+        let seen = det.observe_pair(
+            ResponseClass::NonEvidentFailure,
+            ResponseClass::NonEvidentFailure,
+            &mut rng,
+        );
+        assert!(!seen.a_failed);
+        assert!(seen.b_failed);
+        assert_eq!(det.oracle_a().ner_coverage(), 0.0);
+        assert_eq!(det.oracle_b().ner_coverage(), 1.0);
+    }
+
+    #[test]
+    fn false_alarms_flag_correct_responses() {
+        let mut det = ClassAwareDetector::symmetric(ClassOracle::new(1.0, 1.0));
+        let mut rng = StreamRng::from_seed(5);
+        let seen = det.observe_pair(ResponseClass::Correct, ResponseClass::Correct, &mut rng);
+        assert_eq!(seen, DemandOutcome::BOTH_FAILED);
+    }
+}

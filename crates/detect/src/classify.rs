@@ -1,0 +1,182 @@
+//! Response-class-level verdicts for the monitoring subsystem.
+//!
+//! The middleware's monitoring tool (paper Section 4.3) scores each
+//! release's response on every demand. Evident failures are detected by
+//! generic means (exceptions, timeouts) and are always caught; a
+//! non-evident failure is only caught with the oracle's *coverage*; and a
+//! correct response may be flagged spuriously (false alarm).
+
+use wsu_simcore::rng::StreamRng;
+use wsu_wstack::outcome::ResponseClass;
+
+/// The monitoring subsystem's judgement of one response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The response was judged correct.
+    JudgedCorrect,
+    /// The response was judged a failure.
+    JudgedFailed,
+}
+
+impl Verdict {
+    /// Returns `true` if judged a failure.
+    pub fn is_failure(self) -> bool {
+        self == Verdict::JudgedFailed
+    }
+}
+
+/// An imperfect classifier of individual responses.
+///
+/// # Example
+///
+/// ```
+/// use wsu_detect::classify::{ClassOracle, Verdict};
+/// use wsu_simcore::rng::StreamRng;
+/// use wsu_wstack::outcome::ResponseClass;
+///
+/// // 85% coverage of non-evident failures, no false alarms.
+/// let mut oracle = ClassOracle::new(0.85, 0.0);
+/// let mut rng = StreamRng::from_seed(1);
+/// // Evident failures are always caught.
+/// assert_eq!(
+///     oracle.judge(ResponseClass::EvidentFailure, &mut rng),
+///     Verdict::JudgedFailed
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassOracle {
+    ner_coverage: f64,
+    p_false_alarm: f64,
+}
+
+impl ClassOracle {
+    /// Creates an oracle that catches a non-evident failure with
+    /// probability `ner_coverage` and flags a correct response with
+    /// probability `p_false_alarm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(ner_coverage: f64, p_false_alarm: f64) -> ClassOracle {
+        for p in [ner_coverage, p_false_alarm] {
+            assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        }
+        ClassOracle {
+            ner_coverage,
+            p_false_alarm,
+        }
+    }
+
+    /// A perfect classifier.
+    pub fn perfect() -> ClassOracle {
+        ClassOracle::new(1.0, 0.0)
+    }
+
+    /// Coverage of non-evident failures.
+    pub fn ner_coverage(self) -> f64 {
+        self.ner_coverage
+    }
+
+    /// False-alarm probability on correct responses.
+    pub fn p_false_alarm(self) -> f64 {
+        self.p_false_alarm
+    }
+
+    /// Judges one response of the given ground-truth class.
+    pub fn judge(&mut self, truth: ResponseClass, rng: &mut StreamRng) -> Verdict {
+        match truth {
+            // Evident failures are caught by generic mechanisms.
+            ResponseClass::EvidentFailure => Verdict::JudgedFailed,
+            ResponseClass::NonEvidentFailure => {
+                if rng.bernoulli(self.ner_coverage) {
+                    Verdict::JudgedFailed
+                } else {
+                    Verdict::JudgedCorrect
+                }
+            }
+            ResponseClass::Correct => {
+                if rng.bernoulli(self.p_false_alarm) {
+                    Verdict::JudgedFailed
+                } else {
+                    Verdict::JudgedCorrect
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evident_failures_always_caught() {
+        let mut oracle = ClassOracle::new(0.0, 0.0);
+        let mut rng = StreamRng::from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(
+                oracle.judge(ResponseClass::EvidentFailure, &mut rng),
+                Verdict::JudgedFailed
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_oracle_matches_truth() {
+        let mut oracle = ClassOracle::perfect();
+        let mut rng = StreamRng::from_seed(2);
+        assert_eq!(
+            oracle.judge(ResponseClass::Correct, &mut rng),
+            Verdict::JudgedCorrect
+        );
+        assert_eq!(
+            oracle.judge(ResponseClass::NonEvidentFailure, &mut rng),
+            Verdict::JudgedFailed
+        );
+    }
+
+    #[test]
+    fn ner_coverage_rate() {
+        let mut oracle = ClassOracle::new(0.85, 0.0);
+        let mut rng = StreamRng::from_seed(3);
+        let n = 100_000;
+        let caught = (0..n)
+            .filter(|_| {
+                oracle
+                    .judge(ResponseClass::NonEvidentFailure, &mut rng)
+                    .is_failure()
+            })
+            .count();
+        assert!((caught as f64 / n as f64 - 0.85).abs() < 0.005);
+    }
+
+    #[test]
+    fn false_alarm_rate() {
+        let mut oracle = ClassOracle::new(1.0, 0.05);
+        let mut rng = StreamRng::from_seed(4);
+        let n = 100_000;
+        let flagged = (0..n)
+            .filter(|_| oracle.judge(ResponseClass::Correct, &mut rng).is_failure())
+            .count();
+        assert!((flagged as f64 / n as f64 - 0.05).abs() < 0.005);
+    }
+
+    #[test]
+    fn verdict_predicate() {
+        assert!(Verdict::JudgedFailed.is_failure());
+        assert!(!Verdict::JudgedCorrect.is_failure());
+    }
+
+    #[test]
+    fn accessors() {
+        let oracle = ClassOracle::new(0.8, 0.1);
+        assert_eq!(oracle.ner_coverage(), 0.8);
+        assert_eq!(oracle.p_false_alarm(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn rejects_bad_coverage() {
+        let _ = ClassOracle::new(1.5, 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Detection-coverage audits.
+//!
+//! [`DetectionAudit`] accumulates a per-release confusion matrix between
+//! ground truth and a detector's observations, yielding the empirical
+//! miss rate (1 − coverage) and false-alarm rate. The coverage ablation
+//! uses it to relate configured to effective coverage.
+
+use crate::oracle::DemandOutcome;
+
+/// Confusion counts for one release.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionCounts {
+    /// Failures recorded as failures.
+    pub true_positives: u64,
+    /// Failures recorded as successes (omissions).
+    pub false_negatives: u64,
+    /// Successes recorded as failures (false alarms).
+    pub false_positives: u64,
+    /// Successes recorded as successes.
+    pub true_negatives: u64,
+}
+
+impl ConfusionCounts {
+    /// Empirical detection coverage `TP / (TP + FN)`; `None` if no true
+    /// failures were seen.
+    pub fn coverage(self) -> Option<f64> {
+        let failures = self.true_positives + self.false_negatives;
+        if failures == 0 {
+            None
+        } else {
+            Some(self.true_positives as f64 / failures as f64)
+        }
+    }
+
+    /// Empirical false-alarm rate `FP / (FP + TN)`; `None` if no true
+    /// successes were seen.
+    pub fn false_alarm_rate(self) -> Option<f64> {
+        let successes = self.false_positives + self.true_negatives;
+        if successes == 0 {
+            None
+        } else {
+            Some(self.false_positives as f64 / successes as f64)
+        }
+    }
+
+    fn record(&mut self, truth: bool, seen: bool) {
+        match (truth, seen) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_negatives += 1,
+            (false, true) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+        }
+    }
+}
+
+/// A two-release detection audit.
+///
+/// # Example
+///
+/// ```
+/// use wsu_detect::coverage::DetectionAudit;
+/// use wsu_detect::oracle::DemandOutcome;
+///
+/// let mut audit = DetectionAudit::new();
+/// audit.record(
+///     DemandOutcome::new(true, false),   // truth: A failed
+///     DemandOutcome::new(false, false),  // seen: missed
+/// );
+/// assert_eq!(audit.release_a().coverage(), Some(0.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectionAudit {
+    a: ConfusionCounts,
+    b: ConfusionCounts,
+    demands: u64,
+}
+
+impl DetectionAudit {
+    /// Creates an empty audit.
+    pub fn new() -> DetectionAudit {
+        DetectionAudit::default()
+    }
+
+    /// Records one demand: the ground truth and what the detector saw.
+    pub fn record(&mut self, truth: DemandOutcome, seen: DemandOutcome) {
+        self.demands += 1;
+        self.a.record(truth.a_failed, seen.a_failed);
+        self.b.record(truth.b_failed, seen.b_failed);
+    }
+
+    /// Confusion counts for release A.
+    pub fn release_a(&self) -> ConfusionCounts {
+        self.a
+    }
+
+    /// Confusion counts for release B.
+    pub fn release_b(&self) -> ConfusionCounts {
+        self.b
+    }
+
+    /// Demands audited.
+    pub fn demands(&self) -> u64 {
+        self.demands
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{FailureDetector, OmissionOracle};
+    use wsu_simcore::rng::StreamRng;
+
+    #[test]
+    fn confusion_counting() {
+        let mut audit = DetectionAudit::new();
+        audit.record(
+            DemandOutcome::new(true, true),
+            DemandOutcome::new(true, false),
+        );
+        audit.record(
+            DemandOutcome::new(false, false),
+            DemandOutcome::new(true, false),
+        );
+        let a = audit.release_a();
+        assert_eq!(a.true_positives, 1);
+        assert_eq!(a.false_positives, 1);
+        let b = audit.release_b();
+        assert_eq!(b.false_negatives, 1);
+        assert_eq!(b.true_negatives, 1);
+        assert_eq!(audit.demands(), 2);
+    }
+
+    #[test]
+    fn rates_with_no_observations_are_none() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.coverage(), None);
+        assert_eq!(c.false_alarm_rate(), None);
+    }
+
+    #[test]
+    fn audit_recovers_omission_rate() {
+        let mut oracle = OmissionOracle::new(0.15);
+        let mut audit = DetectionAudit::new();
+        let mut rng = StreamRng::from_seed(11);
+        for i in 0..100_000u32 {
+            // A fails on every 10th demand; B on every 7th.
+            let truth = DemandOutcome::new(i % 10 == 0, i % 7 == 0);
+            let seen = oracle.observe(truth, &mut rng);
+            audit.record(truth, seen);
+        }
+        let cov_a = audit.release_a().coverage().unwrap();
+        let cov_b = audit.release_b().coverage().unwrap();
+        assert!((cov_a - 0.85).abs() < 0.01, "cov_a {cov_a}");
+        assert!((cov_b - 0.85).abs() < 0.01, "cov_b {cov_b}");
+        assert_eq!(audit.release_a().false_alarm_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn perfect_detection_audit() {
+        let mut audit = DetectionAudit::new();
+        for truth in [DemandOutcome::BOTH_OK, DemandOutcome::BOTH_FAILED] {
+            audit.record(truth, truth);
+        }
+        assert_eq!(audit.release_a().coverage(), Some(1.0));
+        assert_eq!(audit.release_a().false_alarm_rate(), Some(0.0));
+    }
+}

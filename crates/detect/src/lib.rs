@@ -1,0 +1,41 @@
+//! Failure-detection models.
+//!
+//! The Bayesian inference of Section 5.1 is driven by *observed* scores,
+//! not ground truth: imperfect failure detection biases the posteriors and
+//! therefore the decision when to switch to the new release
+//! (Section 5.1.1.3). This crate models the detection mechanisms the paper
+//! simulates, plus the "false alarm" mechanism it discusses but excludes:
+//!
+//! * [`oracle::PerfectOracle`] — scores every demand correctly;
+//! * [`oracle::OmissionOracle`] — misses a release's failure with
+//!   probability `P_omit` (the paper uses `P_omit = 0.15`);
+//! * [`back2back::BackToBackDetector`] — compares the two releases'
+//!   responses; under the paper's pessimistic assumption coincident
+//!   failures are identical and therefore invisible (`11 → 00`);
+//! * [`oracle::FalseAlarmOracle`] — flags correct responses as failures
+//!   with probability `P_false` (pessimistic bias, paper Section 5.1.1.3
+//!   "not dangerous");
+//! * [`oracle::ChainDetector`] — composes detectors, e.g. back-to-back
+//!   comparison followed by imperfect per-release oracles;
+//! * [`classify`] — response-class-level verdicts for the middleware's
+//!   monitoring subsystem (evident failures are always detected, a
+//!   non-evident failure only with the oracle's coverage);
+//! * [`coverage`] — confusion-matrix audits of a detector against ground
+//!   truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod back2back;
+pub mod classaware;
+pub mod classify;
+pub mod coverage;
+pub mod oracle;
+
+pub use back2back::BackToBackDetector;
+pub use classaware::ClassAwareDetector;
+pub use classify::{ClassOracle, Verdict};
+pub use coverage::DetectionAudit;
+pub use oracle::{
+    ChainDetector, DemandOutcome, FailureDetector, FalseAlarmOracle, OmissionOracle, PerfectOracle,
+};

@@ -1,0 +1,71 @@
+//! Runs the four ablation studies (A1–A4 in DESIGN.md).
+//!
+//! Usage: `ablations [--quick]`.
+
+use wsu_bayes::whitebox::Resolution;
+use wsu_experiments::ablation::{
+    render_abort_table, render_adjudicator_table, render_class_detection_table,
+    render_coverage_table, render_mode_table, render_prior_table, run_abort_ablation,
+    run_adjudicator_ablation, run_class_detection_ablation, run_coverage_ablation,
+    run_mode_ablation, run_prior_ablation,
+};
+use wsu_experiments::bayes_study::StudyConfig;
+use wsu_experiments::DEFAULT_SEED;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let requests = if quick { 2_000 } else { 10_000 };
+    let study = StudyConfig {
+        demands: if quick { 10_000 } else { 50_000 },
+        checkpoint_every: 500,
+        resolution: if quick {
+            Resolution {
+                a_cells: 48,
+                b_cells: 48,
+                q_cells: 16,
+            }
+        } else {
+            Resolution::default()
+        },
+        confidence: 0.99,
+        target: 1e-3,
+        seed: DEFAULT_SEED,
+    };
+
+    println!(
+        "{}",
+        render_adjudicator_table(&run_adjudicator_ablation(DEFAULT_SEED, requests))
+    );
+    println!(
+        "{}",
+        render_mode_table(&run_mode_ablation(DEFAULT_SEED, requests))
+    );
+    println!(
+        "{}",
+        render_coverage_table(&run_coverage_ablation(
+            &study,
+            &[0.0, 0.05, 0.10, 0.15, 0.25, 0.40],
+        ))
+    );
+    println!("{}", render_prior_table(&run_prior_ablation(&study)));
+    println!(
+        "{}",
+        render_class_detection_table(&run_class_detection_ablation(
+            study.demands,
+            study.resolution,
+            DEFAULT_SEED,
+            0.5,
+            &[1.0, 0.85, 0.70, 0.50, 0.25],
+        ))
+    );
+    println!(
+        "{}",
+        render_abort_table(&run_abort_ablation(
+            if quick { 3 } else { 10 },
+            if quick { 4_000 } else { 20_000 },
+            study.resolution,
+            DEFAULT_SEED,
+            &[0.5, 1.0, 2.0, 5.0, 10.0],
+        ))
+    );
+}

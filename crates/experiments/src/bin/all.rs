@@ -1,0 +1,165 @@
+//! Runs every experiment and writes the outputs under `results/`.
+//!
+//! Usage: `all [--quick] [--out DIR]`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use wsu_bayes::whitebox::Resolution;
+use wsu_experiments::bayes_study::StudyConfig;
+use wsu_experiments::{
+    ablation, capacity, figures, table2, table5, table6, DEFAULT_SEED, PAPER_TIMEOUTS,
+};
+use wsu_simcore::rng::MasterSeed;
+use wsu_workload::timing::ExecTimeModel;
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&out_dir)?;
+
+    let res = if quick {
+        Resolution {
+            a_cells: 48,
+            b_cells: 48,
+            q_cells: 16,
+        }
+    } else {
+        Resolution::default()
+    };
+    let study1 = StudyConfig {
+        demands: if quick { 10_000 } else { 50_000 },
+        checkpoint_every: 500,
+        resolution: res,
+        confidence: 0.99,
+        target: 1e-3,
+        seed: DEFAULT_SEED,
+    };
+    let study2 = StudyConfig {
+        demands: if quick { 4_000 } else { 10_000 },
+        checkpoint_every: 100,
+        resolution: res,
+        confidence: 0.99,
+        target: 1e-3,
+        seed: DEFAULT_SEED,
+    };
+    let requests = if quick { 2_000 } else { 10_000 };
+
+    eprintln!("[1/8] Table 2 (single seed + spread) ...");
+    let t2 = table2::run_table2_with(DEFAULT_SEED, &study1, &study2);
+    fs::write(out_dir.join("table2.txt"), t2.render())?;
+    let seeds: Vec<MasterSeed> = (0..10u64)
+        .map(|i| MasterSeed::new(DEFAULT_SEED.value().wrapping_add(i)))
+        .collect();
+    let spread = table2::run_table2_spread(&seeds, &study1, &study2);
+    fs::write(
+        out_dir.join("table2_spread.txt"),
+        table2::render_spread(&spread),
+    )?;
+
+    eprintln!("[2/8] Fig. 7 ...");
+    let (fig7, _) = figures::run_fig7(&study1);
+    fs::write(out_dir.join("fig7.tsv"), fig7.to_tsv())?;
+
+    eprintln!("[3/8] Fig. 8 ...");
+    let (fig8, _) = figures::run_fig8(&study2);
+    fs::write(out_dir.join("fig8.tsv"), fig8.to_tsv())?;
+
+    eprintln!("[4/8] Table 5 ...");
+    let t5 = table5::run_table5_with(
+        DEFAULT_SEED,
+        requests,
+        &PAPER_TIMEOUTS,
+        ExecTimeModel::paper(),
+    );
+    fs::write(out_dir.join("table5.txt"), t5.render())?;
+
+    eprintln!("[5/8] Table 6 ...");
+    let t6 = table6::run_table6_with(
+        DEFAULT_SEED,
+        requests,
+        &PAPER_TIMEOUTS,
+        ExecTimeModel::paper(),
+    );
+    fs::write(out_dir.join("table6.txt"), t6.render())?;
+
+    eprintln!("[6/8] Calibrated-timing variants ...");
+    let t5c = table5::run_table5_with(
+        DEFAULT_SEED,
+        requests,
+        &PAPER_TIMEOUTS,
+        ExecTimeModel::calibrated(),
+    );
+    fs::write(out_dir.join("table5_calibrated.txt"), t5c.render())?;
+    let t6c = table6::run_table6_with(
+        DEFAULT_SEED,
+        requests,
+        &PAPER_TIMEOUTS,
+        ExecTimeModel::calibrated(),
+    );
+    fs::write(out_dir.join("table6_calibrated.txt"), t6c.render())?;
+
+    eprintln!("[7/8] Ablations ...");
+    let mut ab = String::new();
+    ab.push_str(&ablation::render_adjudicator_table(
+        &ablation::run_adjudicator_ablation(DEFAULT_SEED, requests),
+    ));
+    ab.push('\n');
+    ab.push_str(&ablation::render_mode_table(&ablation::run_mode_ablation(
+        DEFAULT_SEED,
+        requests,
+    )));
+    ab.push('\n');
+    ab.push_str(&ablation::render_coverage_table(
+        &ablation::run_coverage_ablation(&study1, &[0.0, 0.05, 0.10, 0.15, 0.25, 0.40]),
+    ));
+    ab.push('\n');
+    ab.push_str(&ablation::render_prior_table(
+        &ablation::run_prior_ablation(&study1),
+    ));
+    ab.push('\n');
+    ab.push_str(&ablation::render_class_detection_table(
+        &ablation::run_class_detection_ablation(
+            study1.demands,
+            study1.resolution,
+            DEFAULT_SEED,
+            0.5,
+            &[1.0, 0.85, 0.70, 0.50, 0.25],
+        ),
+    ));
+    ab.push('\n');
+    ab.push_str(&ablation::render_abort_table(
+        &ablation::run_abort_ablation(
+            if quick { 3 } else { 10 },
+            if quick { 4_000 } else { 20_000 },
+            study1.resolution,
+            DEFAULT_SEED,
+            &[0.5, 1.0, 2.0, 5.0, 10.0],
+        ),
+    ));
+    fs::write(out_dir.join("ablations.txt"), ab)?;
+
+    eprintln!("[8/8] Capacity study ...");
+    let gen =
+        wsu_workload::outcomes::CorrelatedOutcomes::from_run(&wsu_workload::runs::RunSpec::run2());
+    let cap = capacity::run_capacity_study(
+        &gen,
+        ExecTimeModel::calibrated(),
+        &[0.2, 0.4, 0.6, 0.8],
+        if quick { 3_000 } else { 20_000 },
+        DEFAULT_SEED,
+    );
+    fs::write(
+        out_dir.join("capacity.txt"),
+        capacity::render_capacity_table(&cap),
+    )?;
+
+    eprintln!("done; outputs in {}", out_dir.display());
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Regenerates Table 2 (duration of managed upgrade).
+//!
+//! Usage: `table2 [--quick] [--seeds N]` — `--quick` runs a
+//! reduced-scale version; `--seeds N` additionally reports the spread of
+//! every cell across N seeds.
+
+use wsu_bayes::whitebox::Resolution;
+use wsu_experiments::bayes_study::StudyConfig;
+use wsu_experiments::table2::{render_spread, run_table2, run_table2_spread, run_table2_with};
+use wsu_experiments::DEFAULT_SEED;
+use wsu_simcore::rng::MasterSeed;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let spread_seeds: Option<usize> = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok());
+    let table = if quick {
+        let res = Resolution {
+            a_cells: 48,
+            b_cells: 48,
+            q_cells: 16,
+        };
+        let c1 = StudyConfig {
+            demands: 10_000,
+            checkpoint_every: 500,
+            resolution: res,
+            confidence: 0.99,
+            target: 1e-3,
+            seed: DEFAULT_SEED,
+        };
+        let c2 = StudyConfig {
+            demands: 5_000,
+            checkpoint_every: 100,
+            resolution: res,
+            confidence: 0.99,
+            target: 1e-3,
+            seed: DEFAULT_SEED,
+        };
+        run_table2_with(DEFAULT_SEED, &c1, &c2)
+    } else {
+        run_table2(DEFAULT_SEED)
+    };
+    println!("{}", table.render());
+
+    if let Some(n) = spread_seeds {
+        let res = if quick {
+            Resolution {
+                a_cells: 48,
+                b_cells: 48,
+                q_cells: 16,
+            }
+        } else {
+            Resolution::default()
+        };
+        let c1 = StudyConfig {
+            demands: if quick { 10_000 } else { 50_000 },
+            checkpoint_every: 500,
+            resolution: res,
+            confidence: 0.99,
+            target: 1e-3,
+            seed: DEFAULT_SEED,
+        };
+        let c2 = StudyConfig {
+            demands: if quick { 5_000 } else { 10_000 },
+            checkpoint_every: 100,
+            resolution: res,
+            confidence: 0.99,
+            target: 1e-3,
+            seed: DEFAULT_SEED,
+        };
+        let seeds: Vec<MasterSeed> = (0..n as u64)
+            .map(|i| MasterSeed::new(DEFAULT_SEED.value().wrapping_add(i)))
+            .collect();
+        println!("{}", render_spread(&run_table2_spread(&seeds, &c1, &c2)));
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table 5 (correlated release failures).
+//!
+//! Usage: `table5 [--quick] [--calibrated]` — `--calibrated` uses the
+//! execution-time model whose unconditional MET matches the paper's
+//! reported values (see EXPERIMENTS.md).
+
+use wsu_experiments::table5::{run_table5, run_table5_with};
+use wsu_experiments::{DEFAULT_SEED, PAPER_TIMEOUTS};
+use wsu_workload::timing::ExecTimeModel;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let calibrated = std::env::args().any(|a| a == "--calibrated");
+    let timing = if calibrated {
+        ExecTimeModel::calibrated()
+    } else {
+        ExecTimeModel::paper()
+    };
+    let table = if quick {
+        run_table5_with(DEFAULT_SEED, 2_000, &PAPER_TIMEOUTS, timing)
+    } else if calibrated {
+        run_table5_with(DEFAULT_SEED, 10_000, &PAPER_TIMEOUTS, timing)
+    } else {
+        run_table5(DEFAULT_SEED)
+    };
+    print!("{}", table.render());
+}

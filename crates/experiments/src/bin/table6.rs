@@ -1,0 +1,25 @@
+//! Regenerates Table 6 (independent release failures).
+//!
+//! Usage: `table6 [--quick] [--calibrated]`.
+
+use wsu_experiments::table6::{run_table6, run_table6_with};
+use wsu_experiments::{DEFAULT_SEED, PAPER_TIMEOUTS};
+use wsu_workload::timing::ExecTimeModel;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let calibrated = std::env::args().any(|a| a == "--calibrated");
+    let timing = if calibrated {
+        ExecTimeModel::calibrated()
+    } else {
+        ExecTimeModel::paper()
+    };
+    let table = if quick {
+        run_table6_with(DEFAULT_SEED, 2_000, &PAPER_TIMEOUTS, timing)
+    } else if calibrated {
+        run_table6_with(DEFAULT_SEED, 10_000, &PAPER_TIMEOUTS, timing)
+    } else {
+        run_table6(DEFAULT_SEED)
+    };
+    print!("{}", table.render());
+}

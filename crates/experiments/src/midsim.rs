@@ -1,0 +1,309 @@
+//! The event-driven middleware simulation (paper Section 5.2).
+//!
+//! Reproduces the paper's model: 10,000 requests processed closed-loop
+//! (each new request is issued when the previous adjudicated response is
+//! delivered), two releases whose joint outcomes come from a workload
+//! generator, execution times from eq. (7), and the parallel-reliability
+//! middleware with timeouts of 1.5/2.0/3.0 s and `dT = 0.1 s`.
+//!
+//! As in the paper, all timeout columns of one run replay the *same*
+//! planned demands, so differences between columns are purely the
+//! timeout's effect.
+
+use wsu_core::middleware::{MiddlewareConfig, UpgradeMiddleware};
+use wsu_core::monitor::{MonitoringSubsystem, ReleaseStats, SystemStats};
+use wsu_core::release::ReleaseId;
+use wsu_simcore::engine::{Engine, Handler};
+use wsu_simcore::rng::{MasterSeed, StreamRng};
+use wsu_simcore::time::SimTime;
+use wsu_workload::demand::{DemandPlanner, PlannedDemand};
+use wsu_workload::outcomes::OutcomePairGen;
+use wsu_workload::timing::ExecTimeModel;
+use wsu_wstack::endpoint::ScriptedEndpoint;
+use wsu_wstack::message::Envelope;
+use wsu_wstack::outcome::ResponseClass;
+
+/// The per-group statistics of one table cell (release 1, release 2 or
+/// the system column group of Tables 5–6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupStats {
+    /// Mean execution time (per-release: over all responses; system:
+    /// consumer-visible response time), in seconds.
+    pub met: f64,
+    /// Correct responses.
+    pub cr: u64,
+    /// Evident failures ("EER" in the tables).
+    pub eer: u64,
+    /// Non-evident failures.
+    pub ner: u64,
+    /// Total responses within the timeout.
+    pub total: u64,
+    /// Demands without a response within the timeout.
+    pub nrdt: u64,
+}
+
+impl GroupStats {
+    fn from_release(stats: &ReleaseStats) -> GroupStats {
+        GroupStats {
+            met: stats.mean_exec_time(),
+            cr: stats.count(ResponseClass::Correct),
+            eer: stats.count(ResponseClass::EvidentFailure),
+            ner: stats.count(ResponseClass::NonEvidentFailure),
+            total: stats.total_responses(),
+            nrdt: stats.nrdt(),
+        }
+    }
+
+    fn from_system(stats: &SystemStats) -> GroupStats {
+        GroupStats {
+            met: stats.mean_response_time(),
+            cr: stats.count(ResponseClass::Correct),
+            eer: stats.count(ResponseClass::EvidentFailure),
+            ner: stats.count(ResponseClass::NonEvidentFailure),
+            total: stats.total_responses(),
+            nrdt: stats.nrdt(),
+        }
+    }
+
+    /// Fraction of all demands answered correctly.
+    pub fn correct_fraction(&self) -> f64 {
+        let demands = self.total + self.nrdt;
+        if demands == 0 {
+            0.0
+        } else {
+            self.cr as f64 / demands as f64
+        }
+    }
+}
+
+/// One simulated cell: a (run, timeout) combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellResult {
+    /// The middleware timeout, seconds.
+    pub timeout: f64,
+    /// Requests processed.
+    pub requests: u64,
+    /// Release 1's column group.
+    pub rel1: GroupStats,
+    /// Release 2's column group.
+    pub rel2: GroupStats,
+    /// The system's column group.
+    pub system: GroupStats,
+}
+
+/// The closed-loop demand event.
+#[derive(Debug)]
+struct NextDemand;
+
+/// The simulation world: middleware + monitor + remaining demands.
+struct World {
+    middleware: UpgradeMiddleware,
+    monitor: MonitoringSubsystem,
+    remaining: u64,
+    request: Envelope,
+    mw_rng: StreamRng,
+    mon_rng: StreamRng,
+}
+
+impl Handler<NextDemand> for World {
+    fn handle(&mut self, engine: &mut Engine<NextDemand>, _event: NextDemand) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        let record = self
+            .middleware
+            .process(&self.request, &mut self.mw_rng)
+            .expect("releases deployed");
+        let wait = record.system.response_time;
+        self.monitor.observe(&record, &mut self.mon_rng);
+        if self.remaining > 0 {
+            // Closed loop: the next request leaves when this response
+            // reaches the consumer.
+            engine.schedule_in(wait, NextDemand);
+        }
+    }
+}
+
+/// Simulates one cell: the given planned demands through a middleware
+/// with the given configuration.
+///
+/// # Panics
+///
+/// Panics if `demands` is empty.
+pub fn simulate_cell(
+    demands: &[PlannedDemand],
+    config: MiddlewareConfig,
+    seed: MasterSeed,
+) -> CellResult {
+    assert!(!demands.is_empty(), "need at least one planned demand");
+    let mut rel1 = ScriptedEndpoint::new("Component", "1.0");
+    let mut rel2 = ScriptedEndpoint::new("Component", "1.1");
+    for d in demands {
+        rel1.push(d.rel1);
+        rel2.push(d.rel2);
+    }
+    let mut middleware = UpgradeMiddleware::new(config);
+    let id1 = middleware.deploy(rel1);
+    let id2 = middleware.deploy(rel2);
+    debug_assert_eq!(id1, ReleaseId::new(0));
+    debug_assert_eq!(id2, ReleaseId::new(1));
+
+    let mut world = World {
+        middleware,
+        monitor: MonitoringSubsystem::new(0),
+        remaining: demands.len() as u64,
+        request: Envelope::request("invoke"),
+        mw_rng: seed.stream("midsim/middleware"),
+        mon_rng: seed.stream("midsim/monitor"),
+    };
+    let mut engine = Engine::new();
+    engine.schedule_at(SimTime::ZERO, NextDemand);
+    engine.run(&mut world);
+
+    let r1 = world
+        .monitor
+        .release_stats(ReleaseId::new(0))
+        .expect("release 1 observed");
+    let r2 = world
+        .monitor
+        .release_stats(ReleaseId::new(1))
+        .expect("release 2 observed");
+    CellResult {
+        timeout: config.timeout.as_secs(),
+        requests: demands.len() as u64,
+        rel1: GroupStats::from_release(r1),
+        rel2: GroupStats::from_release(r2),
+        system: GroupStats::from_system(world.monitor.system_stats()),
+    }
+}
+
+/// Plans `requests` demands for a run and simulates every timeout column
+/// over the *same* plan.
+pub fn simulate_run(
+    outcomes: &dyn OutcomePairGen,
+    timing: ExecTimeModel,
+    requests: u64,
+    timeouts: &[f64],
+    seed: MasterSeed,
+    run_tag: &str,
+) -> Vec<CellResult> {
+    let mut planner = DemandPlanner::new(outcomes, timing, "invoke");
+    let mut plan_rng = seed.stream(&format!("midsim/plan/{run_tag}"));
+    let plan = planner.plan_batch(requests as usize, &mut plan_rng);
+    timeouts
+        .iter()
+        .map(|&t| simulate_cell(&plan, MiddlewareConfig::paper(t), seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsu_workload::outcomes::{CorrelatedOutcomes, IndependentOutcomes};
+    use wsu_workload::runs::RunSpec;
+
+    fn quick_run(correlated: bool, requests: u64) -> Vec<CellResult> {
+        let run = RunSpec::run1();
+        let timing = ExecTimeModel::paper();
+        let seed = MasterSeed::new(31);
+        if correlated {
+            let gen = CorrelatedOutcomes::from_run(&run);
+            simulate_run(&gen, timing, requests, &[1.5, 3.0], seed, "t")
+        } else {
+            let gen = IndependentOutcomes::from_run(&run);
+            simulate_run(&gen, timing, requests, &[1.5, 3.0], seed, "t")
+        }
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        for cell in quick_run(true, 2_000) {
+            for group in [cell.rel1, cell.rel2, cell.system] {
+                assert_eq!(group.cr + group.eer + group.ner, group.total);
+                assert_eq!(group.total + group.nrdt, cell.requests);
+            }
+        }
+    }
+
+    #[test]
+    fn system_availability_beats_either_release() {
+        // 1-out-of-2: the system is unavailable only when both releases
+        // time out.
+        for cell in quick_run(true, 4_000) {
+            assert!(cell.system.nrdt <= cell.rel1.nrdt.min(cell.rel2.nrdt));
+        }
+    }
+
+    #[test]
+    fn system_waits_for_slower_release() {
+        // The system's response time is min(timeout, max(exec)) + dT.
+        // Against the *uncapped* per-release MET the comparison is only
+        // guaranteed once the timeout stops truncating the tail — the
+        // 3.0 s column here. (With the paper's own reported MET of
+        // ~1.0 s the inequality holds in every column; see
+        // EXPERIMENTS.md for the timing-parameter discrepancy.)
+        let cells = quick_run(true, 2_000);
+        let long = cells[1];
+        assert!(long.timeout == 3.0);
+        assert!(long.system.met > long.rel1.met.min(long.rel2.met));
+        // In every column the system is slower than the *faster*
+        // release's within-timeout responses plus dT would suggest: it
+        // waits for the second response or the timeout.
+        for cell in cells {
+            assert!(cell.system.met > 0.1);
+        }
+    }
+
+    #[test]
+    fn longer_timeout_collects_more_responses() {
+        let cells = quick_run(true, 4_000);
+        let (short, long) = (cells[0], cells[1]);
+        assert!(long.rel1.total >= short.rel1.total);
+        assert!(long.rel2.total >= short.rel2.total);
+        assert!(long.system.nrdt <= short.system.nrdt);
+    }
+
+    #[test]
+    fn same_plan_across_timeouts() {
+        // The per-release MET is computed over *all* responses, so it must
+        // be identical across timeout columns (the paper reports the same
+        // value in all three).
+        let cells = quick_run(true, 2_000);
+        assert!((cells[0].rel1.met - cells[1].rel1.met).abs() < 1e-12);
+        assert!((cells[0].rel2.met - cells[1].rel2.met).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independence_improves_the_system_over_both_releases() {
+        // Table 6's headline: with independent failures, 1-out-of-2
+        // fault tolerance works — the system's correct fraction beats
+        // both releases'.
+        for cell in quick_run(false, 6_000) {
+            let sys = cell.system.correct_fraction();
+            assert!(
+                sys >= cell
+                    .rel1
+                    .correct_fraction()
+                    .max(cell.rel2.correct_fraction())
+                    - 0.01,
+                "system {sys} vs rel1 {} rel2 {}",
+                cell.rel1.correct_fraction(),
+                cell.rel2.correct_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick_run(true, 1_000);
+        let b = quick_run(true, 1_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one planned demand")]
+    fn empty_plan_rejected() {
+        let _ = simulate_cell(&[], MiddlewareConfig::paper(1.5), MasterSeed::new(1));
+    }
+}

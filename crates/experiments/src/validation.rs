@@ -1,0 +1,187 @@
+//! Statistical validation of the workload generators.
+//!
+//! The reproduction's credibility rests on the generators actually
+//! producing the distributions Tables 3–4 and eq. (7) specify. This
+//! module implements the two classical checks the test-suite uses:
+//!
+//! * [`chi_square_statistic`] + [`chi_square_exceeds`] — goodness of fit
+//!   of categorical samples against expected probabilities;
+//! * [`ks_statistic`] — the Kolmogorov–Smirnov distance between an
+//!   empirical sample and a reference CDF.
+
+/// Pearson's chi-square statistic for observed counts against expected
+/// probabilities.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or `expected`
+/// contains non-positive probabilities.
+pub fn chi_square_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed and expected must align"
+    );
+    assert!(!observed.is_empty(), "need at least one class");
+    let n: u64 = observed.iter().sum();
+    let mut stat = 0.0;
+    for (&o, &p) in observed.iter().zip(expected) {
+        assert!(p > 0.0, "expected probabilities must be positive");
+        let e = n as f64 * p;
+        let d = o as f64 - e;
+        stat += d * d / e;
+    }
+    stat
+}
+
+/// Critical values of the chi-square distribution at the 99.9%
+/// significance level, for 1–9 degrees of freedom. Generators are tested
+/// against a *very* loose level so the suite never flakes.
+const CHI2_999: [f64; 9] = [
+    10.828, 13.816, 16.266, 18.467, 20.515, 22.458, 24.322, 26.125, 27.877,
+];
+
+/// Returns `true` if the chi-square statistic exceeds the 99.9% critical
+/// value for the given degrees of freedom (i.e. the sample is *very*
+/// unlikely to come from the expected distribution).
+///
+/// # Panics
+///
+/// Panics if `dof` is 0 or greater than 9.
+pub fn chi_square_exceeds(stat: f64, dof: usize) -> bool {
+    assert!((1..=9).contains(&dof), "dof {dof} out of tabulated range");
+    stat > CHI2_999[dof - 1]
+}
+
+/// The Kolmogorov–Smirnov statistic of a sample against a reference CDF.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or contains non-finite values.
+pub fn ks_statistic(sample: &mut [f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    assert!(!sample.is_empty(), "need at least one observation");
+    assert!(
+        sample.iter().all(|x| x.is_finite()),
+        "sample must be finite"
+    );
+    sample.sort_by(|a, b| a.total_cmp(b));
+    let n = sample.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sample.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// The KS critical value at the 99.9% level for sample size `n`
+/// (asymptotic formula `1.949 / sqrt(n)`).
+pub fn ks_critical_999(n: usize) -> f64 {
+    assert!(n > 0, "need at least one observation");
+    1.949 / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsu_simcore::dist::Exponential;
+    use wsu_simcore::rng::{MasterSeed, StreamRng};
+    use wsu_workload::outcomes::{CorrelatedOutcomes, OutcomePairGen};
+    use wsu_workload::runs::RunSpec;
+    use wsu_workload::timing::ExecTimeModel;
+    use wsu_wstack::outcome::ResponseClass;
+
+    #[test]
+    fn chi_square_accepts_true_distribution() {
+        let mut rng = StreamRng::from_seed(1);
+        let probs = [0.70, 0.15, 0.15];
+        let mut counts = [0u64; 3];
+        for _ in 0..100_000 {
+            counts[rng.pick_weighted(&probs)] += 1;
+        }
+        let stat = chi_square_statistic(&counts, &probs);
+        assert!(!chi_square_exceeds(stat, 2), "stat {stat}");
+    }
+
+    #[test]
+    fn chi_square_rejects_wrong_distribution() {
+        let mut rng = StreamRng::from_seed(2);
+        let mut counts = [0u64; 3];
+        for _ in 0..100_000 {
+            counts[rng.pick_weighted(&[0.5, 0.25, 0.25])] += 1;
+        }
+        // Tested against the *wrong* expectation.
+        let stat = chi_square_statistic(&counts, &[0.70, 0.15, 0.15]);
+        assert!(chi_square_exceeds(stat, 2), "stat {stat}");
+    }
+
+    #[test]
+    fn run1_correlated_generator_passes_joint_chi_square() {
+        // The 9-cell joint distribution of run 1: P(a) * P(b | a).
+        let spec = RunSpec::run1();
+        let gen = CorrelatedOutcomes::from_run(&spec);
+        let mut expected = Vec::with_capacity(9);
+        for a in ResponseClass::ALL {
+            for b in ResponseClass::ALL {
+                expected.push(spec.rel1.prob(a) * spec.conditional.prob(a, b));
+            }
+        }
+        let mut counts = vec![0u64; 9];
+        let mut rng = MasterSeed::new(3).stream("validation/run1");
+        for _ in 0..200_000 {
+            let (a, b) = gen.sample_pair(&mut rng);
+            counts[a.index() * 3 + b.index()] += 1;
+        }
+        let stat = chi_square_statistic(&counts, &expected);
+        assert!(!chi_square_exceeds(stat, 8), "stat {stat}");
+    }
+
+    #[test]
+    fn exponential_sampler_passes_ks() {
+        let exp = Exponential::with_mean(0.7);
+        let mut rng = StreamRng::from_seed(4);
+        let mut sample: Vec<f64> = (0..20_000).map(|_| exp.sample(&mut rng)).collect();
+        let d = ks_statistic(&mut sample, |x| 1.0 - (-x / 0.7).exp());
+        assert!(d < ks_critical_999(20_000), "d = {d}");
+    }
+
+    #[test]
+    fn exec_time_model_marginals_pass_ks() {
+        // Each release's time is hypoexponential (T1 + T2, means 0.7 +
+        // 0.7 = Erlang-2 with rate 1/0.7): CDF 1 - e^{-λt}(1 + λt).
+        let model = ExecTimeModel::paper();
+        let mut rng = StreamRng::from_seed(5);
+        let mut sample: Vec<f64> = (0..20_000)
+            .map(|_| model.sample_pair(&mut rng).0.as_secs())
+            .collect();
+        let lambda = 1.0 / 0.7;
+        let d = ks_statistic(&mut sample, |t| {
+            1.0 - (-lambda * t).exp() * (1.0 + lambda * t)
+        });
+        assert!(d < ks_critical_999(20_000), "d = {d}");
+    }
+
+    #[test]
+    fn ks_detects_wrong_reference() {
+        let exp = Exponential::with_mean(0.7);
+        let mut rng = StreamRng::from_seed(6);
+        let mut sample: Vec<f64> = (0..20_000).map(|_| exp.sample(&mut rng)).collect();
+        // Reference with the wrong mean.
+        let d = ks_statistic(&mut sample, |x| 1.0 - (-x / 1.4).exp());
+        assert!(d > ks_critical_999(20_000), "d = {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn chi_square_rejects_mismatched_lengths() {
+        let _ = chi_square_statistic(&[1, 2], &[0.5, 0.25, 0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn ks_rejects_empty_sample() {
+        let _ = ks_statistic(&mut [], |_| 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Random variates used by the simulation model.
+//!
+//! The paper's event-driven model (Section 5.2) needs exponential execution
+//! times, Bernoulli failure indicators and categorical response outcomes.
+//! Each distribution here is a small value type that samples from a
+//! [`StreamRng`], so the distribution parameters live with the model and
+//! the randomness stays in named streams.
+
+use crate::rng::StreamRng;
+use crate::time::SimDuration;
+
+/// Exponential distribution with a given mean (not rate).
+///
+/// The paper parameterises execution times by their means
+/// (`T1Mean = 0.7 sec` etc.), so the constructor takes a mean.
+///
+/// # Example
+///
+/// ```
+/// use wsu_simcore::dist::Exponential;
+/// use wsu_simcore::rng::StreamRng;
+///
+/// let exp = Exponential::with_mean(0.7);
+/// let mut rng = StreamRng::from_seed(1);
+/// let x = exp.sample(&mut rng);
+/// assert!(x >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn with_mean(mean: f64) -> Exponential {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        Exponential { mean }
+    }
+
+    /// Returns the mean of the distribution.
+    pub fn mean(self) -> f64 {
+        self.mean
+    }
+
+    /// Draws one variate.
+    pub fn sample(self, rng: &mut StreamRng) -> f64 {
+        // Inverse CDF; 1 - U avoids ln(0) since U ∈ [0, 1).
+        -self.mean * (1.0 - rng.next_f64()).ln()
+    }
+
+    /// Draws one variate as a [`SimDuration`].
+    pub fn sample_duration(self, rng: &mut StreamRng) -> SimDuration {
+        SimDuration::from_secs(self.sample(rng))
+    }
+}
+
+/// A discrete distribution over `0..k` given by explicit probabilities.
+///
+/// Used for the paper's three-way response outcomes (correct / evident
+/// failure / non-evident failure) and the conditional rows of Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    probs: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty, contains negative or non-finite values,
+    /// or does not sum to 1 within `1e-9`.
+    pub fn new(probs: impl Into<Vec<f64>>) -> Categorical {
+        let probs = probs.into();
+        assert!(!probs.is_empty(), "categorical needs at least one class");
+        let mut total = 0.0;
+        for &p in &probs {
+            assert!(p.is_finite() && p >= 0.0, "invalid probability {p}");
+            total += p;
+        }
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "probabilities must sum to 1, got {total}"
+        );
+        Categorical { probs }
+    }
+
+    /// Returns the probability of class `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.probs[i]
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Returns `true` if the distribution has no classes (never true for a
+    /// constructed value; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Draws one class index.
+    pub fn sample(&self, rng: &mut StreamRng) -> usize {
+        rng.pick_weighted(&self.probs)
+    }
+}
+
+/// Deterministic (degenerate) distribution — always returns the same value.
+///
+/// Useful for ablations that replace a random component with a constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Degenerate {
+    value: f64,
+}
+
+impl Degenerate {
+    /// Creates a degenerate distribution at `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite or is negative.
+    pub fn at(value: f64) -> Degenerate {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "degenerate value must be finite and non-negative"
+        );
+        Degenerate { value }
+    }
+
+    /// Returns the constant value.
+    pub fn sample(self, _rng: &mut StreamRng) -> f64 {
+        self.value
+    }
+}
+
+/// A positive-valued sampling model: either exponential or a constant.
+///
+/// The execution-time model of eq. (7) uses exponential components, but
+/// ablation experiments swap in constants; this enum lets model code hold
+/// either without generics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayModel {
+    /// Exponentially distributed delay with the given mean.
+    Exponential(Exponential),
+    /// Constant delay.
+    Constant(Degenerate),
+}
+
+impl DelayModel {
+    /// Exponential delay with the given mean seconds.
+    pub fn exponential(mean_secs: f64) -> DelayModel {
+        DelayModel::Exponential(Exponential::with_mean(mean_secs))
+    }
+
+    /// Constant delay of the given seconds.
+    pub fn constant(secs: f64) -> DelayModel {
+        DelayModel::Constant(Degenerate::at(secs))
+    }
+
+    /// Mean of the delay in seconds.
+    pub fn mean(self) -> f64 {
+        match self {
+            DelayModel::Exponential(e) => e.mean(),
+            DelayModel::Constant(d) => d.sample(&mut StreamRng::from_seed(0)),
+        }
+    }
+
+    /// Draws one delay.
+    pub fn sample(self, rng: &mut StreamRng) -> SimDuration {
+        let secs = match self {
+            DelayModel::Exponential(e) => e.sample(rng),
+            DelayModel::Constant(d) => d.sample(rng),
+        };
+        SimDuration::from_secs(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_converges() {
+        let exp = Exponential::with_mean(0.7);
+        let mut rng = StreamRng::from_seed(11);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.7).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let exp = Exponential::with_mean(1.0);
+        let mut rng = StreamRng::from_seed(12);
+        for _ in 0..10_000 {
+            assert!(exp.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_tail_probability() {
+        // P(X > mean) = e^{-1} ≈ 0.3679 for any exponential.
+        let exp = Exponential::with_mean(2.0);
+        let mut rng = StreamRng::from_seed(13);
+        let n = 100_000;
+        let tail = (0..n).filter(|_| exp.sample(&mut rng) > 2.0).count();
+        assert!((tail as f64 / n as f64 - (-1.0f64).exp()).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_mean() {
+        let _ = Exponential::with_mean(0.0);
+    }
+
+    #[test]
+    fn categorical_frequencies_match() {
+        let cat = Categorical::new([0.5, 0.25, 0.25]);
+        let mut rng = StreamRng::from_seed(14);
+        let mut counts = [0u32; 3];
+        for _ in 0..100_000 {
+            counts[cat.sample(&mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / 100_000.0 - 0.5).abs() < 0.01);
+        assert!((counts[1] as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_accessors() {
+        let cat = Categorical::new([0.7, 0.15, 0.15]);
+        assert_eq!(cat.len(), 3);
+        assert!(!cat.is_empty());
+        assert_eq!(cat.prob(0), 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn categorical_rejects_bad_sum() {
+        let _ = Categorical::new([0.5, 0.6]);
+    }
+
+    #[test]
+    fn degenerate_returns_constant() {
+        let d = Degenerate::at(0.1);
+        let mut rng = StreamRng::from_seed(15);
+        assert_eq!(d.sample(&mut rng), 0.1);
+    }
+
+    #[test]
+    fn delay_model_means() {
+        assert_eq!(DelayModel::exponential(0.7).mean(), 0.7);
+        assert_eq!(DelayModel::constant(0.1).mean(), 0.1);
+    }
+
+    #[test]
+    fn delay_model_constant_sampling() {
+        let mut rng = StreamRng::from_seed(16);
+        let d = DelayModel::constant(0.25).sample(&mut rng);
+        assert_eq!(d.as_secs(), 0.25);
+    }
+}

@@ -1,0 +1,269 @@
+//! The event-driven simulation loop.
+//!
+//! [`Engine`] owns the virtual clock and the event queue; the caller owns
+//! the *world* (all model state) and implements [`Handler`] to react to
+//! events. Splitting engine and world this way keeps the borrow checker
+//! happy — a handler can freely schedule follow-up events through the
+//! engine while mutating its own state.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Reacts to simulation events.
+///
+/// See the [crate-level example](crate) for a complete simulation.
+pub trait Handler<E> {
+    /// Handles one event at the engine's current virtual time.
+    fn handle(&mut self, engine: &mut Engine<E>, event: E);
+}
+
+/// The simulation engine: virtual clock plus event queue.
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+    limit: Option<u64>,
+    horizon: Option<SimTime>,
+    stopped: bool,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Engine<E> {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+            limit: None,
+            horizon: None,
+            stopped: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Limits the run to at most `limit` events (a runaway backstop).
+    pub fn set_event_limit(&mut self, limit: u64) -> &mut Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Stops the run once the clock would pass `horizon`; events due later
+    /// are left unprocessed.
+    pub fn set_horizon(&mut self, horizon: SimTime) -> &mut Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Schedules `event` at the absolute instant `due`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `due` is in the past.
+    pub fn schedule_at(&mut self, due: SimTime, event: E) {
+        assert!(
+            due >= self.now,
+            "cannot schedule into the past: now {:?}, due {:?}",
+            self.now,
+            due
+        );
+        self.queue.push(due, event);
+    }
+
+    /// Schedules `event` after `delay` from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Requests that the run loop stop after the current event.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Returns `true` if [`stop`](Engine::stop) was called.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs until the queue drains, the event limit or horizon is hit, or a
+    /// handler calls [`stop`](Engine::stop). Returns the number of events
+    /// processed by this call.
+    pub fn run<W: Handler<E>>(&mut self, world: &mut W) -> u64 {
+        let start = self.processed;
+        while !self.stopped {
+            if let Some(limit) = self.limit {
+                if self.processed >= limit {
+                    break;
+                }
+            }
+            let Some((due, event)) = self.queue.pop() else {
+                break;
+            };
+            if let Some(h) = self.horizon {
+                if due > h {
+                    // Put nothing back: the horizon ends the simulation.
+                    break;
+                }
+            }
+            debug_assert!(due >= self.now, "event queue went backwards");
+            self.now = due;
+            self.processed += 1;
+            world.handle(self, event);
+        }
+        self.processed - start
+    }
+
+    /// Processes a single event, if one is pending. Returns `true` if an
+    /// event was handled. Ignores the horizon and event limit.
+    pub fn step<W: Handler<E>>(&mut self, world: &mut W) -> bool {
+        match self.queue.pop() {
+            Some((due, event)) => {
+                self.now = due;
+                self.processed += 1;
+                world.handle(self, event);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Engine<E> {
+        Engine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick,
+        Boom,
+    }
+
+    #[derive(Default)]
+    struct World {
+        ticks: u32,
+        booms: u32,
+        times: Vec<f64>,
+    }
+
+    impl Handler<Ev> for World {
+        fn handle(&mut self, engine: &mut Engine<Ev>, event: Ev) {
+            self.times.push(engine.now().as_secs());
+            match event {
+                Ev::Tick => {
+                    self.ticks += 1;
+                    if self.ticks < 5 {
+                        engine.schedule_in(SimDuration::from_secs(1.0), Ev::Tick);
+                    }
+                }
+                Ev::Boom => self.booms += 1,
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_quiescence() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, Ev::Tick);
+        let mut world = World::default();
+        let n = engine.run(&mut world);
+        assert_eq!(n, 5);
+        assert_eq!(world.ticks, 5);
+        assert_eq!(engine.now(), SimTime::from_secs(4.0));
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_secs(3.0), Ev::Boom);
+        engine.schedule_at(SimTime::from_secs(1.0), Ev::Boom);
+        engine.schedule_at(SimTime::from_secs(2.0), Ev::Boom);
+        let mut world = World::default();
+        engine.run(&mut world);
+        assert_eq!(world.times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn horizon_cuts_off_late_events() {
+        let mut engine = Engine::new();
+        engine.set_horizon(SimTime::from_secs(2.5));
+        engine.schedule_at(SimTime::from_secs(1.0), Ev::Boom);
+        engine.schedule_at(SimTime::from_secs(2.0), Ev::Boom);
+        engine.schedule_at(SimTime::from_secs(3.0), Ev::Boom);
+        let mut world = World::default();
+        engine.run(&mut world);
+        assert_eq!(world.booms, 2);
+    }
+
+    #[test]
+    fn event_limit_is_respected() {
+        let mut engine = Engine::new();
+        engine.set_event_limit(3);
+        for i in 0..10 {
+            engine.schedule_at(SimTime::from_secs(i as f64), Ev::Boom);
+        }
+        let mut world = World::default();
+        engine.run(&mut world);
+        assert_eq!(world.booms, 3);
+        assert_eq!(engine.pending(), 7);
+    }
+
+    #[test]
+    fn stop_ends_run() {
+        struct Stopper;
+        impl Handler<Ev> for Stopper {
+            fn handle(&mut self, engine: &mut Engine<Ev>, _: Ev) {
+                engine.stop();
+            }
+        }
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, Ev::Boom);
+        engine.schedule_at(SimTime::from_secs(1.0), Ev::Boom);
+        let mut world = Stopper;
+        let n = engine.run(&mut world);
+        assert_eq!(n, 1);
+        assert!(engine.is_stopped());
+        assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
+    fn step_processes_one_event() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, Ev::Boom);
+        engine.schedule_at(SimTime::from_secs(1.0), Ev::Boom);
+        let mut world = World::default();
+        assert!(engine.step(&mut world));
+        assert_eq!(world.booms, 1);
+        assert!(engine.step(&mut world));
+        assert!(!engine.step(&mut world));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_secs(5.0), Ev::Boom);
+        let mut world = World::default();
+        engine.run(&mut world);
+        engine.schedule_at(SimTime::from_secs(1.0), Ev::Boom);
+    }
+}

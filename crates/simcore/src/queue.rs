@@ -1,0 +1,172 @@
+//! A stable priority queue of timestamped events.
+//!
+//! Events scheduled for the same instant are delivered in scheduling order
+//! (FIFO), which keeps simulations deterministic even when many events share
+//! a timestamp — common with constant middleware delays like the paper's
+//! adjudication time `dT`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending event with its due time and a tie-breaking sequence number.
+#[derive(Debug)]
+struct Scheduled<E> {
+    due: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is popped
+        // first, with the sequence number as a FIFO tie-breaker.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue.
+///
+/// # Example
+///
+/// ```
+/// use wsu_simcore::queue::EventQueue;
+/// use wsu_simcore::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2.0), "late");
+/// q.push(SimTime::from_secs(1.0), "early");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2.0), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at the instant `due`.
+    pub fn push(&mut self, due: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { due, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.due, s.event))
+    }
+
+    /// Returns the due time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.due)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> EventQueue<E> {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3.0), 3);
+        q.push(SimTime::from_secs(1.0), 1);
+        q.push(SimTime::from_secs(2.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1.0), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1.0)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_maintains_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5.0), 5);
+        q.push(SimTime::from_secs(1.0), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(SimTime::from_secs(2.0), 2);
+        q.push(SimTime::from_secs(9.0), 9);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert_eq!(q.pop().unwrap().1, 9);
+    }
+}

@@ -1,0 +1,239 @@
+//! Checkpointed series for figure-style outputs.
+//!
+//! Figures 7 and 8 of the paper plot posterior percentiles against the
+//! number of demands. [`Series`] is a named sequence of `(x, y)` points and
+//! [`SeriesSet`] groups the several curves of one figure, with simple text
+//! rendering used by the experiment binaries.
+
+use std::fmt;
+
+/// One named curve: a sequence of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given display name.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is not finite.
+    pub fn push(&mut self, x: f64, y: f64) {
+        assert!(
+            x.is_finite() && y.is_finite(),
+            "non-finite point ({x}, {y})"
+        );
+        self.points.push((x, y));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if no points are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last point, if any.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Linear interpolation of `y` at `x`; clamps outside the recorded
+    /// range. Returns `None` for an empty series.
+    ///
+    /// Points must have been pushed with non-decreasing `x`.
+    pub fn interpolate(&self, x: f64) -> Option<f64> {
+        let first = self.points.first()?;
+        if x <= first.0 {
+            return Some(first.1);
+        }
+        let last = self.points.last()?;
+        if x >= last.0 {
+            return Some(last.1);
+        }
+        let idx = self.points.partition_point(|&(px, _)| px <= x);
+        let (x0, y0) = self.points[idx - 1];
+        let (x1, y1) = self.points[idx];
+        if x1 == x0 {
+            return Some(y1);
+        }
+        Some(y0 + (y1 - y0) * (x - x0) / (x1 - x0))
+    }
+
+    /// First `x` at which `y` drops to or below `threshold`, using the
+    /// recorded points (no interpolation). `None` if it never does.
+    pub fn first_x_at_or_below(&self, threshold: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(_, y)| y <= threshold)
+            .map(|&(x, _)| x)
+    }
+}
+
+/// A group of curves sharing an x-axis — one figure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SeriesSet {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl SeriesSet {
+    /// Creates a figure with a title and axis labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> SeriesSet {
+        SeriesSet {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// The figure title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Adds a curve.
+    pub fn add(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// The curves.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Looks up a curve by name.
+    pub fn by_name(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+
+    /// Renders the figure as a tab-separated table: header row with series
+    /// names, one row per x value (x values taken from the first series).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        out.push_str(&self.x_label);
+        for s in &self.series {
+            out.push('\t');
+            out.push_str(s.name());
+        }
+        out.push('\n');
+        let Some(first) = self.series.first() else {
+            return out;
+        };
+        for &(x, _) in first.points() {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                let y = s.interpolate(x).unwrap_or(f64::NAN);
+                out.push_str(&format!("\t{y:.6e}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for SeriesSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_tsv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Series {
+        let mut s = Series::new("ramp");
+        for i in 0..=10 {
+            s.push(i as f64, 10.0 - i as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_query() {
+        let s = ramp();
+        assert_eq!(s.len(), 11);
+        assert!(!s.is_empty());
+        assert_eq!(s.last(), Some((10.0, 0.0)));
+        assert_eq!(s.name(), "ramp");
+    }
+
+    #[test]
+    fn interpolation_midpoints() {
+        let s = ramp();
+        assert_eq!(s.interpolate(2.5), Some(7.5));
+        assert_eq!(s.interpolate(-1.0), Some(10.0));
+        assert_eq!(s.interpolate(99.0), Some(0.0));
+    }
+
+    #[test]
+    fn interpolation_empty_is_none() {
+        let s = Series::new("empty");
+        assert_eq!(s.interpolate(1.0), None);
+    }
+
+    #[test]
+    fn threshold_crossing() {
+        let s = ramp();
+        assert_eq!(s.first_x_at_or_below(5.0), Some(5.0));
+        assert_eq!(s.first_x_at_or_below(-1.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan_point() {
+        Series::new("x").push(0.0, f64::NAN);
+    }
+
+    #[test]
+    fn series_set_lookup_and_tsv() {
+        let mut set = SeriesSet::new("Fig", "demands", "percentile");
+        set.add(ramp());
+        let mut other = Series::new("other");
+        other.push(0.0, 1.0);
+        other.push(10.0, 2.0);
+        set.add(other);
+        assert!(set.by_name("ramp").is_some());
+        assert!(set.by_name("nope").is_none());
+        let tsv = set.to_tsv();
+        assert!(tsv.contains("# Fig"));
+        assert!(tsv.contains("demands\tramp\tother"));
+        // 11 data rows + 2 header lines.
+        assert_eq!(tsv.lines().count(), 13);
+        assert_eq!(set.title(), "Fig");
+        assert_eq!(format!("{set}"), tsv);
+    }
+}

@@ -1,0 +1,169 @@
+//! Demand streams: requests plus per-release planned responses.
+//!
+//! The middleware simulation needs, for each demand, a request envelope
+//! and the jointly sampled behaviour of both releases: outcome classes
+//! (from an [`OutcomePairGen`]) and execution times (from an
+//! [`ExecTimeModel`]). [`DemandPlanner`] bundles the two; the experiment
+//! harness feeds each half of the plan into a scripted endpoint or
+//! directly into the middleware.
+
+use wsu_simcore::rng::StreamRng;
+use wsu_wstack::endpoint::PlannedResponse;
+use wsu_wstack::message::Envelope;
+
+use crate::outcomes::OutcomePairGen;
+use crate::timing::ExecTimeModel;
+
+/// One fully planned demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedDemand {
+    /// Sequence number, from 0.
+    pub seq: u64,
+    /// The consumer's request.
+    pub request: Envelope,
+    /// Release 1's planned behaviour.
+    pub rel1: PlannedResponse,
+    /// Release 2's planned behaviour.
+    pub rel2: PlannedResponse,
+}
+
+/// Plans demands by jointly sampling outcomes and execution times.
+pub struct DemandPlanner<'a> {
+    outcomes: &'a dyn OutcomePairGen,
+    timing: ExecTimeModel,
+    operation: String,
+    next_seq: u64,
+}
+
+impl<'a> DemandPlanner<'a> {
+    /// Creates a planner issuing requests against `operation`.
+    pub fn new(
+        outcomes: &'a dyn OutcomePairGen,
+        timing: ExecTimeModel,
+        operation: impl Into<String>,
+    ) -> DemandPlanner<'a> {
+        DemandPlanner {
+            outcomes,
+            timing,
+            operation: operation.into(),
+            next_seq: 0,
+        }
+    }
+
+    /// Plans the next demand.
+    pub fn plan(&mut self, rng: &mut StreamRng) -> PlannedDemand {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let (class1, class2) = self.outcomes.sample_pair(rng);
+        let (t1, t2) = self.timing.sample_pair(rng);
+        PlannedDemand {
+            seq,
+            request: Envelope::request(self.operation.clone()).with_part("seq", seq as i64),
+            rel1: PlannedResponse {
+                class: class1,
+                exec_time: t1,
+            },
+            rel2: PlannedResponse {
+                class: class2,
+                exec_time: t2,
+            },
+        }
+    }
+
+    /// Plans a batch of `n` demands.
+    pub fn plan_batch(&mut self, n: usize, rng: &mut StreamRng) -> Vec<PlannedDemand> {
+        (0..n).map(|_| self.plan(rng)).collect()
+    }
+
+    /// Demands planned so far.
+    pub fn planned(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl std::fmt::Debug for DemandPlanner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DemandPlanner")
+            .field("outcomes", &self.outcomes.label())
+            .field("timing", &self.timing)
+            .field("operation", &self.operation)
+            .field("planned", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcomes::CorrelatedOutcomes;
+    use crate::runs::RunSpec;
+    use wsu_wstack::message::Value;
+    use wsu_wstack::outcome::ResponseClass;
+
+    #[test]
+    fn plans_are_sequenced_and_tagged() {
+        let run = RunSpec::run1();
+        let outcomes = CorrelatedOutcomes::from_run(&run);
+        let mut planner = DemandPlanner::new(&outcomes, ExecTimeModel::paper(), "invoke");
+        let mut rng = StreamRng::from_seed(1);
+        let d0 = planner.plan(&mut rng);
+        let d1 = planner.plan(&mut rng);
+        assert_eq!(d0.seq, 0);
+        assert_eq!(d1.seq, 1);
+        assert_eq!(d0.request.operation(), "invoke");
+        assert_eq!(d0.request.part("seq").and_then(Value::as_int), Some(0));
+        assert_eq!(planner.planned(), 2);
+    }
+
+    #[test]
+    fn batch_planning() {
+        let run = RunSpec::run1();
+        let outcomes = CorrelatedOutcomes::from_run(&run);
+        let mut planner = DemandPlanner::new(&outcomes, ExecTimeModel::paper(), "invoke");
+        let mut rng = StreamRng::from_seed(2);
+        let batch = planner.plan_batch(100, &mut rng);
+        assert_eq!(batch.len(), 100);
+        assert_eq!(batch[99].seq, 99);
+    }
+
+    #[test]
+    fn planned_outcomes_follow_generator() {
+        let run = RunSpec::run1();
+        let outcomes = CorrelatedOutcomes::from_run(&run);
+        let mut planner = DemandPlanner::new(&outcomes, ExecTimeModel::paper(), "invoke");
+        let mut rng = StreamRng::from_seed(3);
+        let n = 50_000;
+        let batch = planner.plan_batch(n, &mut rng);
+        let rel1_correct = batch
+            .iter()
+            .filter(|d| d.rel1.class == ResponseClass::Correct)
+            .count();
+        assert!((rel1_correct as f64 / n as f64 - 0.70).abs() < 0.01);
+        // Agreement should track the run-1 diagonal (0.9).
+        let agree = batch
+            .iter()
+            .filter(|d| d.rel1.class == d.rel2.class)
+            .count();
+        assert!((agree as f64 / n as f64 - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn exec_times_are_positive_and_distinct() {
+        let run = RunSpec::run1();
+        let outcomes = CorrelatedOutcomes::from_run(&run);
+        let mut planner = DemandPlanner::new(&outcomes, ExecTimeModel::paper(), "invoke");
+        let mut rng = StreamRng::from_seed(4);
+        let d = planner.plan(&mut rng);
+        assert!(d.rel1.exec_time.as_secs() > 0.0);
+        assert!(d.rel2.exec_time.as_secs() > 0.0);
+        assert_ne!(d.rel1.exec_time, d.rel2.exec_time);
+    }
+
+    #[test]
+    fn debug_format_mentions_label() {
+        let run = RunSpec::run1();
+        let outcomes = CorrelatedOutcomes::from_run(&run);
+        let planner = DemandPlanner::new(&outcomes, ExecTimeModel::paper(), "invoke");
+        assert!(format!("{planner:?}").contains("correlated"));
+    }
+}

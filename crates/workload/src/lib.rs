@@ -1,0 +1,35 @@
+//! Workload generation for the managed-upgrade experiments.
+//!
+//! Two distinct workload models drive the paper's evaluation:
+//!
+//! * the **middleware simulation** (Section 5.2, Tables 3–6) needs joint
+//!   response outcomes for two releases — either correlated through the
+//!   conditional probabilities of Table 4 or independent — plus the
+//!   two-component execution-time model of eq. (7);
+//! * the **Bayesian study** (Section 5.1, Table 2, Figs. 7–8) needs
+//!   binary failure outcomes for two releases with a controlled
+//!   coincident-failure probability (Scenarios 1 and 2).
+//!
+//! Modules:
+//!
+//! * [`runs`] — the parameter presets of Tables 3 and 4 (runs 1–4);
+//! * [`outcomes`] — correlated and independent outcome generators;
+//! * [`timing`] — the `T1 + T2(i)` execution-time model;
+//! * [`scenario`] — Scenarios 1–2 with their priors;
+//! * [`demand`] — demand streams combining outcomes and timing into
+//!   per-release planned responses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demand;
+pub mod outcomes;
+pub mod runs;
+pub mod scenario;
+pub mod timing;
+
+pub use demand::{DemandPlanner, PlannedDemand};
+pub use outcomes::{CorrelatedOutcomes, IndependentOutcomes, OutcomePairGen};
+pub use runs::{ConditionalTable, RunSpec};
+pub use scenario::{FailureScenario, ScenarioPriors};
+pub use timing::ExecTimeModel;

@@ -1,0 +1,198 @@
+//! Joint outcome generators for two releases.
+//!
+//! The paper's simulation model assumes "a degree of correlation between
+//! the types of responses … modelled through a set of conditional
+//! probabilities `P(slower response is X | faster response is Y)`"
+//! (eq. (9)). [`CorrelatedOutcomes`] implements exactly that; for
+//! reference the paper also reports an (admittedly unrealistic)
+//! independence variant, [`IndependentOutcomes`].
+
+use wsu_simcore::rng::StreamRng;
+use wsu_wstack::outcome::{OutcomeProfile, ResponseClass};
+
+use crate::runs::{ConditionalTable, RunSpec};
+
+/// A generator of joint `(Rel1, Rel2)` response outcomes.
+pub trait OutcomePairGen {
+    /// Samples one demand's pair of response classes.
+    fn sample_pair(&self, rng: &mut StreamRng) -> (ResponseClass, ResponseClass);
+
+    /// A short label for reports.
+    fn label(&self) -> String;
+}
+
+/// Correlated outcomes: Rel1 from its marginals, Rel2 from the
+/// conditional table given Rel1's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedOutcomes {
+    rel1: OutcomeProfile,
+    conditional: ConditionalTable,
+}
+
+impl CorrelatedOutcomes {
+    /// Creates a correlated generator.
+    pub fn new(rel1: OutcomeProfile, conditional: ConditionalTable) -> CorrelatedOutcomes {
+        CorrelatedOutcomes { rel1, conditional }
+    }
+
+    /// The generator for one of the paper's runs (Table 5 columns).
+    pub fn from_run(run: &RunSpec) -> CorrelatedOutcomes {
+        CorrelatedOutcomes::new(run.rel1, run.conditional.clone())
+    }
+
+    /// Rel1's marginal profile.
+    pub fn rel1_marginal(&self) -> OutcomeProfile {
+        self.rel1
+    }
+
+    /// Rel2's implied marginal profile.
+    pub fn rel2_marginal(&self) -> OutcomeProfile {
+        self.conditional.implied_marginal(self.rel1)
+    }
+}
+
+impl OutcomePairGen for CorrelatedOutcomes {
+    fn sample_pair(&self, rng: &mut StreamRng) -> (ResponseClass, ResponseClass) {
+        let a = self.rel1.sample(rng);
+        let b = self.conditional.sample(a, rng);
+        (a, b)
+    }
+
+    fn label(&self) -> String {
+        "correlated".to_owned()
+    }
+}
+
+/// Independent outcomes: each release samples its own marginals
+/// (Table 6's reference model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndependentOutcomes {
+    rel1: OutcomeProfile,
+    rel2: OutcomeProfile,
+}
+
+impl IndependentOutcomes {
+    /// Creates an independent generator.
+    pub fn new(rel1: OutcomeProfile, rel2: OutcomeProfile) -> IndependentOutcomes {
+        IndependentOutcomes { rel1, rel2 }
+    }
+
+    /// The generator for one of the paper's runs (Table 6 columns).
+    pub fn from_run(run: &RunSpec) -> IndependentOutcomes {
+        IndependentOutcomes::new(run.rel1, run.rel2)
+    }
+
+    /// Rel1's marginal profile.
+    pub fn rel1_marginal(&self) -> OutcomeProfile {
+        self.rel1
+    }
+
+    /// Rel2's marginal profile.
+    pub fn rel2_marginal(&self) -> OutcomeProfile {
+        self.rel2
+    }
+}
+
+impl OutcomePairGen for IndependentOutcomes {
+    fn sample_pair(&self, rng: &mut StreamRng) -> (ResponseClass, ResponseClass) {
+        (self.rel1.sample(rng), self.rel2.sample(rng))
+    }
+
+    fn label(&self) -> String {
+        "independent".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(gen: &dyn OutcomePairGen, n: usize, seed: u64) -> ([f64; 3], [f64; 3], f64) {
+        let mut rng = StreamRng::from_seed(seed);
+        let mut a_counts = [0u32; 3];
+        let mut b_counts = [0u32; 3];
+        let mut agree = 0u32;
+        for _ in 0..n {
+            let (a, b) = gen.sample_pair(&mut rng);
+            a_counts[a.index()] += 1;
+            b_counts[b.index()] += 1;
+            if a == b {
+                agree += 1;
+            }
+        }
+        let to_freq = |c: [u32; 3]| {
+            [
+                c[0] as f64 / n as f64,
+                c[1] as f64 / n as f64,
+                c[2] as f64 / n as f64,
+            ]
+        };
+        (
+            to_freq(a_counts),
+            to_freq(b_counts),
+            agree as f64 / n as f64,
+        )
+    }
+
+    #[test]
+    fn correlated_preserves_rel1_marginals() {
+        let gen = CorrelatedOutcomes::from_run(&RunSpec::run1());
+        let (a, _, _) = frequencies(&gen, 100_000, 1);
+        assert!((a[0] - 0.70).abs() < 0.01);
+        assert!((a[1] - 0.15).abs() < 0.005);
+    }
+
+    #[test]
+    fn correlated_rel2_matches_implied_marginal() {
+        let gen = CorrelatedOutcomes::from_run(&RunSpec::run1());
+        let implied = gen.rel2_marginal();
+        // Hand value from the paper's parameters: 0.645 for CR.
+        assert!((implied.correct() - 0.645).abs() < 1e-12);
+        let (_, b, _) = frequencies(&gen, 100_000, 2);
+        assert!((b[0] - 0.645).abs() < 0.01);
+    }
+
+    #[test]
+    fn correlated_agreement_rate_tracks_diagonal() {
+        // With diagonal 0.9, P(agree) = sum_a P(a) * 0.9 = 0.9.
+        let gen = CorrelatedOutcomes::from_run(&RunSpec::run1());
+        let (_, _, agree) = frequencies(&gen, 100_000, 3);
+        assert!((agree - 0.9).abs() < 0.01, "agree {agree}");
+    }
+
+    #[test]
+    fn independent_marginals_match_table3() {
+        let gen = IndependentOutcomes::from_run(&RunSpec::run3());
+        let (a, b, _) = frequencies(&gen, 100_000, 4);
+        assert!((a[0] - 0.70).abs() < 0.01);
+        assert!((b[0] - 0.50).abs() < 0.01);
+        assert_eq!(gen.rel1_marginal().correct(), 0.70);
+        assert_eq!(gen.rel2_marginal().correct(), 0.50);
+    }
+
+    #[test]
+    fn independent_agreement_is_product_based() {
+        // Run 1 independent: P(agree) = 0.7^2 + 0.15^2 + 0.15^2 = 0.535.
+        let gen = IndependentOutcomes::from_run(&RunSpec::run1());
+        let (_, _, agree) = frequencies(&gen, 100_000, 5);
+        assert!((agree - 0.535).abs() < 0.01, "agree {agree}");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            CorrelatedOutcomes::from_run(&RunSpec::run1()).label(),
+            "correlated"
+        );
+        assert_eq!(
+            IndependentOutcomes::from_run(&RunSpec::run1()).label(),
+            "independent"
+        );
+    }
+
+    #[test]
+    fn correlated_generator_accessors() {
+        let gen = CorrelatedOutcomes::from_run(&RunSpec::run2());
+        assert_eq!(gen.rel1_marginal().correct(), 0.70);
+    }
+}

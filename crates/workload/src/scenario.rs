@@ -1,0 +1,227 @@
+//! The Bayesian-study scenarios of paper Section 5.1.1.1.
+//!
+//! Each scenario fixes the *true* (unknown to the assessor) failure
+//! behaviour of the two releases — `P_A`, `P(B fails | A failed)` and
+//! `P(B fails | A succeeded)` — plus the assessor's prior distributions.
+//! 50,000 demands are Monte-Carlo simulated from the truth, scored by a
+//! failure detector, and fed to the white-box inference.
+
+use wsu_bayes::beta::ScaledBeta;
+use wsu_bayes::whitebox::CoincidencePrior;
+use wsu_detect::oracle::DemandOutcome;
+use wsu_simcore::rng::StreamRng;
+
+/// The true failure behaviour of the release pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureScenario {
+    /// `P_A`: probability the old release fails on a demand.
+    pub p_a: f64,
+    /// `P(B fails | A failed)`.
+    pub p_b_given_a_failed: f64,
+    /// `P(B fails | A succeeded)`.
+    pub p_b_given_a_ok: f64,
+}
+
+impl FailureScenario {
+    /// Creates a scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(p_a: f64, p_b_given_a_failed: f64, p_b_given_a_ok: f64) -> FailureScenario {
+        for p in [p_a, p_b_given_a_failed, p_b_given_a_ok] {
+            assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        }
+        FailureScenario {
+            p_a,
+            p_b_given_a_failed,
+            p_b_given_a_ok,
+        }
+    }
+
+    /// Scenario 1's truth: `P_A = 1e-3`, `P(B|A fail) = 0.3`,
+    /// `P(B|A ok) = 0.5e-3` — hence `P_B = 0.8e-3`, `P_AB = 0.3e-3`.
+    pub fn scenario1() -> FailureScenario {
+        FailureScenario::new(1e-3, 0.3, 0.5e-3)
+    }
+
+    /// Scenario 2's truth: `P_A = 5e-3` (far worse than the prior mean),
+    /// `P(B|A fail) = 0.1`, `P(B|A ok) = 0` — hence `P_B = 0.5e-3`, an
+    /// order of magnitude better than the old release.
+    pub fn scenario2() -> FailureScenario {
+        FailureScenario::new(5e-3, 0.1, 0.0)
+    }
+
+    /// The implied marginal failure probability of the new release,
+    /// `P_B = P_A·P(B|A fail) + (1−P_A)·P(B|A ok)`.
+    pub fn p_b(self) -> f64 {
+        self.p_a * self.p_b_given_a_failed + (1.0 - self.p_a) * self.p_b_given_a_ok
+    }
+
+    /// The implied coincident-failure probability,
+    /// `P_AB = P_A·P(B|A fail)`.
+    pub fn p_ab(self) -> f64 {
+        self.p_a * self.p_b_given_a_failed
+    }
+
+    /// Samples one demand's true outcome.
+    pub fn sample(self, rng: &mut StreamRng) -> DemandOutcome {
+        let a_failed = rng.bernoulli(self.p_a);
+        let p_b = if a_failed {
+            self.p_b_given_a_failed
+        } else {
+            self.p_b_given_a_ok
+        };
+        DemandOutcome::new(a_failed, rng.bernoulli(p_b))
+    }
+}
+
+/// The assessor's prior knowledge in a scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioPriors {
+    /// Prior over the old release's pfd.
+    pub prior_a: ScaledBeta,
+    /// Prior over the new release's pfd.
+    pub prior_b: ScaledBeta,
+    /// Conditional prior of the coincident-failure probability.
+    pub coincidence: CoincidencePrior,
+}
+
+impl ScenarioPriors {
+    /// Scenario 1's priors: the old release is precisely known
+    /// (`Beta(20,20)` on `[0, 0.002]`, mean `1e-3`, low uncertainty), the
+    /// new release is believed slightly better but with high uncertainty
+    /// (`Beta(2,3)` on `[0, 0.002]`, mean `0.8e-3`); indifference prior on
+    /// coincident failures.
+    pub fn scenario1() -> ScenarioPriors {
+        ScenarioPriors {
+            prior_a: ScaledBeta::new(20.0, 20.0, 0.002).expect("valid scenario-1 prior A"),
+            prior_b: ScaledBeta::new(2.0, 3.0, 0.002).expect("valid scenario-1 prior B"),
+            coincidence: CoincidencePrior::IndifferenceUniform,
+        }
+    }
+
+    /// Scenario 2's priors: the old release has seen little use
+    /// (`Beta(1,10)` on `[0, 0.01]`, mean `~1e-3`, high uncertainty); the
+    /// new release is conservatively considered worse (`Beta(2,3)` on the
+    /// same `[0, 0.01]` range, mean `4e-3`); indifference prior on
+    /// coincident failures.
+    pub fn scenario2() -> ScenarioPriors {
+        ScenarioPriors {
+            prior_a: ScaledBeta::new(1.0, 10.0, 0.01).expect("valid scenario-2 prior A"),
+            prior_b: ScaledBeta::new(2.0, 3.0, 0.01).expect("valid scenario-2 prior B"),
+            coincidence: CoincidencePrior::IndifferenceUniform,
+        }
+    }
+}
+
+/// A full scenario: truth plus priors, with the paper's presets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Display number (1 or 2 for the paper's presets).
+    pub number: usize,
+    /// The simulated truth.
+    pub truth: FailureScenario,
+    /// The assessor's priors.
+    pub priors: ScenarioPriors,
+}
+
+impl Scenario {
+    /// The paper's Scenario 1.
+    pub fn one() -> Scenario {
+        Scenario {
+            number: 1,
+            truth: FailureScenario::scenario1(),
+            priors: ScenarioPriors::scenario1(),
+        }
+    }
+
+    /// The paper's Scenario 2.
+    pub fn two() -> Scenario {
+        Scenario {
+            number: 2,
+            truth: FailureScenario::scenario2(),
+            priors: ScenarioPriors::scenario2(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario1_implied_marginals_match_paper() {
+        let s = FailureScenario::scenario1();
+        assert!((s.p_b() - 0.7998e-3).abs() < 1e-6); // ~0.8e-3
+        assert!((s.p_ab() - 0.3e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario2_implied_marginals_match_paper() {
+        let s = FailureScenario::scenario2();
+        assert!((s.p_b() - 0.5e-3).abs() < 1e-12);
+        assert!((s.p_ab() - 0.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_marginals() {
+        let s = FailureScenario::scenario1();
+        let mut rng = StreamRng::from_seed(1);
+        let n = 2_000_000;
+        let mut a = 0u32;
+        let mut b = 0u32;
+        let mut ab = 0u32;
+        for _ in 0..n {
+            let o = s.sample(&mut rng);
+            if o.a_failed {
+                a += 1;
+            }
+            if o.b_failed {
+                b += 1;
+            }
+            if o.is_coincident() {
+                ab += 1;
+            }
+        }
+        assert!((a as f64 / n as f64 - 1e-3).abs() < 1e-4);
+        assert!((b as f64 / n as f64 - 0.8e-3).abs() < 1e-4);
+        assert!((ab as f64 / n as f64 - 0.3e-3).abs() < 6e-5);
+    }
+
+    #[test]
+    fn priors_match_paper_parameters() {
+        let p1 = ScenarioPriors::scenario1();
+        assert!((p1.prior_a.mean() - 1e-3).abs() < 1e-12);
+        assert!((p1.prior_b.mean() - 0.8e-3).abs() < 1e-12);
+        let p2 = ScenarioPriors::scenario2();
+        assert!((p2.prior_a.mean() - 0.01 / 11.0).abs() < 1e-12);
+        assert_eq!(p2.prior_b.range(), 0.01);
+    }
+
+    #[test]
+    fn scenario_presets() {
+        assert_eq!(Scenario::one().number, 1);
+        assert_eq!(Scenario::two().number, 2);
+        assert_eq!(Scenario::one().truth, FailureScenario::scenario1());
+    }
+
+    #[test]
+    fn conditional_failure_structure() {
+        // With p_b_given_a_ok = 0, B never fails alone.
+        let s = FailureScenario::scenario2();
+        let mut rng = StreamRng::from_seed(2);
+        for _ in 0..500_000 {
+            let o = s.sample(&mut rng);
+            if o.b_failed {
+                assert!(o.a_failed, "B failed without A in scenario 2");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn rejects_bad_probability() {
+        let _ = FailureScenario::new(1.5, 0.0, 0.0);
+    }
+}

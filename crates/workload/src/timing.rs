@@ -1,0 +1,163 @@
+//! The execution-time model of paper eq. (7).
+//!
+//! Each release's execution time on a demand is
+//!
+//! ```text
+//! ExTime(Release(i)) = T1 + T2(i)
+//! ```
+//!
+//! where `T1` models the computational difficulty of the demand (shared by
+//! both releases) and `T2(i)` is release-specific. All components are
+//! exponentially distributed; the paper's parameters are
+//! `T1Mean = 0.7 s`, `T2Mean1 = T2Mean2 = 0.7 s`.
+
+use wsu_simcore::dist::DelayModel;
+use wsu_simcore::rng::StreamRng;
+use wsu_simcore::time::SimDuration;
+
+/// Execution-time model for a pair of releases sharing a demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecTimeModel {
+    t1: DelayModel,
+    t2: [DelayModel; 2],
+}
+
+impl ExecTimeModel {
+    /// Creates a model from the shared and the per-release components.
+    pub fn new(t1: DelayModel, t2_rel1: DelayModel, t2_rel2: DelayModel) -> ExecTimeModel {
+        ExecTimeModel {
+            t1,
+            t2: [t2_rel1, t2_rel2],
+        }
+    }
+
+    /// The paper's parameters: `T1Mean = 0.7`, `T2Mean1 = T2Mean2 = 0.7`,
+    /// all exponential.
+    pub fn paper() -> ExecTimeModel {
+        ExecTimeModel::new(
+            DelayModel::exponential(0.7),
+            DelayModel::exponential(0.7),
+            DelayModel::exponential(0.7),
+        )
+    }
+
+    /// A calibrated variant whose *unconditional* per-release mean
+    /// execution time (~1.0 s) matches the MET values reported in the
+    /// paper's Tables 5–6 (the documented parameters give mean 1.4 s; see
+    /// EXPERIMENTS.md for the discrepancy note).
+    pub fn calibrated() -> ExecTimeModel {
+        ExecTimeModel::new(
+            DelayModel::exponential(0.7),
+            DelayModel::exponential(0.3),
+            DelayModel::exponential(0.3),
+        )
+    }
+
+    /// Mean execution time of release `i` (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 1`.
+    pub fn mean(&self, i: usize) -> f64 {
+        assert!(i < 2, "release index {i} out of range");
+        self.t1.mean() + self.t2[i].mean()
+    }
+
+    /// Samples one demand's execution-time pair. The `T1` component is
+    /// drawn once and shared, inducing positive correlation between the
+    /// releases' times, exactly as eq. (7) prescribes.
+    pub fn sample_pair(&self, rng: &mut StreamRng) -> (SimDuration, SimDuration) {
+        let t1 = self.t1.sample(rng);
+        let t2a = self.t2[0].sample(rng);
+        let t2b = self.t2[1].sample(rng);
+        (t1 + t2a, t1 + t2b)
+    }
+}
+
+impl Default for ExecTimeModel {
+    /// The paper's parameters.
+    fn default() -> ExecTimeModel {
+        ExecTimeModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_means() {
+        let m = ExecTimeModel::paper();
+        assert!((m.mean(0) - 1.4).abs() < 1e-12);
+        assert!((m.mean(1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibrated_means() {
+        let m = ExecTimeModel::calibrated();
+        assert!((m.mean(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_means_converge() {
+        let m = ExecTimeModel::paper();
+        let mut rng = StreamRng::from_seed(1);
+        let n = 100_000;
+        let mut sum_a = 0.0;
+        let mut sum_b = 0.0;
+        for _ in 0..n {
+            let (a, b) = m.sample_pair(&mut rng);
+            sum_a += a.as_secs();
+            sum_b += b.as_secs();
+        }
+        assert!((sum_a / n as f64 - 1.4).abs() < 0.02);
+        assert!((sum_b / n as f64 - 1.4).abs() < 0.02);
+    }
+
+    #[test]
+    fn shared_t1_induces_positive_correlation() {
+        let m = ExecTimeModel::paper();
+        let mut rng = StreamRng::from_seed(2);
+        let n = 50_000;
+        let pairs: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                let (a, b) = m.sample_pair(&mut rng);
+                (a.as_secs(), b.as_secs())
+            })
+            .collect();
+        let mean_a: f64 = pairs.iter().map(|p| p.0).sum::<f64>() / n as f64;
+        let mean_b: f64 = pairs.iter().map(|p| p.1).sum::<f64>() / n as f64;
+        let cov: f64 = pairs
+            .iter()
+            .map(|p| (p.0 - mean_a) * (p.1 - mean_b))
+            .sum::<f64>()
+            / n as f64;
+        // Cov = Var(T1) = 0.49; correlation = 0.49 / (0.49 + 0.49) = 0.5.
+        assert!((cov - 0.49).abs() < 0.03, "cov {cov}");
+    }
+
+    #[test]
+    fn constant_components_are_deterministic() {
+        let m = ExecTimeModel::new(
+            DelayModel::constant(0.5),
+            DelayModel::constant(0.1),
+            DelayModel::constant(0.2),
+        );
+        let mut rng = StreamRng::from_seed(3);
+        let (a, b) = m.sample_pair(&mut rng);
+        assert!((a.as_secs() - 0.6).abs() < 1e-12);
+        assert!((b.as_secs() - 0.7).abs() < 1e-12);
+        assert_eq!(m.mean(1), 0.7);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(ExecTimeModel::default(), ExecTimeModel::paper());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mean_rejects_bad_index() {
+        let _ = ExecTimeModel::paper().mean(2);
+    }
+}

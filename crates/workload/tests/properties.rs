@@ -1,0 +1,120 @@
+//! Property-based tests of the workload generators.
+
+use proptest::prelude::*;
+
+use wsu_simcore::rng::StreamRng;
+use wsu_workload::outcomes::{CorrelatedOutcomes, IndependentOutcomes, OutcomePairGen};
+use wsu_workload::runs::{ConditionalTable, RunSpec};
+use wsu_workload::scenario::FailureScenario;
+use wsu_workload::timing::ExecTimeModel;
+use wsu_wstack::outcome::{OutcomeProfile, ResponseClass};
+
+proptest! {
+    /// A symmetric conditional table's implied marginal is itself a valid
+    /// profile, and the diagonal dominance carries through.
+    #[test]
+    fn implied_marginal_is_valid(diag in 0.34f64..1.0) {
+        let table = ConditionalTable::symmetric(diag);
+        let rel1 = OutcomeProfile::new(0.7, 0.15, 0.15);
+        let implied = table.implied_marginal(rel1);
+        let sum: f64 = implied.as_array().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        // With a dominant diagonal, the implied distribution leans toward
+        // rel1's dominant class.
+        if diag > 0.5 {
+            prop_assert!(implied.correct() >= implied.evident());
+        }
+    }
+
+    /// Correlated generation produces agreement with probability exactly
+    /// the diagonal (for symmetric tables), independent of marginals.
+    #[test]
+    fn agreement_tracks_diagonal(diag in 0.2f64..1.0, seed in any::<u64>()) {
+        let table = ConditionalTable::symmetric(diag);
+        let gen = CorrelatedOutcomes::new(OutcomeProfile::new(0.6, 0.25, 0.15), table);
+        let mut rng = StreamRng::from_seed(seed);
+        let n = 20_000;
+        let agree = (0..n)
+            .filter(|_| {
+                let (a, b) = gen.sample_pair(&mut rng);
+                a == b
+            })
+            .count();
+        let rate = agree as f64 / n as f64;
+        prop_assert!((rate - diag).abs() < 0.03, "rate {rate} vs diag {diag}");
+    }
+
+    /// Independent generation: each release's class frequencies match its
+    /// own marginals regardless of the partner.
+    #[test]
+    fn independent_marginals_hold(seed in any::<u64>()) {
+        let gen = IndependentOutcomes::new(
+            OutcomeProfile::new(0.8, 0.1, 0.1),
+            OutcomeProfile::new(0.4, 0.3, 0.3),
+        );
+        let mut rng = StreamRng::from_seed(seed);
+        let n = 20_000;
+        let mut cr1 = 0;
+        let mut cr2 = 0;
+        for _ in 0..n {
+            let (a, b) = gen.sample_pair(&mut rng);
+            if a == ResponseClass::Correct {
+                cr1 += 1;
+            }
+            if b == ResponseClass::Correct {
+                cr2 += 1;
+            }
+        }
+        prop_assert!((cr1 as f64 / n as f64 - 0.8).abs() < 0.02);
+        prop_assert!((cr2 as f64 / n as f64 - 0.4).abs() < 0.02);
+    }
+
+    /// Scenario truth: implied P_B and P_AB match their closed forms for
+    /// arbitrary parameters.
+    #[test]
+    fn scenario_implied_probabilities(
+        p_a in 0.0f64..0.2,
+        p_b_fail in 0.0f64..1.0,
+        p_b_ok in 0.0f64..0.05,
+    ) {
+        let scenario = FailureScenario::new(p_a, p_b_fail, p_b_ok);
+        let expect_b = p_a * p_b_fail + (1.0 - p_a) * p_b_ok;
+        prop_assert!((scenario.p_b() - expect_b).abs() < 1e-12);
+        prop_assert!((scenario.p_ab() - p_a * p_b_fail).abs() < 1e-12);
+        // P_AB can never exceed either marginal.
+        prop_assert!(scenario.p_ab() <= p_a + 1e-12);
+        prop_assert!(scenario.p_ab() <= scenario.p_b() + 1e-12);
+    }
+
+    /// Execution-time pairs are both positive and share the demand's T1:
+    /// with constant T2 components the difference is exactly their gap.
+    #[test]
+    fn exec_times_share_t1(t1 in 0.01f64..5.0, t2a in 0.0f64..2.0, t2b in 0.0f64..2.0, seed in any::<u64>()) {
+        use wsu_simcore::dist::DelayModel;
+        let model = ExecTimeModel::new(
+            DelayModel::exponential(t1),
+            DelayModel::constant(t2a),
+            DelayModel::constant(t2b),
+        );
+        let mut rng = StreamRng::from_seed(seed);
+        let (a, b) = model.sample_pair(&mut rng);
+        prop_assert!(a.as_secs() > 0.0 || t2a == 0.0);
+        prop_assert!(((a.as_secs() - b.as_secs()) - (t2a - t2b)).abs() < 1e-9);
+    }
+
+    /// Every run preset yields pair generators whose samples are valid
+    /// classes for either model.
+    #[test]
+    fn run_presets_sample_cleanly(run_idx in 0usize..4, seed in any::<u64>()) {
+        let spec = &RunSpec::all()[run_idx];
+        let correlated = CorrelatedOutcomes::from_run(spec);
+        let independent = IndependentOutcomes::from_run(spec);
+        let mut rng = StreamRng::from_seed(seed);
+        for _ in 0..100 {
+            let (a, b) = correlated.sample_pair(&mut rng);
+            prop_assert!(a.index() < 3 && b.index() < 3);
+            let (c, d) = independent.sample_pair(&mut rng);
+            prop_assert!(c.index() < 3 && d.index() < 3);
+        }
+    }
+}

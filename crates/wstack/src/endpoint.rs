@@ -1,0 +1,393 @@
+//! Service endpoints: where demands are actually executed.
+//!
+//! [`ServiceEndpoint`] is the abstraction the upgrade middleware relays
+//! requests to. Two simulation-oriented implementations are provided:
+//!
+//! * [`SyntheticService`] samples each response independently from an
+//!   [`OutcomeProfile`] and an execution-time model (the *independent
+//!   releases* assumption of the paper's Table 6);
+//! * [`ScriptedEndpoint`] replays a pre-planned sequence of invocations,
+//!   which is how the *correlated releases* model (Tables 3–5) is driven:
+//!   the workload generator plans both releases' outcomes jointly and
+//!   feeds each release its half of the plan.
+
+use std::collections::VecDeque;
+
+use wsu_simcore::dist::DelayModel;
+use wsu_simcore::rng::StreamRng;
+use wsu_simcore::time::SimDuration;
+
+use crate::message::{Envelope, Fault, FaultCode};
+use crate::outcome::{OutcomeProfile, ResponseClass};
+use crate::wsdl::{Operation, ServiceDescription, XsdType};
+
+/// The result of invoking an endpoint once.
+///
+/// `class` is the *ground truth* of this response — whether it is correct,
+/// evidently wrong or non-evidently wrong. Ground truth is visible to the
+/// simulation harness and to failure detectors (which observe it with
+/// configurable imperfection), never to the adjudicating middleware except
+/// through a detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// Ground-truth classification of the response.
+    pub class: ResponseClass,
+    /// How long the release took to produce the response.
+    pub exec_time: SimDuration,
+    /// The response message itself.
+    pub response: Envelope,
+}
+
+impl Invocation {
+    /// Creates an invocation result, synthesising a response envelope
+    /// appropriate for the class.
+    pub fn from_class(operation: &str, class: ResponseClass, exec_time: SimDuration) -> Invocation {
+        let response = match class {
+            ResponseClass::Correct => Envelope::response(operation).with_part("result", "ok"),
+            ResponseClass::EvidentFailure => Envelope::fault(
+                operation,
+                Fault::new(FaultCode::Receiver, "internal service error"),
+            ),
+            // A non-evident failure *looks* like a success on the wire.
+            ResponseClass::NonEvidentFailure => {
+                Envelope::response(operation).with_part("result", "plausible-but-wrong")
+            }
+        };
+        Invocation {
+            class,
+            exec_time,
+            response,
+        }
+    }
+}
+
+/// A service that can be invoked by the middleware.
+pub trait ServiceEndpoint {
+    /// The service's published description.
+    fn describe(&self) -> &ServiceDescription;
+
+    /// Executes one request, returning the (ground-truth-classified)
+    /// response and how long it took.
+    fn invoke(&mut self, request: &Envelope, rng: &mut StreamRng) -> Invocation;
+}
+
+/// A synthetic service sampling outcomes and timings independently on
+/// every demand.
+#[derive(Debug, Clone)]
+pub struct SyntheticService {
+    description: ServiceDescription,
+    outcomes: OutcomeProfile,
+    exec_time: DelayModel,
+    invocations: u64,
+}
+
+impl SyntheticService {
+    /// Starts building a synthetic service with the given name and
+    /// release string.
+    pub fn builder(service: &str, release: &str) -> SyntheticServiceBuilder {
+        SyntheticServiceBuilder {
+            service: service.to_owned(),
+            release: release.to_owned(),
+            outcomes: OutcomeProfile::always_correct(),
+            exec_time: DelayModel::exponential(1.0),
+            operations: Vec::new(),
+        }
+    }
+
+    /// Number of invocations served so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// The outcome profile this service samples from.
+    pub fn outcomes(&self) -> OutcomeProfile {
+        self.outcomes
+    }
+}
+
+impl ServiceEndpoint for SyntheticService {
+    fn describe(&self) -> &ServiceDescription {
+        &self.description
+    }
+
+    fn invoke(&mut self, request: &Envelope, rng: &mut StreamRng) -> Invocation {
+        self.invocations += 1;
+        let class = self.outcomes.sample(rng);
+        let exec_time = self.exec_time.sample(rng);
+        Invocation::from_class(request.operation(), class, exec_time)
+    }
+}
+
+/// Builder for [`SyntheticService`].
+#[derive(Debug, Clone)]
+pub struct SyntheticServiceBuilder {
+    service: String,
+    release: String,
+    outcomes: OutcomeProfile,
+    exec_time: DelayModel,
+    operations: Vec<Operation>,
+}
+
+impl SyntheticServiceBuilder {
+    /// Sets the outcome profile (defaults to always correct).
+    pub fn outcomes(mut self, outcomes: OutcomeProfile) -> Self {
+        self.outcomes = outcomes;
+        self
+    }
+
+    /// Sets an exponential execution-time model with the given mean
+    /// seconds (defaults to mean 1.0).
+    pub fn exec_time_mean(mut self, mean_secs: f64) -> Self {
+        self.exec_time = DelayModel::exponential(mean_secs);
+        self
+    }
+
+    /// Sets an arbitrary execution-time model.
+    pub fn exec_time(mut self, model: DelayModel) -> Self {
+        self.exec_time = model;
+        self
+    }
+
+    /// Adds a published operation (defaults to a single generic
+    /// `invoke(payload) -> result` operation if none are added).
+    pub fn operation(mut self, op: Operation) -> Self {
+        self.operations.push(op);
+        self
+    }
+
+    /// Builds the service.
+    pub fn build(self) -> SyntheticService {
+        let mut description = ServiceDescription::new(self.service, self.release);
+        if self.operations.is_empty() {
+            description.add_operation(
+                Operation::new("invoke")
+                    .with_input("payload", XsdType::Str)
+                    .with_output("result", XsdType::Str),
+            );
+        } else {
+            for op in self.operations {
+                description.add_operation(op);
+            }
+        }
+        SyntheticService {
+            description,
+            outcomes: self.outcomes,
+            exec_time: self.exec_time,
+            invocations: 0,
+        }
+    }
+}
+
+/// A planned response, queued into a [`ScriptedEndpoint`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedResponse {
+    /// Ground-truth classification the endpoint must produce.
+    pub class: ResponseClass,
+    /// Execution time the endpoint must take.
+    pub exec_time: SimDuration,
+}
+
+/// An endpoint that replays pre-planned responses in order.
+///
+/// Used when outcomes of several releases must be sampled *jointly* (the
+/// correlated model of Table 4): the workload generator plans the pair,
+/// then pushes each half into the corresponding scripted endpoint.
+///
+/// # Example
+///
+/// ```
+/// use wsu_simcore::rng::StreamRng;
+/// use wsu_simcore::time::SimDuration;
+/// use wsu_wstack::endpoint::{PlannedResponse, ScriptedEndpoint, ServiceEndpoint};
+/// use wsu_wstack::message::Envelope;
+/// use wsu_wstack::outcome::ResponseClass;
+///
+/// let mut ep = ScriptedEndpoint::new("Svc", "1.0");
+/// ep.push(PlannedResponse {
+///     class: ResponseClass::Correct,
+///     exec_time: SimDuration::from_secs(0.5),
+/// });
+/// let mut rng = StreamRng::from_seed(0);
+/// let inv = ep.invoke(&Envelope::request("invoke"), &mut rng);
+/// assert_eq!(inv.class, ResponseClass::Correct);
+/// assert_eq!(inv.exec_time, SimDuration::from_secs(0.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScriptedEndpoint {
+    description: ServiceDescription,
+    plan: VecDeque<PlannedResponse>,
+    served: u64,
+}
+
+impl ScriptedEndpoint {
+    /// Creates an endpoint with an empty plan.
+    pub fn new(service: &str, release: &str) -> ScriptedEndpoint {
+        let mut description = ServiceDescription::new(service, release);
+        description.add_operation(
+            Operation::new("invoke")
+                .with_input("payload", XsdType::Str)
+                .with_output("result", XsdType::Str),
+        );
+        ScriptedEndpoint {
+            description,
+            plan: VecDeque::new(),
+            served: 0,
+        }
+    }
+
+    /// Queues one planned response.
+    pub fn push(&mut self, planned: PlannedResponse) {
+        self.plan.push_back(planned);
+    }
+
+    /// Queues many planned responses.
+    pub fn extend(&mut self, planned: impl IntoIterator<Item = PlannedResponse>) {
+        self.plan.extend(planned);
+    }
+
+    /// Number of responses not yet served.
+    pub fn remaining(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Number of invocations served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
+impl ServiceEndpoint for ScriptedEndpoint {
+    fn describe(&self) -> &ServiceDescription {
+        &self.description
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the plan is exhausted — a scripted simulation must plan
+    /// exactly as many demands as it issues.
+    fn invoke(&mut self, request: &Envelope, _rng: &mut StreamRng) -> Invocation {
+        let planned = self
+            .plan
+            .pop_front()
+            .expect("scripted endpoint plan exhausted");
+        self.served += 1;
+        Invocation::from_class(request.operation(), planned.class, planned.exec_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_service_describes_itself() {
+        let svc = SyntheticService::builder("Quote", "2.0").build();
+        assert_eq!(svc.describe().service(), "Quote");
+        assert_eq!(svc.describe().release(), "2.0");
+        assert!(svc.describe().operation("invoke").is_some());
+    }
+
+    #[test]
+    fn synthetic_service_custom_operations() {
+        let svc = SyntheticService::builder("Quote", "1.0")
+            .operation(Operation::new("getQuote").with_output("quote", XsdType::Double))
+            .build();
+        assert!(svc.describe().operation("getQuote").is_some());
+        assert!(svc.describe().operation("invoke").is_none());
+    }
+
+    #[test]
+    fn synthetic_service_counts_invocations() {
+        let mut svc = SyntheticService::builder("S", "1.0").build();
+        let mut rng = StreamRng::from_seed(1);
+        let req = Envelope::request("invoke");
+        for _ in 0..5 {
+            svc.invoke(&req, &mut rng);
+        }
+        assert_eq!(svc.invocations(), 5);
+    }
+
+    #[test]
+    fn synthetic_outcomes_follow_profile() {
+        let mut svc = SyntheticService::builder("S", "1.0")
+            .outcomes(OutcomeProfile::new(0.5, 0.25, 0.25))
+            .build();
+        let mut rng = StreamRng::from_seed(2);
+        let req = Envelope::request("invoke");
+        let n = 40_000;
+        let correct = (0..n)
+            .filter(|_| svc.invoke(&req, &mut rng).class == ResponseClass::Correct)
+            .count();
+        assert!((correct as f64 / n as f64 - 0.5).abs() < 0.02);
+        assert_eq!(svc.outcomes().correct(), 0.5);
+    }
+
+    #[test]
+    fn invocation_envelope_matches_class() {
+        let d = SimDuration::from_secs(0.1);
+        let ok = Invocation::from_class("op", ResponseClass::Correct, d);
+        assert!(!ok.response.is_fault());
+        let evident = Invocation::from_class("op", ResponseClass::EvidentFailure, d);
+        assert!(evident.response.is_fault());
+        // Non-evident failures look valid on the wire.
+        let sneaky = Invocation::from_class("op", ResponseClass::NonEvidentFailure, d);
+        assert!(!sneaky.response.is_fault());
+    }
+
+    #[test]
+    fn scripted_endpoint_replays_in_order() {
+        let mut ep = ScriptedEndpoint::new("S", "1.0");
+        ep.extend([
+            PlannedResponse {
+                class: ResponseClass::Correct,
+                exec_time: SimDuration::from_secs(0.1),
+            },
+            PlannedResponse {
+                class: ResponseClass::NonEvidentFailure,
+                exec_time: SimDuration::from_secs(0.2),
+            },
+        ]);
+        assert_eq!(ep.remaining(), 2);
+        let mut rng = StreamRng::from_seed(3);
+        let req = Envelope::request("invoke");
+        assert_eq!(ep.invoke(&req, &mut rng).class, ResponseClass::Correct);
+        let second = ep.invoke(&req, &mut rng);
+        assert_eq!(second.class, ResponseClass::NonEvidentFailure);
+        assert_eq!(second.exec_time, SimDuration::from_secs(0.2));
+        assert_eq!(ep.remaining(), 0);
+        assert_eq!(ep.served(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan exhausted")]
+    fn scripted_endpoint_panics_when_drained() {
+        let mut ep = ScriptedEndpoint::new("S", "1.0");
+        let mut rng = StreamRng::from_seed(4);
+        ep.invoke(&Envelope::request("invoke"), &mut rng);
+    }
+
+    #[test]
+    fn exec_time_mean_is_respected() {
+        let mut svc = SyntheticService::builder("S", "1.0")
+            .exec_time_mean(0.7)
+            .build();
+        let mut rng = StreamRng::from_seed(5);
+        let req = Envelope::request("invoke");
+        let n = 50_000;
+        let mean: f64 = (0..n)
+            .map(|_| svc.invoke(&req, &mut rng).exec_time.as_secs())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.7).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn constant_exec_time_model() {
+        let mut svc = SyntheticService::builder("S", "1.0")
+            .exec_time(DelayModel::constant(0.25))
+            .build();
+        let mut rng = StreamRng::from_seed(6);
+        let inv = svc.invoke(&Envelope::request("invoke"), &mut rng);
+        assert_eq!(inv.exec_time.as_secs(), 0.25);
+    }
+}

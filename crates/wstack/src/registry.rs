@@ -1,0 +1,392 @@
+//! A UDDI-like service registry.
+//!
+//! Providers publish [`ServiceRecord`]s (name, endpoint URI, WSDL-like
+//! description); consumers look services up by name or category. Two
+//! paper-specific extensions are modelled:
+//!
+//! * **release links** — a record can reference the record of a newer
+//!   release of the same service, the registry-based upgrade-notification
+//!   option discussed in Section 7.2;
+//! * **published confidence** — a record can carry the provider's (or a
+//!   broker's) current confidence summary for the service, the UDDI
+//!   publishing option of Section 6.2.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::wsdl::ServiceDescription;
+
+/// An opaque registry key for a published service record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceKey(u64);
+
+impl fmt::Display for ServiceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uddi:{:016x}", self.0)
+    }
+}
+
+/// A published confidence summary: the provider's current confidence that
+/// the service meets a stated pfd target (Section 6.2's `s:double`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishedConfidence {
+    /// The pfd target the confidence refers to (e.g. `1e-3`).
+    pub pfd_target: f64,
+    /// Confidence in `[0, 1]` that the service's pfd is at or below the
+    /// target.
+    pub confidence: f64,
+}
+
+impl PublishedConfidence {
+    /// Creates a published confidence summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is outside `[0, 1]` or `pfd_target` is not
+    /// in `(0, 1)`.
+    pub fn new(pfd_target: f64, confidence: f64) -> PublishedConfidence {
+        assert!(
+            pfd_target > 0.0 && pfd_target < 1.0,
+            "pfd target {pfd_target} not in (0, 1)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&confidence),
+            "confidence {confidence} not in [0, 1]"
+        );
+        PublishedConfidence {
+            pfd_target,
+            confidence,
+        }
+    }
+}
+
+/// One published service: the unit of registry lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRecord {
+    /// Human-oriented service name (`"Web-Service 1"`).
+    pub name: String,
+    /// Endpoint URI (`"http://node1/ws1"`).
+    pub uri: String,
+    /// Business category used for yellow-pages lookup.
+    pub category: String,
+    /// The service's interface description.
+    pub description: ServiceDescription,
+    /// Provider-published confidence, if any.
+    pub confidence: Option<PublishedConfidence>,
+}
+
+impl ServiceRecord {
+    /// Creates a record with no published confidence.
+    pub fn new(
+        name: impl Into<String>,
+        uri: impl Into<String>,
+        category: impl Into<String>,
+        description: ServiceDescription,
+    ) -> ServiceRecord {
+        ServiceRecord {
+            name: name.into(),
+            uri: uri.into(),
+            category: category.into(),
+            description,
+            confidence: None,
+        }
+    }
+
+    /// Attaches a published confidence (builder style).
+    pub fn with_confidence(mut self, confidence: PublishedConfidence) -> ServiceRecord {
+        self.confidence = Some(confidence);
+        self
+    }
+}
+
+/// Errors returned by registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The given key is not registered.
+    UnknownKey(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownKey(k) => write!(f, "unknown registry key {k}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The registry itself.
+///
+/// # Example
+///
+/// ```
+/// use wsu_wstack::registry::{Registry, ServiceRecord};
+/// use wsu_wstack::wsdl::ServiceDescription;
+///
+/// let mut registry = Registry::new();
+/// let old = registry.publish(ServiceRecord::new(
+///     "Quote",
+///     "http://node1/quote",
+///     "finance",
+///     ServiceDescription::new("Quote", "1.0"),
+/// ));
+/// let new = registry.publish(ServiceRecord::new(
+///     "Quote",
+///     "http://node1/quote-v11",
+///     "finance",
+///     ServiceDescription::new("Quote", "1.1"),
+/// ));
+/// registry.link_new_release(old, new).unwrap();
+/// assert_eq!(registry.newer_release(old).unwrap(), Some(new));
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    records: HashMap<ServiceKey, ServiceRecord>,
+    release_links: HashMap<ServiceKey, ServiceKey>,
+    next_key: u64,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Publishes a record and returns its key.
+    pub fn publish(&mut self, record: ServiceRecord) -> ServiceKey {
+        let key = ServiceKey(self.next_key);
+        self.next_key += 1;
+        self.records.insert(key, record);
+        key
+    }
+
+    /// Removes a record (e.g. an old release being phased out). Any
+    /// release link from or to the record is removed as well.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownKey`] if the key is not registered.
+    pub fn withdraw(&mut self, key: ServiceKey) -> Result<ServiceRecord, RegistryError> {
+        let record = self
+            .records
+            .remove(&key)
+            .ok_or_else(|| RegistryError::UnknownKey(key.to_string()))?;
+        self.release_links.remove(&key);
+        self.release_links.retain(|_, v| *v != key);
+        Ok(record)
+    }
+
+    /// Looks a record up by key.
+    pub fn get(&self, key: ServiceKey) -> Option<&ServiceRecord> {
+        self.records.get(&key)
+    }
+
+    /// Finds all records with the given service name, in key order.
+    pub fn find_by_name(&self, name: &str) -> Vec<(ServiceKey, &ServiceRecord)> {
+        let mut hits: Vec<_> = self
+            .records
+            .iter()
+            .filter(|(_, r)| r.name == name)
+            .map(|(k, r)| (*k, r))
+            .collect();
+        hits.sort_by_key(|(k, _)| *k);
+        hits
+    }
+
+    /// Finds all records in the given category, in key order.
+    pub fn find_by_category(&self, category: &str) -> Vec<(ServiceKey, &ServiceRecord)> {
+        let mut hits: Vec<_> = self
+            .records
+            .iter()
+            .filter(|(_, r)| r.category == category)
+            .map(|(k, r)| (*k, r))
+            .collect();
+        hits.sort_by_key(|(k, _)| *k);
+        hits
+    }
+
+    /// Records that `newer` is the next release of `older` (the registry
+    /// notification mechanism of Section 7.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownKey`] if either key is not
+    /// registered.
+    pub fn link_new_release(
+        &mut self,
+        older: ServiceKey,
+        newer: ServiceKey,
+    ) -> Result<(), RegistryError> {
+        for key in [older, newer] {
+            if !self.records.contains_key(&key) {
+                return Err(RegistryError::UnknownKey(key.to_string()));
+            }
+        }
+        self.release_links.insert(older, newer);
+        Ok(())
+    }
+
+    /// Returns the newer release linked from `key`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownKey`] if the key is not registered.
+    pub fn newer_release(&self, key: ServiceKey) -> Result<Option<ServiceKey>, RegistryError> {
+        if !self.records.contains_key(&key) {
+            return Err(RegistryError::UnknownKey(key.to_string()));
+        }
+        Ok(self.release_links.get(&key).copied())
+    }
+
+    /// Updates (or sets) the published confidence on a record — the UDDI
+    /// publishing path of Section 6.2, usable by both providers and
+    /// consumers ("the clients will be able to keep this up to date").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::UnknownKey`] if the key is not registered.
+    pub fn publish_confidence(
+        &mut self,
+        key: ServiceKey,
+        confidence: PublishedConfidence,
+    ) -> Result<(), RegistryError> {
+        let record = self
+            .records
+            .get_mut(&key)
+            .ok_or_else(|| RegistryError::UnknownKey(key.to_string()))?;
+        record.confidence = Some(confidence);
+        Ok(())
+    }
+
+    /// Number of published records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, release: &str) -> ServiceRecord {
+        ServiceRecord::new(
+            name,
+            format!("http://node/{name}/{release}"),
+            "test",
+            ServiceDescription::new(name, release),
+        )
+    }
+
+    #[test]
+    fn publish_and_lookup() {
+        let mut reg = Registry::new();
+        let k = reg.publish(record("A", "1.0"));
+        assert_eq!(reg.get(k).unwrap().name, "A");
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn find_by_name_returns_all_releases() {
+        let mut reg = Registry::new();
+        let k0 = reg.publish(record("A", "1.0"));
+        let k1 = reg.publish(record("A", "1.1"));
+        reg.publish(record("B", "1.0"));
+        let hits = reg.find_by_name("A");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, k0);
+        assert_eq!(hits[1].0, k1);
+    }
+
+    #[test]
+    fn find_by_category() {
+        let mut reg = Registry::new();
+        reg.publish(record("A", "1.0"));
+        let mut b = record("B", "1.0");
+        b.category = "other".into();
+        reg.publish(b);
+        assert_eq!(reg.find_by_category("test").len(), 1);
+        assert_eq!(reg.find_by_category("other").len(), 1);
+        assert!(reg.find_by_category("none").is_empty());
+    }
+
+    #[test]
+    fn release_links() {
+        let mut reg = Registry::new();
+        let old = reg.publish(record("A", "1.0"));
+        let new = reg.publish(record("A", "1.1"));
+        assert_eq!(reg.newer_release(old).unwrap(), None);
+        reg.link_new_release(old, new).unwrap();
+        assert_eq!(reg.newer_release(old).unwrap(), Some(new));
+        assert_eq!(reg.newer_release(new).unwrap(), None);
+    }
+
+    #[test]
+    fn withdraw_removes_record_and_links() {
+        let mut reg = Registry::new();
+        let old = reg.publish(record("A", "1.0"));
+        let new = reg.publish(record("A", "1.1"));
+        reg.link_new_release(old, new).unwrap();
+        let withdrawn = reg.withdraw(new).unwrap();
+        assert_eq!(withdrawn.description.release(), "1.1");
+        assert_eq!(reg.newer_release(old).unwrap(), None);
+        assert!(reg.get(new).is_none());
+    }
+
+    #[test]
+    fn withdraw_unknown_errors() {
+        let mut reg = Registry::new();
+        let k = reg.publish(record("A", "1.0"));
+        reg.withdraw(k).unwrap();
+        let err = reg.withdraw(k).unwrap_err();
+        assert!(matches!(err, RegistryError::UnknownKey(_)));
+        assert!(err.to_string().contains("unknown registry key"));
+    }
+
+    #[test]
+    fn link_unknown_key_errors() {
+        let mut reg = Registry::new();
+        let k = reg.publish(record("A", "1.0"));
+        let ghost = ServiceKey(999);
+        assert!(reg.link_new_release(k, ghost).is_err());
+        assert!(reg.link_new_release(ghost, k).is_err());
+        assert!(reg.newer_release(ghost).is_err());
+    }
+
+    #[test]
+    fn confidence_publication() {
+        let mut reg = Registry::new();
+        let k = reg.publish(record("A", "1.0"));
+        assert!(reg.get(k).unwrap().confidence.is_none());
+        reg.publish_confidence(k, PublishedConfidence::new(1e-3, 0.99))
+            .unwrap();
+        let conf = reg.get(k).unwrap().confidence.unwrap();
+        assert_eq!(conf.pfd_target, 1e-3);
+        assert_eq!(conf.confidence, 0.99);
+    }
+
+    #[test]
+    fn record_with_confidence_builder() {
+        let r = record("A", "1.0").with_confidence(PublishedConfidence::new(1e-4, 0.9));
+        assert!(r.confidence.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn confidence_out_of_range_panics() {
+        let _ = PublishedConfidence::new(1e-3, 1.5);
+    }
+
+    #[test]
+    fn service_key_display() {
+        let mut reg = Registry::new();
+        let k = reg.publish(record("A", "1.0"));
+        assert!(k.to_string().starts_with("uddi:"));
+    }
+}

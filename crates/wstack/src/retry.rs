@@ -1,0 +1,238 @@
+//! Rollback-and-retry recovery for transient failures (paper
+//! Section 2.1).
+//!
+//! > "Transient failure — a failure triggered by transient conditions
+//! > which can be tolerated by using generic recovery techniques such as
+//! > rollback and retry even if the same code is used. Non-transient
+//! > failure — a deterministic failure. To tolerate such failure the
+//! > diverse redundancy should be used."
+//!
+//! [`RetryingEndpoint`] wraps a service with exactly that generic
+//! recovery: an *evident* failure triggers up to `max_retries` re-runs.
+//! Whether a given failure is transient is decided per demand with the
+//! configured probability; a non-transient (deterministic) failure
+//! reproduces on every retry, which is precisely why the managed-upgrade
+//! architecture needs the diverse redundancy of a second release.
+//! Non-evident failures are never retried — nothing detects them.
+
+use wsu_simcore::dist::DelayModel;
+use wsu_simcore::rng::StreamRng;
+
+use crate::endpoint::{Invocation, ServiceEndpoint};
+use crate::message::Envelope;
+use crate::outcome::ResponseClass;
+use crate::wsdl::ServiceDescription;
+
+/// A retrying wrapper around a service endpoint.
+#[derive(Debug, Clone)]
+pub struct RetryingEndpoint<S> {
+    inner: S,
+    max_retries: u32,
+    transient_fraction: f64,
+    backoff: DelayModel,
+    demands: u64,
+    retries_attempted: u64,
+    retries_recovered: u64,
+}
+
+impl<S: ServiceEndpoint> RetryingEndpoint<S> {
+    /// Wraps `inner` with retry-based recovery.
+    ///
+    /// * `max_retries` — re-runs attempted after an evident failure;
+    /// * `transient_fraction` — probability that an evident failure is
+    ///   transient (a retry re-executes and may succeed) rather than
+    ///   deterministic (every retry reproduces it);
+    /// * `backoff` — delay added before each retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transient_fraction` is outside `[0, 1]`.
+    pub fn new(
+        inner: S,
+        max_retries: u32,
+        transient_fraction: f64,
+        backoff: DelayModel,
+    ) -> RetryingEndpoint<S> {
+        assert!(
+            (0.0..=1.0).contains(&transient_fraction),
+            "transient fraction {transient_fraction} not in [0, 1]"
+        );
+        RetryingEndpoint {
+            inner,
+            max_retries,
+            transient_fraction,
+            backoff,
+            demands: 0,
+            retries_attempted: 0,
+            retries_recovered: 0,
+        }
+    }
+
+    /// Demands served.
+    pub fn demands(&self) -> u64 {
+        self.demands
+    }
+
+    /// Retries attempted so far.
+    pub fn retries_attempted(&self) -> u64 {
+        self.retries_attempted
+    }
+
+    /// Demands rescued by a retry (final response not an evident
+    /// failure after at least one retry).
+    pub fn retries_recovered(&self) -> u64 {
+        self.retries_recovered
+    }
+
+    /// Access to the wrapped endpoint.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: ServiceEndpoint> ServiceEndpoint for RetryingEndpoint<S> {
+    fn describe(&self) -> &ServiceDescription {
+        self.inner.describe()
+    }
+
+    fn invoke(&mut self, request: &Envelope, rng: &mut StreamRng) -> Invocation {
+        self.demands += 1;
+        let mut invocation = self.inner.invoke(request, rng);
+        if invocation.class != ResponseClass::EvidentFailure || self.max_retries == 0 {
+            return invocation;
+        }
+        // The failure's nature is a property of this demand: transient
+        // conditions may clear on a retry, a deterministic fault will not.
+        let transient = rng.bernoulli(self.transient_fraction);
+        let mut total_time = invocation.exec_time;
+        let mut retried = false;
+        for _ in 0..self.max_retries {
+            if invocation.class != ResponseClass::EvidentFailure {
+                break;
+            }
+            self.retries_attempted += 1;
+            retried = true;
+            total_time += self.backoff.sample(rng);
+            if transient {
+                let again = self.inner.invoke(request, rng);
+                total_time += again.exec_time;
+                invocation = again;
+            } else {
+                // Deterministic failure: the retry re-executes the same
+                // faulty path and takes comparable time.
+                let again = self.inner.invoke(request, rng);
+                total_time += again.exec_time;
+                invocation.class = ResponseClass::EvidentFailure;
+            }
+        }
+        if retried && invocation.class != ResponseClass::EvidentFailure {
+            self.retries_recovered += 1;
+        }
+        invocation.exec_time = total_time;
+        invocation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::SyntheticService;
+    use crate::outcome::OutcomeProfile;
+
+    fn flaky(er: f64) -> SyntheticService {
+        SyntheticService::builder("Svc", "1.0")
+            .outcomes(OutcomeProfile::new(1.0 - er, er, 0.0))
+            .exec_time(DelayModel::constant(0.1))
+            .build()
+    }
+
+    fn evident_rate(endpoint: &mut impl ServiceEndpoint, n: u32, seed: u64) -> f64 {
+        let mut rng = StreamRng::from_seed(seed);
+        let request = Envelope::request("invoke");
+        let failures = (0..n)
+            .filter(|_| endpoint.invoke(&request, &mut rng).class == ResponseClass::EvidentFailure)
+            .count();
+        failures as f64 / n as f64
+    }
+
+    #[test]
+    fn transient_failures_are_recovered() {
+        // 20% evident failures, all transient, 3 retries: the surviving
+        // failure rate is ~0.2^4 = 0.0016.
+        let mut ep = RetryingEndpoint::new(flaky(0.2), 3, 1.0, DelayModel::constant(0.01));
+        let rate = evident_rate(&mut ep, 20_000, 1);
+        assert!(rate < 0.01, "rate {rate}");
+        assert!(ep.retries_recovered() > 0);
+        assert!(ep.retries_attempted() >= ep.retries_recovered());
+    }
+
+    #[test]
+    fn deterministic_failures_are_not_recovered() {
+        let mut ep = RetryingEndpoint::new(flaky(0.2), 3, 0.0, DelayModel::constant(0.01));
+        let rate = evident_rate(&mut ep, 20_000, 2);
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+        assert_eq!(ep.retries_recovered(), 0);
+        assert!(ep.retries_attempted() > 0);
+    }
+
+    #[test]
+    fn mixed_transient_fraction() {
+        // Half the failures transient: the recoverable half mostly
+        // disappears, the deterministic half stays -> ~10% + residual.
+        let mut ep = RetryingEndpoint::new(flaky(0.2), 3, 0.5, DelayModel::constant(0.01));
+        let rate = evident_rate(&mut ep, 20_000, 3);
+        assert!(rate > 0.08 && rate < 0.13, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_retries_is_a_passthrough() {
+        let mut ep = RetryingEndpoint::new(flaky(0.2), 0, 1.0, DelayModel::constant(0.01));
+        let rate = evident_rate(&mut ep, 20_000, 4);
+        assert!((rate - 0.2).abs() < 0.01);
+        assert_eq!(ep.retries_attempted(), 0);
+    }
+
+    #[test]
+    fn non_evident_failures_are_never_retried() {
+        let inner = SyntheticService::builder("Svc", "1.0")
+            .outcomes(OutcomeProfile::new(0.0, 0.0, 1.0))
+            .exec_time(DelayModel::constant(0.1))
+            .build();
+        let mut ep = RetryingEndpoint::new(inner, 5, 1.0, DelayModel::constant(0.01));
+        let mut rng = StreamRng::from_seed(5);
+        let inv = ep.invoke(&Envelope::request("invoke"), &mut rng);
+        assert_eq!(inv.class, ResponseClass::NonEvidentFailure);
+        assert_eq!(ep.retries_attempted(), 0);
+        // No retries: the base execution time stands.
+        assert!((inv.exec_time.as_secs() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_time_accumulates() {
+        // Always-failing deterministic service with 2 retries: time is
+        // 3 executions + 2 backoffs = 0.3 + 0.02.
+        let inner = SyntheticService::builder("Svc", "1.0")
+            .outcomes(OutcomeProfile::new(0.0, 1.0, 0.0))
+            .exec_time(DelayModel::constant(0.1))
+            .build();
+        let mut ep = RetryingEndpoint::new(inner, 2, 0.0, DelayModel::constant(0.01));
+        let mut rng = StreamRng::from_seed(6);
+        let inv = ep.invoke(&Envelope::request("invoke"), &mut rng);
+        assert_eq!(inv.class, ResponseClass::EvidentFailure);
+        assert!((inv.exec_time.as_secs() - 0.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors_and_description() {
+        let ep = RetryingEndpoint::new(flaky(0.1), 1, 0.5, DelayModel::constant(0.0));
+        assert_eq!(ep.describe().service(), "Svc");
+        assert_eq!(ep.demands(), 0);
+        assert_eq!(ep.inner().describe().release(), "1.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "transient fraction")]
+    fn rejects_bad_fraction() {
+        let _ = RetryingEndpoint::new(flaky(0.1), 1, 1.5, DelayModel::constant(0.0));
+    }
+}

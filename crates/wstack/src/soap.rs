@@ -1,0 +1,256 @@
+//! Parsing the XML-like wire format back into [`Envelope`]s.
+//!
+//! [`Envelope::to_xml_like`] renders messages for logs and traces; this
+//! module provides the inverse, so traces can be replayed and the
+//! protocol handlers of Section 6.2 can be demonstrated over "wire" text
+//! rather than in-process values. The grammar is exactly the subset
+//! `to_xml_like` emits — this is deliberately not a general XML parser.
+
+use std::fmt;
+
+use crate::message::{Envelope, Fault, FaultCode, Value};
+
+/// Error from parsing wire text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    line: usize,
+    what: String,
+}
+
+impl ParseError {
+    fn new(line: usize, what: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            what: what.into(),
+        }
+    }
+
+    /// The 1-based line the error was detected on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Extracts the value of `attr="..."` from a tag line.
+fn attr<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("{name}=\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Extracts the text content between `>` and `</` on a single line.
+fn text_content(line: &str) -> Option<&str> {
+    let open_end = line.find('>')?;
+    let close_start = line.rfind("</")?;
+    if close_start <= open_end {
+        return None;
+    }
+    Some(&line[open_end + 1..close_start])
+}
+
+/// The element name of an opening tag line (`<name ...>` or `<name>`).
+fn element_name(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix('<')?;
+    let end = rest.find([' ', '>'])?;
+    Some(&rest[..end])
+}
+
+fn parse_value(type_name: &str, text: &str, line_no: usize) -> Result<Value, ParseError> {
+    match type_name {
+        "s:int" => text
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| ParseError::new(line_no, format!("bad int `{text}`: {e}"))),
+        "s:double" => text
+            .parse::<f64>()
+            .map(Value::Double)
+            .map_err(|e| ParseError::new(line_no, format!("bad double `{text}`: {e}"))),
+        "s:boolean" => match text {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            other => Err(ParseError::new(line_no, format!("bad boolean `{other}`"))),
+        },
+        "s:string" => Ok(Value::Str(text.to_owned())),
+        other => Err(ParseError::new(
+            line_no,
+            format!("unsupported part type `{other}`"),
+        )),
+    }
+}
+
+fn parse_fault_code(code: &str, line_no: usize) -> Result<FaultCode, ParseError> {
+    match code {
+        "Receiver" => Ok(FaultCode::Receiver),
+        "Sender" => Ok(FaultCode::Sender),
+        "Timeout" => Ok(FaultCode::Timeout),
+        "ServiceUnavailable" => Ok(FaultCode::ServiceUnavailable),
+        other => Err(ParseError::new(
+            line_no,
+            format!("unknown fault code `{other}`"),
+        )),
+    }
+}
+
+/// Parses the output of [`Envelope::to_xml_like`] back into an
+/// [`Envelope`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any structural or type deviation from the
+/// emitted grammar.
+pub fn parse_envelope(wire: &str) -> Result<Envelope, ParseError> {
+    let mut operation: Option<String> = None;
+    let mut fault: Option<Fault> = None;
+    let mut parts: Vec<(String, Value)> = Vec::new();
+
+    for (idx, raw) in wire.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line == "<Envelope>" || line == "</Envelope>" || line == "</Body>" {
+            continue;
+        }
+        if line.starts_with("<Body") {
+            let op = attr(line, "operation")
+                .ok_or_else(|| ParseError::new(line_no, "Body without operation"))?;
+            operation = Some(op.to_owned());
+            continue;
+        }
+        if line.starts_with("<Fault") {
+            let code =
+                attr(line, "code").ok_or_else(|| ParseError::new(line_no, "Fault without code"))?;
+            let reason = text_content(line)
+                .ok_or_else(|| ParseError::new(line_no, "Fault without reason text"))?;
+            fault = Some(Fault::new(parse_fault_code(code, line_no)?, reason));
+            continue;
+        }
+        if line.starts_with('<') && !line.starts_with("</") {
+            let name = element_name(line)
+                .ok_or_else(|| ParseError::new(line_no, "malformed element"))?
+                .to_owned();
+            let type_name = attr(line, "type")
+                .ok_or_else(|| ParseError::new(line_no, format!("part `{name}` without type")))?;
+            let text = text_content(line).ok_or_else(|| {
+                ParseError::new(line_no, format!("part `{name}` without content"))
+            })?;
+            parts.push((name, parse_value(type_name, text, line_no)?));
+            continue;
+        }
+        return Err(ParseError::new(
+            line_no,
+            format!("unexpected line `{line}`"),
+        ));
+    }
+
+    let operation =
+        operation.ok_or_else(|| ParseError::new(wire.lines().count(), "no <Body> element"))?;
+    let mut envelope = match fault {
+        Some(f) => Envelope::fault(operation, f),
+        None => Envelope::response(operation),
+    };
+    for (name, value) in parts {
+        envelope.set_part(name, value);
+    }
+    Ok(envelope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_data_response() {
+        let original = Envelope::response("operation1")
+            .with_part("Op1Result", "ok")
+            .with_part("count", 42i64)
+            .with_part("Operation1Conf", 0.97)
+            .with_part("cached", false);
+        let parsed = parse_envelope(&original.to_xml_like()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn round_trips_a_fault() {
+        for code in [
+            FaultCode::Receiver,
+            FaultCode::Sender,
+            FaultCode::Timeout,
+            FaultCode::ServiceUnavailable,
+        ] {
+            let original = Envelope::fault("pay", Fault::new(code, "broken pipe"));
+            let parsed = parse_envelope(&original.to_xml_like()).unwrap();
+            assert_eq!(parsed, original);
+        }
+    }
+
+    #[test]
+    fn round_trips_empty_body() {
+        let original = Envelope::request("ping");
+        let parsed = parse_envelope(&original.to_xml_like()).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn rejects_missing_body() {
+        let err = parse_envelope("<Envelope>\n</Envelope>").unwrap_err();
+        assert!(err.to_string().contains("no <Body>"));
+    }
+
+    #[test]
+    fn rejects_bad_int() {
+        let wire = "<Envelope>\n  <Body operation=\"op\">\n    <n type=\"s:int\">forty</n>\n  </Body>\n</Envelope>";
+        let err = parse_envelope(wire).unwrap_err();
+        assert_eq!(err.line(), 3);
+        assert!(err.to_string().contains("bad int"));
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let wire = "<Envelope>\n  <Body operation=\"op\">\n    <n type=\"s:blob\">x</n>\n  </Body>\n</Envelope>";
+        assert!(parse_envelope(wire).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_fault_code() {
+        let wire = "<Envelope>\n  <Body operation=\"op\">\n    <Fault code=\"Gremlins\">x</Fault>\n  </Body>\n</Envelope>";
+        assert!(parse_envelope(wire).is_err());
+    }
+
+    #[test]
+    fn rejects_part_without_type() {
+        let wire = "<Envelope>\n  <Body operation=\"op\">\n    <n>5</n>\n  </Body>\n</Envelope>";
+        let err = parse_envelope(wire).unwrap_err();
+        assert!(err.to_string().contains("without type"));
+    }
+
+    #[test]
+    fn boolean_values_parse_strictly() {
+        let wire = "<Envelope>\n  <Body operation=\"op\">\n    <b type=\"s:boolean\">TRUE</b>\n  </Body>\n</Envelope>";
+        assert!(parse_envelope(wire).is_err());
+        let ok = "<Envelope>\n  <Body operation=\"op\">\n    <b type=\"s:boolean\">true</b>\n  </Body>\n</Envelope>";
+        let parsed = parse_envelope(ok).unwrap();
+        assert_eq!(parsed.part("b"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn confidence_survives_the_wire() {
+        // The §6.2 protocol-handler path over actual wire text.
+        let response = Envelope::response("operation1").with_part("Op1Result", "ok");
+        let with_conf = response.clone().with_part("Operation1Conf", 0.93);
+        let wire = with_conf.to_xml_like();
+        let parsed = parse_envelope(&wire).unwrap();
+        assert_eq!(
+            parsed.part("Operation1Conf").and_then(Value::as_double),
+            Some(0.93)
+        );
+    }
+}

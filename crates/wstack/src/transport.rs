@@ -1,0 +1,258 @@
+//! A simulated transport between consumer and service.
+//!
+//! Component WSs "are executed in different management domains"; the
+//! network between the middleware and a release adds latency and can lose
+//! messages. [`TransportLink`] wraps a [`ServiceEndpoint`] and models both,
+//! turning a lost message into an effectively unbounded response time (the
+//! middleware's timeout converts it into an evident failure).
+
+use wsu_simcore::dist::DelayModel;
+use wsu_simcore::rng::StreamRng;
+
+use crate::endpoint::{Invocation, ServiceEndpoint};
+use crate::message::Envelope;
+
+/// Outcome of sending one request over a link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delivery {
+    /// The response arrived after the given end-to-end time.
+    Delivered(Invocation),
+    /// The request or the response was lost; no reply will ever arrive.
+    Lost,
+}
+
+impl Delivery {
+    /// Returns the invocation if delivered.
+    pub fn into_invocation(self) -> Option<Invocation> {
+        match self {
+            Delivery::Delivered(inv) => Some(inv),
+            Delivery::Lost => None,
+        }
+    }
+
+    /// Returns `true` if the message was lost.
+    pub fn is_lost(&self) -> bool {
+        matches!(self, Delivery::Lost)
+    }
+}
+
+/// A lossy, delaying link in front of an endpoint.
+///
+/// # Example
+///
+/// ```
+/// use wsu_simcore::dist::DelayModel;
+/// use wsu_simcore::rng::StreamRng;
+/// use wsu_wstack::endpoint::SyntheticService;
+/// use wsu_wstack::message::Envelope;
+/// use wsu_wstack::transport::TransportLink;
+///
+/// let svc = SyntheticService::builder("S", "1.0").build();
+/// let mut link = TransportLink::new(svc)
+///     .with_latency(DelayModel::constant(0.05))
+///     .with_loss_probability(0.0);
+/// let mut rng = StreamRng::from_seed(1);
+/// let delivery = link.send(&Envelope::request("invoke"), &mut rng);
+/// assert!(!delivery.is_lost());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TransportLink<S> {
+    endpoint: S,
+    latency: DelayModel,
+    loss_probability: f64,
+    sent: u64,
+    lost: u64,
+}
+
+impl<S: ServiceEndpoint> TransportLink<S> {
+    /// Wraps `endpoint` with a zero-latency, lossless link.
+    pub fn new(endpoint: S) -> TransportLink<S> {
+        TransportLink {
+            endpoint,
+            latency: DelayModel::constant(0.0),
+            loss_probability: 0.0,
+            sent: 0,
+            lost: 0,
+        }
+    }
+
+    /// Sets the one-way latency model (applied twice: request + response).
+    pub fn with_latency(mut self, latency: DelayModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the probability that a round trip is lost entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_loss_probability(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} not in [0, 1]"
+        );
+        self.loss_probability = p;
+        self
+    }
+
+    /// Sends one request. On delivery, the invocation's `exec_time` is the
+    /// *end-to-end* time: network out + service execution + network back.
+    pub fn send(&mut self, request: &Envelope, rng: &mut StreamRng) -> Delivery {
+        self.sent += 1;
+        if rng.bernoulli(self.loss_probability) {
+            self.lost += 1;
+            return Delivery::Lost;
+        }
+        let out = self.latency.sample(rng);
+        let mut invocation = self.endpoint.invoke(request, rng);
+        let back = self.latency.sample(rng);
+        invocation.exec_time = invocation.exec_time + out + back;
+        Delivery::Delivered(invocation)
+    }
+
+    /// Requests sent over this link.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Round trips lost.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Access to the wrapped endpoint.
+    pub fn endpoint(&self) -> &S {
+        &self.endpoint
+    }
+
+    /// Mutable access to the wrapped endpoint.
+    pub fn endpoint_mut(&mut self) -> &mut S {
+        &mut self.endpoint
+    }
+
+    /// Unwraps the link, returning the endpoint.
+    pub fn into_inner(self) -> S {
+        self.endpoint
+    }
+}
+
+impl<S: ServiceEndpoint> ServiceEndpoint for TransportLink<S> {
+    fn describe(&self) -> &crate::wsdl::ServiceDescription {
+        self.endpoint.describe()
+    }
+
+    /// A lost round trip surfaces as a response that never arrives: an
+    /// evident failure with an execution time beyond any timeout, so the
+    /// middleware scores it as NRDT.
+    fn invoke(&mut self, request: &Envelope, rng: &mut StreamRng) -> Invocation {
+        match self.send(request, rng) {
+            Delivery::Delivered(invocation) => invocation,
+            Delivery::Lost => {
+                let mut invocation = Invocation::from_class(
+                    request.operation(),
+                    crate::outcome::ResponseClass::EvidentFailure,
+                    wsu_simcore::time::SimDuration::from_secs(3.15e7),
+                );
+                invocation.response = Envelope::fault(
+                    request.operation(),
+                    crate::message::Fault::new(
+                        crate::message::FaultCode::Timeout,
+                        "message lost in transit",
+                    ),
+                );
+                invocation
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::SyntheticService;
+    use crate::outcome::ResponseClass;
+    use wsu_simcore::dist::DelayModel;
+
+    fn service() -> SyntheticService {
+        SyntheticService::builder("S", "1.0")
+            .exec_time(DelayModel::constant(0.5))
+            .build()
+    }
+
+    #[test]
+    fn latency_is_added_both_ways() {
+        let mut link = TransportLink::new(service()).with_latency(DelayModel::constant(0.1));
+        let mut rng = StreamRng::from_seed(1);
+        let delivery = link.send(&Envelope::request("invoke"), &mut rng);
+        let inv = delivery.into_invocation().unwrap();
+        assert!((inv.exec_time.as_secs() - 0.7).abs() < 1e-12);
+        assert_eq!(inv.class, ResponseClass::Correct);
+    }
+
+    #[test]
+    fn lossless_link_never_loses() {
+        let mut link = TransportLink::new(service());
+        let mut rng = StreamRng::from_seed(2);
+        for _ in 0..100 {
+            assert!(!link.send(&Envelope::request("invoke"), &mut rng).is_lost());
+        }
+        assert_eq!(link.sent(), 100);
+        assert_eq!(link.lost(), 0);
+    }
+
+    #[test]
+    fn loss_rate_is_respected() {
+        let mut link = TransportLink::new(service()).with_loss_probability(0.2);
+        let mut rng = StreamRng::from_seed(3);
+        let n = 50_000;
+        let lost = (0..n)
+            .filter(|_| link.send(&Envelope::request("invoke"), &mut rng).is_lost())
+            .count();
+        assert!((lost as f64 / n as f64 - 0.2).abs() < 0.01);
+        assert_eq!(link.lost() as usize, lost);
+    }
+
+    #[test]
+    fn endpoint_access() {
+        let mut link = TransportLink::new(service());
+        assert_eq!(link.endpoint().describe().service(), "S");
+        let _ = link.endpoint_mut();
+        let svc = link.into_inner();
+        assert_eq!(svc.describe().release(), "1.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_probability_panics() {
+        let _ = TransportLink::new(service()).with_loss_probability(2.0);
+    }
+
+    #[test]
+    fn lost_delivery_has_no_invocation() {
+        assert_eq!(Delivery::Lost.into_invocation(), None);
+    }
+
+    #[test]
+    fn link_is_an_endpoint_and_losses_become_nrdt() {
+        use crate::endpoint::ServiceEndpoint;
+        let mut link = TransportLink::new(service()).with_loss_probability(1.0);
+        let mut rng = StreamRng::from_seed(7);
+        let inv = link.invoke(&Envelope::request("invoke"), &mut rng);
+        // The "response" never arrives within any plausible timeout.
+        assert!(inv.exec_time.as_secs() > 1e6);
+        assert_eq!(inv.class, ResponseClass::EvidentFailure);
+        assert!(inv.response.is_fault());
+        assert_eq!(link.describe().service(), "S");
+    }
+
+    #[test]
+    fn link_endpoint_delivers_normally_when_lossless() {
+        use crate::endpoint::ServiceEndpoint;
+        let mut link = TransportLink::new(service()).with_latency(DelayModel::constant(0.1));
+        let mut rng = StreamRng::from_seed(8);
+        let inv = link.invoke(&Envelope::request("invoke"), &mut rng);
+        assert!((inv.exec_time.as_secs() - 0.7).abs() < 1e-12);
+        assert_eq!(inv.class, ResponseClass::Correct);
+    }
+}

@@ -1,0 +1,457 @@
+//! WSDL-like service descriptions.
+//!
+//! A [`ServiceDescription`] models the interface a WS publishes: named
+//! operations with typed request and response parts. Section 6.2 of the
+//! paper discusses three ways of *publishing confidence* through WSDL;
+//! all three are implemented here as description transformers:
+//!
+//! 1. [`ServiceDescription::extend_response_with_confidence`] — append a
+//!    confidence part to an operation's response (not backward
+//!    compatible);
+//! 2. [`ServiceDescription::add_confidence_operation`] — add a separate
+//!    `OperationConf` operation that returns the confidence for a named
+//!    operation (backward compatible, but needs a second invocation);
+//! 3. [`ServiceDescription::add_paired_confidence_operation`] — add a new
+//!    `<op>Conf` operation whose response carries both the result and the
+//!    confidence (backward compatible; confidence-conscious consumers
+//!    switch to it).
+
+use std::fmt;
+
+/// The simulated XSD types used in descriptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum XsdType {
+    /// `s:int`
+    Int,
+    /// `s:double`
+    Double,
+    /// `s:string`
+    Str,
+    /// `s:boolean`
+    Bool,
+}
+
+impl XsdType {
+    /// The WSDL rendering of the type.
+    pub fn name(self) -> &'static str {
+        match self {
+            XsdType::Int => "s:int",
+            XsdType::Double => "s:double",
+            XsdType::Str => "s:string",
+            XsdType::Bool => "s:boolean",
+        }
+    }
+}
+
+impl fmt::Display for XsdType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named, typed message part.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Part {
+    /// Part (element) name.
+    pub name: String,
+    /// Part type.
+    pub ty: XsdType,
+}
+
+impl Part {
+    /// Creates a part.
+    pub fn new(name: impl Into<String>, ty: XsdType) -> Part {
+        Part {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// One published operation: request parts in, response parts out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    name: String,
+    request: Vec<Part>,
+    response: Vec<Part>,
+}
+
+impl Operation {
+    /// Creates an operation with empty request and response messages.
+    pub fn new(name: impl Into<String>) -> Operation {
+        Operation {
+            name: name.into(),
+            request: Vec::new(),
+            response: Vec::new(),
+        }
+    }
+
+    /// Adds a request part (builder style).
+    pub fn with_input(mut self, name: impl Into<String>, ty: XsdType) -> Operation {
+        self.request.push(Part::new(name, ty));
+        self
+    }
+
+    /// Adds a response part (builder style).
+    pub fn with_output(mut self, name: impl Into<String>, ty: XsdType) -> Operation {
+        self.response.push(Part::new(name, ty));
+        self
+    }
+
+    /// The operation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The request parts.
+    pub fn request_parts(&self) -> &[Part] {
+        &self.request
+    }
+
+    /// The response parts.
+    pub fn response_parts(&self) -> &[Part] {
+        &self.response
+    }
+
+    /// Returns `true` if the response message carries a confidence part.
+    pub fn publishes_confidence(&self) -> bool {
+        self.response
+            .iter()
+            .any(|p| p.ty == XsdType::Double && p.name.ends_with("Conf"))
+    }
+}
+
+/// A WSDL-like description of one service: a name, a release version
+/// string, and a set of operations.
+///
+/// # Example
+///
+/// ```
+/// use wsu_wstack::wsdl::{Operation, ServiceDescription, XsdType};
+///
+/// let mut wsdl = ServiceDescription::new("Quote", "1.0");
+/// wsdl.add_operation(
+///     Operation::new("operation1")
+///         .with_input("param1", XsdType::Int)
+///         .with_input("param2", XsdType::Str)
+///         .with_output("Op1Result", XsdType::Str),
+/// );
+/// assert!(wsdl.operation("operation1").is_some());
+///
+/// // Publishing option 3 from the paper: a paired confidence operation.
+/// wsdl.add_paired_confidence_operation("operation1").unwrap();
+/// let paired = wsdl.operation("operation1Conf").unwrap();
+/// assert!(paired.publishes_confidence());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescription {
+    service: String,
+    release: String,
+    operations: Vec<Operation>,
+}
+
+/// Error returned when a description transformation refers to a missing
+/// or conflicting operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DescribeError {
+    /// The named operation does not exist.
+    NoSuchOperation(String),
+    /// An operation with the would-be name already exists.
+    DuplicateOperation(String),
+}
+
+impl fmt::Display for DescribeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DescribeError::NoSuchOperation(op) => write!(f, "no such operation `{op}`"),
+            DescribeError::DuplicateOperation(op) => {
+                write!(f, "operation `{op}` already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DescribeError {}
+
+impl ServiceDescription {
+    /// Creates an empty description for `service` at release `release`.
+    pub fn new(service: impl Into<String>, release: impl Into<String>) -> ServiceDescription {
+        ServiceDescription {
+            service: service.into(),
+            release: release.into(),
+            operations: Vec::new(),
+        }
+    }
+
+    /// The service name.
+    pub fn service(&self) -> &str {
+        &self.service
+    }
+
+    /// The release identifier (e.g. `"1.1"`).
+    pub fn release(&self) -> &str {
+        &self.release
+    }
+
+    /// All operations.
+    pub fn operations(&self) -> &[Operation] {
+        &self.operations
+    }
+
+    /// Looks up an operation by name.
+    pub fn operation(&self, name: &str) -> Option<&Operation> {
+        self.operations.iter().find(|o| o.name() == name)
+    }
+
+    /// Adds an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation with the same name already exists.
+    pub fn add_operation(&mut self, op: Operation) -> &mut Self {
+        assert!(
+            self.operation(op.name()).is_none(),
+            "duplicate operation `{}`",
+            op.name()
+        );
+        self.operations.push(op);
+        self
+    }
+
+    /// Returns a copy of this description for a new release, keeping the
+    /// interface identical (the common case for an online upgrade).
+    pub fn for_release(&self, release: impl Into<String>) -> ServiceDescription {
+        ServiceDescription {
+            service: self.service.clone(),
+            release: release.into(),
+            operations: self.operations.clone(),
+        }
+    }
+
+    /// Publishing option 1 (Section 6.2): appends an `<Op>Conf` double to
+    /// the response of `operation`. **Not backward compatible** — existing
+    /// consumers' response parsing will see an extra part.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DescribeError::NoSuchOperation`] if the operation does
+    /// not exist.
+    pub fn extend_response_with_confidence(
+        &mut self,
+        operation: &str,
+    ) -> Result<(), DescribeError> {
+        let conf_name = format!("{}Conf", capitalize(operation));
+        let op = self
+            .operations
+            .iter_mut()
+            .find(|o| o.name() == operation)
+            .ok_or_else(|| DescribeError::NoSuchOperation(operation.to_owned()))?;
+        op.response.push(Part::new(conf_name, XsdType::Double));
+        Ok(())
+    }
+
+    /// Publishing option 2 (Section 6.2): adds an `OperationConf`
+    /// operation taking an operation name and returning the confidence in
+    /// that operation. Backward compatible, but the confidence must be
+    /// fetched with a separate invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DescribeError::DuplicateOperation`] if already added.
+    pub fn add_confidence_operation(&mut self) -> Result<(), DescribeError> {
+        if self.operation("OperationConf").is_some() {
+            return Err(DescribeError::DuplicateOperation("OperationConf".into()));
+        }
+        self.operations.push(
+            Operation::new("OperationConf")
+                .with_input("operation", XsdType::Str)
+                .with_output("OpConf", XsdType::Double),
+        );
+        Ok(())
+    }
+
+    /// Publishing option 3 (Section 6.2): adds `<operation>Conf`, a copy
+    /// of `operation` whose response additionally carries the confidence.
+    /// Backward compatible *and* per-invocation: confidence-conscious
+    /// consumers switch to the new operation, others are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DescribeError::NoSuchOperation`] if `operation` does not
+    /// exist, or [`DescribeError::DuplicateOperation`] if the paired
+    /// operation was already added.
+    pub fn add_paired_confidence_operation(
+        &mut self,
+        operation: &str,
+    ) -> Result<(), DescribeError> {
+        let base = self
+            .operation(operation)
+            .ok_or_else(|| DescribeError::NoSuchOperation(operation.to_owned()))?
+            .clone();
+        let paired_name = format!("{operation}Conf");
+        if self.operation(&paired_name).is_some() {
+            return Err(DescribeError::DuplicateOperation(paired_name));
+        }
+        let mut paired = Operation::new(paired_name);
+        paired.request = base.request.clone();
+        paired.response = base.response.clone();
+        paired.response.push(Part::new(
+            format!("{}Conf", capitalize(operation)),
+            XsdType::Double,
+        ));
+        self.operations.push(paired);
+        Ok(())
+    }
+
+    /// Renders the description as WSDL-like text (the `<types>` fragment
+    /// style used in the paper's Section 6.2 listing).
+    pub fn to_wsdl_like(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "<definitions service=\"{}\" release=\"{}\">\n<types>\n",
+            self.service, self.release
+        ));
+        for op in &self.operations {
+            render_message(
+                &mut out,
+                &format!("{}Request", capitalize(op.name())),
+                &op.request,
+            );
+            render_message(
+                &mut out,
+                &format!("{}Response", capitalize(op.name())),
+                &op.response,
+            );
+        }
+        out.push_str("</types>\n</definitions>");
+        out
+    }
+}
+
+fn render_message(out: &mut String, element: &str, parts: &[Part]) {
+    out.push_str(&format!("  <s:element name=\"{element}\">\n"));
+    out.push_str("    <s:complexType><s:sequence>\n");
+    for part in parts {
+        out.push_str(&format!(
+            "      <s:element minOccurs=\"0\" maxOccurs=\"1\" name=\"{}\" type=\"{}\"/>\n",
+            part.name, part.ty
+        ));
+    }
+    out.push_str("    </s:sequence></s:complexType>\n  </s:element>\n");
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServiceDescription {
+        let mut wsdl = ServiceDescription::new("Svc", "1.0");
+        wsdl.add_operation(
+            Operation::new("operation1")
+                .with_input("param1", XsdType::Int)
+                .with_input("param2", XsdType::Str)
+                .with_output("Op1Result", XsdType::Str),
+        );
+        wsdl
+    }
+
+    #[test]
+    fn operation_lookup() {
+        let wsdl = sample();
+        assert_eq!(wsdl.service(), "Svc");
+        assert_eq!(wsdl.release(), "1.0");
+        let op = wsdl.operation("operation1").unwrap();
+        assert_eq!(op.request_parts().len(), 2);
+        assert_eq!(op.response_parts().len(), 1);
+        assert!(wsdl.operation("nope").is_none());
+    }
+
+    #[test]
+    fn for_release_keeps_interface() {
+        let wsdl = sample();
+        let next = wsdl.for_release("1.1");
+        assert_eq!(next.release(), "1.1");
+        assert_eq!(next.operations(), wsdl.operations());
+    }
+
+    #[test]
+    fn option1_extends_response() {
+        let mut wsdl = sample();
+        wsdl.extend_response_with_confidence("operation1").unwrap();
+        let op = wsdl.operation("operation1").unwrap();
+        assert_eq!(op.response_parts().len(), 2);
+        assert_eq!(op.response_parts()[1].name, "Operation1Conf");
+        assert!(op.publishes_confidence());
+    }
+
+    #[test]
+    fn option1_missing_operation_errors() {
+        let mut wsdl = sample();
+        let err = wsdl.extend_response_with_confidence("zzz").unwrap_err();
+        assert_eq!(err, DescribeError::NoSuchOperation("zzz".into()));
+        assert!(err.to_string().contains("zzz"));
+    }
+
+    #[test]
+    fn option2_adds_confidence_operation_once() {
+        let mut wsdl = sample();
+        wsdl.add_confidence_operation().unwrap();
+        assert!(wsdl.operation("OperationConf").is_some());
+        let err = wsdl.add_confidence_operation().unwrap_err();
+        assert!(matches!(err, DescribeError::DuplicateOperation(_)));
+    }
+
+    #[test]
+    fn option3_pairs_operation() {
+        let mut wsdl = sample();
+        wsdl.add_paired_confidence_operation("operation1").unwrap();
+        let paired = wsdl.operation("operation1Conf").unwrap();
+        // Same request signature as the base operation.
+        assert_eq!(
+            paired.request_parts(),
+            wsdl.operation("operation1").unwrap().request_parts()
+        );
+        // Response = base response + confidence part.
+        assert_eq!(paired.response_parts().len(), 2);
+        assert!(paired.publishes_confidence());
+        // Base operation unchanged: backward compatible.
+        assert!(!wsdl.operation("operation1").unwrap().publishes_confidence());
+    }
+
+    #[test]
+    fn option3_duplicate_errors() {
+        let mut wsdl = sample();
+        wsdl.add_paired_confidence_operation("operation1").unwrap();
+        let err = wsdl
+            .add_paired_confidence_operation("operation1")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DescribeError::DuplicateOperation("operation1Conf".into())
+        );
+    }
+
+    #[test]
+    fn wsdl_rendering_mentions_parts() {
+        let wsdl = sample();
+        let text = wsdl.to_wsdl_like();
+        assert!(text.contains("name=\"Operation1Request\""));
+        assert!(text.contains("name=\"param1\" type=\"s:int\""));
+        assert!(text.contains("release=\"1.0\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate operation")]
+    fn duplicate_add_operation_panics() {
+        let mut wsdl = sample();
+        wsdl.add_operation(Operation::new("operation1"));
+    }
+}

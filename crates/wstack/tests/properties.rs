@@ -1,0 +1,143 @@
+//! Property-based tests of the simulated WS stack.
+
+use proptest::prelude::*;
+
+use wsu_simcore::rng::StreamRng;
+use wsu_wstack::message::{Envelope, Value};
+use wsu_wstack::outcome::{OutcomeProfile, ResponseClass};
+use wsu_wstack::registry::{Registry, ServiceRecord};
+use wsu_wstack::soap::parse_envelope;
+use wsu_wstack::wsdl::{Operation, ServiceDescription, XsdType};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(Value::Double),
+        "[a-zA-Z0-9 ]{0,20}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+proptest! {
+    /// set_part/part round-trips arbitrary names and values, keeping one
+    /// entry per name.
+    #[test]
+    fn envelope_parts_round_trip(
+        entries in prop::collection::vec(("[a-z]{1,8}", arb_value()), 0..20),
+    ) {
+        let mut envelope = Envelope::request("op");
+        let mut expected = std::collections::HashMap::new();
+        for (name, value) in &entries {
+            envelope.set_part(name.clone(), value.clone());
+            expected.insert(name.clone(), value.clone());
+        }
+        prop_assert_eq!(envelope.parts().len(), expected.len());
+        for (name, value) in &expected {
+            prop_assert_eq!(envelope.part(name), Some(value));
+        }
+        // The XML-like rendering mentions every part name.
+        let xml = envelope.to_xml_like();
+        for name in expected.keys() {
+            let needle = format!("<{name} ");
+            let found = xml.contains(&needle);
+            prop_assert!(found, "missing part element for {}", name);
+        }
+    }
+
+    /// Outcome profiles built from any normalised triple sample only
+    /// positive-probability classes, and class indexing round-trips.
+    #[test]
+    fn outcome_profile_support(raw in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), seed in any::<u64>()) {
+        let total = raw.0 + raw.1 + raw.2;
+        prop_assume!(total > 1e-9);
+        let (mut cr, mut er, mut ner);
+        cr = raw.0 / total;
+        er = raw.1 / total;
+        ner = 1.0 - cr - er;
+        if ner < 0.0 {
+            // Floating-point slack: fold it into the largest component.
+            er += ner;
+            ner = 0.0;
+            if er < 0.0 {
+                cr += er;
+                er = 0.0;
+            }
+        }
+        let profile = OutcomeProfile::new(cr, er, ner);
+        let mut rng = StreamRng::from_seed(seed);
+        for _ in 0..50 {
+            let class = profile.sample(&mut rng);
+            prop_assert!(profile.prob(class) > 0.0);
+            prop_assert_eq!(ResponseClass::from_index(class.index()), class);
+        }
+    }
+
+    /// Registry publish/find/withdraw maintains exact membership for any
+    /// sequence of names.
+    #[test]
+    fn registry_membership(names in prop::collection::vec("[a-z]{1,6}", 1..30)) {
+        let mut registry = Registry::new();
+        let keys: Vec<_> = names
+            .iter()
+            .map(|n| {
+                registry.publish(ServiceRecord::new(
+                    n.clone(),
+                    format!("http://{n}"),
+                    "cat",
+                    ServiceDescription::new(n.clone(), "1.0"),
+                ))
+            })
+            .collect();
+        prop_assert_eq!(registry.len(), names.len());
+        for (key, name) in keys.iter().zip(&names) {
+            prop_assert_eq!(&registry.get(*key).unwrap().name, name);
+        }
+        // Name search finds exactly the matching publications.
+        for name in &names {
+            let expected = names.iter().filter(|n| *n == name).count();
+            prop_assert_eq!(registry.find_by_name(name).len(), expected);
+        }
+        // Withdraw everything; the registry drains.
+        for key in keys {
+            registry.withdraw(key).unwrap();
+        }
+        prop_assert!(registry.is_empty());
+    }
+
+    /// WSDL confidence pairing preserves the base operation untouched for
+    /// any operation shape.
+    #[test]
+    fn paired_confidence_preserves_base(
+        op_name in "[a-z]{1,10}",
+        inputs in prop::collection::vec("[a-z]{1,6}", 0..5),
+    ) {
+        let mut operation = Operation::new(op_name.clone());
+        for (i, input) in inputs.iter().enumerate() {
+            operation = operation.with_input(format!("{input}{i}"), XsdType::Str);
+        }
+        operation = operation.with_output("result", XsdType::Str);
+        let mut description = ServiceDescription::new("Svc", "1.0");
+        description.add_operation(operation);
+        let before = description.operation(&op_name).unwrap().clone();
+        description.add_paired_confidence_operation(&op_name).unwrap();
+        prop_assert_eq!(description.operation(&op_name).unwrap(), &before);
+        let paired = description.operation(&format!("{op_name}Conf")).unwrap();
+        prop_assert_eq!(paired.request_parts(), before.request_parts());
+        prop_assert_eq!(paired.response_parts().len(), before.response_parts().len() + 1);
+    }
+
+    /// The wire rendering round-trips through the parser for arbitrary
+    /// operations and parts.
+    #[test]
+    fn wire_round_trip(
+        op in "[a-z]{1,10}",
+        entries in prop::collection::vec(("[a-z]{1,8}", arb_value()), 0..12),
+    ) {
+        let mut envelope = Envelope::request(op);
+        for (name, value) in &entries {
+            envelope.set_part(name.clone(), value.clone());
+        }
+        let parsed = parse_envelope(&envelope.to_xml_like()).unwrap();
+        prop_assert_eq!(parsed, envelope);
+    }
+}

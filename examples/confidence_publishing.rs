@@ -1,0 +1,125 @@
+//! The five confidence-publishing options of the paper's Section 6.2,
+//! demonstrated end to end on one service.
+//!
+//! 1. extend the operation's response with a confidence part (breaks
+//!    backward compatibility);
+//! 2. a separate `OperationConf` operation (backward compatible, extra
+//!    round trip);
+//! 3. a paired `<op>Conf` operation (backward compatible *and*
+//!    per-invocation);
+//! 4. transparent protocol handlers on both sides;
+//! 5. a trusted mediator service measuring and republishing confidence.
+//!
+//! Run with: `cargo run --release --example confidence_publishing`
+
+use composite_ws_upgrade::bayes::beta::ScaledBeta;
+use composite_ws_upgrade::core::confidence_pub::{
+    augment_response, extract_confidence, paired_response, ConfidenceDirectory, MediatorService,
+    ProtocolHandler,
+};
+use composite_ws_upgrade::simcore::rng::MasterSeed;
+use composite_ws_upgrade::wstack::endpoint::SyntheticService;
+use composite_ws_upgrade::wstack::message::Envelope;
+use composite_ws_upgrade::wstack::outcome::OutcomeProfile;
+use composite_ws_upgrade::wstack::registry::{Registry, ServiceRecord};
+use composite_ws_upgrade::wstack::wsdl::{Operation, ServiceDescription, XsdType};
+
+fn main() {
+    // The service of the paper's WSDL listing: operation1(param1: int,
+    // param2: string) -> Op1Result: string.
+    let mut wsdl = ServiceDescription::new("ExampleService", "1.0");
+    wsdl.add_operation(
+        Operation::new("operation1")
+            .with_input("param1", XsdType::Int)
+            .with_input("param2", XsdType::Str)
+            .with_output("Op1Result", XsdType::Str),
+    );
+    let response = Envelope::response("operation1").with_part("Op1Result", "ok");
+    let confidence = 0.97;
+
+    // ---- Option 1: extended response --------------------------------
+    let mut wsdl1 = wsdl.clone();
+    wsdl1.extend_response_with_confidence("operation1").unwrap();
+    println!("=== option 1: extended response (not backward compatible) ===");
+    println!("{}", wsdl1.to_wsdl_like());
+    println!(
+        "\nwire message:\n{}",
+        augment_response(&response, confidence)
+    );
+
+    // ---- Option 2: a separate confidence operation -------------------
+    let mut wsdl2 = wsdl.clone();
+    wsdl2.add_confidence_operation().unwrap();
+    let mut directory = ConfidenceDirectory::new();
+    directory.publish("operation1", confidence);
+    let conf_request = Envelope::request("OperationConf").with_part("operation", "operation1");
+    let conf_response = directory.handle_conf_request(&conf_request).unwrap();
+    println!("\n=== option 2: OperationConf operation (backward compatible) ===");
+    println!("request:\n{conf_request}");
+    println!("response:\n{conf_response}");
+
+    // ---- Option 3: paired operation ----------------------------------
+    let mut wsdl3 = wsdl.clone();
+    wsdl3.add_paired_confidence_operation("operation1").unwrap();
+    println!("\n=== option 3: paired operation1Conf (best of both) ===");
+    println!(
+        "operations now published: {:?}",
+        wsdl3
+            .operations()
+            .iter()
+            .map(|o| o.name().to_owned())
+            .collect::<Vec<_>>()
+    );
+    println!("wire message:\n{}", paired_response(&response, confidence));
+
+    // ---- Option 4: protocol handlers ---------------------------------
+    println!("\n=== option 4: transparent protocol handlers ===");
+    let on_the_wire = ProtocolHandler::attach(&response, confidence);
+    let (application_view, extracted) = ProtocolHandler::strip(&on_the_wire);
+    println!("client application sees:\n{application_view}");
+    println!("handler extracted confidence: {extracted:?}");
+    // A handler-less client simply sees the extra part:
+    println!(
+        "legacy client still finds its result: {:?}",
+        on_the_wire.part("Op1Result")
+    );
+
+    // ---- Option 5: trusted mediator -----------------------------------
+    println!("\n=== option 5: trusted mediator service ===");
+    let upstream = SyntheticService::builder("ExampleService", "1.0")
+        .outcomes(OutcomeProfile::new(0.998, 0.001, 0.001))
+        .build();
+    let prior = ScaledBeta::new(1.0, 9.0, 0.05).unwrap();
+    let mut mediator = MediatorService::new(upstream, prior, 0.01);
+    let mut rng = MasterSeed::new(5).stream("mediator-demo");
+    let mut last = Envelope::response("noop");
+    for _ in 0..2_000 {
+        last = mediator.mediate(&Envelope::request("operation1"), &mut rng);
+    }
+    println!(
+        "after {} mediated calls ({} failures observed): P(pfd <= 1e-2) = {:.4}",
+        mediator.demands(),
+        mediator.failures(),
+        mediator.current_confidence()
+    );
+    println!(
+        "last mediated response carried confidence {:?}",
+        extract_confidence(&last)
+    );
+
+    // And the mediator keeps the registry record fresh.
+    let mut registry = Registry::new();
+    let key = registry.publish(ServiceRecord::new(
+        "ExampleService",
+        "http://svc.example/ws",
+        "demo",
+        wsdl,
+    ));
+    mediator.publish_to_registry(&mut registry, key).unwrap();
+    let record = registry.get(key).unwrap();
+    println!(
+        "registry record now advertises P(pfd <= {:.0e}) = {:.4}",
+        record.confidence.unwrap().pfd_target,
+        record.confidence.unwrap().confidence
+    );
+}

@@ -1,0 +1,113 @@
+//! Three releases behind one interface: N-version operation, majority
+//! voting and run-time adaptation of the reliability/responsiveness
+//! trade-off (paper Section 4.2, modes 1 and 3).
+//!
+//! The paper's architecture is not limited to two releases — "users can
+//! add new or remove some of the old releases of the WS". Here releases
+//! 1.0, 1.1 and 2.0-beta run side by side: majority voting masks the
+//! beta's wrong answers, and a [`DynamicModeController`] retunes the
+//! quorum when the composite gets too slow or too wrong.
+//!
+//! Run with: `cargo run --release --example three_releases`
+
+use composite_ws_upgrade::core::adapt::DynamicModeController;
+use composite_ws_upgrade::core::adjudicate::{Adjudicator, SelectionPolicy};
+use composite_ws_upgrade::core::middleware::{MiddlewareConfig, UpgradeMiddleware};
+use composite_ws_upgrade::core::modes::OperatingMode;
+use composite_ws_upgrade::core::monitor::MonitoringSubsystem;
+use composite_ws_upgrade::simcore::rng::MasterSeed;
+use composite_ws_upgrade::simcore::time::SimDuration;
+use composite_ws_upgrade::wstack::endpoint::SyntheticService;
+use composite_ws_upgrade::wstack::message::Envelope;
+use composite_ws_upgrade::wstack::outcome::{OutcomeProfile, ResponseClass};
+
+fn main() {
+    let seed = MasterSeed::new(90210);
+    let mut config = MiddlewareConfig::paper(2.0);
+    config.mode = OperatingMode::ParallelReliability;
+    config.adjudicator = Adjudicator::new(SelectionPolicy::Majority);
+    let mut middleware = UpgradeMiddleware::new(config);
+
+    // Three releases: the stable pair and an eager beta with a high
+    // non-evident failure rate.
+    middleware.deploy(
+        SyntheticService::builder("Catalog", "1.0")
+            .outcomes(OutcomeProfile::new(0.96, 0.02, 0.02))
+            .exec_time_mean(0.5)
+            .build(),
+    );
+    middleware.deploy(
+        SyntheticService::builder("Catalog", "1.1")
+            .outcomes(OutcomeProfile::new(0.97, 0.015, 0.015))
+            .exec_time_mean(0.45)
+            .build(),
+    );
+    middleware.deploy(
+        SyntheticService::builder("Catalog", "2.0-beta")
+            .outcomes(OutcomeProfile::new(0.85, 0.05, 0.10))
+            .exec_time_mean(0.3)
+            .build(),
+    );
+
+    let mut monitor = MonitoringSubsystem::new(0);
+    let mut rng = seed.stream("demands");
+    let mut mon_rng = seed.stream("monitor");
+    let request = Envelope::request("lookup");
+    for _ in 0..5_000 {
+        let record = middleware
+            .process(&request, &mut rng)
+            .expect("active releases");
+        monitor.observe(&record, &mut mon_rng);
+    }
+
+    println!("majority voting over three releases (5,000 demands):");
+    for info in middleware.release_infos() {
+        let stats = monitor
+            .release_stats(composite_ws_upgrade::core::release::ReleaseId::new(
+                info.id.index(),
+            ))
+            .expect("observed");
+        println!(
+            "  {:<9}  correct {:>5.3}  MET {:.3}s",
+            info.version,
+            stats.count(ResponseClass::Correct) as f64 / stats.total_responses() as f64,
+            stats.mean_exec_time()
+        );
+    }
+    let sys = monitor.system_stats();
+    println!(
+        "  system     correct {:>5.3}  MET {:.3}s  <- the voter masks the beta",
+        sys.count(ResponseClass::Correct) as f64 / sys.total_responses() as f64,
+        sys.mean_response_time()
+    );
+
+    // --- Mode 3 with run-time adaptation ------------------------------
+    let mut config = middleware.config();
+    config.mode = OperatingMode::ParallelDynamic { quorum: 3 };
+    middleware.set_config(config);
+    let controller = DynamicModeController::new(
+        SimDuration::from_secs(0.75), // aggressive latency target
+        0.05,                         // NER budget
+        3,
+    );
+
+    println!("\nadaptive mode 3 (latency target 0.75s, NER budget 5%):");
+    for epoch in 1..=6 {
+        let mut epoch_monitor = MonitoringSubsystem::new(0);
+        for _ in 0..1_000 {
+            let record = middleware
+                .process(&request, &mut rng)
+                .expect("active releases");
+            epoch_monitor.observe(&record, &mut mon_rng);
+        }
+        let stats = epoch_monitor.system_stats();
+        let action = controller.adapt(&mut middleware, stats);
+        println!(
+            "  epoch {epoch}: mode {:<26} MET {:.3}s  NER {:>4.1}%  -> {action:?}",
+            middleware.config().mode.label(),
+            stats.mean_response_time(),
+            100.0 * stats.count(ResponseClass::NonEvidentFailure) as f64
+                / stats.total_responses() as f64,
+        );
+    }
+}

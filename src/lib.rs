@@ -1,0 +1,39 @@
+//! Facade crate re-exporting the composite-WS managed-upgrade workspace.
+//!
+//! See the README for a tour. The heavy lifting lives in the sub-crates:
+//! [`core`] (managed-upgrade middleware), [`bayes`] (confidence
+//! inference), [`wstack`] (simulated WS stack), [`detect`] (failure
+//! detection), [`workload`] (demand generation), [`simcore`]
+//! (event-driven engine) and [`experiments`] (paper reproduction
+//! harness).
+//!
+//! # Example
+//!
+//! ```
+//! use composite_ws_upgrade::core::manage::SwitchCriterion;
+//! use composite_ws_upgrade::core::upgrade::{ManagedUpgrade, UpgradeConfig};
+//! use composite_ws_upgrade::simcore::rng::MasterSeed;
+//! use composite_ws_upgrade::wstack::endpoint::SyntheticService;
+//! use composite_ws_upgrade::wstack::outcome::OutcomeProfile;
+//!
+//! let old = SyntheticService::builder("Quote", "1.0")
+//!     .outcomes(OutcomeProfile::new(0.998, 0.001, 0.001))
+//!     .build();
+//! let new = SyntheticService::builder("Quote", "1.1").build();
+//! let config = UpgradeConfig::default()
+//!     .with_criterion(SwitchCriterion::better_than_old(0.95));
+//! let mut upgrade = ManagedUpgrade::new(old, new, config, MasterSeed::new(7));
+//! upgrade.run_demands(100);
+//! assert_eq!(upgrade.demands(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wsu_bayes as bayes;
+pub use wsu_core as core;
+pub use wsu_detect as detect;
+pub use wsu_experiments as experiments;
+pub use wsu_simcore as simcore;
+pub use wsu_workload as workload;
+pub use wsu_wstack as wstack;

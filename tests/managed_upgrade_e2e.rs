@@ -1,0 +1,194 @@
+//! End-to-end integration tests of the managed upgrade across crates:
+//! synthetic services (wstack) behind the middleware (core), scored by
+//! detectors (detect), assessed by the Bayesian engine (bayes).
+
+use composite_ws_upgrade::core::manage::SwitchCriterion;
+use composite_ws_upgrade::core::upgrade::{
+    DetectorKind, ManagedUpgrade, UpgradeConfig, UpgradePhase,
+};
+use composite_ws_upgrade::simcore::rng::MasterSeed;
+use composite_ws_upgrade::wstack::endpoint::SyntheticService;
+use composite_ws_upgrade::wstack::outcome::OutcomeProfile;
+use wsu_bayes::whitebox::Resolution;
+
+fn small_res() -> Resolution {
+    Resolution {
+        a_cells: 40,
+        b_cells: 40,
+        q_cells: 10,
+    }
+}
+
+fn service(version: &str, profile: OutcomeProfile) -> SyntheticService {
+    SyntheticService::builder("Svc", version)
+        .outcomes(profile)
+        .exec_time_mean(0.1)
+        .build()
+}
+
+#[test]
+fn upgrade_switches_when_new_release_proves_itself() {
+    let config = UpgradeConfig::default()
+        .with_resolution(small_res())
+        .with_criterion(SwitchCriterion::better_than_old(0.95))
+        .with_assess_interval(250);
+    let mut upgrade = ManagedUpgrade::new(
+        service("1.0", OutcomeProfile::new(0.97, 0.02, 0.01)),
+        service("1.1", OutcomeProfile::always_correct()),
+        config,
+        MasterSeed::new(1),
+    );
+    upgrade.run_demands(4_000);
+    let UpgradePhase::Switched { at_demand } = upgrade.phase() else {
+        panic!(
+            "expected a switch; report: {:?}",
+            upgrade.confidence_report()
+        );
+    };
+    assert!(
+        at_demand % 250 == 0,
+        "switch happens on assessment boundaries"
+    );
+    // After the switch only the new release serves, and service goes on.
+    let record = upgrade.run_demand();
+    assert_eq!(record.per_release.len(), 1);
+    assert!(upgrade.monitor().system_stats().availability() > 0.99);
+}
+
+#[test]
+fn upgrade_protects_against_a_worse_new_release() {
+    let config = UpgradeConfig::default()
+        .with_resolution(small_res())
+        .with_criterion(SwitchCriterion::better_than_old(0.95))
+        .with_assess_interval(250);
+    let mut upgrade = ManagedUpgrade::new(
+        service("1.0", OutcomeProfile::always_correct()),
+        service("1.1", OutcomeProfile::new(0.9, 0.05, 0.05)),
+        config,
+        MasterSeed::new(2),
+    );
+    upgrade.run_demands(3_000);
+    assert_eq!(
+        upgrade.phase(),
+        UpgradePhase::Transitional,
+        "a visibly worse release must never be switched to"
+    );
+    // Its measured stats confirm why.
+    let new_stats = upgrade
+        .monitor()
+        .release_stats(upgrade.new_release())
+        .expect("observed");
+    assert!(new_stats.failure_rate() > 0.05);
+}
+
+#[test]
+fn composite_availability_dominates_components() {
+    // The 1-out-of-2 argument of Section 5.2.3(1), on live middleware.
+    let config = UpgradeConfig::default()
+        .with_resolution(small_res())
+        .with_auto_switch(false);
+    let mut upgrade = ManagedUpgrade::new(
+        service("1.0", OutcomeProfile::new(0.8, 0.1, 0.1)),
+        service("1.1", OutcomeProfile::new(0.8, 0.1, 0.1)),
+        config,
+        MasterSeed::new(3),
+    );
+    upgrade.run_demands(3_000);
+    let old = upgrade
+        .monitor()
+        .release_stats(upgrade.old_release())
+        .unwrap()
+        .availability();
+    let new = upgrade
+        .monitor()
+        .release_stats(upgrade.new_release())
+        .unwrap()
+        .availability();
+    let sys = upgrade.monitor().system_stats().availability();
+    assert!(sys >= old.max(new) - 1e-9, "system {sys} vs {old}/{new}");
+}
+
+#[test]
+fn detector_imperfection_biases_confidence_optimistically() {
+    // Omission detection hides failures; the new release's posterior
+    // P99 must look no worse than under perfect detection.
+    let base = UpgradeConfig::default()
+        .with_resolution(small_res())
+        .with_auto_switch(false);
+    let profile = OutcomeProfile::new(0.98, 0.01, 0.01);
+    let mut perfect = ManagedUpgrade::new(
+        service("1.0", profile),
+        service("1.1", profile),
+        base.clone().with_detector(DetectorKind::Perfect),
+        MasterSeed::new(4),
+    );
+    let mut omission = ManagedUpgrade::new(
+        service("1.0", profile),
+        service("1.1", profile),
+        base.with_detector(DetectorKind::Omission(0.9)),
+        MasterSeed::new(4),
+    );
+    perfect.run_demands(2_000);
+    omission.run_demands(2_000);
+    let p = perfect.confidence_report();
+    let o = omission.confidence_report();
+    assert!(
+        o.new_release_p99 <= p.new_release_p99 + 1e-9,
+        "omission {} vs perfect {}",
+        o.new_release_p99,
+        p.new_release_p99
+    );
+}
+
+#[test]
+fn runs_are_deterministic_given_seed() {
+    let build = || {
+        let config = UpgradeConfig::default()
+            .with_resolution(small_res())
+            .with_assess_interval(500);
+        let mut upgrade = ManagedUpgrade::new(
+            service("1.0", OutcomeProfile::new(0.95, 0.03, 0.02)),
+            service("1.1", OutcomeProfile::new(0.99, 0.005, 0.005)),
+            config,
+            MasterSeed::new(42),
+        );
+        upgrade.run_demands(1_500);
+        (
+            upgrade.phase(),
+            upgrade.confidence_report(),
+            upgrade.monitor().system_stats().mean_response_time(),
+        )
+    };
+    assert_eq!(build(), build());
+}
+
+#[test]
+fn mediator_and_upgrade_agree_on_clean_service() {
+    // Cross-check: a black-box mediator and the white-box upgrade both
+    // grow confident in a clean release.
+    use composite_ws_upgrade::bayes::beta::ScaledBeta;
+    use composite_ws_upgrade::core::confidence_pub::MediatorService;
+    use composite_ws_upgrade::wstack::message::Envelope;
+
+    let upstream = service("1.1", OutcomeProfile::always_correct());
+    let mut mediator =
+        MediatorService::new(upstream, ScaledBeta::new(2.0, 3.0, 0.01).unwrap(), 1e-2);
+    let mut rng = MasterSeed::new(5).stream("mediator");
+    for _ in 0..2_000 {
+        mediator.mediate(&Envelope::request("invoke"), &mut rng);
+    }
+    assert!(mediator.current_confidence() > 0.99);
+
+    let config = UpgradeConfig::default()
+        .with_resolution(small_res())
+        .with_auto_switch(false);
+    let mut upgrade = ManagedUpgrade::new(
+        service("1.0", OutcomeProfile::always_correct()),
+        service("1.1", OutcomeProfile::always_correct()),
+        config,
+        MasterSeed::new(5),
+    );
+    upgrade.run_demands(2_000);
+    let published = upgrade.publishable_confidence(1e-2).unwrap();
+    assert!(published.confidence > 0.9);
+}

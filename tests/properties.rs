@@ -1,0 +1,223 @@
+//! Property-based tests (proptest) of the cross-crate invariants the
+//! system's correctness rests on.
+
+use proptest::prelude::*;
+
+use wsu_bayes::beta::ScaledBeta;
+use wsu_bayes::counts::JointCounts;
+use wsu_bayes::posterior::GridPosterior;
+use wsu_bayes::whitebox::{CoincidencePrior, Resolution, WhiteBoxInference};
+use wsu_core::adjudicate::{Adjudicator, CollectedResponse, SelectionPolicy, SystemVerdict};
+use wsu_core::release::ReleaseId;
+use wsu_simcore::queue::EventQueue;
+use wsu_simcore::rng::StreamRng;
+use wsu_simcore::time::{SimDuration, SimTime};
+use wsu_wstack::outcome::ResponseClass;
+
+fn arb_class() -> impl Strategy<Value = ResponseClass> {
+    prop_oneof![
+        Just(ResponseClass::Correct),
+        Just(ResponseClass::EvidentFailure),
+        Just(ResponseClass::NonEvidentFailure),
+    ]
+}
+
+fn arb_collected(max_len: usize) -> impl Strategy<Value = Vec<CollectedResponse>> {
+    prop::collection::vec((arb_class(), 0.0f64..10.0), 0..max_len).prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (class, secs))| CollectedResponse {
+                release: ReleaseId::new(i),
+                class,
+                exec_time: SimDuration::from_secs(secs),
+            })
+            .collect()
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = SelectionPolicy> {
+    prop_oneof![
+        Just(SelectionPolicy::Random),
+        Just(SelectionPolicy::Fastest),
+        Just(SelectionPolicy::Majority),
+    ]
+}
+
+proptest! {
+    /// The adjudicator's verdict structure follows Section 5.2.1 exactly,
+    /// for any mix of responses and any selection policy.
+    #[test]
+    fn adjudicator_respects_paper_rules(
+        collected in arb_collected(6),
+        policy in arb_policy(),
+        seed in any::<u64>(),
+    ) {
+        let adj = Adjudicator::new(policy);
+        let mut rng = StreamRng::from_seed(seed);
+        let result = adj.adjudicate(&collected, &mut rng);
+        let valid: Vec<_> = collected.iter().filter(|r| r.class.is_valid()).collect();
+        match result.verdict {
+            SystemVerdict::Unavailable => prop_assert!(collected.is_empty()),
+            SystemVerdict::Response(ResponseClass::EvidentFailure) => {
+                // Only when nothing valid was collected.
+                prop_assert!(!collected.is_empty());
+                prop_assert!(valid.is_empty());
+                prop_assert!(result.source.is_none());
+            }
+            SystemVerdict::Response(class) => {
+                // The forwarded class is held by some valid response.
+                prop_assert!(valid.iter().any(|r| r.class == class));
+                // And attributed to a release that produced that class.
+                if let Some(source) = result.source {
+                    prop_assert!(collected
+                        .iter()
+                        .any(|r| r.release == source && r.class == class));
+                }
+            }
+        }
+    }
+
+    /// Fastest selection always forwards a valid response that no other
+    /// valid response beats on time.
+    #[test]
+    fn fastest_policy_is_actually_fastest(
+        collected in arb_collected(6),
+        seed in any::<u64>(),
+    ) {
+        let adj = Adjudicator::new(SelectionPolicy::Fastest);
+        let mut rng = StreamRng::from_seed(seed);
+        let result = adj.adjudicate(&collected, &mut rng);
+        if let (SystemVerdict::Response(class), Some(source)) = (result.verdict, result.source) {
+            if class.is_valid() {
+                let source_time = collected
+                    .iter()
+                    .find(|r| r.release == source)
+                    .map(|r| r.exec_time)
+                    .unwrap();
+                let all_agree = collected
+                    .iter()
+                    .filter(|r| r.class.is_valid())
+                    .all(|r| r.class == class);
+                if !all_agree {
+                    for r in collected.iter().filter(|r| r.class.is_valid()) {
+                        prop_assert!(source_time <= r.exec_time);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Grid posteriors: `confidence` is a monotone CDF and `percentile`
+    /// inverts it, for arbitrary positive weights.
+    #[test]
+    fn posterior_confidence_and_percentile_are_consistent(
+        weights in prop::collection::vec(0.0f64..1.0, 2..40),
+        q in 0.01f64..0.99,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let edges: Vec<f64> = (0..=weights.len()).map(|i| i as f64).collect();
+        let posterior = GridPosterior::from_weights(edges, weights);
+        // CDF monotone.
+        let mut prev = 0.0;
+        for i in 0..=posterior.grid().len() {
+            let c = posterior.confidence(i as f64);
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        // Percentile inverts confidence.
+        let x = posterior.percentile(q);
+        prop_assert!((posterior.confidence(x) - q).abs() < 1e-9);
+    }
+
+    /// Scaled-Beta: quantile inverts the CDF across the parameter space.
+    #[test]
+    fn scaled_beta_quantile_inverts_cdf(
+        alpha in 0.5f64..30.0,
+        beta in 0.5f64..30.0,
+        range in 1e-4f64..1.0,
+        q in 0.01f64..0.99,
+    ) {
+        let dist = ScaledBeta::new(alpha, beta, range).unwrap();
+        let x = dist.quantile(q);
+        prop_assert!((dist.cdf(x) - q).abs() < 1e-7);
+        prop_assert!(x >= 0.0 && x <= range);
+    }
+
+    /// White-box inference: more clean evidence never loosens the B
+    /// marginal's upper percentile.
+    #[test]
+    fn clean_evidence_is_monotone(extra in 1u64..40_000) {
+        let engine = WhiteBoxInference::with_resolution(
+            ScaledBeta::new(20.0, 20.0, 0.002).unwrap(),
+            ScaledBeta::new(2.0, 3.0, 0.002).unwrap(),
+            CoincidencePrior::IndifferenceUniform,
+            Resolution { a_cells: 24, b_cells: 24, q_cells: 6 },
+        );
+        let before = engine
+            .posterior(&JointCounts::from_raw(1_000, 0, 0, 0))
+            .marginal_b()
+            .percentile(0.99);
+        let after = engine
+            .posterior(&JointCounts::from_raw(1_000 + extra, 0, 0, 0))
+            .marginal_b()
+            .percentile(0.99);
+        prop_assert!(after <= before + 1e-9);
+    }
+
+    /// Joint counts: recording preserves the accounting identities.
+    #[test]
+    fn joint_counts_accounting(outcomes in prop::collection::vec((any::<bool>(), any::<bool>()), 0..500)) {
+        let mut counts = JointCounts::new();
+        for &(a, b) in &outcomes {
+            counts.record(a, b);
+        }
+        prop_assert_eq!(counts.demands() as usize, outcomes.len());
+        prop_assert_eq!(
+            counts.both_failed() + counts.only_a_failed() + counts.only_b_failed()
+                + counts.both_succeeded(),
+            counts.demands()
+        );
+        let a_true = outcomes.iter().filter(|o| o.0).count() as u64;
+        let b_true = outcomes.iter().filter(|o| o.1).count() as u64;
+        prop_assert_eq!(counts.a_failures(), a_true);
+        prop_assert_eq!(counts.b_failures(), b_true);
+    }
+
+    /// The event queue pops in non-decreasing time order, FIFO at ties,
+    /// for arbitrary schedules.
+    #[test]
+    fn event_queue_is_time_ordered(times in prop::collection::vec(0.0f64..100.0, 0..200)) {
+        let mut queue = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            queue.push(SimTime::from_secs(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_seq_at_time: Option<usize> = None;
+        while let Some((t, seq)) = queue.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    prop_assert!(seq > prev, "FIFO violated at equal times");
+                }
+            }
+            last_time = t;
+            last_seq_at_time = Some(seq);
+        }
+    }
+
+    /// RNG streams: `next_below` is always in range; `pick_weighted`
+    /// never selects a zero-weight class.
+    #[test]
+    fn rng_range_invariants(seed in any::<u64>(), n in 1u64..1000, zero_idx in 0usize..3) {
+        let mut rng = StreamRng::from_seed(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(n) < n);
+        }
+        let mut weights = [1.0, 1.0, 1.0];
+        weights[zero_idx] = 0.0;
+        for _ in 0..50 {
+            prop_assert_ne!(rng.pick_weighted(&weights), zero_idx);
+        }
+    }
+}
