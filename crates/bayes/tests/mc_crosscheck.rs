@@ -129,7 +129,11 @@ fn mc_posterior(
         }
     }
     for (pa, pb, lw) in logs {
-        let w = if lw.is_finite() { (lw - max_log).exp() } else { 0.0 };
+        let w = if lw.is_finite() {
+            (lw - max_log).exp()
+        } else {
+            0.0
+        };
         total += w;
         out.push((pa, pb, w));
     }

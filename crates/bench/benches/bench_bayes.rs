@@ -2,12 +2,12 @@
 //! update (the per-checkpoint cost of the study), its marginalisation,
 //! and the black-box conjugate-grid path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wsu_bayes::beta::ScaledBeta;
 use wsu_bayes::blackbox::BlackBoxInference;
 use wsu_bayes::counts::JointCounts;
 use wsu_bayes::whitebox::{CoincidencePrior, Resolution, WhiteBoxInference};
+use wsu_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn whitebox_engine(res: Resolution) -> WhiteBoxInference {
     WhiteBoxInference::with_resolution(

@@ -2,9 +2,9 @@
 //! capacity study's event-driven queueing simulation, the rollback
 //! assessment and the single-release tracker.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wsu_bayes::beta::ScaledBeta;
+use wsu_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsu_core::composite::CompositeService;
 use wsu_core::single_release::SingleReleaseTracker;
 use wsu_experiments::capacity::{run_capacity, CapacityConfig, Dispatch};

@@ -1,9 +1,9 @@
 //! Benchmarks regeneration of Figs. 7 and 8 (percentile curves) at
 //! reduced scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use wsu_bayes::whitebox::Resolution;
+use wsu_bench::{criterion_group, criterion_main, Criterion};
 use wsu_experiments::bayes_study::StudyConfig;
 use wsu_experiments::figures::{run_fig7, run_fig8};
 use wsu_experiments::DEFAULT_SEED;

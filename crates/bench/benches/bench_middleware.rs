@@ -2,12 +2,13 @@
 //! under each operating mode, and the adjudicator on collected
 //! responses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wsu_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsu_core::adjudicate::{Adjudicator, CollectedResponse, SelectionPolicy};
 use wsu_core::middleware::{MiddlewareConfig, UpgradeMiddleware};
 use wsu_core::modes::{OperatingMode, SequentialOrder};
 use wsu_core::release::ReleaseId;
+use wsu_obs::recorder::{NullRecorder, SharedRecorder};
 use wsu_simcore::rng::StreamRng;
 use wsu_simcore::time::SimDuration;
 use wsu_wstack::endpoint::SyntheticService;
@@ -49,6 +50,45 @@ fn middleware_modes(c: &mut Criterion) {
     group.finish();
 }
 
+/// The process hot path with each recorder flavour, to measure the
+/// observability overhead: `null` is the uninstrumented default (must
+/// stay within a few percent of the pre-observability baseline),
+/// `shared` pays for real event capture.
+fn middleware_recorders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("middleware/recorder");
+    let build = || {
+        let mut mw = UpgradeMiddleware::new(MiddlewareConfig::paper(2.0));
+        mw.deploy(
+            SyntheticService::builder("Svc", "1.0")
+                .outcomes(OutcomeProfile::new(0.7, 0.15, 0.15))
+                .exec_time_mean(0.7)
+                .build(),
+        );
+        mw.deploy(
+            SyntheticService::builder("Svc", "1.1")
+                .outcomes(OutcomeProfile::new(0.7, 0.15, 0.15))
+                .exec_time_mean(0.7)
+                .build(),
+        );
+        mw
+    };
+    group.bench_function("null", |b| {
+        let mut mw = build();
+        mw.set_recorder(NullRecorder);
+        let request = Envelope::request("invoke");
+        let mut rng = StreamRng::from_seed(7);
+        b.iter(|| black_box(mw.process(&request, &mut rng).unwrap()));
+    });
+    group.bench_function("shared", |b| {
+        let mut mw = build();
+        mw.set_recorder(SharedRecorder::new());
+        let request = Envelope::request("invoke");
+        let mut rng = StreamRng::from_seed(7);
+        b.iter(|| black_box(mw.process(&request, &mut rng).unwrap()));
+    });
+    group.finish();
+}
+
 fn adjudicator(c: &mut Criterion) {
     let mut group = c.benchmark_group("middleware/adjudicate");
     let collected = [
@@ -81,5 +121,5 @@ fn adjudicator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, middleware_modes, adjudicator);
+criterion_group!(benches, middleware_modes, middleware_recorders, adjudicator);
 criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Micro-benchmarks for the observability layer: metrics registry
+//! record/snapshot, trace-event recording and JSON serialisation.
+
+use std::hint::black_box;
+
+use wsu_bench::{criterion_group, criterion_main, Criterion};
+use wsu_obs::event::TraceEvent;
+use wsu_obs::metrics::MetricsRegistry;
+use wsu_obs::recorder::{MemoryRecorder, NullRecorder, Recorder, SharedRecorder};
+
+fn sample_event(demand: u64) -> TraceEvent {
+    TraceEvent::ResponseCollected {
+        t: demand as f64 * 0.5,
+        demand,
+        release: (demand % 2) as usize,
+        class: "CR".into(),
+        exec_time: 0.35,
+    }
+}
+
+fn registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/registry");
+    group.sample_size(20);
+    group.bench_function("counter_inc", |b| {
+        let mut reg = MetricsRegistry::new();
+        b.iter(|| {
+            reg.inc_counter("wsu_demands_total", &[("mode", "parallel")]);
+            black_box(reg.counter("wsu_demands_total", &[("mode", "parallel")]))
+        });
+    });
+    group.bench_function("histogram_observe", |b| {
+        let mut reg = MetricsRegistry::new();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.37) % 5.0;
+            reg.observe("wsu_response_time_seconds", &[], x);
+        });
+    });
+    group.bench_function("snapshot_100_series", |b| {
+        let mut reg = MetricsRegistry::new();
+        for i in 0..100 {
+            let label = format!("r{i}");
+            reg.add_counter("wsu_responses_total", &[("release", &label)], i);
+        }
+        b.iter(|| black_box(reg.snapshot().len()));
+    });
+    group.finish();
+}
+
+fn recorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/recorder");
+    group.sample_size(20);
+    group.bench_function("null_record", |b| {
+        let mut rec = NullRecorder;
+        let mut demand = 0u64;
+        b.iter(|| {
+            demand += 1;
+            if rec.enabled() {
+                rec.record(sample_event(demand));
+            }
+            black_box(demand)
+        });
+    });
+    group.bench_function("memory_record", |b| {
+        let mut rec = MemoryRecorder::new();
+        let mut demand = 0u64;
+        b.iter(|| {
+            demand += 1;
+            rec.record(sample_event(demand));
+            black_box(rec.len())
+        });
+    });
+    group.bench_function("shared_record", |b| {
+        let mut rec = SharedRecorder::new();
+        let mut demand = 0u64;
+        b.iter(|| {
+            demand += 1;
+            rec.record(sample_event(demand));
+            black_box(demand)
+        });
+    });
+    group.bench_function("event_to_json", |b| {
+        let event = sample_event(7);
+        b.iter(|| black_box(event.to_json().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, registry, recorder);
+criterion_main!(benches);

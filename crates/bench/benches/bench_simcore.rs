@@ -1,8 +1,8 @@
 //! Micro-benchmarks of the simulation substrate: RNG streams, event
 //! queue and a closed-loop engine run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wsu_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsu_simcore::dist::Exponential;
 use wsu_simcore::engine::{Engine, Handler};
 use wsu_simcore::queue::EventQueue;

@@ -1,9 +1,9 @@
 //! Benchmarks regeneration of Table 2 (duration of managed upgrade) at
 //! reduced scale: one (scenario, detection) study per iteration.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wsu_bayes::whitebox::Resolution;
+use wsu_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsu_experiments::bayes_study::{run_study, Detection, StudyConfig};
 use wsu_experiments::DEFAULT_SEED;
 use wsu_workload::scenario::Scenario;

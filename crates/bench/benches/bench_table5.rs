@@ -2,8 +2,8 @@
 //! (four workloads share the structure; run 1 is representative) across
 //! the three paper timeouts at 2,000 requests.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wsu_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsu_experiments::midsim::simulate_run;
 use wsu_experiments::table5::run_table5_with;
 use wsu_experiments::{DEFAULT_SEED, PAPER_TIMEOUTS};

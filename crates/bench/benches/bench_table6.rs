@@ -1,7 +1,7 @@
 //! Benchmarks regeneration of Table 6 (independent releases).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wsu_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsu_experiments::midsim::simulate_run;
 use wsu_experiments::table6::run_table6_with;
 use wsu_experiments::{DEFAULT_SEED, PAPER_TIMEOUTS};

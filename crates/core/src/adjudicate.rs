@@ -58,6 +58,15 @@ impl SystemVerdict {
     pub fn is_correct(self) -> bool {
         self.class() == Some(ResponseClass::Correct)
     }
+
+    /// A short label for traces and metrics, matching the paper's table
+    /// headings: `CR`, `ER`, `NER`, or `NRDT` for unavailability.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemVerdict::Response(class) => class.abbrev(),
+            SystemVerdict::Unavailable => "NRDT",
+        }
+    }
 }
 
 /// The result of adjudication: the verdict plus which release's response
@@ -346,5 +355,22 @@ mod tests {
         assert_eq!(Adjudicator::default().policy(), SelectionPolicy::Random);
         assert!(SystemVerdict::Response(ResponseClass::Correct).is_correct());
         assert!(!SystemVerdict::Unavailable.is_correct());
+    }
+
+    #[test]
+    fn verdict_labels_match_table_headings() {
+        assert_eq!(
+            SystemVerdict::Response(ResponseClass::Correct).label(),
+            "CR"
+        );
+        assert_eq!(
+            SystemVerdict::Response(ResponseClass::EvidentFailure).label(),
+            "ER"
+        );
+        assert_eq!(
+            SystemVerdict::Response(ResponseClass::NonEvidentFailure).label(),
+            "NER"
+        );
+        assert_eq!(SystemVerdict::Unavailable.label(), "NRDT");
     }
 }

@@ -1,12 +1,17 @@
-//! A bounded structured event log.
+//! A bounded structured event log (compatibility shim).
 //!
 //! The management subsystem "is also responsible … for logging the
 //! information which may be needed for further analysis" (Section 4.1).
-//! [`EventLog`] is a ring buffer of timestamped entries the orchestrator
-//! writes decisions and reconfigurations into.
+//! That responsibility now lives in `wsu-obs`: the orchestrator emits
+//! typed [`wsu_obs::TraceEvent`]s through a [`wsu_obs::Recorder`].
+//! [`EventLog`] remains as a thin, deprecated view over a bounded
+//! [`TraceRing`] of `Log` events, so existing callers (and the paper's
+//! "bounded log" framing) keep working unchanged.
 
-use std::collections::VecDeque;
 use std::fmt;
+
+use wsu_obs::recorder::Recorder;
+use wsu_obs::{TraceEvent, TraceRing};
 
 /// Severity / kind of a log entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -17,6 +22,33 @@ pub enum LogLevel {
     Warning,
     /// A management decision (e.g. the switch to the new release).
     Decision,
+}
+
+impl LogLevel {
+    /// The canonical label (`Info`, `Warning`, `Decision`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Info => "Info",
+            LogLevel::Warning => "Warning",
+            LogLevel::Decision => "Decision",
+        }
+    }
+
+    /// Parses a canonical label back into a level.
+    pub fn from_label(label: &str) -> Option<LogLevel> {
+        match label {
+            "Info" => Some(LogLevel::Info),
+            "Warning" => Some(LogLevel::Warning),
+            "Decision" => Some(LogLevel::Decision),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// One log entry.
@@ -34,75 +66,128 @@ impl fmt::Display for LogEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "[demand {}] {:?}: {}",
+            "[demand {}] {}: {}",
             self.demand, self.level, self.message
         )
     }
 }
 
-/// A bounded, append-only log.
-#[derive(Debug, Clone, Default)]
+/// A bounded, append-only log — now a view over the structured tracer.
+///
+/// Prefer emitting typed [`TraceEvent`]s through a
+/// [`wsu_obs::Recorder`]; this shim stores each pushed message as a
+/// [`TraceEvent::Log`] in a bounded [`TraceRing`] and converts back to
+/// [`LogEntry`] on read.
+#[deprecated(
+    since = "0.1.0",
+    note = "use wsu_obs::Recorder / TraceEvent for structured tracing; EventLog remains as a bounded compatibility view"
+)]
+#[derive(Debug, Clone)]
 pub struct EventLog {
-    entries: VecDeque<LogEntry>,
-    capacity: usize,
-    dropped: u64,
+    ring: TraceRing,
+    /// `EventLog::new(0)` historically retained nothing but counted
+    /// writes; `TraceRing` clamps capacity to 1, so track that case here.
+    zero_capacity: bool,
+    zero_dropped: u64,
 }
 
+#[allow(deprecated)]
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog::new(1024)
+    }
+}
+
+#[allow(deprecated)]
 impl EventLog {
     /// Creates a log holding at most `capacity` entries (0 disables
     /// retention but still counts writes).
     pub fn new(capacity: usize) -> EventLog {
         EventLog {
-            entries: VecDeque::new(),
-            capacity,
-            dropped: 0,
+            ring: TraceRing::new(capacity.max(1)),
+            zero_capacity: capacity == 0,
+            zero_dropped: 0,
         }
     }
 
-    /// Appends an entry.
+    /// Appends an entry (with no virtual timestamp; see
+    /// [`push_at`](EventLog::push_at)).
     pub fn push(&mut self, demand: u64, level: LogLevel, message: impl Into<String>) {
-        if self.capacity == 0 {
-            self.dropped += 1;
+        self.push_at(0.0, demand, level, message);
+    }
+
+    /// Appends an entry stamped with the caller's virtual clock.
+    pub fn push_at(&mut self, t: f64, demand: u64, level: LogLevel, message: impl Into<String>) {
+        if self.zero_capacity {
+            self.zero_dropped += 1;
             return;
         }
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
-            self.dropped += 1;
-        }
-        self.entries.push_back(LogEntry {
+        self.ring.record(TraceEvent::Log {
+            t,
             demand,
-            level,
+            level: level.as_str().to_string(),
             message: message.into(),
         });
     }
 
     /// Retained entries, oldest first.
-    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> {
-        self.entries.iter()
+    pub fn entries(&self) -> Vec<LogEntry> {
+        self.ring.iter().filter_map(entry_of).collect()
     }
 
     /// Retained entries of a given level.
-    pub fn entries_at(&self, level: LogLevel) -> impl Iterator<Item = &LogEntry> {
-        self.entries.iter().filter(move |e| e.level == level)
+    pub fn entries_at(&self, level: LogLevel) -> Vec<LogEntry> {
+        self.ring
+            .iter()
+            .filter_map(entry_of)
+            .filter(|e| e.level == level)
+            .collect()
+    }
+
+    /// The retained trace events backing this log.
+    pub fn trace(&self) -> &TraceRing {
+        &self.ring
     }
 
     /// Entries evicted (or never retained) so far.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.ring.dropped() + self.zero_dropped
     }
 
     /// Number of retained entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        if self.zero_capacity {
+            0
+        } else {
+            self.ring.len()
+        }
     }
 
     /// Returns `true` if nothing is retained.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
+    }
+}
+
+/// Converts a retained trace event back into the legacy entry shape.
+fn entry_of(event: &TraceEvent) -> Option<LogEntry> {
+    match event {
+        TraceEvent::Log {
+            demand,
+            level,
+            message,
+            ..
+        } => Some(LogEntry {
+            demand: *demand,
+            level: LogLevel::from_label(level).unwrap_or(LogLevel::Info),
+            message: message.clone(),
+        }),
+        _ => None,
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -113,9 +198,10 @@ mod tests {
         log.push(2, LogLevel::Decision, "switched");
         assert_eq!(log.len(), 2);
         assert!(!log.is_empty());
-        let messages: Vec<&str> = log.entries().map(|e| e.message.as_str()).collect();
+        let entries = log.entries();
+        let messages: Vec<&str> = entries.iter().map(|e| e.message.as_str()).collect();
         assert_eq!(messages, vec!["started", "switched"]);
-        assert_eq!(log.entries_at(LogLevel::Decision).count(), 1);
+        assert_eq!(log.entries_at(LogLevel::Decision).len(), 1);
     }
 
     #[test]
@@ -126,7 +212,7 @@ mod tests {
         }
         assert_eq!(log.len(), 2);
         assert_eq!(log.dropped(), 3);
-        let demands: Vec<u64> = log.entries().map(|e| e.demand).collect();
+        let demands: Vec<u64> = log.entries().iter().map(|e| e.demand).collect();
         assert_eq!(demands, vec![3, 4]);
     }
 
@@ -146,5 +232,26 @@ mod tests {
             message: "switch".into(),
         };
         assert_eq!(entry.to_string(), "[demand 7] Decision: switch");
+    }
+
+    #[test]
+    fn level_display_and_labels_round_trip() {
+        for level in [LogLevel::Info, LogLevel::Warning, LogLevel::Decision] {
+            assert_eq!(level.to_string(), level.as_str());
+            assert_eq!(LogLevel::from_label(level.as_str()), Some(level));
+        }
+        assert_eq!(LogLevel::from_label("Nope"), None);
+    }
+
+    #[test]
+    fn entries_are_backed_by_trace_events() {
+        let mut log = EventLog::new(4);
+        log.push_at(3.5, 9, LogLevel::Decision, "switch");
+        let ring = log.trace();
+        assert_eq!(ring.len(), 1);
+        let event = ring.iter().next().unwrap();
+        assert_eq!(event.kind(), "Log");
+        assert_eq!(event.virtual_time(), 3.5);
+        assert_eq!(event.demand(), 9);
     }
 }

@@ -17,6 +17,7 @@ use wsu_bayes::beta::ScaledBeta;
 use wsu_bayes::counts::JointCounts;
 use wsu_bayes::posterior::GridPosterior;
 use wsu_bayes::whitebox::{CoincidencePrior, Resolution, WhiteBoxInference};
+use wsu_obs::SharedRegistry;
 
 use crate::error::CoreError;
 use crate::release::{ReleaseId, ReleaseSet, ReleaseState};
@@ -215,6 +216,7 @@ pub struct ManagementSubsystem {
     inference: WhiteBoxInference,
     criterion: SwitchCriterion,
     recovery: Option<RecoveryPolicy>,
+    metrics: Option<SharedRegistry>,
 }
 
 impl ManagementSubsystem {
@@ -251,6 +253,22 @@ impl ManagementSubsystem {
             ),
             criterion,
             recovery: Some(RecoveryPolicy::default()),
+            metrics: None,
+        }
+    }
+
+    /// Routes assessment metrics into a shared registry
+    /// (`wsu_assessments_total`, `wsu_criterion_evaluations_total` and
+    /// the `wsu_posterior_p99` gauges).
+    pub fn set_metrics(&mut self, metrics: SharedRegistry) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Counts an *executed* switching decision (a switch or an abort)
+    /// in the attached registry, if any.
+    pub fn count_decision(&self, decision: &str) {
+        if let Some(metrics) = &self.metrics {
+            metrics.inc_counter("wsu_switch_decisions_total", &[("decision", decision)]);
         }
     }
 
@@ -294,6 +312,24 @@ impl ManagementSubsystem {
             } else {
                 SwitchDecision::KeepTransitional
             };
+        if let Some(metrics) = &self.metrics {
+            metrics.inc_counter("wsu_assessments_total", &[]);
+            metrics.set_gauge(
+                "wsu_posterior_p99",
+                &[("release", "old")],
+                marginal_a.percentile(0.99),
+            );
+            metrics.set_gauge(
+                "wsu_posterior_p99",
+                &[("release", "new")],
+                marginal_b.percentile(0.99),
+            );
+            let label = match decision {
+                SwitchDecision::SwitchToNew => "switch",
+                SwitchDecision::KeepTransitional => "keep",
+            };
+            metrics.inc_counter("wsu_criterion_evaluations_total", &[("decision", label)]);
+        }
         Assessment {
             demands: counts.demands(),
             marginal_a,
@@ -436,6 +472,34 @@ mod tests {
         assert!(mgr.recovery_policy().is_some());
         mgr.set_recovery_policy(None);
         assert!(mgr.recovery_policy().is_none());
+    }
+
+    #[test]
+    fn assessment_metrics_flow_into_the_registry() {
+        let mut mgr = scenario1_manager(SwitchCriterion::better_than_old(0.99));
+        let registry = SharedRegistry::new();
+        mgr.set_metrics(registry.clone());
+        mgr.assess(&JointCounts::new());
+        mgr.assess(&JointCounts::from_raw(60_000, 0, 0, 0));
+        mgr.count_decision("switch");
+        registry.with(|r| {
+            assert_eq!(r.counter("wsu_assessments_total", &[]), 2);
+            assert_eq!(
+                r.counter("wsu_criterion_evaluations_total", &[("decision", "keep")]),
+                1
+            );
+            assert_eq!(
+                r.counter("wsu_criterion_evaluations_total", &[("decision", "switch")]),
+                1
+            );
+            assert_eq!(
+                r.counter("wsu_switch_decisions_total", &[("decision", "switch")]),
+                1
+            );
+            let old = r.gauge("wsu_posterior_p99", &[("release", "old")]).unwrap();
+            let new = r.gauge("wsu_posterior_p99", &[("release", "new")]).unwrap();
+            assert!(old > 0.0 && new > 0.0);
+        });
     }
 
     #[test]

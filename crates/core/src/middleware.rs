@@ -19,6 +19,7 @@
 //! execution time exceeds the timeout are *not collected* (the release is
 //! scored "no response received within TimeOut" — NRDT in the tables).
 
+use wsu_obs::{NullRecorder, Recorder, TraceEvent};
 use wsu_simcore::rng::StreamRng;
 use wsu_simcore::time::SimDuration;
 use wsu_wstack::endpoint::ServiceEndpoint;
@@ -115,6 +116,12 @@ pub struct UpgradeMiddleware {
     releases: ReleaseSet,
     config: MiddlewareConfig,
     demands: u64,
+    /// Trace sink. The default [`NullRecorder`] keeps the hot path at
+    /// one `enabled()` check per demand — no events are constructed.
+    recorder: Box<dyn Recorder>,
+    /// Virtual instant stamped on the next demand's trace events. The
+    /// caller (orchestrator or simulation driver) owns the clock.
+    clock: f64,
 }
 
 impl UpgradeMiddleware {
@@ -124,7 +131,27 @@ impl UpgradeMiddleware {
             releases: ReleaseSet::new(),
             config,
             demands: 0,
+            recorder: Box::new(NullRecorder),
+            clock: 0.0,
         }
+    }
+
+    /// Attaches a trace recorder; subsequent demands emit
+    /// [`TraceEvent`]s (dispatch, per-release responses or timeouts, and
+    /// the adjudicated verdict), all stamped with the demand's dispatch
+    /// instant in virtual time.
+    pub fn set_recorder(&mut self, recorder: impl Recorder + 'static) {
+        self.recorder = Box::new(recorder);
+    }
+
+    /// Sets the virtual time stamped on subsequent trace events.
+    pub fn set_virtual_time(&mut self, t: f64) {
+        self.clock = t;
+    }
+
+    /// The virtual time that will stamp the next demand's events.
+    pub fn virtual_time(&self) -> f64 {
+        self.clock
     }
 
     /// Deploys a release behind the interface; returns its id.
@@ -191,7 +218,50 @@ impl UpgradeMiddleware {
             }
             _ => self.process_parallel(seq, request, &active, rng)?,
         };
+        if self.recorder.enabled() {
+            self.emit_trace(&record, active.len());
+        }
         Ok(record)
+    }
+
+    /// Emits the demand's trace events, all stamped with the dispatch
+    /// instant (so an ordered trace has non-decreasing timestamps;
+    /// per-event latencies travel in the payloads).
+    fn emit_trace(&mut self, record: &DemandRecord, releases: usize) {
+        let t = self.clock;
+        let demand = record.seq;
+        self.recorder.record(TraceEvent::DemandDispatched {
+            t,
+            demand,
+            releases,
+            mode: self.config.mode.label(),
+        });
+        for obs in &record.per_release {
+            if obs.within_timeout {
+                self.recorder.record(TraceEvent::ResponseCollected {
+                    t,
+                    demand,
+                    release: obs.release.index(),
+                    class: obs.class.abbrev().to_string(),
+                    exec_time: obs.exec_time.as_secs(),
+                });
+            } else {
+                self.recorder.record(TraceEvent::Timeout {
+                    t,
+                    demand,
+                    release: obs.release.index(),
+                    timeout: self.config.timeout.as_secs(),
+                });
+            }
+        }
+        self.recorder.record(TraceEvent::Adjudicated {
+            t,
+            demand,
+            verdict: record.system.verdict.label().to_string(),
+            source: record.system.source.map(|r| r.index()),
+            responders: record.system.responders,
+            response_time: record.system.response_time.as_secs(),
+        });
     }
 
     /// Parallel modes: invoke everyone, then collect per the mode.
@@ -634,6 +704,54 @@ mod tests {
         let rec = run_one(&mut mw, 17);
         assert_eq!(rec.per_release.len(), 1);
         assert_eq!(rec.per_release[0].release, ReleaseId::new(1));
+    }
+
+    #[test]
+    fn trace_events_cover_the_demand() {
+        use wsu_obs::SharedRecorder;
+        let mut mw = UpgradeMiddleware::new(MiddlewareConfig::paper(1.5));
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 0.4)]));
+        mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 2.5)]));
+        let recorder = SharedRecorder::new();
+        mw.set_recorder(recorder.clone());
+        mw.set_virtual_time(10.5);
+        assert_eq!(mw.virtual_time(), 10.5);
+        let rec = run_one(&mut mw, 3);
+        let events = recorder.snapshot();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "DemandDispatched",
+                "ResponseCollected",
+                "Timeout",
+                "Adjudicated"
+            ]
+        );
+        assert!(events.iter().all(|e| e.virtual_time() == 10.5));
+        assert!(events.iter().all(|e| e.demand() == rec.seq));
+        match &events[3] {
+            wsu_obs::TraceEvent::Adjudicated {
+                verdict,
+                responders,
+                response_time,
+                ..
+            } => {
+                assert_eq!(verdict, "CR");
+                assert_eq!(*responders, 1);
+                assert!((response_time - rec.system.response_time.as_secs()).abs() < 1e-12);
+            }
+            other => panic!("expected Adjudicated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn null_recorder_emits_nothing_by_default() {
+        let mut mw = UpgradeMiddleware::new(MiddlewareConfig::paper(1.5));
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 0.4)]));
+        // No recorder attached: processing works and no trace exists.
+        let rec = run_one(&mut mw, 2);
+        assert!(rec.system.verdict.is_correct());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use wsu_bayes::counts::JointCounts;
 use wsu_detect::coverage::DetectionAudit;
 use wsu_detect::oracle::{DemandOutcome, FailureDetector, PerfectOracle};
+use wsu_obs::SharedRegistry;
 use wsu_simcore::rng::StreamRng;
 use wsu_simcore::stats::{CountTable, Summary};
 use wsu_wstack::outcome::ResponseClass;
@@ -211,6 +212,7 @@ pub struct MonitoringSubsystem {
     recent: std::collections::VecDeque<DemandRecord>,
     recent_capacity: usize,
     demands: u64,
+    metrics: Option<SharedRegistry>,
 }
 
 impl MonitoringSubsystem {
@@ -224,7 +226,17 @@ impl MonitoringSubsystem {
             recent: std::collections::VecDeque::with_capacity(recent_capacity.min(4096)),
             recent_capacity,
             demands: 0,
+            metrics: None,
         }
+    }
+
+    /// Routes per-demand counters and timing histograms into a shared
+    /// metrics registry (`wsu_demands_total`, `wsu_responses_total`,
+    /// `wsu_timeouts_total`, `wsu_system_responses_total`,
+    /// `wsu_system_unavailable_total`, `wsu_exec_time_seconds`,
+    /// `wsu_response_time_seconds`).
+    pub fn set_metrics(&mut self, metrics: SharedRegistry) {
+        self.metrics = Some(metrics);
     }
 
     /// Tracks the joint failures of the pair `(old, new)` through a
@@ -298,6 +310,39 @@ impl MonitoringSubsystem {
                 self.recent.pop_front();
             }
             self.recent.push_back(record.clone());
+        }
+
+        if let Some(metrics) = &self.metrics {
+            metrics.inc_counter("wsu_demands_total", &[]);
+            for obs in &record.per_release {
+                let release = obs.release.index().to_string();
+                if obs.within_timeout {
+                    metrics.inc_counter(
+                        "wsu_responses_total",
+                        &[("release", &release), ("class", obs.class.abbrev())],
+                    );
+                } else {
+                    metrics.inc_counter("wsu_timeouts_total", &[("release", &release)]);
+                }
+                metrics.observe(
+                    "wsu_exec_time_seconds",
+                    &[("release", &release)],
+                    obs.exec_time.as_secs(),
+                );
+            }
+            match record.system.verdict {
+                SystemVerdict::Response(class) => {
+                    metrics.inc_counter("wsu_system_responses_total", &[("class", class.abbrev())])
+                }
+                SystemVerdict::Unavailable => {
+                    metrics.inc_counter("wsu_system_unavailable_total", &[])
+                }
+            }
+            metrics.observe(
+                "wsu_response_time_seconds",
+                &[],
+                record.system.response_time.as_secs(),
+            );
         }
     }
 
@@ -605,6 +650,56 @@ mod tests {
         assert!(mon.release_stats(ReleaseId::new(0)).is_none());
         assert_eq!(mon.system_stats().availability(), 1.0);
         assert!(mon.pair().is_none());
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_observations() {
+        let mut mon = MonitoringSubsystem::new(0);
+        let registry = SharedRegistry::new();
+        mon.set_metrics(registry.clone());
+        let mut rng = StreamRng::from_seed(11);
+        mon.observe(
+            &record(
+                0,
+                (ResponseClass::Correct, 0.5, true),
+                (ResponseClass::Correct, 3.0, false),
+                SystemVerdict::Response(ResponseClass::Correct),
+                1.6,
+            ),
+            &mut rng,
+        );
+        mon.observe(
+            &record(
+                1,
+                (ResponseClass::EvidentFailure, 0.4, true),
+                (ResponseClass::Correct, 0.6, true),
+                SystemVerdict::Unavailable,
+                2.1,
+            ),
+            &mut rng,
+        );
+        registry.with(|r| {
+            assert_eq!(r.counter("wsu_demands_total", &[]), 2);
+            assert_eq!(
+                r.counter("wsu_responses_total", &[("release", "0"), ("class", "CR")]),
+                1
+            );
+            assert_eq!(
+                r.counter("wsu_responses_total", &[("release", "0"), ("class", "ER")]),
+                1
+            );
+            assert_eq!(r.counter("wsu_timeouts_total", &[("release", "1")]), 1);
+            assert_eq!(
+                r.counter("wsu_system_responses_total", &[("class", "CR")]),
+                1
+            );
+            assert_eq!(r.counter("wsu_system_unavailable_total", &[]), 1);
+            assert_eq!(
+                r.histogram_count("wsu_exec_time_seconds", &[("release", "0")]),
+                2
+            );
+            assert_eq!(r.histogram_count("wsu_response_time_seconds", &[]), 2);
+        });
     }
 
     #[test]

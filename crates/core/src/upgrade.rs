@@ -18,14 +18,19 @@ use wsu_detect::back2back::BackToBackDetector;
 use wsu_detect::oracle::{
     ChainDetector, FailureDetector, FalseAlarmOracle, OmissionOracle, PerfectOracle,
 };
+use wsu_obs::{NullRecorder, Recorder, SharedRegistry, TraceEvent};
 use wsu_simcore::rng::{MasterSeed, StreamRng};
 use wsu_wstack::endpoint::ServiceEndpoint;
 use wsu_wstack::message::Envelope;
 use wsu_wstack::registry::PublishedConfidence;
 
 use crate::error::CoreError;
-use crate::log::{EventLog, LogLevel};
-use crate::manage::{Assessment, ManagementSubsystem, SwitchCriterion, SwitchDecision};
+#[allow(deprecated)]
+use crate::log::EventLog;
+use crate::log::LogLevel;
+use crate::manage::{
+    Assessment, ManagementSubsystem, RecoveryAction, SwitchCriterion, SwitchDecision,
+};
 use crate::middleware::{DemandRecord, MiddlewareConfig, UpgradeMiddleware};
 use crate::monitor::MonitoringSubsystem;
 use crate::release::ReleaseId;
@@ -226,6 +231,7 @@ pub struct ConfidenceReport {
 }
 
 /// The managed upgrade of one component WS from an old to a new release.
+#[allow(deprecated)]
 pub struct ManagedUpgrade {
     middleware: UpgradeMiddleware,
     monitor: MonitoringSubsystem,
@@ -240,8 +246,16 @@ pub struct ManagedUpgrade {
     abort: Option<crate::manage::AbortPolicy>,
     demand_rng: StreamRng,
     monitor_rng: StreamRng,
+    /// The orchestrator's own trace sink (lifecycle events); the
+    /// middleware holds its clone for per-demand events.
+    recorder: Box<dyn Recorder>,
+    /// Accumulated virtual time: the sum of consumer-visible response
+    /// times of all demands processed so far, per the paper's eq. (8)
+    /// timing model with back-to-back demands.
+    virtual_time: f64,
 }
 
+#[allow(deprecated)]
 impl ManagedUpgrade {
     /// Deploys `old` and `new` behind the middleware and starts the
     /// managed upgrade in the transitional phase.
@@ -287,7 +301,29 @@ impl ManagedUpgrade {
             abort: config.abort,
             demand_rng: seed.stream("managed-upgrade/demands"),
             monitor_rng: seed.stream("managed-upgrade/monitor"),
+            recorder: Box::new(NullRecorder),
+            virtual_time: 0.0,
         }
+    }
+
+    /// Attaches a trace recorder to the orchestrator *and* its
+    /// middleware. The recorder must be cloneable so both append to one
+    /// sink — [`wsu_obs::SharedRecorder`] is the intended choice.
+    pub fn attach_recorder<R: Recorder + Clone + 'static>(&mut self, recorder: R) {
+        self.middleware.set_recorder(recorder.clone());
+        self.recorder = Box::new(recorder);
+    }
+
+    /// Routes monitoring and management metrics into `registry`.
+    pub fn attach_metrics(&mut self, registry: &SharedRegistry) {
+        self.monitor.set_metrics(registry.clone());
+        self.manager.set_metrics(registry.clone());
+    }
+
+    /// Accumulated virtual time (seconds): the sum of consumer-visible
+    /// response times of all demands processed so far.
+    pub fn virtual_time(&self) -> f64 {
+        self.virtual_time
     }
 
     /// Processes one consumer demand end to end, updating monitoring and
@@ -306,24 +342,52 @@ impl ManagedUpgrade {
             .apply_recovery(self.middleware.releases_mut())
             .expect("recovery over known releases");
         for action in actions {
-            self.log.push(
-                self.middleware.demands(),
+            let demand = self.middleware.demands();
+            self.log.push_at(
+                self.virtual_time,
+                demand,
                 LogLevel::Warning,
                 format!("recovery action: {action:?}"),
             );
+            if self.recorder.enabled() {
+                let (release, act) = match action {
+                    RecoveryAction::Suspended(id) => (id.index(), "suspended"),
+                    RecoveryAction::Restarted(id) => (id.index(), "restarted"),
+                };
+                self.recorder.record(TraceEvent::ReleaseSuspended {
+                    t: self.virtual_time,
+                    demand,
+                    release,
+                    action: act.to_string(),
+                });
+            }
         }
+        self.middleware.set_virtual_time(self.virtual_time);
         let request = Envelope::request(self.operation.clone());
         let record = self
             .middleware
             .process(&request, &mut self.demand_rng)
             .expect("at least one active release");
         self.monitor.observe(&record, &mut self.monitor_rng);
+        // Demands are back to back: the clock advances by what the
+        // consumer waited.
+        self.virtual_time += record.system.response_time.as_secs();
 
         if self.phase == UpgradePhase::Transitional
             && self.monitor.demands().is_multiple_of(self.assess_interval)
             && (self.auto_switch || self.abort.is_some())
         {
             let assessment = self.assessment();
+            if self.recorder.enabled() {
+                self.recorder.record(TraceEvent::ConfidenceUpdated {
+                    t: self.virtual_time,
+                    demand: self.monitor.demands(),
+                    old_p99: assessment.marginal_a.percentile(0.99),
+                    new_p99: assessment.marginal_b.percentile(0.99),
+                    criterion: self.manager.criterion().label(),
+                    satisfied: assessment.decision == SwitchDecision::SwitchToNew,
+                });
+            }
             let abort_now = self.abort.is_some_and(|policy| {
                 policy.should_abort(&assessment.marginal_a, &assessment.marginal_b)
             });
@@ -365,11 +429,24 @@ impl ManagedUpgrade {
             .phase_out(self.old)
             .expect("old release can be phased out once");
         self.phase = UpgradePhase::Switched { at_demand };
-        self.log.push(
+        self.log.push_at(
+            self.virtual_time,
             at_demand,
             LogLevel::Decision,
             format!("switched to new release after {at_demand} demands"),
         );
+        self.manager.count_decision("switch");
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent::SwitchDecision {
+                t: self.virtual_time,
+                demand: at_demand,
+                decision: "switch-to-new".to_string(),
+                reason: format!(
+                    "criterion {} met after {at_demand} demands",
+                    self.manager.criterion().label()
+                ),
+            });
+        }
     }
 
     /// Aborts the upgrade: the *new* release is phased out and the
@@ -386,11 +463,21 @@ impl ManagedUpgrade {
             .phase_out(self.new)
             .expect("new release can be phased out once");
         self.phase = UpgradePhase::Aborted { at_demand };
-        self.log.push(
+        self.log.push_at(
+            self.virtual_time,
             at_demand,
             LogLevel::Decision,
             format!("upgrade aborted after {at_demand} demands: new release judged worse"),
         );
+        self.manager.count_decision("abort");
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent::SwitchDecision {
+                t: self.virtual_time,
+                demand: at_demand,
+                decision: "abort-upgrade".to_string(),
+                reason: format!("new release judged worse after {at_demand} demands"),
+            });
+        }
     }
 
     /// The current phase.
@@ -566,6 +653,7 @@ mod tests {
         assert!(upgrade
             .log()
             .entries_at(LogLevel::Decision)
+            .iter()
             .any(|e| e.message.contains("switched")));
     }
 
@@ -711,6 +799,7 @@ mod tests {
         assert!(upgrade
             .log()
             .entries_at(LogLevel::Decision)
+            .iter()
             .any(|e| e.message.contains("aborted")));
     }
 
@@ -751,6 +840,50 @@ mod tests {
         upgrade.abort_upgrade(); // no-op
         upgrade.switch_to_new(); // also a no-op now
         assert!(matches!(upgrade.phase(), UpgradePhase::Aborted { .. }));
+    }
+
+    #[test]
+    fn trace_captures_the_switch_exactly_once() {
+        use wsu_obs::SharedRecorder;
+        let config = UpgradeConfig::default()
+            .with_resolution(small_res())
+            .with_assess_interval(200)
+            .with_criterion(SwitchCriterion::better_than_old(0.9));
+        let mut upgrade = upgrade_with(
+            OutcomeProfile::new(0.95, 0.03, 0.02),
+            OutcomeProfile::always_correct(),
+            config,
+        );
+        let recorder = SharedRecorder::new();
+        let registry = wsu_obs::SharedRegistry::new();
+        upgrade.attach_recorder(recorder.clone());
+        upgrade.attach_metrics(&registry);
+        upgrade.run_demands(2_000);
+        assert!(matches!(upgrade.phase(), UpgradePhase::Switched { .. }));
+        let events = recorder.snapshot();
+        let switches = events
+            .iter()
+            .filter(|e| e.kind() == "SwitchDecision")
+            .count();
+        assert_eq!(switches, 1);
+        assert!(events.iter().any(|e| e.kind() == "ConfidenceUpdated"));
+        assert!(events.iter().any(|e| e.kind() == "DemandDispatched"));
+        // Virtual time is non-decreasing across the whole trace.
+        let mut last = 0.0;
+        for event in &events {
+            assert!(event.virtual_time() >= last, "clock went backwards");
+            last = event.virtual_time();
+        }
+        assert!(upgrade.virtual_time() > 0.0);
+        // Metrics mirrored the run.
+        registry.with(|r| {
+            assert_eq!(r.counter("wsu_demands_total", &[]), 2_000);
+            assert!(r.counter("wsu_assessments_total", &[]) > 0);
+            assert_eq!(
+                r.counter("wsu_switch_decisions_total", &[("decision", "switch")]),
+                1
+            );
+        });
     }
 
     #[test]

@@ -1,82 +1,107 @@
-//! Property-based tests of the middleware's per-demand invariants under
+//! Property-style tests of the middleware's per-demand invariants under
 //! arbitrary release behaviours, modes and timeouts.
-
-use proptest::prelude::*;
+//!
+//! Originally written with `proptest`; rewritten as deterministic
+//! seeded-loop checks (no external dev-dependencies — see the note in
+//! `crates/simcore/tests/properties.rs`).
 
 use wsu_core::adjudicate::SystemVerdict;
 use wsu_core::middleware::{MiddlewareConfig, UpgradeMiddleware};
 use wsu_core::modes::{OperatingMode, SequentialOrder};
-use wsu_simcore::rng::StreamRng;
+use wsu_simcore::rng::{MasterSeed, StreamRng};
 use wsu_simcore::time::SimDuration;
 use wsu_wstack::endpoint::{PlannedResponse, ScriptedEndpoint};
 use wsu_wstack::message::Envelope;
 use wsu_wstack::outcome::ResponseClass;
 
-fn arb_class() -> impl Strategy<Value = ResponseClass> {
-    prop_oneof![
-        Just(ResponseClass::Correct),
-        Just(ResponseClass::EvidentFailure),
-        Just(ResponseClass::NonEvidentFailure),
-    ]
+fn rng_for(test: &str) -> StreamRng {
+    MasterSeed::new(0x4D_49_44_44_4C_45_50_52).stream(test)
 }
 
-fn arb_mode() -> impl Strategy<Value = OperatingMode> {
-    prop_oneof![
-        Just(OperatingMode::ParallelReliability),
-        Just(OperatingMode::ParallelResponsiveness),
-        (1usize..4).prop_map(|quorum| OperatingMode::ParallelDynamic { quorum }),
-        Just(OperatingMode::Sequential {
-            order: SequentialOrder::Deployment
-        }),
-        Just(OperatingMode::Sequential {
-            order: SequentialOrder::Random
-        }),
-    ]
+fn f64_in(rng: &mut StreamRng, lo: f64, hi: f64) -> f64 {
+    let unit = rng.next_u64() as f64 / u64::MAX as f64;
+    lo + unit * (hi - lo)
 }
 
-proptest! {
-    /// Per-demand invariants hold for any pair behaviour, mode and
-    /// timeout.
-    #[test]
-    fn demand_record_invariants(
-        class_a in arb_class(),
-        class_b in arb_class(),
-        time_a in 0.01f64..6.0,
-        time_b in 0.01f64..6.0,
-        timeout in 0.5f64..4.0,
-        mode in arb_mode(),
-        seed in any::<u64>(),
-    ) {
+fn arb_class(rng: &mut StreamRng) -> ResponseClass {
+    match rng.next_below(3) {
+        0 => ResponseClass::Correct,
+        1 => ResponseClass::EvidentFailure,
+        _ => ResponseClass::NonEvidentFailure,
+    }
+}
+
+fn arb_mode(rng: &mut StreamRng) -> OperatingMode {
+    match rng.next_below(5) {
+        0 => OperatingMode::ParallelReliability,
+        1 => OperatingMode::ParallelResponsiveness,
+        2 => OperatingMode::ParallelDynamic {
+            quorum: 1 + rng.next_below(3) as usize,
+        },
+        3 => OperatingMode::Sequential {
+            order: SequentialOrder::Deployment,
+        },
+        _ => OperatingMode::Sequential {
+            order: SequentialOrder::Random,
+        },
+    }
+}
+
+/// Per-demand invariants hold for any pair behaviour, mode and timeout.
+#[test]
+fn demand_record_invariants() {
+    let mut rng = rng_for("demand_invariants");
+    for _ in 0..128 {
+        let class_a = arb_class(&mut rng);
+        let class_b = arb_class(&mut rng);
+        let time_a = f64_in(&mut rng, 0.01, 6.0);
+        let time_b = f64_in(&mut rng, 0.01, 6.0);
+        let timeout = f64_in(&mut rng, 0.5, 4.0);
+        let mode = arb_mode(&mut rng);
+        let seed = rng.next_u64();
+
         let mut config = MiddlewareConfig::paper(timeout);
         config.mode = mode;
         let dt = config.adjudication_delay;
         let mut mw = UpgradeMiddleware::new(config);
         let mut a = ScriptedEndpoint::new("Svc", "1.0");
-        a.push(PlannedResponse { class: class_a, exec_time: SimDuration::from_secs(time_a) });
+        a.push(PlannedResponse {
+            class: class_a,
+            exec_time: SimDuration::from_secs(time_a),
+        });
         let mut b = ScriptedEndpoint::new("Svc", "1.1");
-        b.push(PlannedResponse { class: class_b, exec_time: SimDuration::from_secs(time_b) });
+        b.push(PlannedResponse {
+            class: class_b,
+            exec_time: SimDuration::from_secs(time_b),
+        });
         mw.deploy(a);
         mw.deploy(b);
 
-        let mut rng = StreamRng::from_seed(seed);
-        let record = mw.process(&Envelope::request("invoke"), &mut rng).unwrap();
+        let mut demand_rng = StreamRng::from_seed(seed);
+        let record = mw
+            .process(&Envelope::request("invoke"), &mut demand_rng)
+            .unwrap();
 
         // Responders equals the within-timeout observations.
-        let within = record.per_release.iter().filter(|o| o.within_timeout).count();
+        let within = record
+            .per_release
+            .iter()
+            .filter(|o| o.within_timeout)
+            .count();
         if mode == OperatingMode::ParallelReliability {
-            prop_assert_eq!(record.system.responders, within);
+            assert_eq!(record.system.responders, within);
         } else {
-            prop_assert!(record.system.responders <= within.max(record.per_release.len()));
+            assert!(record.system.responders <= within.max(record.per_release.len()));
         }
 
         // Verdict consistency with the observations.
         match record.system.verdict {
             SystemVerdict::Unavailable => {
-                prop_assert_eq!(within, 0, "unavailable despite responses");
+                assert_eq!(within, 0, "unavailable despite responses");
             }
             SystemVerdict::Response(class) => {
                 if class.is_valid() {
-                    prop_assert!(
+                    assert!(
                         record
                             .per_release
                             .iter()
@@ -92,7 +117,7 @@ proptest! {
         if let (SystemVerdict::Response(class), Some(source)) =
             (record.system.verdict, record.system.source)
         {
-            prop_assert!(record
+            assert!(record
                 .per_release
                 .iter()
                 .any(|o| o.release == source && o.class == class));
@@ -106,24 +131,28 @@ proptest! {
             }
             _ => timeout + dt.as_secs(),
         };
-        prop_assert!(
+        assert!(
             record.system.response_time.as_secs() <= bound + 1e-9,
             "response time {} exceeds bound {bound}",
             record.system.response_time.as_secs()
         );
         // And it always includes the adjudication delay.
-        prop_assert!(record.system.response_time >= dt);
+        assert!(record.system.response_time >= dt);
     }
+}
 
-    /// Sequential mode never invokes a second release after a valid
-    /// first response.
-    #[test]
-    fn sequential_short_circuits(
-        class_b in arb_class(),
-        seed in any::<u64>(),
-    ) {
+/// Sequential mode never invokes a second release after a valid first
+/// response.
+#[test]
+fn sequential_short_circuits() {
+    let mut rng = rng_for("sequential_short_circuit");
+    for _ in 0..64 {
+        let class_b = arb_class(&mut rng);
+        let seed = rng.next_u64();
         let mut config = MiddlewareConfig::paper(2.0);
-        config.mode = OperatingMode::Sequential { order: SequentialOrder::Deployment };
+        config.mode = OperatingMode::Sequential {
+            order: SequentialOrder::Deployment,
+        };
         let mut mw = UpgradeMiddleware::new(config);
         let mut a = ScriptedEndpoint::new("Svc", "1.0");
         a.push(PlannedResponse {
@@ -131,23 +160,30 @@ proptest! {
             exec_time: SimDuration::from_secs(0.5),
         });
         let mut b = ScriptedEndpoint::new("Svc", "1.1");
-        b.push(PlannedResponse { class: class_b, exec_time: SimDuration::from_secs(0.5) });
+        b.push(PlannedResponse {
+            class: class_b,
+            exec_time: SimDuration::from_secs(0.5),
+        });
         mw.deploy(a);
         mw.deploy(b);
-        let mut rng = StreamRng::from_seed(seed);
-        let record = mw.process(&Envelope::request("invoke"), &mut rng).unwrap();
-        prop_assert_eq!(record.per_release.len(), 1);
-        prop_assert!(record.system.verdict.is_correct());
+        let mut demand_rng = StreamRng::from_seed(seed);
+        let record = mw
+            .process(&Envelope::request("invoke"), &mut demand_rng)
+            .unwrap();
+        assert_eq!(record.per_release.len(), 1);
+        assert!(record.system.verdict.is_correct());
     }
+}
 
-    /// Processing is deterministic in (inputs, seed) for every mode.
-    #[test]
-    fn processing_is_deterministic(
-        class_a in arb_class(),
-        class_b in arb_class(),
-        mode in arb_mode(),
-        seed in any::<u64>(),
-    ) {
+/// Processing is deterministic in (inputs, seed) for every mode.
+#[test]
+fn processing_is_deterministic() {
+    let mut rng = rng_for("processing_deterministic");
+    for _ in 0..64 {
+        let class_a = arb_class(&mut rng);
+        let class_b = arb_class(&mut rng);
+        let mode = arb_mode(&mut rng);
+        let seed = rng.next_u64();
         let run = || {
             let mut config = MiddlewareConfig::paper(2.0);
             config.mode = mode;
@@ -164,9 +200,10 @@ proptest! {
             });
             mw.deploy(a);
             mw.deploy(b);
-            let mut rng = StreamRng::from_seed(seed);
-            mw.process(&Envelope::request("invoke"), &mut rng).unwrap()
+            let mut demand_rng = StreamRng::from_seed(seed);
+            mw.process(&Envelope::request("invoke"), &mut demand_rng)
+                .unwrap()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

@@ -1,6 +1,8 @@
 //! Runs the four ablation studies (A1–A4 in DESIGN.md).
 //!
-//! Usage: `ablations [--quick]`.
+//! Usage: `ablations [--quick] [--trace PATH] [--metrics PATH]` —
+//! with observability on, each ablation becomes a timed phase in the
+//! metrics snapshot and a log line in the trace.
 
 use wsu_bayes::whitebox::Resolution;
 use wsu_experiments::ablation::{
@@ -10,10 +12,12 @@ use wsu_experiments::ablation::{
     run_mode_ablation, run_prior_ablation,
 };
 use wsu_experiments::bayes_study::StudyConfig;
+use wsu_experiments::obs::ObsOptions;
 use wsu_experiments::DEFAULT_SEED;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let mut ctx = ObsOptions::from_env().context();
     let requests = if quick { 2_000 } else { 10_000 };
     let study = StudyConfig {
         demands: if quick { 10_000 } else { 50_000 },
@@ -32,40 +36,39 @@ fn main() {
         seed: DEFAULT_SEED,
     };
 
-    println!(
-        "{}",
-        render_adjudicator_table(&run_adjudicator_ablation(DEFAULT_SEED, requests))
-    );
-    println!(
-        "{}",
-        render_mode_table(&run_mode_ablation(DEFAULT_SEED, requests))
-    );
-    println!(
-        "{}",
-        render_coverage_table(&run_coverage_ablation(
-            &study,
-            &[0.0, 0.05, 0.10, 0.15, 0.25, 0.40],
-        ))
-    );
-    println!("{}", render_prior_table(&run_prior_ablation(&study)));
-    println!(
-        "{}",
-        render_class_detection_table(&run_class_detection_ablation(
+    let adjudicator = ctx.time("ablations/adjudicator", || {
+        run_adjudicator_ablation(DEFAULT_SEED, requests)
+    });
+    println!("{}", render_adjudicator_table(&adjudicator));
+    let mode = ctx.time("ablations/mode", || {
+        run_mode_ablation(DEFAULT_SEED, requests)
+    });
+    println!("{}", render_mode_table(&mode));
+    let coverage = ctx.time("ablations/coverage", || {
+        run_coverage_ablation(&study, &[0.0, 0.05, 0.10, 0.15, 0.25, 0.40])
+    });
+    println!("{}", render_coverage_table(&coverage));
+    let prior = ctx.time("ablations/prior", || run_prior_ablation(&study));
+    println!("{}", render_prior_table(&prior));
+    let class_detection = ctx.time("ablations/class-detection", || {
+        run_class_detection_ablation(
             study.demands,
             study.resolution,
             DEFAULT_SEED,
             0.5,
             &[1.0, 0.85, 0.70, 0.50, 0.25],
-        ))
-    );
-    println!(
-        "{}",
-        render_abort_table(&run_abort_ablation(
+        )
+    });
+    println!("{}", render_class_detection_table(&class_detection));
+    let abort = ctx.time("ablations/abort", || {
+        run_abort_ablation(
             if quick { 3 } else { 10 },
             if quick { 4_000 } else { 20_000 },
             study.resolution,
             DEFAULT_SEED,
             &[0.5, 1.0, 2.0, 5.0, 10.0],
-        ))
-    );
+        )
+    });
+    println!("{}", render_abort_table(&abort));
+    ctx.finish().expect("write observability outputs");
 }

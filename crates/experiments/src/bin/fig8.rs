@@ -1,30 +1,40 @@
 //! Regenerates Fig. 8 (Scenario 2 percentile curves) as a TSV table.
 //!
-//! Usage: `fig8 [--quick]`.
+//! Usage: `fig8 [--quick] [--trace PATH] [--metrics PATH]`.
 
 use wsu_bayes::whitebox::Resolution;
 use wsu_experiments::bayes_study::StudyConfig;
 use wsu_experiments::figures::{run_fig8, run_fig8_paper};
+use wsu_experiments::obs::ObsOptions;
 use wsu_experiments::DEFAULT_SEED;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (set, _) = if quick {
-        let config = StudyConfig {
-            demands: 3_000,
-            checkpoint_every: 100,
-            resolution: Resolution {
-                a_cells: 48,
-                b_cells: 48,
-                q_cells: 16,
-            },
-            confidence: 0.99,
-            target: 1e-3,
-            seed: DEFAULT_SEED,
-        };
-        run_fig8(&config)
-    } else {
-        run_fig8_paper(DEFAULT_SEED)
-    };
+    let mut ctx = ObsOptions::from_env().context();
+    let (set, runs) = ctx.time("fig8/study", || {
+        if quick {
+            let config = StudyConfig {
+                demands: 3_000,
+                checkpoint_every: 100,
+                resolution: Resolution {
+                    a_cells: 48,
+                    b_cells: 48,
+                    q_cells: 16,
+                },
+                confidence: 0.99,
+                target: 1e-3,
+                seed: DEFAULT_SEED,
+            };
+            run_fig8(&config)
+        } else {
+            run_fig8_paper(DEFAULT_SEED)
+        }
+    });
+    ctx.record_study(&runs.perfect, "fig8/perfect");
+    if let Some(omission) = &runs.omission {
+        ctx.record_study(omission, "fig8/omission");
+    }
+    ctx.record_study(&runs.back_to_back, "fig8/back-to-back");
     print!("{}", set.to_tsv());
+    ctx.finish().expect("write observability outputs");
 }

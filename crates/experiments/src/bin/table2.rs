@@ -1,11 +1,14 @@
 //! Regenerates Table 2 (duration of managed upgrade).
 //!
-//! Usage: `table2 [--quick] [--seeds N]` — `--quick` runs a
-//! reduced-scale version; `--seeds N` additionally reports the spread of
-//! every cell across N seeds.
+//! Usage: `table2 [--quick] [--seeds N] [--trace PATH] [--metrics PATH]`
+//! — `--quick` runs a reduced-scale version; `--seeds N` additionally
+//! reports the spread of every cell across N seeds; `--trace`/`--metrics`
+//! replay every study's checkpoints into an event trace and a metrics
+//! snapshot.
 
 use wsu_bayes::whitebox::Resolution;
 use wsu_experiments::bayes_study::StudyConfig;
+use wsu_experiments::obs::ObsOptions;
 use wsu_experiments::table2::{render_spread, run_table2, run_table2_spread, run_table2_with};
 use wsu_experiments::DEFAULT_SEED;
 use wsu_simcore::rng::MasterSeed;
@@ -13,37 +16,46 @@ use wsu_simcore::rng::MasterSeed;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let mut ctx = ObsOptions::from_env().context();
     let spread_seeds: Option<usize> = args
         .iter()
         .position(|a| a == "--seeds")
         .and_then(|i| args.get(i + 1))
         .and_then(|n| n.parse().ok());
-    let table = if quick {
-        let res = Resolution {
-            a_cells: 48,
-            b_cells: 48,
-            q_cells: 16,
-        };
-        let c1 = StudyConfig {
-            demands: 10_000,
-            checkpoint_every: 500,
-            resolution: res,
-            confidence: 0.99,
-            target: 1e-3,
-            seed: DEFAULT_SEED,
-        };
-        let c2 = StudyConfig {
-            demands: 5_000,
-            checkpoint_every: 100,
-            resolution: res,
-            confidence: 0.99,
-            target: 1e-3,
-            seed: DEFAULT_SEED,
-        };
-        run_table2_with(DEFAULT_SEED, &c1, &c2)
-    } else {
-        run_table2(DEFAULT_SEED)
-    };
+    let table = ctx.time("table2/study", || {
+        if quick {
+            let res = Resolution {
+                a_cells: 48,
+                b_cells: 48,
+                q_cells: 16,
+            };
+            let c1 = StudyConfig {
+                demands: 10_000,
+                checkpoint_every: 500,
+                resolution: res,
+                confidence: 0.99,
+                target: 1e-3,
+                seed: DEFAULT_SEED,
+            };
+            let c2 = StudyConfig {
+                demands: 5_000,
+                checkpoint_every: 100,
+                resolution: res,
+                confidence: 0.99,
+                target: 1e-3,
+                seed: DEFAULT_SEED,
+            };
+            run_table2_with(DEFAULT_SEED, &c1, &c2)
+        } else {
+            run_table2(DEFAULT_SEED)
+        }
+    });
+    for run in &table.runs {
+        ctx.record_study(
+            run,
+            &format!("table2/s{}/{:?}", run.scenario, run.detection),
+        );
+    }
     println!("{}", table.render());
 
     if let Some(n) = spread_seeds {
@@ -75,6 +87,8 @@ fn main() {
         let seeds: Vec<MasterSeed> = (0..n as u64)
             .map(|i| MasterSeed::new(DEFAULT_SEED.value().wrapping_add(i)))
             .collect();
-        println!("{}", render_spread(&run_table2_spread(&seeds, &c1, &c2)));
+        let spread = ctx.time("table2/spread", || run_table2_spread(&seeds, &c1, &c2));
+        println!("{}", render_spread(&spread));
     }
+    ctx.finish().expect("write observability outputs");
 }

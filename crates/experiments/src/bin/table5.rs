@@ -1,27 +1,30 @@
 //! Regenerates Table 5 (correlated release failures).
 //!
-//! Usage: `table5 [--quick] [--calibrated]` — `--calibrated` uses the
-//! execution-time model whose unconditional MET matches the paper's
-//! reported values (see EXPERIMENTS.md).
+//! Usage: `table5 [--quick] [--calibrated] [--trace PATH] [--metrics PATH]`
+//! — `--calibrated` uses the execution-time model whose unconditional
+//! MET matches the paper's reported values (see EXPERIMENTS.md);
+//! `--trace`/`--metrics` write a JSONL event trace and a metrics
+//! snapshot without changing the table on stdout.
 
-use wsu_experiments::table5::{run_table5, run_table5_with};
-use wsu_experiments::{DEFAULT_SEED, PAPER_TIMEOUTS};
+use wsu_experiments::obs::ObsOptions;
+use wsu_experiments::table5::run_table5_observed;
+use wsu_experiments::{DEFAULT_SEED, PAPER_REQUESTS, PAPER_TIMEOUTS};
 use wsu_workload::timing::ExecTimeModel;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let calibrated = std::env::args().any(|a| a == "--calibrated");
+    let mut ctx = ObsOptions::from_env().context();
     let timing = if calibrated {
         ExecTimeModel::calibrated()
     } else {
         ExecTimeModel::paper()
     };
-    let table = if quick {
-        run_table5_with(DEFAULT_SEED, 2_000, &PAPER_TIMEOUTS, timing)
-    } else if calibrated {
-        run_table5_with(DEFAULT_SEED, 10_000, &PAPER_TIMEOUTS, timing)
-    } else {
-        run_table5(DEFAULT_SEED)
-    };
+    let requests = if quick { 2_000 } else { PAPER_REQUESTS };
+    let sinks = ctx.sinks();
+    let table = ctx.time("table5/simulate", || {
+        run_table5_observed(DEFAULT_SEED, requests, &PAPER_TIMEOUTS, timing, &sinks)
+    });
     print!("{}", table.render());
+    ctx.finish().expect("write observability outputs");
 }

@@ -1,25 +1,26 @@
 //! Regenerates Table 6 (independent release failures).
 //!
-//! Usage: `table6 [--quick] [--calibrated]`.
+//! Usage: `table6 [--quick] [--calibrated] [--trace PATH] [--metrics PATH]`.
 
-use wsu_experiments::table6::{run_table6, run_table6_with};
-use wsu_experiments::{DEFAULT_SEED, PAPER_TIMEOUTS};
+use wsu_experiments::obs::ObsOptions;
+use wsu_experiments::table6::run_table6_observed;
+use wsu_experiments::{DEFAULT_SEED, PAPER_REQUESTS, PAPER_TIMEOUTS};
 use wsu_workload::timing::ExecTimeModel;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let calibrated = std::env::args().any(|a| a == "--calibrated");
+    let mut ctx = ObsOptions::from_env().context();
     let timing = if calibrated {
         ExecTimeModel::calibrated()
     } else {
         ExecTimeModel::paper()
     };
-    let table = if quick {
-        run_table6_with(DEFAULT_SEED, 2_000, &PAPER_TIMEOUTS, timing)
-    } else if calibrated {
-        run_table6_with(DEFAULT_SEED, 10_000, &PAPER_TIMEOUTS, timing)
-    } else {
-        run_table6(DEFAULT_SEED)
-    };
+    let requests = if quick { 2_000 } else { PAPER_REQUESTS };
+    let sinks = ctx.sinks();
+    let table = ctx.time("table6/simulate", || {
+        run_table6_observed(DEFAULT_SEED, requests, &PAPER_TIMEOUTS, timing, &sinks)
+    });
     print!("{}", table.render());
+    ctx.finish().expect("write observability outputs");
 }

@@ -31,6 +31,7 @@ pub mod bayes_study;
 pub mod capacity;
 pub mod figures;
 pub mod midsim;
+pub mod obs;
 pub mod report;
 pub mod table2;
 pub mod table5;

@@ -13,6 +13,7 @@
 use wsu_core::middleware::{MiddlewareConfig, UpgradeMiddleware};
 use wsu_core::monitor::{MonitoringSubsystem, ReleaseStats, SystemStats};
 use wsu_core::release::ReleaseId;
+use wsu_obs::{SharedRecorder, SharedRegistry};
 use wsu_simcore::engine::{Engine, Handler};
 use wsu_simcore::rng::{MasterSeed, StreamRng};
 use wsu_simcore::time::SimTime;
@@ -22,6 +23,26 @@ use wsu_workload::timing::ExecTimeModel;
 use wsu_wstack::endpoint::ScriptedEndpoint;
 use wsu_wstack::message::Envelope;
 use wsu_wstack::outcome::ResponseClass;
+
+/// Optional observability sinks threaded through a simulation.
+///
+/// The default value has both sinks absent, which reproduces the
+/// unobserved simulation byte for byte: the middleware keeps its
+/// [`wsu_obs::NullRecorder`] and the monitor records no metrics.
+#[derive(Debug, Clone, Default)]
+pub struct ObsSinks {
+    /// Trace recorder attached to the middleware, if any.
+    pub recorder: Option<SharedRecorder>,
+    /// Metrics registry attached to the monitor, if any.
+    pub metrics: Option<SharedRegistry>,
+}
+
+impl ObsSinks {
+    /// `true` when at least one sink is attached.
+    pub fn enabled(&self) -> bool {
+        self.recorder.is_some() || self.metrics.is_some()
+    }
+}
 
 /// The per-group statistics of one table cell (release 1, release 2 or
 /// the system column group of Tables 5–6).
@@ -111,6 +132,10 @@ impl Handler<NextDemand> for World {
             return;
         }
         self.remaining -= 1;
+        // Stamp the demand's trace events with its dispatch instant. This
+        // is a plain field store, so the unobserved simulation is
+        // unaffected.
+        self.middleware.set_virtual_time(engine.now().as_secs());
         let record = self
             .middleware
             .process(&self.request, &mut self.mw_rng)
@@ -136,6 +161,27 @@ pub fn simulate_cell(
     config: MiddlewareConfig,
     seed: MasterSeed,
 ) -> CellResult {
+    simulate_cell_observed(demands, config, seed, &ObsSinks::default(), "cell")
+}
+
+/// [`simulate_cell`] with observability sinks attached.
+///
+/// When a recorder is present the middleware emits per-demand trace
+/// events stamped with the engine's virtual time; when a registry is
+/// present the monitor mirrors its counts into it and the engine's
+/// post-run totals land in `wsu_engine_events_processed` /
+/// `wsu_engine_queue_high_water` gauges labelled with `tag`.
+///
+/// # Panics
+///
+/// Panics if `demands` is empty.
+pub fn simulate_cell_observed(
+    demands: &[PlannedDemand],
+    config: MiddlewareConfig,
+    seed: MasterSeed,
+    sinks: &ObsSinks,
+    tag: &str,
+) -> CellResult {
     assert!(!demands.is_empty(), "need at least one planned demand");
     let mut rel1 = ScriptedEndpoint::new("Component", "1.0");
     let mut rel2 = ScriptedEndpoint::new("Component", "1.1");
@@ -148,10 +194,17 @@ pub fn simulate_cell(
     let id2 = middleware.deploy(rel2);
     debug_assert_eq!(id1, ReleaseId::new(0));
     debug_assert_eq!(id2, ReleaseId::new(1));
+    if let Some(recorder) = &sinks.recorder {
+        middleware.set_recorder(recorder.clone());
+    }
+    let mut monitor = MonitoringSubsystem::new(0);
+    if let Some(metrics) = &sinks.metrics {
+        monitor.set_metrics(metrics.clone());
+    }
 
     let mut world = World {
         middleware,
-        monitor: MonitoringSubsystem::new(0),
+        monitor,
         remaining: demands.len() as u64,
         request: Envelope::request("invoke"),
         mw_rng: seed.stream("midsim/middleware"),
@@ -160,6 +213,18 @@ pub fn simulate_cell(
     let mut engine = Engine::new();
     engine.schedule_at(SimTime::ZERO, NextDemand);
     engine.run(&mut world);
+    if let Some(metrics) = &sinks.metrics {
+        metrics.set_gauge(
+            "wsu_engine_events_processed",
+            &[("cell", tag)],
+            engine.processed() as f64,
+        );
+        metrics.set_gauge(
+            "wsu_engine_queue_high_water",
+            &[("cell", tag)],
+            engine.queue_high_water() as f64,
+        );
+    }
 
     let r1 = world
         .monitor
@@ -188,12 +253,38 @@ pub fn simulate_run(
     seed: MasterSeed,
     run_tag: &str,
 ) -> Vec<CellResult> {
+    simulate_run_observed(
+        outcomes,
+        timing,
+        requests,
+        timeouts,
+        seed,
+        run_tag,
+        &ObsSinks::default(),
+    )
+}
+
+/// [`simulate_run`] with observability sinks attached; each timeout
+/// column's engine gauges are tagged `"{run_tag}/t{timeout}"`.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_run_observed(
+    outcomes: &dyn OutcomePairGen,
+    timing: ExecTimeModel,
+    requests: u64,
+    timeouts: &[f64],
+    seed: MasterSeed,
+    run_tag: &str,
+    sinks: &ObsSinks,
+) -> Vec<CellResult> {
     let mut planner = DemandPlanner::new(outcomes, timing, "invoke");
     let mut plan_rng = seed.stream(&format!("midsim/plan/{run_tag}"));
     let plan = planner.plan_batch(requests as usize, &mut plan_rng);
     timeouts
         .iter()
-        .map(|&t| simulate_cell(&plan, MiddlewareConfig::paper(t), seed))
+        .map(|&t| {
+            let tag = format!("{run_tag}/t{t}");
+            simulate_cell_observed(&plan, MiddlewareConfig::paper(t), seed, sinks, &tag)
+        })
         .collect()
 }
 

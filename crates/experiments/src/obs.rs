@@ -1,0 +1,243 @@
+//! `--trace` / `--metrics` wiring shared by the experiment binaries.
+//!
+//! Every binary accepts the same two optional flags:
+//!
+//! * `--trace <path>` — write the run's event trace there as JSONL;
+//! * `--metrics <path>` — write a Prometheus-text metrics snapshot.
+//!
+//! With neither flag nothing is attached anywhere: the middleware keeps
+//! its [`wsu_obs::NullRecorder`], the monitor records no metrics, and
+//! stdout stays byte-identical to the unobserved run. Diagnostics about
+//! the written files go to stderr so they never disturb the tables.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use wsu_obs::{PhaseTimings, Recorder, SharedRecorder, SharedRegistry, TraceEvent};
+
+use crate::bayes_study::StudyRun;
+use crate::midsim::ObsSinks;
+
+/// The observability flags parsed from a binary's command line.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsOptions {
+    /// Destination for the JSONL event trace, if requested.
+    pub trace: Option<PathBuf>,
+    /// Destination for the metrics snapshot, if requested.
+    pub metrics: Option<PathBuf>,
+}
+
+impl ObsOptions {
+    /// Scans `args` for `--trace <path>` and `--metrics <path>`.
+    ///
+    /// Unrelated arguments are left alone, so binaries keep their own
+    /// flag handling untouched.
+    pub fn parse(args: &[String]) -> ObsOptions {
+        fn value_after(args: &[String], flag: &str) -> Option<PathBuf> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from)
+        }
+        ObsOptions {
+            trace: value_after(args, "--trace"),
+            metrics: value_after(args, "--metrics"),
+        }
+    }
+
+    /// Parses the current process's arguments.
+    pub fn from_env() -> ObsOptions {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        ObsOptions::parse(&args)
+    }
+
+    /// Builds the live context: one sink per requested output file.
+    pub fn context(&self) -> ObsContext {
+        ObsContext {
+            recorder: self.trace.as_ref().map(|_| SharedRecorder::new()),
+            metrics: self.metrics.as_ref().map(|_| SharedRegistry::new()),
+            timings: PhaseTimings::new(),
+            options: self.clone(),
+        }
+    }
+}
+
+/// Live observability sinks for one binary run.
+#[derive(Debug)]
+pub struct ObsContext {
+    /// The shared trace recorder, present iff `--trace` was given.
+    pub recorder: Option<SharedRecorder>,
+    /// The shared metrics registry, present iff `--metrics` was given.
+    pub metrics: Option<SharedRegistry>,
+    timings: PhaseTimings,
+    options: ObsOptions,
+}
+
+impl ObsContext {
+    /// A context with no sinks (the no-flag default).
+    pub fn disabled() -> ObsContext {
+        ObsOptions::default().context()
+    }
+
+    /// `true` when at least one output was requested.
+    pub fn enabled(&self) -> bool {
+        self.recorder.is_some() || self.metrics.is_some()
+    }
+
+    /// Clones the sinks in the shape the simulation layer accepts.
+    pub fn sinks(&self) -> ObsSinks {
+        ObsSinks {
+            recorder: self.recorder.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Runs `f`, timing it as `phase` when observability is on. The
+    /// phase table lands in the metrics snapshot (`wsu_phase_seconds`)
+    /// and, as a [`TraceEvent::Log`] line, in the trace.
+    pub fn time<R>(&mut self, phase: &str, f: impl FnOnce() -> R) -> R {
+        if !self.enabled() {
+            return f();
+        }
+        let result = self.timings.time(phase, f);
+        if let Some(recorder) = &self.recorder {
+            let elapsed = self
+                .timings
+                .entries()
+                .last()
+                .map(|(_, d)| d.as_secs_f64())
+                .unwrap_or(0.0);
+            recorder.clone().record(TraceEvent::Log {
+                t: 0.0,
+                demand: 0,
+                level: "info".to_owned(),
+                message: format!("phase {phase} finished in {elapsed:.3}s"),
+            });
+        }
+        result
+    }
+
+    /// Replays a Bayesian study run into the sinks after the fact.
+    ///
+    /// The study has no middleware clock, so its natural time axis is
+    /// the demand count: each checkpoint becomes three
+    /// [`TraceEvent::ConfidenceUpdated`] events (one per switching
+    /// criterion) at `t = demands`. The registry gets the final
+    /// posterior percentiles and one criterion-evaluation count per
+    /// checkpoint × criterion.
+    pub fn record_study(&self, run: &StudyRun, tag: &str) {
+        if let Some(recorder) = &self.recorder {
+            let mut recorder = recorder.clone();
+            for cp in &run.checkpoints {
+                for (i, &met) in cp.criteria_met.iter().enumerate() {
+                    recorder.record(TraceEvent::ConfidenceUpdated {
+                        t: cp.demands as f64,
+                        demand: cp.demands,
+                        old_p99: cp.a_high,
+                        new_p99: cp.b_high,
+                        criterion: format!("criterion-{}", i + 1),
+                        satisfied: met,
+                    });
+                }
+            }
+        }
+        if let Some(metrics) = &self.metrics {
+            for cp in &run.checkpoints {
+                for &met in &cp.criteria_met {
+                    let decision = if met { "switch" } else { "keep" };
+                    metrics.inc_counter(
+                        "wsu_criterion_evaluations_total",
+                        &[("decision", decision), ("study", tag)],
+                    );
+                }
+            }
+            if let Some(last) = run.checkpoints.last() {
+                metrics.set_gauge(
+                    "wsu_posterior_p99",
+                    &[("release", "old"), ("study", tag)],
+                    last.a_high,
+                );
+                metrics.set_gauge(
+                    "wsu_posterior_p99",
+                    &[("release", "new"), ("study", tag)],
+                    last.b_high,
+                );
+            }
+        }
+    }
+
+    /// Writes the requested output files and reports them on stderr.
+    ///
+    /// Parent directories are created as needed. Call this once, after
+    /// the binary has printed its tables.
+    pub fn finish(self) -> io::Result<()> {
+        if let (Some(recorder), Some(path)) = (&self.recorder, &self.options.trace) {
+            recorder.write_jsonl(path)?;
+            eprintln!("trace: {} events -> {}", recorder.len(), path.display());
+        }
+        if let (Some(metrics), Some(path)) = (&self.metrics, &self.options.metrics) {
+            self.timings.export(metrics);
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    fs::create_dir_all(dir)?;
+                }
+            }
+            fs::write(path, metrics.render_snapshot())?;
+            eprintln!("metrics: snapshot -> {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_both_flags_anywhere() {
+        let args = strs(&["--quick", "--trace", "t.jsonl", "--metrics", "m.prom"]);
+        let opts = ObsOptions::parse(&args);
+        assert_eq!(opts.trace, Some(PathBuf::from("t.jsonl")));
+        assert_eq!(opts.metrics, Some(PathBuf::from("m.prom")));
+    }
+
+    #[test]
+    fn missing_flags_disable_everything() {
+        let opts = ObsOptions::parse(&strs(&["--quick"]));
+        assert_eq!(opts, ObsOptions::default());
+        let ctx = opts.context();
+        assert!(!ctx.enabled());
+        assert!(ctx.sinks().recorder.is_none());
+        assert!(ctx.sinks().metrics.is_none());
+    }
+
+    #[test]
+    fn flag_without_value_is_ignored() {
+        let opts = ObsOptions::parse(&strs(&["--trace"]));
+        assert_eq!(opts.trace, None);
+    }
+
+    #[test]
+    fn timing_is_a_passthrough_when_disabled() {
+        let mut ctx = ObsContext::disabled();
+        assert_eq!(ctx.time("phase", || 7), 7);
+    }
+
+    #[test]
+    fn timing_records_a_log_event_when_tracing() {
+        let opts = ObsOptions {
+            trace: Some(PathBuf::from("unused.jsonl")),
+            metrics: None,
+        };
+        let mut ctx = opts.context();
+        assert_eq!(ctx.time("simulate", || 7), 7);
+        let events = ctx.recorder.as_ref().unwrap().snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind(), "Log");
+    }
+}

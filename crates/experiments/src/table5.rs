@@ -10,7 +10,7 @@ use wsu_workload::outcomes::CorrelatedOutcomes;
 use wsu_workload::runs::RunSpec;
 use wsu_workload::timing::ExecTimeModel;
 
-use crate::midsim::{simulate_run, CellResult};
+use crate::midsim::{simulate_run_observed, CellResult, ObsSinks};
 use crate::report::TextTable;
 use crate::{PAPER_REQUESTS, PAPER_TIMEOUTS};
 
@@ -87,17 +87,30 @@ pub fn run_table5_with(
     timeouts: &[f64],
     timing: ExecTimeModel,
 ) -> SimulationTable {
+    run_table5_observed(seed, requests, timeouts, timing, &ObsSinks::default())
+}
+
+/// [`run_table5_with`] with observability sinks threaded into every
+/// simulated cell (tagged `table5/run{n}/t{timeout}`).
+pub fn run_table5_observed(
+    seed: MasterSeed,
+    requests: u64,
+    timeouts: &[f64],
+    timing: ExecTimeModel,
+    sinks: &ObsSinks,
+) -> SimulationTable {
     let runs = RunSpec::all()
         .into_iter()
         .map(|spec| {
             let gen = CorrelatedOutcomes::from_run(&spec);
-            let cells = simulate_run(
+            let cells = simulate_run_observed(
                 &gen,
                 timing,
                 requests,
                 timeouts,
                 seed,
                 &format!("table5/run{}", spec.run),
+                sinks,
             );
             RunResult {
                 run: spec.run,

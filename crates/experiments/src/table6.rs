@@ -12,7 +12,7 @@ use wsu_workload::outcomes::IndependentOutcomes;
 use wsu_workload::runs::RunSpec;
 use wsu_workload::timing::ExecTimeModel;
 
-use crate::midsim::simulate_run;
+use crate::midsim::{simulate_run_observed, ObsSinks};
 use crate::table5::{RunResult, SimulationTable};
 use crate::{PAPER_REQUESTS, PAPER_TIMEOUTS};
 
@@ -33,17 +33,30 @@ pub fn run_table6_with(
     timeouts: &[f64],
     timing: ExecTimeModel,
 ) -> SimulationTable {
+    run_table6_observed(seed, requests, timeouts, timing, &ObsSinks::default())
+}
+
+/// [`run_table6_with`] with observability sinks threaded into every
+/// simulated cell (tagged `table6/run{n}/t{timeout}`).
+pub fn run_table6_observed(
+    seed: MasterSeed,
+    requests: u64,
+    timeouts: &[f64],
+    timing: ExecTimeModel,
+    sinks: &ObsSinks,
+) -> SimulationTable {
     let runs = RunSpec::all()
         .into_iter()
         .map(|spec| {
             let gen = IndependentOutcomes::from_run(&spec);
-            let cells = simulate_run(
+            let cells = simulate_run_observed(
                 &gen,
                 timing,
                 requests,
                 timeouts,
                 seed,
                 &format!("table6/run{}", spec.run),
+                sinks,
             );
             RunResult {
                 run: spec.run,

@@ -1,0 +1,64 @@
+//! Zero-dependency observability for the managed-upgrade workspace.
+//!
+//! The paper's management subsystem is "responsible … for logging the
+//! information which may be needed for further analysis" (§4.1). This
+//! crate is that logging layer, grown to production shape:
+//!
+//! * [`event::TraceEvent`] — typed trace events keyed on **virtual
+//!   time** (the `simcore` clock, in seconds) and demand number, one
+//!   variant per interesting middleware decision (dispatch, collected
+//!   response, timeout, adjudication, confidence update, switch
+//!   decision, release recovery).
+//! * [`recorder::Recorder`] — the sink trait the hot paths write to.
+//!   [`recorder::NullRecorder`] is the no-op default (uninstrumented
+//!   runs stay bit-identical and near-zero-cost);
+//!   [`recorder::MemoryRecorder`] collects events in memory;
+//!   [`recorder::SharedRecorder`] shares one sink between subsystems;
+//!   [`recorder::TraceRing`] is a bounded ring used by the `EventLog`
+//!   compatibility shim.
+//! * [`metrics::MetricsRegistry`] — labeled counters, gauges and
+//!   fixed-bucket histograms, snapshotable to a Prometheus-text-style
+//!   string and mergeable across runs.
+//! * [`jsonl`] — a hand-rolled JSONL exporter (no serde) plus a small
+//!   JSON parser used to validate traces in tests.
+//! * [`span::PhaseTimings`] — wall-clock phase timers for profiling
+//!   experiment stages.
+//!
+//! Everything is plain `std`; the crate adds no dependencies, no
+//! threads and no global state.
+//!
+//! # Example
+//!
+//! ```
+//! use wsu_obs::event::TraceEvent;
+//! use wsu_obs::metrics::MetricsRegistry;
+//! use wsu_obs::recorder::{MemoryRecorder, Recorder};
+//!
+//! let mut recorder = MemoryRecorder::new();
+//! recorder.record(TraceEvent::SwitchDecision {
+//!     t: 12.5,
+//!     demand: 400,
+//!     decision: "switch-to-new".into(),
+//!     reason: "criterion 3 satisfied".into(),
+//! });
+//! assert_eq!(recorder.events().len(), 1);
+//!
+//! let mut metrics = MetricsRegistry::new();
+//! metrics.inc_counter("wsu_demands_total", &[("mode", "parallel")]);
+//! assert!(metrics.snapshot().contains("wsu_demands_total"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod jsonl;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use event::TraceEvent;
+pub use jsonl::{parse_jsonl, JsonValue};
+pub use metrics::{MetricsRegistry, SharedRegistry};
+pub use recorder::{MemoryRecorder, NullRecorder, Recorder, SharedRecorder, TraceRing};
+pub use span::PhaseTimings;

@@ -1,0 +1,460 @@
+//! Labeled metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! [`MetricsRegistry`] stores metrics keyed by `(name, sorted labels)`,
+//! renders them as a Prometheus-text-style snapshot and merges with
+//! other registries (so per-run snapshots can be aggregated across
+//! experiment cells). [`SharedRegistry`] is the cloneable single-thread
+//! handle the subsystems hold.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Default histogram bucket upper bounds, in seconds — tuned for the
+/// paper's sub-second to few-second service times.
+pub const DEFAULT_BUCKETS: [f64; 10] = [0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0];
+
+/// Metric key: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Key {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let mut out = format!("{}{{", self.name);
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}=\"{}\"", k, label_escape(v));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders with one extra label appended (used for histogram `le`).
+    fn render_with(&self, extra_key: &str, extra_value: &str) -> String {
+        let mut out = format!("{}{{", self.name);
+        let mut first = true;
+        for (k, v) in &self.labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{}=\"{}\"", k, label_escape(v));
+        }
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", extra_key, label_escape(extra_value));
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a label value per the Prometheus text format.
+fn label_escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// A fixed-bucket histogram (cumulative on render, like Prometheus).
+#[derive(Debug, Clone, PartialEq)]
+struct Histogram {
+    /// Upper bounds of the finite buckets, strictly increasing.
+    bounds: Vec<f64>,
+    /// Per-bucket counts; `counts[bounds.len()]` is the +Inf bucket.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += b;
+            }
+        } else {
+            // Incompatible bucketing: re-observe the other histogram's
+            // mass at its bucket bounds (+Inf mass at the last bound).
+            for (i, &c) in other.counts.iter().enumerate() {
+                let at = other
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .or_else(|| other.bounds.last().copied())
+                    .unwrap_or(0.0);
+                for _ in 0..c {
+                    let idx = self
+                        .bounds
+                        .iter()
+                        .position(|&b| at <= b)
+                        .unwrap_or(self.bounds.len());
+                    self.counts[idx] += 1;
+                }
+            }
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// The registry of labeled counters, gauges and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, Histogram>,
+    /// Bucket bounds configured per metric name.
+    buckets: BTreeMap<String, Vec<f64>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a labeled counter by 1.
+    pub fn inc_counter(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.add_counter(name, labels, 1);
+    }
+
+    /// Adds `delta` to a labeled counter.
+    pub fn add_counter(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self.counters.entry(Key::new(name, labels)).or_insert(0) += delta;
+    }
+
+    /// Sets a labeled gauge.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(Key::new(name, labels), value);
+    }
+
+    /// Raises a labeled gauge to `value` if it is higher than the
+    /// current value (for high-water marks).
+    pub fn max_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let entry = self.gauges.entry(Key::new(name, labels)).or_insert(value);
+        if value > *entry {
+            *entry = value;
+        }
+    }
+
+    /// Configures the bucket upper bounds used by future observations
+    /// of the named histogram (existing series keep their buckets).
+    pub fn set_buckets(&mut self, name: &str, bounds: &[f64]) {
+        self.buckets.insert(name.to_string(), bounds.to_vec());
+    }
+
+    /// Records one observation into a labeled histogram, creating it
+    /// with the configured (or [`DEFAULT_BUCKETS`]) bounds on first use.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let key = Key::new(name, labels);
+        let histogram = self.histograms.entry(key).or_insert_with(|| {
+            let bounds = self
+                .buckets
+                .get(name)
+                .map(|b| b.as_slice())
+                .unwrap_or(&DEFAULT_BUCKETS);
+            Histogram::new(bounds)
+        });
+        histogram.observe(value);
+    }
+
+    /// Reads a counter (0 if never written).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&Key::new(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&Key::new(name, labels)).copied()
+    }
+
+    /// Total observation count of a histogram (0 if never written).
+    pub fn histogram_count(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.histograms
+            .get(&Key::new(name, labels))
+            .map(|h| h.count)
+            .unwrap_or(0)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry into this one: counters and histograms
+    /// add, gauges take the other registry's value (last write wins).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+        for (name, bounds) in &other.buckets {
+            self.buckets
+                .entry(name.clone())
+                .or_insert_with(|| bounds.clone());
+        }
+    }
+
+    /// Renders a Prometheus-text-style snapshot: `# TYPE` comments, one
+    /// sample per line, histograms as cumulative `_bucket`/`_sum`/
+    /// `_count` series. Deterministic (keys are sorted).
+    pub fn snapshot(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for (key, value) in &self.counters {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} counter", key.name);
+                last_name = &key.name;
+            }
+            let _ = writeln!(out, "{} {}", key.render(), value);
+        }
+        last_name = "";
+        for (key, value) in &self.gauges {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} gauge", key.name);
+                last_name = &key.name;
+            }
+            let _ = writeln!(out, "{} {}", key.render(), fmt_value(*value));
+        }
+        last_name = "";
+        for (key, histogram) in &self.histograms {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} histogram", key.name);
+                last_name = &key.name;
+            }
+            let bucket_name = format!("{}_bucket", key.name);
+            let bucket_key = Key {
+                name: bucket_name,
+                labels: key.labels.clone(),
+            };
+            let mut cumulative = 0u64;
+            for (i, &bound) in histogram.bounds.iter().enumerate() {
+                cumulative += histogram.counts[i];
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    bucket_key.render_with("le", &fmt_value(bound)),
+                    cumulative
+                );
+            }
+            cumulative += histogram.counts[histogram.bounds.len()];
+            let _ = writeln!(
+                out,
+                "{} {}",
+                bucket_key.render_with("le", "+Inf"),
+                cumulative
+            );
+            let sum_key = Key {
+                name: format!("{}_sum", key.name),
+                labels: key.labels.clone(),
+            };
+            let _ = writeln!(out, "{} {}", sum_key.render(), fmt_value(histogram.sum));
+            let count_key = Key {
+                name: format!("{}_count", key.name),
+                labels: key.labels.clone(),
+            };
+            let _ = writeln!(out, "{} {}", count_key.render(), histogram.count);
+        }
+        out
+    }
+}
+
+/// Formats a float sample value (Prometheus accepts `NaN`/`+Inf`).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// A cloneable single-thread handle to one shared [`MetricsRegistry`].
+///
+/// Subsystems that only hold `&self` (e.g. the management subsystem's
+/// assessment path) can still record through the interior `RefCell`.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRegistry {
+    inner: Rc<RefCell<MetricsRegistry>>,
+}
+
+impl SharedRegistry {
+    /// A new handle to an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a labeled counter by 1.
+    pub fn inc_counter(&self, name: &str, labels: &[(&str, &str)]) {
+        self.inner.borrow_mut().inc_counter(name, labels);
+    }
+
+    /// Adds `delta` to a labeled counter.
+    pub fn add_counter(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        self.inner.borrow_mut().add_counter(name, labels, delta);
+    }
+
+    /// Sets a labeled gauge.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.inner.borrow_mut().set_gauge(name, labels, value);
+    }
+
+    /// Raises a labeled gauge to `value` if higher.
+    pub fn max_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.inner.borrow_mut().max_gauge(name, labels, value);
+    }
+
+    /// Configures histogram bucket bounds for a metric name.
+    pub fn set_buckets(&self, name: &str, bounds: &[f64]) {
+        self.inner.borrow_mut().set_buckets(name, bounds);
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.inner.borrow_mut().observe(name, labels, value);
+    }
+
+    /// Runs `f` with mutable access to the underlying registry.
+    pub fn with<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+
+    /// Renders the Prometheus-text snapshot.
+    pub fn render_snapshot(&self) -> String {
+        self.inner.borrow().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc_counter("wsu_demands_total", &[("mode", "parallel")]);
+        reg.add_counter("wsu_demands_total", &[("mode", "parallel")], 2);
+        assert_eq!(reg.counter("wsu_demands_total", &[("mode", "parallel")]), 3);
+        let snap = reg.snapshot();
+        assert!(snap.contains("# TYPE wsu_demands_total counter"), "{snap}");
+        assert!(
+            snap.contains("wsu_demands_total{mode=\"parallel\"} 3"),
+            "{snap}"
+        );
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc_counter("m", &[("b", "2"), ("a", "1")]);
+        reg.inc_counter("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(reg.counter("m", &[("a", "1"), ("b", "2")]), 2);
+        assert!(reg.snapshot().contains("m{a=\"1\",b=\"2\"} 2"));
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_gauge("g", &[], 5.0);
+        reg.max_gauge("g", &[], 3.0);
+        assert_eq!(reg.gauge("g", &[]), Some(5.0));
+        reg.max_gauge("g", &[], 7.5);
+        assert_eq!(reg.gauge("g", &[]), Some(7.5));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_buckets("h", &[1.0, 2.0]);
+        reg.observe("h", &[], 0.5);
+        reg.observe("h", &[], 1.5);
+        reg.observe("h", &[], 9.0);
+        let snap = reg.snapshot();
+        assert!(snap.contains("h_bucket{le=\"1\"} 1"), "{snap}");
+        assert!(snap.contains("h_bucket{le=\"2\"} 2"), "{snap}");
+        assert!(snap.contains("h_bucket{le=\"+Inf\"} 3"), "{snap}");
+        assert!(snap.contains("h_sum 11"), "{snap}");
+        assert!(snap.contains("h_count 3"), "{snap}");
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.inc_counter("c", &[]);
+        b.add_counter("c", &[], 4);
+        a.observe("h", &[], 0.1);
+        b.observe("h", &[], 0.2);
+        b.set_gauge("g", &[], 2.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c", &[]), 5);
+        assert_eq!(a.histogram_count("h", &[]), 2);
+        assert_eq!(a.gauge("g", &[]), Some(2.0));
+    }
+
+    #[test]
+    fn shared_registry_clones_share_state() {
+        let shared = SharedRegistry::new();
+        let other = shared.clone();
+        shared.inc_counter("c", &[]);
+        other.inc_counter("c", &[]);
+        assert_eq!(shared.with(|r| r.counter("c", &[])), 2);
+        assert!(shared.render_snapshot().contains("c 2"));
+    }
+}

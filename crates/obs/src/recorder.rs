@@ -1,0 +1,261 @@
+//! Event sinks: the [`Recorder`] trait and its implementations.
+//!
+//! Hot paths hold a `Box<dyn Recorder>` and guard emission with
+//! [`Recorder::enabled`], so the uninstrumented default
+//! ([`NullRecorder`]) costs one virtual call returning a constant
+//! `false` per potential event — no allocation, no formatting.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io;
+use std::path::Path;
+use std::rc::Rc;
+
+use crate::event::TraceEvent;
+use crate::jsonl;
+
+/// A sink for [`TraceEvent`]s.
+pub trait Recorder {
+    /// Whether events will actually be kept. Callers should skip
+    /// constructing events when this is `false`.
+    fn enabled(&self) -> bool;
+
+    /// Consumes one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The no-op recorder: [`enabled`](Recorder::enabled) is `false` and
+/// [`record`](Recorder::record) drops the event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Collects every event in memory, in arrival order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in arrival order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Removes and returns all recorded events.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Writes the events as JSONL to `path`, creating parent
+    /// directories as needed.
+    pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
+        jsonl::write_events(path, &self.events)
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// A cloneable handle to one shared [`MemoryRecorder`], so the
+/// middleware, monitor and orchestrator can all append to a single
+/// trace. Single-threaded by design (`Rc<RefCell<…>>`), like the
+/// simulation itself.
+#[derive(Debug, Clone, Default)]
+pub struct SharedRecorder {
+    inner: Rc<RefCell<MemoryRecorder>>,
+}
+
+impl SharedRecorder {
+    /// A new, empty shared recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the events recorded so far.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events().to_vec()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Writes the events as JSONL to `path`, creating parent
+    /// directories as needed.
+    pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
+        self.inner.borrow().write_jsonl(path)
+    }
+}
+
+impl Recorder for SharedRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        self.inner.borrow_mut().record(event);
+    }
+}
+
+/// A bounded ring of events: once `capacity` is reached, the oldest
+/// event is evicted and counted as dropped. Backs the `EventLog`
+/// compatibility shim in `wsu-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRing {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Iterates over the retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events have been evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Discards all retained events (the dropped count is kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        Self::new(1024)
+    }
+}
+
+impl Recorder for TraceRing {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(demand: u64) -> TraceEvent {
+        TraceEvent::Log {
+            t: demand as f64,
+            demand,
+            level: "Info".into(),
+            message: format!("m{demand}"),
+        }
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let mut r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(ev(1));
+    }
+
+    #[test]
+    fn memory_recorder_keeps_order() {
+        let mut r = MemoryRecorder::new();
+        r.record(ev(1));
+        r.record(ev(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.events()[0].demand(), 1);
+        let taken = r.take();
+        assert_eq!(taken.len(), 2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn shared_recorder_clones_share_a_sink() {
+        let shared = SharedRecorder::new();
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        a.record(ev(1));
+        b.record(ev(2));
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.snapshot()[1].demand(), 2);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut ring = TraceRing::new(2);
+        ring.record(ev(1));
+        ring.record(ev(2));
+        ring.record(ev(3));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 1);
+        let demands: Vec<u64> = ring.iter().map(|e| e.demand()).collect();
+        assert_eq!(demands, vec![2, 3]);
+    }
+}

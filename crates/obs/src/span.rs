@@ -1,0 +1,101 @@
+//! Wall-clock phase timers for profiling experiment stages.
+//!
+//! Unlike [`crate::event`] (virtual time), these measure real elapsed
+//! time: where does an experiment binary actually spend its seconds?
+
+use std::time::{Duration, Instant};
+
+use crate::metrics::SharedRegistry;
+
+/// An ordered list of named phase durations.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimings {
+    entries: Vec<(String, Duration)>,
+}
+
+impl PhaseTimings {
+    /// An empty set of timings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f`, recording its wall-clock duration under `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.record(name, start.elapsed());
+        result
+    }
+
+    /// Records an externally measured duration.
+    pub fn record(&mut self, name: &str, duration: Duration) {
+        self.entries.push((name.to_string(), duration));
+    }
+
+    /// The recorded `(name, duration)` pairs, in recording order.
+    pub fn entries(&self) -> &[(String, Duration)] {
+        &self.entries
+    }
+
+    /// Sum of all recorded durations.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Renders a small aligned report.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Phase timings (wall clock):\n");
+        for (name, duration) in &self.entries {
+            out.push_str(&format!(
+                "  {name:<40} {:>10.3} ms\n",
+                duration.as_secs_f64() * 1e3
+            ));
+        }
+        out.push_str(&format!(
+            "  {:<40} {:>10.3} ms\n",
+            "total",
+            self.total().as_secs_f64() * 1e3
+        ));
+        out
+    }
+
+    /// Exports each phase as a `wsu_phase_seconds{phase="…"}` gauge.
+    pub fn export(&self, registry: &SharedRegistry) {
+        for (name, duration) in &self.entries {
+            registry.set_gauge(
+                "wsu_phase_seconds",
+                &[("phase", name)],
+                duration.as_secs_f64(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_in_order() {
+        let mut spans = PhaseTimings::new();
+        let x = spans.time("first", || 41 + 1);
+        assert_eq!(x, 42);
+        spans.record("second", Duration::from_millis(5));
+        assert_eq!(spans.entries().len(), 2);
+        assert_eq!(spans.entries()[0].0, "first");
+        assert!(spans.total() >= Duration::from_millis(5));
+        assert!(spans.render().contains("second"));
+    }
+
+    #[test]
+    fn export_writes_gauges() {
+        let mut spans = PhaseTimings::new();
+        spans.record("run", Duration::from_secs(2));
+        let registry = SharedRegistry::new();
+        spans.export(&registry);
+        assert_eq!(
+            registry.with(|r| r.gauge("wsu_phase_seconds", &[("phase", "run")])),
+            Some(2.0)
+        );
+    }
+}

@@ -23,6 +23,7 @@ pub struct Engine<E> {
     now: SimTime,
     queue: EventQueue<E>,
     processed: u64,
+    queue_high_water: usize,
     limit: Option<u64>,
     horizon: Option<SimTime>,
     stopped: bool,
@@ -35,6 +36,7 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             processed: 0,
+            queue_high_water: 0,
             limit: None,
             horizon: None,
             stopped: false,
@@ -49,6 +51,12 @@ impl<E> Engine<E> {
     /// Number of events processed so far.
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// The deepest the event queue has ever been (pending events), an
+    /// observability signal for sizing and backlog analysis.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_high_water
     }
 
     /// Limits the run to at most `limit` events (a runaway backstop).
@@ -77,11 +85,13 @@ impl<E> Engine<E> {
             due
         );
         self.queue.push(due, event);
+        self.queue_high_water = self.queue_high_water.max(self.queue.len());
     }
 
     /// Schedules `event` after `delay` from now.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
         self.queue.push(self.now + delay, event);
+        self.queue_high_water = self.queue_high_water.max(self.queue.len());
     }
 
     /// Requests that the run loop stop after the current event.
@@ -243,6 +253,19 @@ mod tests {
         assert_eq!(n, 1);
         assert!(engine.is_stopped());
         assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
+    fn queue_high_water_tracks_peak_depth() {
+        let mut engine = Engine::new();
+        for i in 0..4 {
+            engine.schedule_at(SimTime::from_secs(i as f64), Ev::Boom);
+        }
+        assert_eq!(engine.queue_high_water(), 4);
+        let mut world = World::default();
+        engine.run(&mut world);
+        // Draining the queue does not lower the mark.
+        assert_eq!(engine.queue_high_water(), 4);
     }
 
     #[test]

@@ -1,20 +1,40 @@
-//! Property-based tests of the simulation substrate.
-
-use proptest::prelude::*;
+//! Property-style tests of the simulation substrate.
+//!
+//! Originally written with `proptest`; rewritten as deterministic
+//! seeded-loop checks (the build environment has no registry access, so
+//! the workspace carries no external dev-dependencies). Each test draws
+//! its cases from a [`StreamRng`], so the explored inputs are random in
+//! shape but identical on every run.
 
 use wsu_simcore::dist::{Categorical, Exponential};
 use wsu_simcore::engine::{Engine, Handler};
-use wsu_simcore::rng::StreamRng;
+use wsu_simcore::rng::{MasterSeed, StreamRng};
 use wsu_simcore::stats::{Histogram, Summary};
 use wsu_simcore::time::{SimDuration, SimTime};
 
-proptest! {
-    /// Merging two summaries equals summarising the concatenated stream.
-    #[test]
-    fn summary_merge_is_concatenation(
-        left in prop::collection::vec(-1e6f64..1e6, 0..100),
-        right in prop::collection::vec(-1e6f64..1e6, 0..100),
-    ) {
+const CASES: usize = 48;
+
+fn rng_for(test: &str) -> StreamRng {
+    MasterSeed::new(0x51_4D_43_5F_50_52_4F_50).stream(test)
+}
+
+fn f64_in(rng: &mut StreamRng, lo: f64, hi: f64) -> f64 {
+    let unit = rng.next_u64() as f64 / u64::MAX as f64;
+    lo + unit * (hi - lo)
+}
+
+fn vec_in(rng: &mut StreamRng, lo: f64, hi: f64, max_len: usize) -> Vec<f64> {
+    let len = rng.next_below(max_len as u64 + 1) as usize;
+    (0..len).map(|_| f64_in(rng, lo, hi)).collect()
+}
+
+/// Merging two summaries equals summarising the concatenated stream.
+#[test]
+fn summary_merge_is_concatenation() {
+    let mut rng = rng_for("summary_merge");
+    for _ in 0..CASES {
+        let left = vec_in(&mut rng, -1e6, 1e6, 100);
+        let right = vec_in(&mut rng, -1e6, 1e6, 100);
         let mut merged = Summary::new();
         for &x in &left {
             merged.record(x);
@@ -29,49 +49,59 @@ proptest! {
         for &x in left.iter().chain(&right) {
             whole.record(x);
         }
-        prop_assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.count(), whole.count());
         if whole.count() > 0 {
-            prop_assert!((merged.mean() - whole.mean()).abs() < 1e-6);
-            prop_assert!((merged.variance() - whole.variance()).abs() < 1e-3);
-            prop_assert_eq!(merged.min(), whole.min());
-            prop_assert_eq!(merged.max(), whole.max());
+            assert!((merged.mean() - whole.mean()).abs() < 1e-6);
+            assert!((merged.variance() - whole.variance()).abs() < 1e-3);
+            assert_eq!(merged.min(), whole.min());
+            assert_eq!(merged.max(), whole.max());
         }
     }
+}
 
-    /// A histogram never loses observations.
-    #[test]
-    fn histogram_conserves_mass(
-        values in prop::collection::vec(-10.0f64..20.0, 0..300),
-        bins in 1usize..50,
-    ) {
+/// A histogram never loses observations.
+#[test]
+fn histogram_conserves_mass() {
+    let mut rng = rng_for("histogram_mass");
+    for _ in 0..CASES {
+        let values = vec_in(&mut rng, -10.0, 20.0, 300);
+        let bins = 1 + rng.next_below(49) as usize;
         let mut h = Histogram::new(0.0, 10.0, bins);
         for &v in &values {
             h.record(v);
         }
-        prop_assert_eq!(h.total() as usize, values.len());
+        assert_eq!(h.total() as usize, values.len());
         let binned: u64 = (0..h.bin_count()).map(|i| h.bin(i)).sum();
-        prop_assert_eq!(binned + h.underflow() + h.overflow(), h.total());
+        assert_eq!(binned + h.underflow() + h.overflow(), h.total());
     }
+}
 
-    /// Exponential samples are non-negative and finite for any mean.
-    #[test]
-    fn exponential_samples_are_sane(mean in 1e-6f64..1e3, seed in any::<u64>()) {
+/// Exponential samples are non-negative and finite for any mean.
+#[test]
+fn exponential_samples_are_sane() {
+    let mut rng = rng_for("exponential_sane");
+    for _ in 0..CASES {
+        let mean = f64_in(&mut rng, 1e-6, 1e3);
         let exp = Exponential::with_mean(mean);
-        let mut rng = StreamRng::from_seed(seed);
+        let mut sample_rng = StreamRng::from_seed(rng.next_u64());
         for _ in 0..100 {
-            let x = exp.sample(&mut rng);
-            prop_assert!(x.is_finite() && x >= 0.0);
+            let x = exp.sample(&mut sample_rng);
+            assert!(x.is_finite() && x >= 0.0);
         }
     }
+}
 
-    /// Categorical sampling always lands on a positive-probability class.
-    #[test]
-    fn categorical_respects_support(
-        raw in prop::collection::vec(0.0f64..1.0, 2..8),
-        seed in any::<u64>(),
-    ) {
+/// Categorical sampling always lands on a positive-probability class.
+#[test]
+fn categorical_respects_support() {
+    let mut rng = rng_for("categorical_support");
+    for _ in 0..CASES {
+        let len = 2 + rng.next_below(6) as usize;
+        let raw: Vec<f64> = (0..len).map(|_| f64_in(&mut rng, 0.0, 1.0)).collect();
         let total: f64 = raw.iter().sum();
-        prop_assume!(total > 1e-9);
+        if total <= 1e-9 {
+            continue;
+        }
         let probs: Vec<f64> = {
             let mut p: Vec<f64> = raw.iter().map(|w| w / total).collect();
             // Force exact normalisation on the last element.
@@ -80,68 +110,91 @@ proptest! {
             p[last] = 1.0 - head;
             p
         };
-        prop_assume!(probs.iter().all(|&p| p >= 0.0));
+        if probs.iter().any(|&p| p < 0.0) {
+            continue;
+        }
         let cat = Categorical::new(probs.clone());
-        let mut rng = StreamRng::from_seed(seed);
+        let mut sample_rng = StreamRng::from_seed(rng.next_u64());
         for _ in 0..50 {
-            let i = cat.sample(&mut rng);
-            prop_assert!(probs[i] > 0.0, "sampled zero-probability class {i}");
+            let i = cat.sample(&mut sample_rng);
+            assert!(probs[i] > 0.0, "sampled zero-probability class {i}");
         }
     }
+}
 
-    /// The engine's clock is monotone for any schedule, and every event
-    /// scheduled within the horizon is delivered.
-    #[test]
-    fn engine_clock_is_monotone(times in prop::collection::vec(0.0f64..1e3, 0..100)) {
-        struct World {
-            seen: Vec<f64>,
+/// The engine's clock is monotone for any schedule, and every event
+/// scheduled within the horizon is delivered.
+#[test]
+fn engine_clock_is_monotone() {
+    struct World {
+        seen: Vec<f64>,
+    }
+    impl Handler<usize> for World {
+        fn handle(&mut self, engine: &mut Engine<usize>, _e: usize) {
+            self.seen.push(engine.now().as_secs());
         }
-        impl Handler<usize> for World {
-            fn handle(&mut self, engine: &mut Engine<usize>, _e: usize) {
-                self.seen.push(engine.now().as_secs());
-            }
-        }
+    }
+    let mut rng = rng_for("engine_monotone");
+    for _ in 0..CASES {
+        let times = vec_in(&mut rng, 0.0, 1e3, 100);
         let mut engine = Engine::new();
         for (i, &t) in times.iter().enumerate() {
             engine.schedule_at(SimTime::from_secs(t), i);
         }
         let mut world = World { seen: Vec::new() };
         engine.run(&mut world);
-        prop_assert_eq!(world.seen.len(), times.len());
+        assert_eq!(world.seen.len(), times.len());
         for w in world.seen.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1]);
         }
     }
+}
 
-    /// Durations: min/max/add behave like their f64 counterparts.
-    #[test]
-    fn duration_algebra(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+/// Durations: min/max/add behave like their f64 counterparts.
+#[test]
+fn duration_algebra() {
+    let mut rng = rng_for("duration_algebra");
+    for _ in 0..CASES {
+        let a = f64_in(&mut rng, 0.0, 1e6);
+        let b = f64_in(&mut rng, 0.0, 1e6);
         let da = SimDuration::from_secs(a);
         let db = SimDuration::from_secs(b);
-        prop_assert_eq!(da.min(db).as_secs(), a.min(b));
-        prop_assert_eq!(da.max(db).as_secs(), a.max(b));
-        prop_assert!(((da + db).as_secs() - (a + b)).abs() < 1e-9);
+        assert_eq!(da.min(db).as_secs(), a.min(b));
+        assert_eq!(da.max(db).as_secs(), a.max(b));
+        assert!(((da + db).as_secs() - (a + b)).abs() < 1e-9);
         let t = SimTime::from_secs(a) + db;
-        prop_assert!((t.as_secs() - (a + b)).abs() < 1e-9);
+        assert!((t.as_secs() - (a + b)).abs() < 1e-9);
     }
+}
 
-    /// Stream derivation: the same name yields identical streams, an
-    /// index always changes them.
-    #[test]
-    fn stream_derivation_is_stable(seed in any::<u64>(), name in "[a-z]{1,12}") {
-        use wsu_simcore::rng::MasterSeed;
+/// Stream derivation: the same name yields identical streams, an index
+/// always changes them.
+#[test]
+fn stream_derivation_is_stable() {
+    let mut rng = rng_for("stream_derivation");
+    let names = [
+        "a",
+        "rng",
+        "monitor",
+        "adjudicator",
+        "x1y2z3",
+        "longstreamname",
+    ];
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let name = names[rng.next_below(names.len() as u64) as usize];
         let master = MasterSeed::new(seed);
         let a: Vec<u64> = {
-            let mut s = master.stream(&name);
+            let mut s = master.stream(name);
             (0..4).map(|_| s.next_u64()).collect()
         };
         let b: Vec<u64> = {
-            let mut s = master.stream(&name);
+            let mut s = master.stream(name);
             (0..4).map(|_| s.next_u64()).collect()
         };
-        prop_assert_eq!(&a, &b);
-        let mut indexed = master.indexed_stream(&name, 1);
+        assert_eq!(&a, &b);
+        let mut indexed = master.indexed_stream(name, 1);
         let c: Vec<u64> = (0..4).map(|_| indexed.next_u64()).collect();
-        prop_assert_ne!(a, c);
+        assert_ne!(a, c);
     }
 }

@@ -1,63 +1,83 @@
-//! Property-based tests of the workload generators.
+//! Property-style tests of the workload generators.
+//!
+//! Originally written with `proptest`; rewritten as deterministic
+//! seeded-loop checks (no external dev-dependencies — see the note in
+//! `crates/simcore/tests/properties.rs`).
 
-use proptest::prelude::*;
-
-use wsu_simcore::rng::StreamRng;
+use wsu_simcore::rng::{MasterSeed, StreamRng};
 use wsu_workload::outcomes::{CorrelatedOutcomes, IndependentOutcomes, OutcomePairGen};
 use wsu_workload::runs::{ConditionalTable, RunSpec};
 use wsu_workload::scenario::FailureScenario;
 use wsu_workload::timing::ExecTimeModel;
 use wsu_wstack::outcome::{OutcomeProfile, ResponseClass};
 
-proptest! {
-    /// A symmetric conditional table's implied marginal is itself a valid
-    /// profile, and the diagonal dominance carries through.
-    #[test]
-    fn implied_marginal_is_valid(diag in 0.34f64..1.0) {
+fn rng_for(test: &str) -> StreamRng {
+    MasterSeed::new(0x57_4F_52_4B_4C_4F_41_44).stream(test)
+}
+
+fn f64_in(rng: &mut StreamRng, lo: f64, hi: f64) -> f64 {
+    let unit = rng.next_u64() as f64 / u64::MAX as f64;
+    lo + unit * (hi - lo)
+}
+
+/// A symmetric conditional table's implied marginal is itself a valid
+/// profile, and the diagonal dominance carries through.
+#[test]
+fn implied_marginal_is_valid() {
+    let mut rng = rng_for("implied_marginal");
+    for _ in 0..64 {
+        let diag = f64_in(&mut rng, 0.34, 1.0);
         let table = ConditionalTable::symmetric(diag);
         let rel1 = OutcomeProfile::new(0.7, 0.15, 0.15);
         let implied = table.implied_marginal(rel1);
         let sum: f64 = implied.as_array().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
+        assert!((sum - 1.0).abs() < 1e-9);
         // With a dominant diagonal, the implied distribution leans toward
         // rel1's dominant class.
         if diag > 0.5 {
-            prop_assert!(implied.correct() >= implied.evident());
+            assert!(implied.correct() >= implied.evident());
         }
     }
+}
 
-    /// Correlated generation produces agreement with probability exactly
-    /// the diagonal (for symmetric tables), independent of marginals.
-    #[test]
-    fn agreement_tracks_diagonal(diag in 0.2f64..1.0, seed in any::<u64>()) {
+/// Correlated generation produces agreement with probability exactly
+/// the diagonal (for symmetric tables), independent of marginals.
+#[test]
+fn agreement_tracks_diagonal() {
+    let mut rng = rng_for("agreement_diagonal");
+    for _ in 0..8 {
+        let diag = f64_in(&mut rng, 0.2, 1.0);
         let table = ConditionalTable::symmetric(diag);
         let gen = CorrelatedOutcomes::new(OutcomeProfile::new(0.6, 0.25, 0.15), table);
-        let mut rng = StreamRng::from_seed(seed);
+        let mut sample_rng = StreamRng::from_seed(rng.next_u64());
         let n = 20_000;
         let agree = (0..n)
             .filter(|_| {
-                let (a, b) = gen.sample_pair(&mut rng);
+                let (a, b) = gen.sample_pair(&mut sample_rng);
                 a == b
             })
             .count();
         let rate = agree as f64 / n as f64;
-        prop_assert!((rate - diag).abs() < 0.03, "rate {rate} vs diag {diag}");
+        assert!((rate - diag).abs() < 0.03, "rate {rate} vs diag {diag}");
     }
+}
 
-    /// Independent generation: each release's class frequencies match its
-    /// own marginals regardless of the partner.
-    #[test]
-    fn independent_marginals_hold(seed in any::<u64>()) {
+/// Independent generation: each release's class frequencies match its
+/// own marginals regardless of the partner.
+#[test]
+fn independent_marginals_hold() {
+    let mut rng = rng_for("independent_marginals");
+    for _ in 0..8 {
         let gen = IndependentOutcomes::new(
             OutcomeProfile::new(0.8, 0.1, 0.1),
             OutcomeProfile::new(0.4, 0.3, 0.3),
         );
-        let mut rng = StreamRng::from_seed(seed);
+        let mut sample_rng = StreamRng::from_seed(rng.next_u64());
         let n = 20_000;
         let mut cr1 = 0;
         let mut cr2 = 0;
         for _ in 0..n {
-            let (a, b) = gen.sample_pair(&mut rng);
+            let (a, b) = gen.sample_pair(&mut sample_rng);
             if a == ResponseClass::Correct {
                 cr1 += 1;
             }
@@ -65,56 +85,69 @@ proptest! {
                 cr2 += 1;
             }
         }
-        prop_assert!((cr1 as f64 / n as f64 - 0.8).abs() < 0.02);
-        prop_assert!((cr2 as f64 / n as f64 - 0.4).abs() < 0.02);
+        assert!((cr1 as f64 / n as f64 - 0.8).abs() < 0.02);
+        assert!((cr2 as f64 / n as f64 - 0.4).abs() < 0.02);
     }
+}
 
-    /// Scenario truth: implied P_B and P_AB match their closed forms for
-    /// arbitrary parameters.
-    #[test]
-    fn scenario_implied_probabilities(
-        p_a in 0.0f64..0.2,
-        p_b_fail in 0.0f64..1.0,
-        p_b_ok in 0.0f64..0.05,
-    ) {
+/// Scenario truth: implied P_B and P_AB match their closed forms for
+/// arbitrary parameters.
+#[test]
+fn scenario_implied_probabilities() {
+    let mut rng = rng_for("scenario_probabilities");
+    for _ in 0..64 {
+        let p_a = f64_in(&mut rng, 0.0, 0.2);
+        let p_b_fail = f64_in(&mut rng, 0.0, 1.0);
+        let p_b_ok = f64_in(&mut rng, 0.0, 0.05);
         let scenario = FailureScenario::new(p_a, p_b_fail, p_b_ok);
         let expect_b = p_a * p_b_fail + (1.0 - p_a) * p_b_ok;
-        prop_assert!((scenario.p_b() - expect_b).abs() < 1e-12);
-        prop_assert!((scenario.p_ab() - p_a * p_b_fail).abs() < 1e-12);
+        assert!((scenario.p_b() - expect_b).abs() < 1e-12);
+        assert!((scenario.p_ab() - p_a * p_b_fail).abs() < 1e-12);
         // P_AB can never exceed either marginal.
-        prop_assert!(scenario.p_ab() <= p_a + 1e-12);
-        prop_assert!(scenario.p_ab() <= scenario.p_b() + 1e-12);
+        assert!(scenario.p_ab() <= p_a + 1e-12);
+        assert!(scenario.p_ab() <= scenario.p_b() + 1e-12);
     }
+}
 
-    /// Execution-time pairs are both positive and share the demand's T1:
-    /// with constant T2 components the difference is exactly their gap.
-    #[test]
-    fn exec_times_share_t1(t1 in 0.01f64..5.0, t2a in 0.0f64..2.0, t2b in 0.0f64..2.0, seed in any::<u64>()) {
-        use wsu_simcore::dist::DelayModel;
+/// Execution-time pairs are both positive and share the demand's T1:
+/// with constant T2 components the difference is exactly their gap.
+#[test]
+fn exec_times_share_t1() {
+    use wsu_simcore::dist::DelayModel;
+    let mut rng = rng_for("exec_times_t1");
+    for _ in 0..64 {
+        let t1 = f64_in(&mut rng, 0.01, 5.0);
+        let t2a = f64_in(&mut rng, 0.0, 2.0);
+        let t2b = f64_in(&mut rng, 0.0, 2.0);
         let model = ExecTimeModel::new(
             DelayModel::exponential(t1),
             DelayModel::constant(t2a),
             DelayModel::constant(t2b),
         );
-        let mut rng = StreamRng::from_seed(seed);
-        let (a, b) = model.sample_pair(&mut rng);
-        prop_assert!(a.as_secs() > 0.0 || t2a == 0.0);
-        prop_assert!(((a.as_secs() - b.as_secs()) - (t2a - t2b)).abs() < 1e-9);
+        let mut sample_rng = StreamRng::from_seed(rng.next_u64());
+        let (a, b) = model.sample_pair(&mut sample_rng);
+        assert!(a.as_secs() > 0.0 || t2a == 0.0);
+        assert!(((a.as_secs() - b.as_secs()) - (t2a - t2b)).abs() < 1e-9);
     }
+}
 
-    /// Every run preset yields pair generators whose samples are valid
-    /// classes for either model.
-    #[test]
-    fn run_presets_sample_cleanly(run_idx in 0usize..4, seed in any::<u64>()) {
+/// Every run preset yields pair generators whose samples are valid
+/// classes for either model.
+#[test]
+fn run_presets_sample_cleanly() {
+    let mut rng = rng_for("run_presets");
+    for run_idx in 0..4 {
         let spec = &RunSpec::all()[run_idx];
         let correlated = CorrelatedOutcomes::from_run(spec);
         let independent = IndependentOutcomes::from_run(spec);
-        let mut rng = StreamRng::from_seed(seed);
-        for _ in 0..100 {
-            let (a, b) = correlated.sample_pair(&mut rng);
-            prop_assert!(a.index() < 3 && b.index() < 3);
-            let (c, d) = independent.sample_pair(&mut rng);
-            prop_assert!(c.index() < 3 && d.index() < 3);
+        for _ in 0..4 {
+            let mut sample_rng = StreamRng::from_seed(rng.next_u64());
+            for _ in 0..100 {
+                let (a, b) = correlated.sample_pair(&mut sample_rng);
+                assert!(a.index() < 3 && b.index() < 3);
+                let (c, d) = independent.sample_pair(&mut sample_rng);
+                assert!(c.index() < 3 && d.index() < 3);
+            }
         }
     }
 }

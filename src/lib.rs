@@ -4,8 +4,8 @@
 //! [`core`] (managed-upgrade middleware), [`bayes`] (confidence
 //! inference), [`wstack`] (simulated WS stack), [`detect`] (failure
 //! detection), [`workload`] (demand generation), [`simcore`]
-//! (event-driven engine) and [`experiments`] (paper reproduction
-//! harness).
+//! (event-driven engine), [`obs`] (tracing and metrics) and
+//! [`experiments`] (paper reproduction harness).
 //!
 //! # Example
 //!
@@ -34,6 +34,7 @@ pub use wsu_bayes as bayes;
 pub use wsu_core as core;
 pub use wsu_detect as detect;
 pub use wsu_experiments as experiments;
+pub use wsu_obs as obs;
 pub use wsu_simcore as simcore;
 pub use wsu_workload as workload;
 pub use wsu_wstack as wstack;

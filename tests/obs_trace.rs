@@ -1,0 +1,104 @@
+//! Cross-crate observability test: a short managed upgrade traced end
+//! to end, with the JSONL export parsed back and validated.
+
+use composite_ws_upgrade::core::manage::SwitchCriterion;
+use composite_ws_upgrade::core::upgrade::{ManagedUpgrade, UpgradeConfig, UpgradePhase};
+use composite_ws_upgrade::obs::{parse_jsonl, SharedRecorder, SharedRegistry};
+use composite_ws_upgrade::simcore::rng::MasterSeed;
+use composite_ws_upgrade::wstack::endpoint::SyntheticService;
+use composite_ws_upgrade::wstack::outcome::OutcomeProfile;
+use wsu_bayes::whitebox::Resolution;
+
+fn traced_upgrade() -> (ManagedUpgrade, SharedRecorder, SharedRegistry) {
+    let config = UpgradeConfig::default()
+        .with_resolution(Resolution {
+            a_cells: 40,
+            b_cells: 40,
+            q_cells: 10,
+        })
+        .with_criterion(SwitchCriterion::better_than_old(0.95))
+        .with_assess_interval(250);
+    let mut upgrade = ManagedUpgrade::new(
+        SyntheticService::builder("Svc", "1.0")
+            .outcomes(OutcomeProfile::new(0.97, 0.02, 0.01))
+            .exec_time_mean(0.1)
+            .build(),
+        SyntheticService::builder("Svc", "1.1")
+            .outcomes(OutcomeProfile::always_correct())
+            .exec_time_mean(0.1)
+            .build(),
+        config,
+        MasterSeed::new(1),
+    );
+    let recorder = SharedRecorder::new();
+    let registry = SharedRegistry::new();
+    upgrade.attach_recorder(recorder.clone());
+    upgrade.attach_metrics(&registry);
+    upgrade.run_demands(4_000);
+    (upgrade, recorder, registry)
+}
+
+#[test]
+fn managed_upgrade_trace_has_exactly_one_switch_decision() {
+    let (upgrade, recorder, registry) = traced_upgrade();
+    assert!(matches!(upgrade.phase(), UpgradePhase::Switched { .. }));
+
+    let events = recorder.snapshot();
+    let switches: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind() == "SwitchDecision")
+        .collect();
+    assert_eq!(switches.len(), 1, "one upgrade, one switch decision");
+
+    // The trace covers the whole pipeline around the switch.
+    for kind in ["DemandDispatched", "Adjudicated", "ConfidenceUpdated"] {
+        assert!(
+            events.iter().any(|e| e.kind() == kind),
+            "missing {kind} events"
+        );
+    }
+
+    // The registry agrees with the trace.
+    assert_eq!(
+        registry.with(|r| r.counter("wsu_switch_decisions_total", &[("decision", "switch")])),
+        1
+    );
+    assert_eq!(
+        registry.with(|r| r.counter("wsu_demands_total", &[])),
+        4_000
+    );
+}
+
+#[test]
+fn virtual_timestamps_never_go_backwards() {
+    let (_, recorder, _) = traced_upgrade();
+    let events = recorder.snapshot();
+    assert!(!events.is_empty());
+    let mut last = f64::NEG_INFINITY;
+    for event in &events {
+        let t = event.virtual_time();
+        assert!(
+            t >= last,
+            "virtual time went backwards: {t} after {last} ({})",
+            event.kind()
+        );
+        last = t;
+    }
+}
+
+#[test]
+fn jsonl_export_round_trips() {
+    let (_, recorder, _) = traced_upgrade();
+    let path = std::env::temp_dir().join("wsu-obs-trace-test/upgrade.jsonl");
+    recorder.write_jsonl(&path).expect("write trace");
+    let text = std::fs::read_to_string(&path).expect("read trace back");
+    let values = parse_jsonl(&text).expect("trace parses as JSONL");
+    assert_eq!(values.len(), recorder.len());
+    for value in &values {
+        let kind = value.get("kind").and_then(|v| v.as_str()).expect("kind");
+        assert!(!kind.is_empty());
+        assert!(value.get("t").and_then(|v| v.as_f64()).is_some());
+        assert!(value.get("demand").and_then(|v| v.as_u64()).is_some());
+    }
+    std::fs::remove_file(&path).ok();
+}

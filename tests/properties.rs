@@ -1,7 +1,9 @@
-//! Property-based tests (proptest) of the cross-crate invariants the
-//! system's correctness rests on.
-
-use proptest::prelude::*;
+//! Property-style tests of the cross-crate invariants the system's
+//! correctness rests on.
+//!
+//! Originally written with `proptest`; rewritten as deterministic
+//! seeded-loop checks (no external dev-dependencies — see the note in
+//! `crates/simcore/tests/properties.rs`).
 
 use wsu_bayes::beta::ScaledBeta;
 use wsu_bayes::counts::JointCounts;
@@ -10,84 +12,90 @@ use wsu_bayes::whitebox::{CoincidencePrior, Resolution, WhiteBoxInference};
 use wsu_core::adjudicate::{Adjudicator, CollectedResponse, SelectionPolicy, SystemVerdict};
 use wsu_core::release::ReleaseId;
 use wsu_simcore::queue::EventQueue;
-use wsu_simcore::rng::StreamRng;
+use wsu_simcore::rng::{MasterSeed, StreamRng};
 use wsu_simcore::time::{SimDuration, SimTime};
 use wsu_wstack::outcome::ResponseClass;
 
-fn arb_class() -> impl Strategy<Value = ResponseClass> {
-    prop_oneof![
-        Just(ResponseClass::Correct),
-        Just(ResponseClass::EvidentFailure),
-        Just(ResponseClass::NonEvidentFailure),
-    ]
+fn rng_for(test: &str) -> StreamRng {
+    MasterSeed::new(0x43_52_4F_53_53_50_52_4F).stream(test)
 }
 
-fn arb_collected(max_len: usize) -> impl Strategy<Value = Vec<CollectedResponse>> {
-    prop::collection::vec((arb_class(), 0.0f64..10.0), 0..max_len).prop_map(|items| {
-        items
-            .into_iter()
-            .enumerate()
-            .map(|(i, (class, secs))| CollectedResponse {
-                release: ReleaseId::new(i),
-                class,
-                exec_time: SimDuration::from_secs(secs),
-            })
-            .collect()
-    })
+fn f64_in(rng: &mut StreamRng, lo: f64, hi: f64) -> f64 {
+    let unit = rng.next_u64() as f64 / u64::MAX as f64;
+    lo + unit * (hi - lo)
 }
 
-fn arb_policy() -> impl Strategy<Value = SelectionPolicy> {
-    prop_oneof![
-        Just(SelectionPolicy::Random),
-        Just(SelectionPolicy::Fastest),
-        Just(SelectionPolicy::Majority),
-    ]
+fn arb_class(rng: &mut StreamRng) -> ResponseClass {
+    match rng.next_below(3) {
+        0 => ResponseClass::Correct,
+        1 => ResponseClass::EvidentFailure,
+        _ => ResponseClass::NonEvidentFailure,
+    }
 }
 
-proptest! {
-    /// The adjudicator's verdict structure follows Section 5.2.1 exactly,
-    /// for any mix of responses and any selection policy.
-    #[test]
-    fn adjudicator_respects_paper_rules(
-        collected in arb_collected(6),
-        policy in arb_policy(),
-        seed in any::<u64>(),
-    ) {
+fn arb_collected(rng: &mut StreamRng, max_len: usize) -> Vec<CollectedResponse> {
+    let len = rng.next_below(max_len as u64) as usize;
+    (0..len)
+        .map(|i| CollectedResponse {
+            release: ReleaseId::new(i),
+            class: arb_class(rng),
+            exec_time: SimDuration::from_secs(f64_in(rng, 0.0, 10.0)),
+        })
+        .collect()
+}
+
+fn arb_policy(rng: &mut StreamRng) -> SelectionPolicy {
+    match rng.next_below(3) {
+        0 => SelectionPolicy::Random,
+        1 => SelectionPolicy::Fastest,
+        _ => SelectionPolicy::Majority,
+    }
+}
+
+/// The adjudicator's verdict structure follows Section 5.2.1 exactly,
+/// for any mix of responses and any selection policy.
+#[test]
+fn adjudicator_respects_paper_rules() {
+    let mut rng = rng_for("adjudicator_rules");
+    for _ in 0..128 {
+        let collected = arb_collected(&mut rng, 6);
+        let policy = arb_policy(&mut rng);
         let adj = Adjudicator::new(policy);
-        let mut rng = StreamRng::from_seed(seed);
-        let result = adj.adjudicate(&collected, &mut rng);
+        let mut seed_rng = StreamRng::from_seed(rng.next_u64());
+        let result = adj.adjudicate(&collected, &mut seed_rng);
         let valid: Vec<_> = collected.iter().filter(|r| r.class.is_valid()).collect();
         match result.verdict {
-            SystemVerdict::Unavailable => prop_assert!(collected.is_empty()),
+            SystemVerdict::Unavailable => assert!(collected.is_empty()),
             SystemVerdict::Response(ResponseClass::EvidentFailure) => {
                 // Only when nothing valid was collected.
-                prop_assert!(!collected.is_empty());
-                prop_assert!(valid.is_empty());
-                prop_assert!(result.source.is_none());
+                assert!(!collected.is_empty());
+                assert!(valid.is_empty());
+                assert!(result.source.is_none());
             }
             SystemVerdict::Response(class) => {
                 // The forwarded class is held by some valid response.
-                prop_assert!(valid.iter().any(|r| r.class == class));
+                assert!(valid.iter().any(|r| r.class == class));
                 // And attributed to a release that produced that class.
                 if let Some(source) = result.source {
-                    prop_assert!(collected
+                    assert!(collected
                         .iter()
                         .any(|r| r.release == source && r.class == class));
                 }
             }
         }
     }
+}
 
-    /// Fastest selection always forwards a valid response that no other
-    /// valid response beats on time.
-    #[test]
-    fn fastest_policy_is_actually_fastest(
-        collected in arb_collected(6),
-        seed in any::<u64>(),
-    ) {
+/// Fastest selection always forwards a valid response that no other
+/// valid response beats on time.
+#[test]
+fn fastest_policy_is_actually_fastest() {
+    let mut rng = rng_for("fastest_policy");
+    for _ in 0..128 {
+        let collected = arb_collected(&mut rng, 6);
         let adj = Adjudicator::new(SelectionPolicy::Fastest);
-        let mut rng = StreamRng::from_seed(seed);
-        let result = adj.adjudicate(&collected, &mut rng);
+        let mut seed_rng = StreamRng::from_seed(rng.next_u64());
+        let result = adj.adjudicate(&collected, &mut seed_rng);
         if let (SystemVerdict::Response(class), Some(source)) = (result.verdict, result.source) {
             if class.is_valid() {
                 let source_time = collected
@@ -101,93 +109,123 @@ proptest! {
                     .all(|r| r.class == class);
                 if !all_agree {
                     for r in collected.iter().filter(|r| r.class.is_valid()) {
-                        prop_assert!(source_time <= r.exec_time);
+                        assert!(source_time <= r.exec_time);
                     }
                 }
             }
         }
     }
+}
 
-    /// Grid posteriors: `confidence` is a monotone CDF and `percentile`
-    /// inverts it, for arbitrary positive weights.
-    #[test]
-    fn posterior_confidence_and_percentile_are_consistent(
-        weights in prop::collection::vec(0.0f64..1.0, 2..40),
-        q in 0.01f64..0.99,
-    ) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+/// Grid posteriors: `confidence` is a monotone CDF and `percentile`
+/// inverts it, for arbitrary positive weights.
+#[test]
+fn posterior_confidence_and_percentile_are_consistent() {
+    let mut rng = rng_for("posterior_consistency");
+    for _ in 0..64 {
+        let len = 2 + rng.next_below(38) as usize;
+        let weights: Vec<f64> = (0..len).map(|_| f64_in(&mut rng, 0.0, 1.0)).collect();
+        let q = f64_in(&mut rng, 0.01, 0.99);
+        if weights.iter().sum::<f64>() <= 0.0 {
+            continue;
+        }
         let edges: Vec<f64> = (0..=weights.len()).map(|i| i as f64).collect();
         let posterior = GridPosterior::from_weights(edges, weights);
         // CDF monotone.
         let mut prev = 0.0;
         for i in 0..=posterior.grid().len() {
             let c = posterior.confidence(i as f64);
-            prop_assert!(c >= prev - 1e-12);
+            assert!(c >= prev - 1e-12);
             prev = c;
         }
         // Percentile inverts confidence.
         let x = posterior.percentile(q);
-        prop_assert!((posterior.confidence(x) - q).abs() < 1e-9);
+        assert!((posterior.confidence(x) - q).abs() < 1e-9);
     }
+}
 
-    /// Scaled-Beta: quantile inverts the CDF across the parameter space.
-    #[test]
-    fn scaled_beta_quantile_inverts_cdf(
-        alpha in 0.5f64..30.0,
-        beta in 0.5f64..30.0,
-        range in 1e-4f64..1.0,
-        q in 0.01f64..0.99,
-    ) {
+/// Scaled-Beta: quantile inverts the CDF across the parameter space.
+#[test]
+fn scaled_beta_quantile_inverts_cdf() {
+    let mut rng = rng_for("beta_quantile");
+    for _ in 0..64 {
+        let alpha = f64_in(&mut rng, 0.5, 30.0);
+        let beta = f64_in(&mut rng, 0.5, 30.0);
+        let range = f64_in(&mut rng, 1e-4, 1.0);
+        let q = f64_in(&mut rng, 0.01, 0.99);
         let dist = ScaledBeta::new(alpha, beta, range).unwrap();
         let x = dist.quantile(q);
-        prop_assert!((dist.cdf(x) - q).abs() < 1e-7);
-        prop_assert!(x >= 0.0 && x <= range);
+        assert!((dist.cdf(x) - q).abs() < 1e-7);
+        assert!(x >= 0.0 && x <= range);
     }
+}
 
-    /// White-box inference: more clean evidence never loosens the B
-    /// marginal's upper percentile.
-    #[test]
-    fn clean_evidence_is_monotone(extra in 1u64..40_000) {
-        let engine = WhiteBoxInference::with_resolution(
-            ScaledBeta::new(20.0, 20.0, 0.002).unwrap(),
-            ScaledBeta::new(2.0, 3.0, 0.002).unwrap(),
-            CoincidencePrior::IndifferenceUniform,
-            Resolution { a_cells: 24, b_cells: 24, q_cells: 6 },
-        );
-        let before = engine
-            .posterior(&JointCounts::from_raw(1_000, 0, 0, 0))
-            .marginal_b()
-            .percentile(0.99);
+/// White-box inference: more clean evidence never loosens the B
+/// marginal's upper percentile.
+#[test]
+fn clean_evidence_is_monotone() {
+    let mut rng = rng_for("clean_evidence");
+    let engine = WhiteBoxInference::with_resolution(
+        ScaledBeta::new(20.0, 20.0, 0.002).unwrap(),
+        ScaledBeta::new(2.0, 3.0, 0.002).unwrap(),
+        CoincidencePrior::IndifferenceUniform,
+        Resolution {
+            a_cells: 24,
+            b_cells: 24,
+            q_cells: 6,
+        },
+    );
+    let before = engine
+        .posterior(&JointCounts::from_raw(1_000, 0, 0, 0))
+        .marginal_b()
+        .percentile(0.99);
+    for _ in 0..8 {
+        let extra = 1 + rng.next_below(40_000);
         let after = engine
             .posterior(&JointCounts::from_raw(1_000 + extra, 0, 0, 0))
             .marginal_b()
             .percentile(0.99);
-        prop_assert!(after <= before + 1e-9);
+        assert!(after <= before + 1e-9);
     }
+}
 
-    /// Joint counts: recording preserves the accounting identities.
-    #[test]
-    fn joint_counts_accounting(outcomes in prop::collection::vec((any::<bool>(), any::<bool>()), 0..500)) {
+/// Joint counts: recording preserves the accounting identities.
+#[test]
+fn joint_counts_accounting() {
+    let mut rng = rng_for("joint_accounting");
+    for _ in 0..64 {
+        let len = rng.next_below(500) as usize;
+        let outcomes: Vec<(bool, bool)> = (0..len)
+            .map(|_| (rng.next_below(2) == 0, rng.next_below(2) == 0))
+            .collect();
         let mut counts = JointCounts::new();
         for &(a, b) in &outcomes {
             counts.record(a, b);
         }
-        prop_assert_eq!(counts.demands() as usize, outcomes.len());
-        prop_assert_eq!(
-            counts.both_failed() + counts.only_a_failed() + counts.only_b_failed()
+        assert_eq!(counts.demands() as usize, outcomes.len());
+        assert_eq!(
+            counts.both_failed()
+                + counts.only_a_failed()
+                + counts.only_b_failed()
                 + counts.both_succeeded(),
             counts.demands()
         );
         let a_true = outcomes.iter().filter(|o| o.0).count() as u64;
         let b_true = outcomes.iter().filter(|o| o.1).count() as u64;
-        prop_assert_eq!(counts.a_failures(), a_true);
-        prop_assert_eq!(counts.b_failures(), b_true);
+        assert_eq!(counts.a_failures(), a_true);
+        assert_eq!(counts.b_failures(), b_true);
     }
+}
 
-    /// The event queue pops in non-decreasing time order, FIFO at ties,
-    /// for arbitrary schedules.
-    #[test]
-    fn event_queue_is_time_ordered(times in prop::collection::vec(0.0f64..100.0, 0..200)) {
+/// The event queue pops in non-decreasing time order, FIFO at ties,
+/// for arbitrary schedules.
+#[test]
+fn event_queue_is_time_ordered() {
+    let mut rng = rng_for("event_queue_order");
+    for _ in 0..48 {
+        let len = rng.next_below(200) as usize;
+        // Coarse times force plenty of ties.
+        let times: Vec<f64> = (0..len).map(|_| rng.next_below(100) as f64).collect();
         let mut queue = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             queue.push(SimTime::from_secs(t), i);
@@ -195,29 +233,35 @@ proptest! {
         let mut last_time = SimTime::ZERO;
         let mut last_seq_at_time: Option<usize> = None;
         while let Some((t, seq)) = queue.pop() {
-            prop_assert!(t >= last_time);
+            assert!(t >= last_time);
             if t == last_time {
                 if let Some(prev) = last_seq_at_time {
-                    prop_assert!(seq > prev, "FIFO violated at equal times");
+                    assert!(seq > prev, "FIFO violated at equal times");
                 }
             }
             last_time = t;
             last_seq_at_time = Some(seq);
         }
     }
+}
 
-    /// RNG streams: `next_below` is always in range; `pick_weighted`
-    /// never selects a zero-weight class.
-    #[test]
-    fn rng_range_invariants(seed in any::<u64>(), n in 1u64..1000, zero_idx in 0usize..3) {
-        let mut rng = StreamRng::from_seed(seed);
+/// RNG streams: `next_below` is always in range; `pick_weighted` never
+/// selects a zero-weight class.
+#[test]
+fn rng_range_invariants() {
+    let mut rng = rng_for("rng_ranges");
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let n = 1 + rng.next_below(999);
+        let zero_idx = rng.next_below(3) as usize;
+        let mut stream = StreamRng::from_seed(seed);
         for _ in 0..50 {
-            prop_assert!(rng.next_below(n) < n);
+            assert!(stream.next_below(n) < n);
         }
         let mut weights = [1.0, 1.0, 1.0];
         weights[zero_idx] = 0.0;
         for _ in 0..50 {
-            prop_assert_ne!(rng.pick_weighted(&weights), zero_idx);
+            assert_ne!(stream.pick_weighted(&weights), zero_idx);
         }
     }
 }
