@@ -13,8 +13,10 @@
 //! `Beta(α+r, β+n−r)` exactly; the grid implementation is validated
 //! against that closed form in the tests.
 
+use std::sync::Arc;
+
 use crate::beta::ScaledBeta;
-use crate::posterior::GridPosterior;
+use crate::posterior::{self, GridPosterior, MarginalView};
 
 /// Black-box Bayesian inference for a single release's pfd.
 ///
@@ -34,12 +36,45 @@ use crate::posterior::GridPosterior;
 pub struct BlackBoxInference {
     prior: ScaledBeta,
     cells: usize,
+    tables: Arc<BlackBoxTables>,
+}
+
+/// Precomputed per-cell tables, shared (via `Arc`) with any incremental
+/// updaters so queries never copy them.
+#[derive(Debug)]
+struct BlackBoxTables {
     /// Per-cell prior masses, precomputed.
     prior_mass: Vec<f64>,
     /// Per-cell `ln(mid)` and `ln(1 − mid)` for the likelihood.
     ln_mid: Vec<f64>,
     ln_one_minus_mid: Vec<f64>,
     edges: Vec<f64>,
+}
+
+impl BlackBoxTables {
+    /// Recomputes `ln_w` from total counts with the reference operation
+    /// order of the batch posterior, returning nothing; the caller folds
+    /// the max exactly as the batch path does.
+    fn accumulate_ln_w(&self, demands: u64, failures: u64, ln_w: &mut [f64]) {
+        let r = failures as f64;
+        let s = (demands - failures) as f64;
+        for (i, slot) in ln_w.iter_mut().enumerate() {
+            let prior = self.prior_mass[i];
+            *slot = if prior == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                // xlny convention: a zero count contributes nothing even
+                // when the log-probability is -inf at a grid endpoint.
+                let like_fail = if r == 0.0 { 0.0 } else { r * self.ln_mid[i] };
+                let like_ok = if s == 0.0 {
+                    0.0
+                } else {
+                    s * self.ln_one_minus_mid[i]
+                };
+                prior.ln() + like_fail + like_ok
+            };
+        }
+    }
 }
 
 impl BlackBoxInference {
@@ -68,10 +103,12 @@ impl BlackBoxInference {
         BlackBoxInference {
             prior,
             cells,
-            prior_mass,
-            ln_mid,
-            ln_one_minus_mid,
-            edges,
+            tables: Arc::new(BlackBoxTables {
+                prior_mass,
+                ln_mid,
+                ln_one_minus_mid,
+                edges,
+            }),
         }
     }
 
@@ -96,36 +133,138 @@ impl BlackBoxInference {
             failures <= demands,
             "failures ({failures}) exceed demands ({demands})"
         );
-        let r = failures as f64;
-        let s = (demands - failures) as f64;
-        let ln_w: Vec<f64> = (0..self.cells)
-            .map(|i| {
-                let prior = self.prior_mass[i];
-                if prior == 0.0 {
-                    return f64::NEG_INFINITY;
-                }
-                // xlny convention: a zero count contributes nothing even
-                // when the log-probability is -inf at a grid endpoint.
-                let like_fail = if r == 0.0 { 0.0 } else { r * self.ln_mid[i] };
-                let like_ok = if s == 0.0 {
-                    0.0
-                } else {
-                    s * self.ln_one_minus_mid[i]
-                };
-                prior.ln() + like_fail + like_ok
-            })
-            .collect();
+        let mut ln_w = vec![f64::NEG_INFINITY; self.cells];
+        self.tables.accumulate_ln_w(demands, failures, &mut ln_w);
         let max = ln_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let weights: Vec<f64> = ln_w
             .into_iter()
             .map(|w| if w.is_finite() { (w - max).exp() } else { 0.0 })
             .collect();
-        GridPosterior::from_weights(self.edges.clone(), weights)
+        GridPosterior::from_weights(self.tables.edges.clone(), weights)
     }
 
     /// The prior expressed on the same grid (posterior with no evidence).
     pub fn prior_on_grid(&self) -> GridPosterior {
         self.posterior(0, 0)
+    }
+
+    /// Creates an incremental updater positioned at the prior. All
+    /// scratch is allocated here, once; steady-state
+    /// [`BlackBoxUpdater::update_to`] calls are allocation-free.
+    pub fn updater(&self) -> BlackBoxUpdater {
+        let mut updater = BlackBoxUpdater {
+            tables: Arc::clone(&self.tables),
+            demands: 0,
+            failures: 0,
+            ln_w: vec![f64::NEG_INFINITY; self.cells],
+            max: f64::NEG_INFINITY,
+            weights: vec![0.0; self.cells],
+            masses: vec![0.0; self.cells],
+        };
+        updater.rebase(0, 0);
+        updater
+    }
+}
+
+/// Incremental counterpart of [`BlackBoxInference::posterior`]: applies
+/// delta counts in place (`ln_w += Δr·ln x + Δs·ln(1−x)`), keeps the
+/// cached weights and normalised masses up to date, and answers queries
+/// through a borrowed [`MarginalView`] — zero heap allocation in steady
+/// state. Non-monotone count sequences transparently rebase (an exact
+/// recompute with the batch operation order).
+#[derive(Debug, Clone)]
+pub struct BlackBoxUpdater {
+    tables: Arc<BlackBoxTables>,
+    demands: u64,
+    failures: u64,
+    ln_w: Vec<f64>,
+    max: f64,
+    weights: Vec<f64>,
+    masses: Vec<f64>,
+}
+
+impl BlackBoxUpdater {
+    /// Advances the posterior to the given cumulative evidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failures > demands`.
+    pub fn update_to(&mut self, demands: u64, failures: u64) {
+        assert!(
+            failures <= demands,
+            "failures ({failures}) exceed demands ({demands})"
+        );
+        let old_successes = self.demands - self.failures;
+        let successes = demands - failures;
+        if failures < self.failures || successes < old_successes {
+            self.rebase(demands, failures);
+            return;
+        }
+        let dr = (failures - self.failures) as f64;
+        let ds = (successes - old_successes) as f64;
+        if dr == 0.0 && ds == 0.0 {
+            return;
+        }
+        if dr > 0.0 {
+            for (w, &p) in self.ln_w.iter_mut().zip(&self.tables.ln_mid) {
+                *w += dr * p;
+            }
+        }
+        if ds > 0.0 {
+            for (w, &p) in self.ln_w.iter_mut().zip(&self.tables.ln_one_minus_mid) {
+                *w += ds * p;
+            }
+        }
+        self.demands = demands;
+        self.failures = failures;
+        self.refresh();
+    }
+
+    /// Exact in-place recompute from total counts (batch-path bits).
+    pub fn rebase(&mut self, demands: u64, failures: u64) {
+        assert!(
+            failures <= demands,
+            "failures ({failures}) exceed demands ({demands})"
+        );
+        let tables = Arc::clone(&self.tables);
+        tables.accumulate_ln_w(demands, failures, &mut self.ln_w);
+        self.demands = demands;
+        self.failures = failures;
+        self.refresh();
+    }
+
+    fn refresh(&mut self) {
+        self.max = self.ln_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = self.max;
+        for (x, &w) in self.weights.iter_mut().zip(&self.ln_w) {
+            *x = if w.is_finite() { (w - max).exp() } else { 0.0 };
+        }
+        posterior::normalize_into(&self.weights, &mut self.masses);
+    }
+
+    /// Demands reflected in the posterior.
+    pub fn demands(&self) -> u64 {
+        self.demands
+    }
+
+    /// Failures reflected in the posterior.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Borrowed view of the current posterior; allocation-free.
+    pub fn posterior_view(&self) -> MarginalView<'_> {
+        MarginalView::new(&self.tables.edges, &self.masses)
+    }
+
+    /// `P(pfd ≤ target)` from the cached posterior.
+    pub fn confidence(&self, target: f64) -> f64 {
+        self.posterior_view().confidence(target)
+    }
+
+    /// The `c`-percentile from the cached posterior.
+    pub fn percentile(&self, c: f64) -> f64 {
+        self.posterior_view().percentile(c)
     }
 }
 

@@ -47,7 +47,7 @@ pub mod special;
 pub mod whitebox;
 
 pub use beta::ScaledBeta;
-pub use blackbox::BlackBoxInference;
+pub use blackbox::{BlackBoxInference, BlackBoxUpdater};
 pub use counts::JointCounts;
-pub use posterior::GridPosterior;
-pub use whitebox::{CoincidencePrior, WhiteBoxInference, WhiteBoxPosterior};
+pub use posterior::{GridPosterior, MarginalView, PosteriorQueries};
+pub use whitebox::{CoincidencePrior, PosteriorUpdater, WhiteBoxInference, WhiteBoxPosterior};

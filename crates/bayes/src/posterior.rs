@@ -10,6 +10,171 @@
 
 use std::fmt;
 
+/// Sums unnormalised weights, validating each one.
+///
+/// Shared by [`GridPosterior::from_weights`] and the incremental updaters
+/// so both normalise with bit-identical operations.
+pub(crate) fn total_weight(weights: &[f64]) -> f64 {
+    weights
+        .iter()
+        .inspect(|w| {
+            assert!(w.is_finite() && **w >= 0.0, "invalid weight {w}");
+        })
+        .sum()
+}
+
+/// Normalises `weights` into the preallocated `masses` buffer without
+/// allocating; the division order matches [`GridPosterior::from_weights`].
+///
+/// # Panics
+///
+/// Panics if any weight is invalid or the total is not positive.
+pub(crate) fn normalize_into(weights: &[f64], masses: &mut [f64]) {
+    let total = total_weight(weights);
+    assert!(total > 0.0, "posterior weights sum to zero");
+    for (m, w) in masses.iter_mut().zip(weights) {
+        *m = w / total;
+    }
+}
+
+/// Mean of a cell distribution given its edges and normalised masses.
+pub(crate) fn mean_of(edges: &[f64], masses: &[f64]) -> f64 {
+    edges
+        .windows(2)
+        .zip(masses)
+        .map(|(w, m)| 0.5 * (w[0] + w[1]) * m)
+        .sum()
+}
+
+/// `P(X ≤ target)` with linear interpolation in the straddling cell.
+pub(crate) fn confidence_of(edges: &[f64], masses: &[f64], target: f64) -> f64 {
+    if target < edges[0] {
+        return 0.0;
+    }
+    let last = *edges.last().expect("non-empty edges");
+    if target >= last {
+        return 1.0;
+    }
+    let mut acc = 0.0;
+    for (i, &m) in masses.iter().enumerate() {
+        let lo = edges[i];
+        let hi = edges[i + 1];
+        if target >= hi {
+            acc += m;
+        } else {
+            acc += m * (target - lo) / (hi - lo);
+            break;
+        }
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// The `c`-percentile, linearly interpolated within the straddling cell.
+///
+/// # Panics
+///
+/// Panics if `c` is outside `[0, 1]`.
+pub(crate) fn percentile_of(edges: &[f64], masses: &[f64], c: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&c), "percentile {c} not in [0, 1]");
+    if c == 0.0 {
+        return edges[0];
+    }
+    let mut acc = 0.0;
+    for (i, &m) in masses.iter().enumerate() {
+        if acc + m >= c {
+            let lo = edges[i];
+            let hi = edges[i + 1];
+            if m == 0.0 {
+                return lo;
+            }
+            return lo + (hi - lo) * ((c - acc) / m).clamp(0.0, 1.0);
+        }
+        acc += m;
+    }
+    *edges.last().expect("non-empty edges")
+}
+
+/// The queries the management subsystem needs from any posterior shape —
+/// owned grids and borrowed views alike — so switch criteria and abort
+/// policies work with either.
+pub trait PosteriorQueries {
+    /// Posterior mean.
+    fn mean(&self) -> f64;
+    /// `P(X ≤ target)`, paper eq. (6).
+    fn confidence(&self, target: f64) -> f64;
+    /// The value `T_c` with `P(X ≤ T_c) = c`.
+    fn percentile(&self, c: f64) -> f64;
+}
+
+/// A borrowed, allocation-free view of a marginal posterior: cell edges
+/// plus normalised masses cached inside an incremental updater.
+///
+/// Answers the same queries as [`GridPosterior`] with bit-identical
+/// arithmetic (both delegate to the same kernels).
+#[derive(Debug, Clone, Copy)]
+pub struct MarginalView<'a> {
+    edges: &'a [f64],
+    masses: &'a [f64],
+}
+
+impl<'a> MarginalView<'a> {
+    pub(crate) fn new(edges: &'a [f64], masses: &'a [f64]) -> MarginalView<'a> {
+        debug_assert_eq!(edges.len(), masses.len() + 1);
+        MarginalView { edges, masses }
+    }
+
+    /// Cell boundaries, one longer than the masses.
+    pub fn edges(&self) -> &'a [f64] {
+        self.edges
+    }
+
+    /// Normalised cell masses.
+    pub fn masses(&self) -> &'a [f64] {
+        self.masses
+    }
+
+    /// Posterior mean.
+    pub fn mean(&self) -> f64 {
+        mean_of(self.edges, self.masses)
+    }
+
+    /// `P(X ≤ target)` with linear interpolation inside the straddling
+    /// cell.
+    pub fn confidence(&self, target: f64) -> f64 {
+        confidence_of(self.edges, self.masses, target)
+    }
+
+    /// The `c`-percentile, linearly interpolated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is outside `[0, 1]`.
+    pub fn percentile(&self, c: f64) -> f64 {
+        percentile_of(self.edges, self.masses, c)
+    }
+
+    /// Materialises the view into an owned [`GridPosterior`].
+    ///
+    /// The masses are already normalised, so this is a plain copy.
+    pub fn to_posterior(&self) -> GridPosterior {
+        GridPosterior::from_weights(self.edges.to_vec(), self.masses.to_vec())
+    }
+}
+
+impl PosteriorQueries for MarginalView<'_> {
+    fn mean(&self) -> f64 {
+        MarginalView::mean(self)
+    }
+
+    fn confidence(&self, target: f64) -> f64 {
+        MarginalView::confidence(self, target)
+    }
+
+    fn percentile(&self, c: f64) -> f64 {
+        MarginalView::percentile(self, c)
+    }
+}
+
 /// A discrete distribution over an ordered grid of values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GridPosterior {
@@ -43,12 +208,7 @@ impl GridPosterior {
             edges.windows(2).all(|w| w[0] < w[1]),
             "edges must be strictly increasing"
         );
-        let total: f64 = weights
-            .iter()
-            .inspect(|w| {
-                assert!(w.is_finite() && **w >= 0.0, "invalid weight {w}");
-            })
-            .sum();
+        let total = total_weight(&weights);
         assert!(total > 0.0, "posterior weights sum to zero");
         let masses: Vec<f64> = weights.iter().map(|w| w / total).collect();
         let xs = edges.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect();
@@ -91,31 +251,13 @@ impl GridPosterior {
 
     /// Posterior mean.
     pub fn mean(&self) -> f64 {
-        self.xs.iter().zip(&self.masses).map(|(x, m)| x * m).sum()
+        mean_of(&self.edges, &self.masses)
     }
 
     /// `P(X ≤ target)` with linear interpolation inside the cell that
     /// straddles `target`.
     pub fn confidence(&self, target: f64) -> f64 {
-        if target < self.edges[0] {
-            return 0.0;
-        }
-        let last = *self.edges.last().expect("non-empty edges");
-        if target >= last {
-            return 1.0;
-        }
-        let mut acc = 0.0;
-        for (i, &m) in self.masses.iter().enumerate() {
-            let lo = self.edges[i];
-            let hi = self.edges[i + 1];
-            if target >= hi {
-                acc += m;
-            } else {
-                acc += m * (target - lo) / (hi - lo);
-                break;
-            }
-        }
-        acc.clamp(0.0, 1.0)
+        confidence_of(&self.edges, &self.masses, target)
     }
 
     /// The `c`-percentile: smallest `x` with `P(X ≤ x) ≥ c`, linearly
@@ -125,23 +267,26 @@ impl GridPosterior {
     ///
     /// Panics if `c` is outside `[0, 1]`.
     pub fn percentile(&self, c: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&c), "percentile {c} not in [0, 1]");
-        if c == 0.0 {
-            return self.edges[0];
-        }
-        let mut acc = 0.0;
-        for (i, &m) in self.masses.iter().enumerate() {
-            if acc + m >= c {
-                let lo = self.edges[i];
-                let hi = self.edges[i + 1];
-                if m == 0.0 {
-                    return lo;
-                }
-                return lo + (hi - lo) * ((c - acc) / m).clamp(0.0, 1.0);
-            }
-            acc += m;
-        }
-        *self.edges.last().expect("non-empty edges")
+        percentile_of(&self.edges, &self.masses, c)
+    }
+
+    /// A borrowed view of this posterior, for query-shape-generic code.
+    pub fn as_view(&self) -> MarginalView<'_> {
+        MarginalView::new(&self.edges, &self.masses)
+    }
+}
+
+impl PosteriorQueries for GridPosterior {
+    fn mean(&self) -> f64 {
+        GridPosterior::mean(self)
+    }
+
+    fn confidence(&self, target: f64) -> f64 {
+        GridPosterior::confidence(self, target)
+    }
+
+    fn percentile(&self, c: f64) -> f64 {
+        GridPosterior::percentile(self, c)
     }
 }
 

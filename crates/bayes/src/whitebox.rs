@@ -22,9 +22,11 @@
 //! indifference prior, and other [`CoincidencePrior`] variants support the
 //! prior-sensitivity ablation.
 
+use std::sync::Arc;
+
 use crate::beta::ScaledBeta;
 use crate::counts::JointCounts;
-use crate::posterior::GridPosterior;
+use crate::posterior::{self, GridPosterior, MarginalView};
 
 /// The conditional prior of the coincident-failure probability
 /// `P_AB | P_A, P_B`.
@@ -125,15 +127,12 @@ impl Default for Resolution {
     }
 }
 
-/// White-box inference engine. Construction precomputes the prior masses
-/// and the per-cell log-probabilities of the four Table 1 events, so each
-/// posterior update is a single fused pass over the grid.
-#[derive(Debug, Clone)]
-pub struct WhiteBoxInference {
-    prior_a: ScaledBeta,
-    prior_b: ScaledBeta,
-    coincidence: CoincidencePrior,
-    resolution: Resolution,
+/// The precomputed grid tables — prior masses, per-cell event
+/// log-probabilities, `p_AB` values and axis edges. Shared via [`Arc`]
+/// between the engine, every posterior it produces and any incremental
+/// updaters, so queries never copy the ~300k `f64` of tables.
+#[derive(Debug)]
+struct GridTables {
     a_edges: Vec<f64>,
     b_edges: Vec<f64>,
     /// Per-cell log prior mass; NEG_INFINITY where the prior vanishes.
@@ -147,6 +146,91 @@ pub struct WhiteBoxInference {
     p_ab: Vec<f64>,
     /// Number of q points actually used.
     q_points: usize,
+    /// Support of the coincidence marginal, `min(range_A, range_B)`.
+    pab_range: f64,
+}
+
+impl GridTables {
+    fn cells(&self) -> usize {
+        self.ln_prior.len()
+    }
+
+    fn a_cells(&self) -> usize {
+        self.a_edges.len() - 1
+    }
+
+    fn b_cells(&self) -> usize {
+        self.b_edges.len() - 1
+    }
+
+    /// Recomputes `ln_w` from total counts in one fused pass, returning
+    /// the running maximum. Cells where the prior vanishes are left
+    /// untouched (they must already hold `NEG_INFINITY`). The operation
+    /// order — prior, then the `r1..r4` terms guarded on positive counts
+    /// — is the reference order every other path must reproduce.
+    fn accumulate_ln_w(&self, counts: &JointCounts, ln_w: &mut [f64]) -> f64 {
+        let r1 = counts.both_failed() as f64;
+        let r2 = counts.only_a_failed() as f64;
+        let r3 = counts.only_b_failed() as f64;
+        let r4 = counts.both_succeeded() as f64;
+        let mut max = f64::NEG_INFINITY;
+        for (c, slot) in ln_w.iter_mut().enumerate() {
+            let prior = self.ln_prior[c];
+            if prior == f64::NEG_INFINITY {
+                continue;
+            }
+            let mut w = prior;
+            if r1 > 0.0 {
+                w += r1 * self.ln_p11[c];
+            }
+            if r2 > 0.0 {
+                w += r2 * self.ln_p10[c];
+            }
+            if r3 > 0.0 {
+                w += r3 * self.ln_p01[c];
+            }
+            if r4 > 0.0 {
+                w += r4 * self.ln_p00[c];
+            }
+            *slot = w;
+            if w > max {
+                max = w;
+            }
+        }
+        max
+    }
+}
+
+/// `ln_w += d · ln_p`, skipping nothing: dead cells (`-inf`) stay dead
+/// because `d > 0` keeps `d · ln_p` away from NaN territory.
+fn axpy(ln_w: &mut [f64], ln_p: &[f64], d: f64) {
+    for (w, &p) in ln_w.iter_mut().zip(ln_p) {
+        *w += d * p;
+    }
+}
+
+/// As [`axpy`], fused with the running-max scan of the final pass.
+fn axpy_max(ln_w: &mut [f64], ln_p: &[f64], d: f64) -> f64 {
+    let mut max = f64::NEG_INFINITY;
+    for (w, &p) in ln_w.iter_mut().zip(ln_p) {
+        *w += d * p;
+        if *w > max {
+            max = *w;
+        }
+    }
+    max
+}
+
+/// White-box inference engine. Construction precomputes the prior masses
+/// and the per-cell log-probabilities of the four Table 1 events, so each
+/// posterior update is a single fused pass over the grid.
+#[derive(Debug, Clone)]
+pub struct WhiteBoxInference {
+    prior_a: ScaledBeta,
+    prior_b: ScaledBeta,
+    coincidence: CoincidencePrior,
+    resolution: Resolution,
+    tables: Arc<GridTables>,
 }
 
 impl WhiteBoxInference {
@@ -236,15 +320,18 @@ impl WhiteBoxInference {
             prior_b,
             coincidence,
             resolution,
-            a_edges,
-            b_edges,
-            ln_prior,
-            ln_p11,
-            ln_p10,
-            ln_p01,
-            ln_p00,
-            p_ab: p_ab_values,
-            q_points,
+            tables: Arc::new(GridTables {
+                a_edges,
+                b_edges,
+                ln_prior,
+                ln_p11,
+                ln_p10,
+                ln_p01,
+                ln_p00,
+                p_ab: p_ab_values,
+                q_points,
+                pab_range: prior_a.range().min(prior_b.range()),
+            }),
         }
     }
 
@@ -269,37 +356,13 @@ impl WhiteBoxInference {
     }
 
     /// Computes the joint posterior given observed counts.
+    ///
+    /// A thin wrapper over the incremental engine's recompute kernel: the
+    /// floating-point operation order is identical, so batch and
+    /// incremental results agree bit-for-bit at the same totals.
     pub fn posterior(&self, counts: &JointCounts) -> WhiteBoxPosterior {
-        let r1 = counts.both_failed() as f64;
-        let r2 = counts.only_a_failed() as f64;
-        let r3 = counts.only_b_failed() as f64;
-        let r4 = counts.both_succeeded() as f64;
-        let cells = self.ln_prior.len();
-        let mut ln_w = vec![f64::NEG_INFINITY; cells];
-        let mut max = f64::NEG_INFINITY;
-        for (c, slot) in ln_w.iter_mut().enumerate() {
-            let prior = self.ln_prior[c];
-            if prior == f64::NEG_INFINITY {
-                continue;
-            }
-            let mut w = prior;
-            if r1 > 0.0 {
-                w += r1 * self.ln_p11[c];
-            }
-            if r2 > 0.0 {
-                w += r2 * self.ln_p10[c];
-            }
-            if r3 > 0.0 {
-                w += r3 * self.ln_p01[c];
-            }
-            if r4 > 0.0 {
-                w += r4 * self.ln_p00[c];
-            }
-            *slot = w;
-            if w > max {
-                max = w;
-            }
-        }
+        let mut ln_w = vec![f64::NEG_INFINITY; self.tables.cells()];
+        let max = self.tables.accumulate_ln_w(counts, &mut ln_w);
         assert!(
             max.is_finite(),
             "posterior vanished everywhere: counts {counts} are impossible under the prior"
@@ -309,12 +372,8 @@ impl WhiteBoxInference {
             .map(|&w| if w.is_finite() { (w - max).exp() } else { 0.0 })
             .collect();
         WhiteBoxPosterior {
-            a_edges: self.a_edges.clone(),
-            b_edges: self.b_edges.clone(),
-            q_points: self.q_points,
+            tables: Arc::clone(&self.tables),
             weights,
-            p_ab: self.p_ab.clone(),
-            pab_range: self.prior_a.range().min(self.prior_b.range()),
         }
     }
 
@@ -322,51 +381,64 @@ impl WhiteBoxInference {
     pub fn prior_posterior(&self) -> WhiteBoxPosterior {
         self.posterior(&JointCounts::new())
     }
+
+    /// Creates an incremental updater positioned at the prior (zero
+    /// counts). All scratch buffers are allocated here, once; steady-state
+    /// [`PosteriorUpdater::update_to`] calls are allocation-free.
+    pub fn updater(&self) -> PosteriorUpdater {
+        let mut updater = PosteriorUpdater {
+            tables: Arc::clone(&self.tables),
+            counts: JointCounts::new(),
+            ln_w: vec![f64::NEG_INFINITY; self.tables.cells()],
+            max: f64::NEG_INFINITY,
+            a_weights: vec![0.0; self.tables.a_cells()],
+            b_weights: vec![0.0; self.tables.b_cells()],
+            a_masses: vec![0.0; self.tables.a_cells()],
+            b_masses: vec![0.0; self.tables.b_cells()],
+        };
+        updater.rebase(&JointCounts::new());
+        updater
+    }
 }
 
 /// The (unnormalised) joint posterior on the grid, with marginalisation
-/// queries (paper eqs. (3)–(5)).
+/// queries (paper eqs. (3)–(5)). Holds only its own weights; the grid
+/// tables are shared with the engine that produced it.
 #[derive(Debug, Clone)]
 pub struct WhiteBoxPosterior {
-    a_edges: Vec<f64>,
-    b_edges: Vec<f64>,
-    q_points: usize,
+    tables: Arc<GridTables>,
     weights: Vec<f64>,
-    p_ab: Vec<f64>,
-    pab_range: f64,
 }
 
 impl WhiteBoxPosterior {
     /// Marginal posterior of `P_A` (eq. (4)).
     pub fn marginal_a(&self) -> GridPosterior {
-        let na = self.a_edges.len() - 1;
-        let nb = self.b_edges.len() - 1;
-        let mut sums = vec![0.0; na];
+        let t = &self.tables;
+        let mut sums = vec![0.0; t.a_cells()];
         let mut idx = 0;
         for sum_i in sums.iter_mut() {
-            for _ in 0..nb * self.q_points {
+            for _ in 0..t.b_cells() * t.q_points {
                 *sum_i += self.weights[idx];
                 idx += 1;
             }
         }
-        GridPosterior::from_weights(self.a_edges.clone(), sums)
+        GridPosterior::from_weights(t.a_edges.clone(), sums)
     }
 
     /// Marginal posterior of `P_B` (eq. (5)).
     pub fn marginal_b(&self) -> GridPosterior {
-        let na = self.a_edges.len() - 1;
-        let nb = self.b_edges.len() - 1;
-        let mut sums = vec![0.0; nb];
+        let t = &self.tables;
+        let mut sums = vec![0.0; t.b_cells()];
         let mut idx = 0;
-        for _ in 0..na {
+        for _ in 0..t.a_cells() {
             for sum_j in sums.iter_mut() {
-                for _ in 0..self.q_points {
+                for _ in 0..t.q_points {
                     *sum_j += self.weights[idx];
                     idx += 1;
                 }
             }
         }
-        GridPosterior::from_weights(self.b_edges.clone(), sums)
+        GridPosterior::from_weights(t.b_edges.clone(), sums)
     }
 
     /// Marginal posterior of the coincident-failure probability `P_AB`
@@ -378,18 +450,170 @@ impl WhiteBoxPosterior {
     /// Panics if `bins == 0`.
     pub fn marginal_ab(&self, bins: usize) -> GridPosterior {
         assert!(bins > 0, "need at least one bin");
-        let range = self.pab_range;
+        let range = self.tables.pab_range;
         let mut sums = vec![0.0; bins];
         for (c, &w) in self.weights.iter().enumerate() {
             if w == 0.0 {
                 continue;
             }
-            let v = self.p_ab[c];
+            let v = self.tables.p_ab[c];
             let bin = ((v / range) * bins as f64) as usize;
             sums[bin.min(bins - 1)] += w;
         }
         let edges: Vec<f64> = (0..=bins).map(|i| range * i as f64 / bins as f64).collect();
         GridPosterior::from_weights(edges, sums)
+    }
+}
+
+/// Stateful incremental posterior engine (the hot path of the confidence
+/// study). Owns all scratch it needs, so steady-state updates perform
+/// **zero heap allocation**:
+///
+/// * `update_to` applies **delta counts** in place — `ln_w += Δr_i ·
+///   ln p_i` — one fused axpy pass per event class whose count moved
+///   (between checkpoints failures are rare, so usually only the Δr4
+///   term is live), with the running max for stable renormalisation
+///   folded into the last pass;
+/// * one further fused pass exponentiates the grid and accumulates both
+///   marginal stride sums, in the same order as the batch marginals, so
+///   at equal `ln_w` the marginals agree bit-for-bit;
+/// * [`PosteriorUpdater::marginal_a`]/[`PosteriorUpdater::marginal_b`]
+///   return borrowed [`MarginalView`]s over the cached masses instead of
+///   freshly allocated grids.
+///
+/// Counts normally grow monotonically; if a checkpoint moves any count
+/// backwards the updater transparently **rebases** — an exact in-place
+/// recompute from the new totals using the batch operation order.
+/// Repeated counts are a no-op. The accumulated delta path can drift
+/// from the batch result by a few units in the last place of `ln_w`
+/// (one rounding per update); `rebase` restores exact batch bits.
+#[derive(Debug, Clone)]
+pub struct PosteriorUpdater {
+    tables: Arc<GridTables>,
+    counts: JointCounts,
+    ln_w: Vec<f64>,
+    max: f64,
+    a_weights: Vec<f64>,
+    b_weights: Vec<f64>,
+    a_masses: Vec<f64>,
+    b_masses: Vec<f64>,
+}
+
+impl PosteriorUpdater {
+    /// Advances the posterior to the given cumulative counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the posterior vanishes everywhere (counts impossible
+    /// under the prior).
+    pub fn update_to(&mut self, counts: &JointCounts) {
+        let old = self.counts;
+        let monotone = counts.both_failed() >= old.both_failed()
+            && counts.only_a_failed() >= old.only_a_failed()
+            && counts.only_b_failed() >= old.only_b_failed()
+            && counts.both_succeeded() >= old.both_succeeded();
+        if !monotone {
+            self.rebase(counts);
+            return;
+        }
+        let deltas = [
+            (counts.both_failed() - old.both_failed()) as f64,
+            (counts.only_a_failed() - old.only_a_failed()) as f64,
+            (counts.only_b_failed() - old.only_b_failed()) as f64,
+            (counts.both_succeeded() - old.both_succeeded()) as f64,
+        ];
+        let Some(last_live) = deltas.iter().rposition(|&d| d > 0.0) else {
+            return; // zero-delta checkpoint: nothing moved
+        };
+        {
+            let tables = &*self.tables;
+            let terms: [&[f64]; 4] = [
+                &tables.ln_p11,
+                &tables.ln_p10,
+                &tables.ln_p01,
+                &tables.ln_p00,
+            ];
+            for (&d, &term) in deltas.iter().zip(terms.iter()).take(last_live) {
+                if d > 0.0 {
+                    axpy(&mut self.ln_w, term, d);
+                }
+            }
+            self.max = axpy_max(&mut self.ln_w, terms[last_live], deltas[last_live]);
+        }
+        self.counts = *counts;
+        self.finish_update();
+    }
+
+    /// Exact in-place recompute from total counts, restoring batch-path
+    /// bits (also the escape hatch for non-monotone count sequences).
+    pub fn rebase(&mut self, counts: &JointCounts) {
+        let tables = Arc::clone(&self.tables);
+        self.max = tables.accumulate_ln_w(counts, &mut self.ln_w);
+        self.counts = *counts;
+        self.finish_update();
+    }
+
+    fn finish_update(&mut self) {
+        let counts = self.counts;
+        assert!(
+            self.max.is_finite(),
+            "posterior vanished everywhere: counts {counts} are impossible under the prior"
+        );
+        self.refresh_marginals();
+    }
+
+    /// One fused pass: exponentiate every cell against the running max
+    /// and accumulate both marginal stride sums in grid order (the exact
+    /// addition order of the batch marginals), then normalise into the
+    /// cached mass buffers.
+    fn refresh_marginals(&mut self) {
+        let tables = &*self.tables;
+        let max = self.max;
+        self.a_weights.fill(0.0);
+        self.b_weights.fill(0.0);
+        let nb = tables.b_cells();
+        let q = tables.q_points;
+        let mut idx = 0;
+        for a_slot in self.a_weights.iter_mut() {
+            for b_slot in self.b_weights.iter_mut() {
+                for _ in 0..q {
+                    let w = self.ln_w[idx];
+                    let x = if w.is_finite() { (w - max).exp() } else { 0.0 };
+                    *a_slot += x;
+                    *b_slot += x;
+                    idx += 1;
+                }
+            }
+        }
+        debug_assert_eq!(idx, nb * q * tables.a_cells());
+        posterior::normalize_into(&self.a_weights, &mut self.a_masses);
+        posterior::normalize_into(&self.b_weights, &mut self.b_masses);
+    }
+
+    /// The cumulative counts the posterior currently reflects.
+    pub fn counts(&self) -> JointCounts {
+        self.counts
+    }
+
+    /// Borrowed marginal of `P_A` (eq. (4)); allocation-free.
+    pub fn marginal_a(&self) -> MarginalView<'_> {
+        MarginalView::new(&self.tables.a_edges, &self.a_masses)
+    }
+
+    /// Borrowed marginal of `P_B` (eq. (5)); allocation-free.
+    pub fn marginal_b(&self) -> MarginalView<'_> {
+        MarginalView::new(&self.tables.b_edges, &self.b_masses)
+    }
+
+    /// Owned marginal of `P_A`, bit-identical to
+    /// `posterior(counts).marginal_a()` at the same `ln_w` (allocates).
+    pub fn marginal_a_posterior(&self) -> GridPosterior {
+        GridPosterior::from_weights(self.tables.a_edges.clone(), self.a_weights.clone())
+    }
+
+    /// Owned marginal of `P_B` (allocates).
+    pub fn marginal_b_posterior(&self) -> GridPosterior {
+        GridPosterior::from_weights(self.tables.b_edges.clone(), self.b_weights.clone())
     }
 }
 

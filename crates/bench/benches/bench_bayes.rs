@@ -55,6 +55,87 @@ fn whitebox_posterior(c: &mut Criterion) {
     group.finish();
 }
 
+fn whitebox_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayes/incremental");
+    // One study checkpoint: fold in the counts accumulated over another
+    // 500 demands (mostly r4, a couple of single failures) and read the
+    // switching-criterion percentiles off the cached marginals. This is
+    // the steady-state hot path of `run_study` / `assess_incremental`.
+    for (label, res) in [
+        (
+            "48x48x16",
+            Resolution {
+                a_cells: 48,
+                b_cells: 48,
+                q_cells: 16,
+            },
+        ),
+        (
+            "96x96x32",
+            Resolution {
+                a_cells: 96,
+                b_cells: 96,
+                q_cells: 32,
+            },
+        ),
+    ] {
+        let engine = whitebox_engine(res);
+        let mut updater = engine.updater();
+        let mut counts = JointCounts::new();
+        group.bench_with_input(BenchmarkId::new("checkpoint", label), &(), move |b, ()| {
+            b.iter(|| {
+                counts = JointCounts::from_raw(
+                    counts.demands() + 500,
+                    counts.both_failed(),
+                    counts.only_a_failed() + 1,
+                    counts.only_b_failed() + 1,
+                );
+                updater.update_to(&counts);
+                black_box(
+                    updater.marginal_a().percentile(0.99) + updater.marginal_b().percentile(0.99),
+                )
+            });
+        });
+    }
+    // The same checkpoint through the batch API, for the ns/op ratio the
+    // BENCH_bayes.json report is meant to expose.
+    let engine = whitebox_engine(Resolution::default());
+    let counts = JointCounts::from_raw(50_000, 15, 35, 25);
+    group.bench_function("batch_equivalent/96x96x32", |b| {
+        b.iter(|| {
+            let posterior = engine.posterior(&counts);
+            black_box(
+                posterior.marginal_a().percentile(0.99) + posterior.marginal_b().percentile(0.99),
+            )
+        });
+    });
+    // Marginal queries alone on the cached views (no update).
+    let mut updater = engine.updater();
+    updater.update_to(&counts);
+    group.bench_function("view_queries/96x96x32", |b| {
+        b.iter(|| {
+            black_box(updater.marginal_a().percentile(0.99) + updater.marginal_b().percentile(0.99))
+        });
+    });
+    group.finish();
+}
+
+fn blackbox_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayes/blackbox_incremental");
+    let prior = ScaledBeta::new(2.0, 3.0, 0.01).unwrap();
+    let inf = BlackBoxInference::new(prior, 512);
+    let mut updater = inf.updater();
+    let mut demands = 0u64;
+    group.bench_function("per_demand/512", move |b| {
+        b.iter(|| {
+            demands += 1;
+            updater.update_to(demands, demands / 1_000);
+            black_box(updater.confidence(1e-3))
+        });
+    });
+    group.finish();
+}
+
 fn whitebox_marginals(c: &mut Criterion) {
     let mut group = c.benchmark_group("bayes/marginals");
     let engine = whitebox_engine(Resolution::default());
@@ -83,7 +164,9 @@ fn blackbox_posterior(c: &mut Criterion) {
 criterion_group!(
     benches,
     whitebox_posterior,
+    whitebox_incremental,
     whitebox_marginals,
-    blackbox_posterior
+    blackbox_posterior,
+    blackbox_incremental,
 );
 criterion_main!(benches);

@@ -219,6 +219,133 @@ impl Criterion {
     pub fn medians(&self) -> impl Iterator<Item = (&str, Duration)> {
         self.results.iter().map(|(n, med, _, _)| (n.as_str(), *med))
     }
+
+    /// Full results collected so far, as `(name, median, min, max)`.
+    pub fn results(&self) -> impl Iterator<Item = (&str, Duration, Duration, Duration)> {
+        self.results
+            .iter()
+            .map(|(n, med, min, max)| (n.as_str(), *med, *min, *max))
+    }
+}
+
+/// Machine-readable benchmark reports (the `BENCH_*.json` files).
+///
+/// The format is deliberately small and dependency-free:
+///
+/// ```json
+/// {
+///   "schema": "wsu-bench/1",
+///   "bench": "BENCH_bayes",
+///   "unit": "ns",
+///   "results": [
+///     { "name": "bayes/incremental/checkpoint", "median_ns": 1234,
+///       "min_ns": 1200, "max_ns": 1300 }
+///   ]
+/// }
+/// ```
+///
+/// `median_ns` is the median ns/op (micro-benchmarks) or the median wall
+/// time of a whole run (experiment trajectories); `min_ns`/`max_ns` bound
+/// the observed samples.
+pub mod report {
+    use std::path::Path;
+    use std::time::Duration;
+
+    /// One named measurement destined for a `BENCH_*.json` file.
+    #[derive(Debug, Clone)]
+    pub struct Entry {
+        /// Benchmark name (e.g. `bayes/incremental/checkpoint`).
+        pub name: String,
+        /// Median time per operation (or per run).
+        pub median: Duration,
+        /// Fastest observed sample.
+        pub min: Duration,
+        /// Slowest observed sample.
+        pub max: Duration,
+    }
+
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Renders a report to its JSON string. `bench` names the report
+    /// (conventionally the output file stem, e.g. `BENCH_bayes`).
+    pub fn render_json(bench: &str, entries: &[Entry]) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"wsu-bench/1\",\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench)));
+        out.push_str("  \"unit\": \"ns\",\n");
+        out.push_str("  \"results\": [\n");
+        for (i, e) in entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {} }}{}\n",
+                escape(&e.name),
+                e.median.as_nanos(),
+                e.min.as_nanos(),
+                e.max.as_nanos(),
+                if i + 1 < entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes a report to `path` (creating parent directories).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from creating directories or writing.
+    pub fn write_json(path: &Path, bench: &str, entries: &[Entry]) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, render_json(bench, entries))
+    }
+}
+
+/// Writes the collected results to the JSON path named by the
+/// `WSU_BENCH_JSON` environment variable, if set. Called by
+/// [`criterion_main!`] after all groups have run, so
+/// `WSU_BENCH_JSON=results/BENCH_bayes.json cargo bench --bench
+/// bench_bayes` emits the machine-readable report alongside the usual
+/// stdout table.
+pub fn maybe_write_json_report(criterion: &Criterion) {
+    let Ok(path) = std::env::var("WSU_BENCH_JSON") else {
+        return;
+    };
+    let path = std::path::PathBuf::from(path);
+    let bench = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    let entries: Vec<report::Entry> = criterion
+        .results()
+        .map(|(name, median, min, max)| report::Entry {
+            name: name.to_string(),
+            median,
+            min,
+            max,
+        })
+        .collect();
+    match report::write_json(&path, &bench, &entries) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", path.display()),
+    }
 }
 
 /// Declares the benchmark entry list, compatible with
@@ -226,20 +353,25 @@ impl Criterion {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
-        fn $group() {
-            let mut criterion = $crate::Criterion::new();
-            $($target(&mut criterion);)+
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
         }
     };
 }
 
 /// Declares the benchmark `main`, compatible with
 /// `criterion::criterion_main!`.
+///
+/// After all groups have run, the collected medians are written to the
+/// JSON path in `WSU_BENCH_JSON` (if set) via
+/// [`maybe_write_json_report`].
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            $($group();)+
+            let mut criterion = $crate::Criterion::new();
+            $($group(&mut criterion);)+
+            $crate::maybe_write_json_report(&criterion);
         }
     };
 }

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 
 use wsu_bayes::beta::ScaledBeta;
-use wsu_bayes::blackbox::BlackBoxInference;
+use wsu_bayes::blackbox::{BlackBoxInference, BlackBoxUpdater};
 use wsu_simcore::rng::StreamRng;
 use wsu_wstack::endpoint::ServiceEndpoint;
 use wsu_wstack::message::{Envelope, Fault, FaultCode, Value};
@@ -170,9 +170,10 @@ impl ProtocolHandler {
 /// `wsu-detect`).
 pub struct MediatorService<S> {
     upstream: S,
-    inference: BlackBoxInference,
-    demands: u64,
-    failures: u64,
+    /// Incremental posterior over the upstream's pfd: each proxied demand
+    /// is folded in as a delta, so confidence queries are allocation-free
+    /// reads of the cached marginal.
+    updater: BlackBoxUpdater,
     pfd_target: f64,
 }
 
@@ -190,9 +191,7 @@ impl<S: ServiceEndpoint> MediatorService<S> {
         );
         MediatorService {
             upstream,
-            inference: BlackBoxInference::new(prior, 512),
-            demands: 0,
-            failures: 0,
+            updater: BlackBoxInference::new(prior, 512).updater(),
             pfd_target,
         }
     }
@@ -201,10 +200,11 @@ impl<S: ServiceEndpoint> MediatorService<S> {
     /// current confidence attached.
     pub fn mediate(&mut self, request: &Envelope, rng: &mut StreamRng) -> Envelope {
         let invocation = self.upstream.invoke(request, rng);
-        self.demands += 1;
-        if invocation.class != ResponseClass::Correct {
-            self.failures += 1;
-        }
+        let failed = invocation.class != ResponseClass::Correct;
+        self.updater.update_to(
+            self.updater.demands() + 1,
+            self.updater.failures() + u64::from(failed),
+        );
         let confidence = self.current_confidence();
         if invocation.response.is_fault() {
             // Faults pass through unmodified; confidence goes with data
@@ -222,19 +222,17 @@ impl<S: ServiceEndpoint> MediatorService<S> {
     /// The mediator's current confidence that the upstream's pfd is at or
     /// below the configured target.
     pub fn current_confidence(&self) -> f64 {
-        self.inference
-            .posterior(self.demands, self.failures)
-            .confidence(self.pfd_target)
+        self.updater.confidence(self.pfd_target)
     }
 
     /// Demands proxied.
     pub fn demands(&self) -> u64 {
-        self.demands
+        self.updater.demands()
     }
 
     /// Failures observed.
     pub fn failures(&self) -> u64 {
-        self.failures
+        self.updater.failures()
     }
 
     /// Publishes the current confidence to a registry record.
@@ -262,8 +260,8 @@ impl<S: ServiceEndpoint> MediatorService<S> {
 impl<S> std::fmt::Debug for MediatorService<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MediatorService")
-            .field("demands", &self.demands)
-            .field("failures", &self.failures)
+            .field("demands", &self.updater.demands())
+            .field("failures", &self.updater.failures())
             .field("pfd_target", &self.pfd_target)
             .finish()
     }

@@ -79,7 +79,9 @@ pub mod upgrade;
 pub use adjudicate::{Adjudicator, SelectionPolicy, SystemVerdict};
 pub use composite::CompositeService;
 pub use error::CoreError;
-pub use manage::{ManagementSubsystem, SwitchCriterion, SwitchDecision};
+pub use manage::{
+    Assessment, AssessmentView, ManagementSubsystem, SwitchCriterion, SwitchDecision,
+};
 pub use middleware::{DemandRecord, MiddlewareConfig, UpgradeMiddleware};
 pub use modes::OperatingMode;
 pub use monitor::MonitoringSubsystem;

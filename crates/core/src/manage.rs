@@ -15,8 +15,8 @@
 
 use wsu_bayes::beta::ScaledBeta;
 use wsu_bayes::counts::JointCounts;
-use wsu_bayes::posterior::GridPosterior;
-use wsu_bayes::whitebox::{CoincidencePrior, Resolution, WhiteBoxInference};
+use wsu_bayes::posterior::{GridPosterior, MarginalView, PosteriorQueries};
+use wsu_bayes::whitebox::{CoincidencePrior, PosteriorUpdater, Resolution, WhiteBoxInference};
 use wsu_obs::SharedRegistry;
 
 use crate::error::CoreError;
@@ -80,12 +80,14 @@ impl SwitchCriterion {
         SwitchCriterion::BetterThanOld { confidence }
     }
 
-    /// Evaluates the criterion against the assessment inputs.
+    /// Evaluates the criterion against the assessment inputs. Accepts
+    /// any posterior shape — owned grids or the incremental updater's
+    /// borrowed views.
     pub fn satisfied(
         &self,
         prior_a: &ScaledBeta,
-        marginal_a: &GridPosterior,
-        marginal_b: &GridPosterior,
+        marginal_a: &impl PosteriorQueries,
+        marginal_b: &impl PosteriorQueries,
     ) -> bool {
         match *self {
             SwitchCriterion::ReachPriorOfOld { confidence } => {
@@ -161,7 +163,11 @@ impl AbortPolicy {
     }
 
     /// Returns `true` if the upgrade should be aborted.
-    pub fn should_abort(&self, marginal_a: &GridPosterior, marginal_b: &GridPosterior) -> bool {
+    pub fn should_abort(
+        &self,
+        marginal_a: &impl PosteriorQueries,
+        marginal_b: &impl PosteriorQueries,
+    ) -> bool {
         marginal_b.percentile(1.0 - self.confidence) > marginal_a.percentile(self.confidence)
     }
 }
@@ -177,6 +183,35 @@ pub struct Assessment {
     pub marginal_b: GridPosterior,
     /// The decision under the configured criterion.
     pub decision: SwitchDecision,
+}
+
+/// A borrowed assessment from the incremental engine: the marginals are
+/// views over the updater's cached buffers, so producing one performs no
+/// heap allocation. Materialise with [`AssessmentView::to_owned`] when
+/// the marginals must outlive the subsystem borrow.
+#[derive(Debug, Clone, Copy)]
+pub struct AssessmentView<'a> {
+    /// Demands the assessment is based on.
+    pub demands: u64,
+    /// Posterior marginal over the old release's pfd.
+    pub marginal_a: MarginalView<'a>,
+    /// Posterior marginal over the new release's pfd.
+    pub marginal_b: MarginalView<'a>,
+    /// The decision under the configured criterion.
+    pub decision: SwitchDecision,
+}
+
+impl AssessmentView<'_> {
+    /// Materialises the borrowed marginals into an owned [`Assessment`]
+    /// that can outlive the subsystem borrow.
+    pub fn to_owned(&self) -> Assessment {
+        Assessment {
+            demands: self.demands,
+            marginal_a: self.marginal_a.to_posterior(),
+            marginal_b: self.marginal_b.to_posterior(),
+            decision: self.decision,
+        }
+    }
 }
 
 /// Automatic recovery of failed releases (Section 4.1's "recovery of the
@@ -214,6 +249,10 @@ pub enum RecoveryAction {
 #[derive(Debug, Clone)]
 pub struct ManagementSubsystem {
     inference: WhiteBoxInference,
+    /// Incremental engine for the per-interval assessment hot path; the
+    /// batch [`ManagementSubsystem::assess`] stays available for ad-hoc
+    /// queries.
+    updater: PosteriorUpdater,
     criterion: SwitchCriterion,
     recovery: Option<RecoveryPolicy>,
     metrics: Option<SharedRegistry>,
@@ -244,13 +283,12 @@ impl ManagementSubsystem {
         criterion: SwitchCriterion,
         resolution: Resolution,
     ) -> ManagementSubsystem {
+        let inference =
+            WhiteBoxInference::with_resolution(prior_a, prior_b, coincidence, resolution);
+        let updater = inference.updater();
         ManagementSubsystem {
-            inference: WhiteBoxInference::with_resolution(
-                prior_a,
-                prior_b,
-                coincidence,
-                resolution,
-            ),
+            inference,
+            updater,
             criterion,
             recovery: Some(RecoveryPolicy::default()),
             metrics: None,
@@ -298,7 +336,8 @@ impl ManagementSubsystem {
         &self.inference
     }
 
-    /// Assesses the upgrade against the observed joint counts.
+    /// Assesses the upgrade against the observed joint counts by
+    /// rebuilding the posterior from scratch (the batch path).
     pub fn assess(&self, counts: &JointCounts) -> Assessment {
         let posterior = self.inference.posterior(counts);
         let marginal_a = posterior.marginal_a();
@@ -312,29 +351,65 @@ impl ManagementSubsystem {
             } else {
                 SwitchDecision::KeepTransitional
             };
-        if let Some(metrics) = &self.metrics {
-            metrics.inc_counter("wsu_assessments_total", &[]);
-            metrics.set_gauge(
-                "wsu_posterior_p99",
-                &[("release", "old")],
-                marginal_a.percentile(0.99),
-            );
-            metrics.set_gauge(
-                "wsu_posterior_p99",
-                &[("release", "new")],
-                marginal_b.percentile(0.99),
-            );
-            let label = match decision {
-                SwitchDecision::SwitchToNew => "switch",
-                SwitchDecision::KeepTransitional => "keep",
-            };
-            metrics.inc_counter("wsu_criterion_evaluations_total", &[("decision", label)]);
-        }
+        self.record_assessment_metrics(
+            marginal_a.percentile(0.99),
+            marginal_b.percentile(0.99),
+            decision,
+        );
         Assessment {
             demands: counts.demands(),
             marginal_a,
             marginal_b,
             decision,
+        }
+    }
+
+    /// Assesses the upgrade via the incremental engine: the posterior is
+    /// recomputed in place into the updater's reusable buffers and the
+    /// returned marginals are borrowed views — no per-assessment grid
+    /// allocation. This is the hot path [`crate::upgrade::ManagedUpgrade`]
+    /// uses on its assessment cadence.
+    ///
+    /// Assessments drive switch/abort decisions by comparing percentiles
+    /// against thresholds, so this uses the exact [`PosteriorUpdater::rebase`]
+    /// recompute rather than the delta path: a near-threshold seed must
+    /// decide bit-for-bit identically to the batch `assess`.
+    pub fn assess_incremental(&mut self, counts: &JointCounts) -> AssessmentView<'_> {
+        self.updater.rebase(counts);
+        let marginal_a = self.updater.marginal_a();
+        let marginal_b = self.updater.marginal_b();
+        let decision =
+            if self
+                .criterion
+                .satisfied(&self.inference.prior_a(), &marginal_a, &marginal_b)
+            {
+                SwitchDecision::SwitchToNew
+            } else {
+                SwitchDecision::KeepTransitional
+            };
+        self.record_assessment_metrics(
+            marginal_a.percentile(0.99),
+            marginal_b.percentile(0.99),
+            decision,
+        );
+        AssessmentView {
+            demands: counts.demands(),
+            marginal_a,
+            marginal_b,
+            decision,
+        }
+    }
+
+    fn record_assessment_metrics(&self, old_p99: f64, new_p99: f64, decision: SwitchDecision) {
+        if let Some(metrics) = &self.metrics {
+            metrics.inc_counter("wsu_assessments_total", &[]);
+            metrics.set_gauge("wsu_posterior_p99", &[("release", "old")], old_p99);
+            metrics.set_gauge("wsu_posterior_p99", &[("release", "new")], new_p99);
+            let label = match decision {
+                SwitchDecision::SwitchToNew => "switch",
+                SwitchDecision::KeepTransitional => "keep",
+            };
+            metrics.inc_counter("wsu_criterion_evaluations_total", &[("decision", label)]);
         }
     }
 

@@ -377,23 +377,39 @@ impl ManagedUpgrade {
             && self.monitor.demands().is_multiple_of(self.assess_interval)
             && (self.auto_switch || self.abort.is_some())
         {
-            let assessment = self.assessment();
+            // Incremental assessment: the posterior advances in place by
+            // the count deltas since the last interval — no per-interval
+            // grid allocation.
+            let counts = self
+                .monitor
+                .pair()
+                .map(|p| p.observed())
+                .unwrap_or_default();
+            let abort = self.abort;
+            let (old_p99, new_p99, decision, abort_now) = {
+                let assessment = self.manager.assess_incremental(&counts);
+                (
+                    assessment.marginal_a.percentile(0.99),
+                    assessment.marginal_b.percentile(0.99),
+                    assessment.decision,
+                    abort.is_some_and(|policy| {
+                        policy.should_abort(&assessment.marginal_a, &assessment.marginal_b)
+                    }),
+                )
+            };
             if self.recorder.enabled() {
                 self.recorder.record(TraceEvent::ConfidenceUpdated {
                     t: self.virtual_time,
                     demand: self.monitor.demands(),
-                    old_p99: assessment.marginal_a.percentile(0.99),
-                    new_p99: assessment.marginal_b.percentile(0.99),
+                    old_p99,
+                    new_p99,
                     criterion: self.manager.criterion().label(),
-                    satisfied: assessment.decision == SwitchDecision::SwitchToNew,
+                    satisfied: decision == SwitchDecision::SwitchToNew,
                 });
             }
-            let abort_now = self.abort.is_some_and(|policy| {
-                policy.should_abort(&assessment.marginal_a, &assessment.marginal_b)
-            });
             if abort_now {
                 self.abort_upgrade();
-            } else if self.auto_switch && assessment.decision == SwitchDecision::SwitchToNew {
+            } else if self.auto_switch && decision == SwitchDecision::SwitchToNew {
                 self.switch_to_new();
             }
         }

@@ -200,6 +200,7 @@ pub fn run_study(scenario: &Scenario, detection: Detection, config: &StudyConfig
     ));
     let mut detector = detection.build();
 
+    let mut updater = inference.updater();
     let mut observed = JointCounts::new();
     let mut checkpoints = Vec::with_capacity((config.demands / config.checkpoint_every) as usize);
     for demand in 1..=config.demands {
@@ -207,9 +208,12 @@ pub fn run_study(scenario: &Scenario, detection: Detection, config: &StudyConfig
         let seen = detector.observe(truth, &mut detect_rng);
         observed.record(seen.a_failed, seen.b_failed);
         if demand % config.checkpoint_every == 0 {
-            let posterior = inference.posterior(&observed);
-            let marginal_a = posterior.marginal_a();
-            let marginal_b = posterior.marginal_b();
+            // Incremental update: only the count deltas since the last
+            // checkpoint touch the grid, and the marginals are borrowed
+            // views — no per-checkpoint allocation.
+            updater.update_to(&observed);
+            let marginal_a = updater.marginal_a();
+            let marginal_b = updater.marginal_b();
             let criteria_met = [
                 criteria[0].satisfied(&priors.prior_a, &marginal_a, &marginal_b),
                 criteria[1].satisfied(&priors.prior_a, &marginal_a, &marginal_b),
