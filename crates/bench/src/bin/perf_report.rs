@@ -16,8 +16,11 @@ use std::time::{Duration, Instant};
 use wsu_bayes::whitebox::Resolution;
 use wsu_bench::report::{write_json, Entry};
 use wsu_experiments::bayes_study::StudyConfig;
-use wsu_experiments::{ablation, figures, table2, DEFAULT_SEED};
+use wsu_experiments::midsim::ObsSinks;
+use wsu_experiments::{ablation, figures, table2, table5, table6, DEFAULT_SEED, PAPER_TIMEOUTS};
+use wsu_simcore::par::Jobs;
 use wsu_simcore::rng::MasterSeed;
+use wsu_workload::timing::ExecTimeModel;
 
 fn time_runs<F: FnMut()>(name: &str, samples: usize, mut run: F) -> Entry {
     let mut measurements: Vec<Duration> = (0..samples.max(1))
@@ -129,6 +132,42 @@ fn main() -> std::io::Result<()> {
             std::hint::black_box(ablation::run_prior_ablation(&study1));
         },
     ));
+
+    // The parallel replication runner, sequentially and with a pool of
+    // four, on the same workload — the jobs=1 vs jobs=4 pair is the
+    // speedup a multi-core host gets for free (on a single-core host
+    // the two rows coincide, minus scheduling noise).
+    let requests = if full { 10_000 } else { 2_000 };
+    for jobs in [1usize, 4] {
+        entries.push(time_runs(
+            &format!("experiments/table5/{scale}/jobs{jobs}"),
+            samples,
+            || {
+                std::hint::black_box(table5::run_table5_jobs(
+                    DEFAULT_SEED,
+                    requests,
+                    &PAPER_TIMEOUTS,
+                    ExecTimeModel::paper(),
+                    &ObsSinks::default(),
+                    Jobs::new(jobs),
+                ));
+            },
+        ));
+        entries.push(time_runs(
+            &format!("experiments/table6/{scale}/jobs{jobs}"),
+            samples,
+            || {
+                std::hint::black_box(table6::run_table6_jobs(
+                    DEFAULT_SEED,
+                    requests,
+                    &PAPER_TIMEOUTS,
+                    ExecTimeModel::paper(),
+                    &ObsSinks::default(),
+                    Jobs::new(jobs),
+                ));
+            },
+        ));
+    }
 
     let path = out_dir.join("BENCH_experiments.json");
     write_json(&path, "BENCH_experiments", &entries)?;

@@ -1,22 +1,23 @@
 //! Runs the four ablation studies (A1–A4 in DESIGN.md).
 //!
-//! Usage: `ablations [--quick] [--trace PATH] [--metrics PATH]` —
-//! with observability on, each ablation becomes a timed phase in the
+//! Usage: `ablations [--quick] [--jobs N] [--trace PATH] [--metrics PATH]`
+//! — with observability on, each ablation becomes a timed phase in the
 //! metrics snapshot and a log line in the trace.
 
 use wsu_bayes::whitebox::Resolution;
 use wsu_experiments::ablation::{
     render_abort_table, render_adjudicator_table, render_class_detection_table,
-    render_coverage_table, render_mode_table, render_prior_table, run_abort_ablation,
-    run_adjudicator_ablation, run_class_detection_ablation, run_coverage_ablation,
-    run_mode_ablation, run_prior_ablation,
+    render_coverage_table, render_mode_table, render_prior_table, run_abort_ablation_jobs,
+    run_adjudicator_ablation_jobs, run_class_detection_ablation, run_coverage_ablation_jobs,
+    run_mode_ablation_jobs, run_prior_ablation_jobs,
 };
 use wsu_experiments::bayes_study::StudyConfig;
-use wsu_experiments::obs::ObsOptions;
+use wsu_experiments::obs::{jobs_from_env, ObsOptions};
 use wsu_experiments::DEFAULT_SEED;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let jobs = jobs_from_env();
     let mut ctx = ObsOptions::from_env().context();
     let requests = if quick { 2_000 } else { 10_000 };
     let study = StudyConfig {
@@ -37,18 +38,18 @@ fn main() {
     };
 
     let adjudicator = ctx.time("ablations/adjudicator", || {
-        run_adjudicator_ablation(DEFAULT_SEED, requests)
+        run_adjudicator_ablation_jobs(DEFAULT_SEED, requests, jobs)
     });
     println!("{}", render_adjudicator_table(&adjudicator));
     let mode = ctx.time("ablations/mode", || {
-        run_mode_ablation(DEFAULT_SEED, requests)
+        run_mode_ablation_jobs(DEFAULT_SEED, requests, jobs)
     });
     println!("{}", render_mode_table(&mode));
     let coverage = ctx.time("ablations/coverage", || {
-        run_coverage_ablation(&study, &[0.0, 0.05, 0.10, 0.15, 0.25, 0.40])
+        run_coverage_ablation_jobs(&study, &[0.0, 0.05, 0.10, 0.15, 0.25, 0.40], jobs)
     });
     println!("{}", render_coverage_table(&coverage));
-    let prior = ctx.time("ablations/prior", || run_prior_ablation(&study));
+    let prior = ctx.time("ablations/prior", || run_prior_ablation_jobs(&study, jobs));
     println!("{}", render_prior_table(&prior));
     let class_detection = ctx.time("ablations/class-detection", || {
         run_class_detection_ablation(
@@ -61,12 +62,13 @@ fn main() {
     });
     println!("{}", render_class_detection_table(&class_detection));
     let abort = ctx.time("ablations/abort", || {
-        run_abort_ablation(
+        run_abort_ablation_jobs(
             if quick { 3 } else { 10 },
             if quick { 4_000 } else { 20_000 },
             study.resolution,
             DEFAULT_SEED,
             &[0.5, 1.0, 2.0, 5.0, 10.0],
+            jobs,
         )
     });
     println!("{}", render_abort_table(&abort));

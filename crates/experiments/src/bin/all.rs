@@ -1,13 +1,17 @@
 //! Runs every experiment and writes the outputs under `results/`.
 //!
-//! Usage: `all [--quick] [--out DIR] [--trace PATH] [--metrics PATH]`.
+//! Usage: `all [--quick] [--out DIR] [--jobs N] [--trace PATH]
+//! [--metrics PATH]` — `--jobs` sizes the replication worker pool for
+//! the simulation-backed studies (Tables 5–6, ablations, capacity)
+//! without changing any output byte.
 
 use std::fs;
 use std::path::PathBuf;
 
 use wsu_bayes::whitebox::Resolution;
 use wsu_experiments::bayes_study::StudyConfig;
-use wsu_experiments::obs::ObsOptions;
+use wsu_experiments::midsim::ObsSinks;
+use wsu_experiments::obs::{jobs_from_args, ObsOptions};
 use wsu_experiments::{
     ablation, capacity, figures, table2, table5, table6, DEFAULT_SEED, PAPER_TIMEOUTS,
 };
@@ -17,6 +21,7 @@ use wsu_workload::timing::ExecTimeModel;
 fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let jobs = jobs_from_args(&args);
     let mut ctx = ObsOptions::from_env().context();
     let sinks = ctx.sinks();
     let out_dir = args
@@ -96,44 +101,50 @@ fn main() -> std::io::Result<()> {
 
     eprintln!("[4/8] Table 5 ...");
     let t5 = ctx.time("all/table5", || {
-        table5::run_table5_observed(
+        table5::run_table5_jobs(
             DEFAULT_SEED,
             requests,
             &PAPER_TIMEOUTS,
             ExecTimeModel::paper(),
             &sinks,
+            jobs,
         )
     });
     fs::write(out_dir.join("table5.txt"), t5.render())?;
 
     eprintln!("[5/8] Table 6 ...");
     let t6 = ctx.time("all/table6", || {
-        table6::run_table6_observed(
+        table6::run_table6_jobs(
             DEFAULT_SEED,
             requests,
             &PAPER_TIMEOUTS,
             ExecTimeModel::paper(),
             &sinks,
+            jobs,
         )
     });
     fs::write(out_dir.join("table6.txt"), t6.render())?;
 
     eprintln!("[6/8] Calibrated-timing variants ...");
     let t5c = ctx.time("all/table5-calibrated", || {
-        table5::run_table5_with(
+        table5::run_table5_jobs(
             DEFAULT_SEED,
             requests,
             &PAPER_TIMEOUTS,
             ExecTimeModel::calibrated(),
+            &ObsSinks::default(),
+            jobs,
         )
     });
     fs::write(out_dir.join("table5_calibrated.txt"), t5c.render())?;
     let t6c = ctx.time("all/table6-calibrated", || {
-        table6::run_table6_with(
+        table6::run_table6_jobs(
             DEFAULT_SEED,
             requests,
             &PAPER_TIMEOUTS,
             ExecTimeModel::calibrated(),
+            &ObsSinks::default(),
+            jobs,
         )
     });
     fs::write(out_dir.join("table6_calibrated.txt"), t6c.render())?;
@@ -142,20 +153,23 @@ fn main() -> std::io::Result<()> {
     let ab = ctx.time("all/ablations", || {
         let mut ab = String::new();
         ab.push_str(&ablation::render_adjudicator_table(
-            &ablation::run_adjudicator_ablation(DEFAULT_SEED, requests),
+            &ablation::run_adjudicator_ablation_jobs(DEFAULT_SEED, requests, jobs),
         ));
         ab.push('\n');
-        ab.push_str(&ablation::render_mode_table(&ablation::run_mode_ablation(
-            DEFAULT_SEED,
-            requests,
-        )));
+        ab.push_str(&ablation::render_mode_table(
+            &ablation::run_mode_ablation_jobs(DEFAULT_SEED, requests, jobs),
+        ));
         ab.push('\n');
         ab.push_str(&ablation::render_coverage_table(
-            &ablation::run_coverage_ablation(&study1, &[0.0, 0.05, 0.10, 0.15, 0.25, 0.40]),
+            &ablation::run_coverage_ablation_jobs(
+                &study1,
+                &[0.0, 0.05, 0.10, 0.15, 0.25, 0.40],
+                jobs,
+            ),
         ));
         ab.push('\n');
         ab.push_str(&ablation::render_prior_table(
-            &ablation::run_prior_ablation(&study1),
+            &ablation::run_prior_ablation_jobs(&study1, jobs),
         ));
         ab.push('\n');
         ab.push_str(&ablation::render_class_detection_table(
@@ -169,12 +183,13 @@ fn main() -> std::io::Result<()> {
         ));
         ab.push('\n');
         ab.push_str(&ablation::render_abort_table(
-            &ablation::run_abort_ablation(
+            &ablation::run_abort_ablation_jobs(
                 if quick { 3 } else { 10 },
                 if quick { 4_000 } else { 20_000 },
                 study1.resolution,
                 DEFAULT_SEED,
                 &[0.5, 1.0, 2.0, 5.0, 10.0],
+                jobs,
             ),
         ));
         ab
@@ -185,12 +200,13 @@ fn main() -> std::io::Result<()> {
     let gen =
         wsu_workload::outcomes::CorrelatedOutcomes::from_run(&wsu_workload::runs::RunSpec::run2());
     let cap = ctx.time("all/capacity", || {
-        capacity::run_capacity_study(
+        capacity::run_capacity_study_jobs(
             &gen,
             ExecTimeModel::calibrated(),
             &[0.2, 0.4, 0.6, 0.8],
             if quick { 3_000 } else { 20_000 },
             DEFAULT_SEED,
+            jobs,
         )
     });
     fs::write(

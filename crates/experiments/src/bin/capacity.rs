@@ -1,10 +1,10 @@
 //! Runs the server-capacity study (extension E6): parallel vs
 //! sequential dispatch under open Poisson arrivals.
 //!
-//! Usage: `capacity [--quick] [--trace PATH] [--metrics PATH]`.
+//! Usage: `capacity [--quick] [--jobs N] [--trace PATH] [--metrics PATH]`.
 
-use wsu_experiments::capacity::{render_capacity_table, run_capacity_study};
-use wsu_experiments::obs::ObsOptions;
+use wsu_experiments::capacity::{render_capacity_table, run_capacity_study_jobs};
+use wsu_experiments::obs::{jobs_from_env, ObsOptions};
 use wsu_experiments::DEFAULT_SEED;
 use wsu_workload::outcomes::CorrelatedOutcomes;
 use wsu_workload::runs::RunSpec;
@@ -12,16 +12,18 @@ use wsu_workload::timing::ExecTimeModel;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let jobs = jobs_from_env();
     let mut ctx = ObsOptions::from_env().context();
     let demands = if quick { 3_000 } else { 20_000 };
     let gen = CorrelatedOutcomes::from_run(&RunSpec::run2());
     let results = ctx.time("capacity/study", || {
-        run_capacity_study(
+        run_capacity_study_jobs(
             &gen,
             ExecTimeModel::calibrated(),
             &[0.2, 0.4, 0.6, 0.8],
             demands,
             DEFAULT_SEED,
+            jobs,
         )
     });
     print!("{}", render_capacity_table(&results));

@@ -1,19 +1,22 @@
 //! Regenerates Table 5 (correlated release failures).
 //!
-//! Usage: `table5 [--quick] [--calibrated] [--trace PATH] [--metrics PATH]`
-//! — `--calibrated` uses the execution-time model whose unconditional
-//! MET matches the paper's reported values (see EXPERIMENTS.md);
+//! Usage: `table5 [--quick] [--calibrated] [--jobs N] [--trace PATH]
+//! [--metrics PATH]` — `--calibrated` uses the execution-time model
+//! whose unconditional MET matches the paper's reported values (see
+//! EXPERIMENTS.md); `--jobs` picks the replication worker-pool size
+//! (default: one per hardware thread) without changing any output;
 //! `--trace`/`--metrics` write a JSONL event trace and a metrics
 //! snapshot without changing the table on stdout.
 
-use wsu_experiments::obs::ObsOptions;
-use wsu_experiments::table5::run_table5_observed;
+use wsu_experiments::obs::{jobs_from_env, ObsOptions};
+use wsu_experiments::table5::run_table5_jobs;
 use wsu_experiments::{DEFAULT_SEED, PAPER_REQUESTS, PAPER_TIMEOUTS};
 use wsu_workload::timing::ExecTimeModel;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let calibrated = std::env::args().any(|a| a == "--calibrated");
+    let jobs = jobs_from_env();
     let mut ctx = ObsOptions::from_env().context();
     let timing = if calibrated {
         ExecTimeModel::calibrated()
@@ -23,7 +26,14 @@ fn main() {
     let requests = if quick { 2_000 } else { PAPER_REQUESTS };
     let sinks = ctx.sinks();
     let table = ctx.time("table5/simulate", || {
-        run_table5_observed(DEFAULT_SEED, requests, &PAPER_TIMEOUTS, timing, &sinks)
+        run_table5_jobs(
+            DEFAULT_SEED,
+            requests,
+            &PAPER_TIMEOUTS,
+            timing,
+            &sinks,
+            jobs,
+        )
     });
     print!("{}", table.render());
     ctx.finish().expect("write observability outputs");

@@ -1,15 +1,17 @@
 //! Regenerates Table 6 (independent release failures).
 //!
-//! Usage: `table6 [--quick] [--calibrated] [--trace PATH] [--metrics PATH]`.
+//! Usage: `table6 [--quick] [--calibrated] [--jobs N] [--trace PATH]
+//! [--metrics PATH]`.
 
-use wsu_experiments::obs::ObsOptions;
-use wsu_experiments::table6::run_table6_observed;
+use wsu_experiments::obs::{jobs_from_env, ObsOptions};
+use wsu_experiments::table6::run_table6_jobs;
 use wsu_experiments::{DEFAULT_SEED, PAPER_REQUESTS, PAPER_TIMEOUTS};
 use wsu_workload::timing::ExecTimeModel;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let calibrated = std::env::args().any(|a| a == "--calibrated");
+    let jobs = jobs_from_env();
     let mut ctx = ObsOptions::from_env().context();
     let timing = if calibrated {
         ExecTimeModel::calibrated()
@@ -19,7 +21,14 @@ fn main() {
     let requests = if quick { 2_000 } else { PAPER_REQUESTS };
     let sinks = ctx.sinks();
     let table = ctx.time("table6/simulate", || {
-        run_table6_observed(DEFAULT_SEED, requests, &PAPER_TIMEOUTS, timing, &sinks)
+        run_table6_jobs(
+            DEFAULT_SEED,
+            requests,
+            &PAPER_TIMEOUTS,
+            timing,
+            &sinks,
+            jobs,
+        )
     });
     print!("{}", table.render());
     ctx.finish().expect("write observability outputs");

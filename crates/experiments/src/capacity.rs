@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 use wsu_core::adjudicate::{Adjudicator, CollectedResponse};
 use wsu_core::release::ReleaseId;
 use wsu_simcore::engine::{Engine, Handler};
+use wsu_simcore::par::{par_map, Jobs};
 use wsu_simcore::rng::{MasterSeed, StreamRng};
 use wsu_simcore::stats::{Histogram, Summary};
 use wsu_simcore::time::{SimDuration, SimTime};
@@ -340,30 +341,45 @@ pub fn run_capacity(
 
 /// Runs the full study: both disciplines across the given arrival rates.
 pub fn run_capacity_study(
-    outcomes: &dyn OutcomePairGen,
+    outcomes: &(dyn OutcomePairGen + Sync),
     timing: ExecTimeModel,
     rates: &[f64],
     demands: u64,
     seed: MasterSeed,
 ) -> Vec<CapacityResult> {
-    let mut results = Vec::new();
-    for &rate in rates {
-        for dispatch in [Dispatch::Parallel, Dispatch::Sequential] {
-            results.push(run_capacity(
-                dispatch,
-                outcomes,
-                timing,
-                CapacityConfig {
-                    arrival_rate: rate,
-                    demands,
-                    timeout: 3.0,
-                    adjudication_delay: 0.1,
-                },
-                seed,
-            ));
-        }
-    }
-    results
+    run_capacity_study_jobs(outcomes, timing, rates, demands, seed, Jobs::serial())
+}
+
+/// [`run_capacity_study`] over a worker pool: every `(rate, dispatch)`
+/// cell is one replication with its own engine, servers and RNG
+/// streams, returned in the sequential iteration order (rate-major,
+/// parallel before sequential) so the rendered table is byte-identical
+/// for any `jobs`.
+pub fn run_capacity_study_jobs(
+    outcomes: &(dyn OutcomePairGen + Sync),
+    timing: ExecTimeModel,
+    rates: &[f64],
+    demands: u64,
+    seed: MasterSeed,
+    jobs: Jobs,
+) -> Vec<CapacityResult> {
+    const DISPATCHES: [Dispatch; 2] = [Dispatch::Parallel, Dispatch::Sequential];
+    par_map(jobs, rates.len() * DISPATCHES.len(), |r| {
+        let rate = rates[r / DISPATCHES.len()];
+        let dispatch = DISPATCHES[r % DISPATCHES.len()];
+        run_capacity(
+            dispatch,
+            outcomes,
+            timing,
+            CapacityConfig {
+                arrival_rate: rate,
+                demands,
+                timeout: 3.0,
+                adjudication_delay: 0.1,
+            },
+            seed,
+        )
+    })
 }
 
 /// Renders the study.

@@ -32,6 +32,7 @@ pub mod capacity;
 pub mod figures;
 pub mod midsim;
 pub mod obs;
+pub mod replicate;
 pub mod report;
 pub mod table2;
 pub mod table5;

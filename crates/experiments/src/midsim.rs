@@ -264,6 +264,25 @@ pub fn simulate_run(
     )
 }
 
+/// Plans one run's demands: the joint outcomes and execution times all
+/// timeout columns of that run replay.
+///
+/// The plan stream is derived from `(seed, run_tag)` alone, so any
+/// replication (or worker thread) re-deriving the plan for the same run
+/// obtains the identical batch — the property the parallel runner
+/// relies on when each `(run, timeout)` cell replans independently.
+pub fn plan_run(
+    outcomes: &dyn OutcomePairGen,
+    timing: ExecTimeModel,
+    requests: u64,
+    seed: MasterSeed,
+    run_tag: &str,
+) -> Vec<PlannedDemand> {
+    let mut planner = DemandPlanner::new(outcomes, timing, "invoke");
+    let mut plan_rng = seed.stream(&format!("midsim/plan/{run_tag}"));
+    planner.plan_batch(requests as usize, &mut plan_rng)
+}
+
 /// [`simulate_run`] with observability sinks attached; each timeout
 /// column's engine gauges are tagged `"{run_tag}/t{timeout}"`.
 #[allow(clippy::too_many_arguments)]
@@ -276,9 +295,7 @@ pub fn simulate_run_observed(
     run_tag: &str,
     sinks: &ObsSinks,
 ) -> Vec<CellResult> {
-    let mut planner = DemandPlanner::new(outcomes, timing, "invoke");
-    let mut plan_rng = seed.stream(&format!("midsim/plan/{run_tag}"));
-    let plan = planner.plan_batch(requests as usize, &mut plan_rng);
+    let plan = plan_run(outcomes, timing, requests, seed, run_tag);
     timeouts
         .iter()
         .map(|&t| {

@@ -15,6 +15,7 @@ use std::io;
 use std::path::PathBuf;
 
 use wsu_obs::{PhaseTimings, Recorder, SharedRecorder, SharedRegistry, TraceEvent};
+use wsu_simcore::par::Jobs;
 
 use crate::bayes_study::StudyRun;
 use crate::midsim::ObsSinks;
@@ -51,7 +52,28 @@ impl ObsOptions {
         let args: Vec<String> = std::env::args().skip(1).collect();
         ObsOptions::parse(&args)
     }
+}
 
+/// Parses the shared `--jobs N` flag: `N` workers (`0` clamped to 1);
+/// absent or non-numeric means one worker per available hardware thread.
+/// The worker count never changes any output — replications merge in
+/// replication order regardless of which worker ran them.
+pub fn jobs_from_args(args: &[String]) -> Jobs {
+    Jobs::from_request(
+        args.iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok()),
+    )
+}
+
+/// [`jobs_from_args`] on the current process's arguments.
+pub fn jobs_from_env() -> Jobs {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    jobs_from_args(&args)
+}
+
+impl ObsOptions {
     /// Builds the live context: one sink per requested output file.
     pub fn context(&self) -> ObsContext {
         ObsContext {

@@ -1,0 +1,174 @@
+//! Parallel replication fan-out with deterministic observability merge.
+//!
+//! [`run_replications`] is the bridge between the generic worker pool
+//! ([`wsu_simcore::par`]) and the single-threaded observability sinks
+//! ([`ObsSinks`]): every replication gets a **private**
+//! recorder/registry pair (created inside its worker, so the
+//! `Rc`-backed handles never cross a thread boundary), and after all
+//! replications finish their trace events and metric registries are
+//! folded into the caller's sinks **in replication order**. Counters
+//! and histograms add, gauges take the later replication's value — the
+//! same outcome the sequential run produces by writing directly — so
+//! the rendered `.prom` snapshot and JSONL trace are byte-identical
+//! between `--jobs 1` and `--jobs N`.
+
+use wsu_obs::{MetricsRegistry, Recorder, SharedRecorder, SharedRegistry, TraceEvent};
+use wsu_simcore::par::{par_map, Jobs};
+
+use crate::midsim::ObsSinks;
+
+/// One replication's transportable output: the caller's value plus the
+/// replication-local observability state, all plain owned data (`Send`).
+struct ReplicationOutput<T> {
+    value: T,
+    events: Vec<TraceEvent>,
+    metrics: MetricsRegistry,
+}
+
+/// Runs `count` replications on up to `jobs` workers and merges each
+/// replication's observability into `sinks` in replication order.
+///
+/// The closure receives the replication index and a set of sinks to
+/// thread through the replication's simulation. When the caller's
+/// `sinks` has a recorder (resp. registry) attached, the closure's
+/// sinks carry a fresh private one; otherwise that sink stays absent
+/// and the replication runs unobserved, exactly like the sequential
+/// path.
+///
+/// Returns the replication values in index order. Determinism contract:
+/// for a closure whose value depends only on its index and immutable
+/// captures, the returned vector *and* the final content of `sinks`
+/// are independent of `jobs`.
+pub fn run_replications<T, F>(jobs: Jobs, count: usize, sinks: &ObsSinks, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &ObsSinks) -> T + Sync,
+{
+    let want_recorder = sinks.recorder.is_some();
+    let want_metrics = sinks.metrics.is_some();
+    let outputs = par_map(jobs, count, |index| {
+        let local = ObsSinks {
+            recorder: want_recorder.then(SharedRecorder::new),
+            metrics: want_metrics.then(SharedRegistry::new),
+        };
+        let value = f(index, &local);
+        ReplicationOutput {
+            value,
+            events: local
+                .recorder
+                .as_ref()
+                .map(SharedRecorder::snapshot)
+                .unwrap_or_default(),
+            metrics: local
+                .metrics
+                .as_ref()
+                .map(|m| m.with(|registry| registry.clone()))
+                .unwrap_or_default(),
+        }
+    });
+    let mut values = Vec::with_capacity(outputs.len());
+    for output in outputs {
+        if let Some(recorder) = &sinks.recorder {
+            let mut recorder = recorder.clone();
+            for event in output.events {
+                recorder.record(event);
+            }
+        }
+        if let Some(metrics) = &sinks.metrics {
+            metrics.with(|registry| registry.merge(&output.metrics));
+        }
+        values.push(output.value);
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observed_sinks() -> ObsSinks {
+        ObsSinks {
+            recorder: Some(SharedRecorder::new()),
+            metrics: Some(SharedRegistry::new()),
+        }
+    }
+
+    fn replicate(index: usize, sinks: &ObsSinks) -> usize {
+        if let Some(recorder) = &sinks.recorder {
+            recorder.clone().record(TraceEvent::Log {
+                t: index as f64,
+                demand: index as u64,
+                level: "info".to_owned(),
+                message: format!("replication {index}"),
+            });
+        }
+        if let Some(metrics) = &sinks.metrics {
+            metrics.add_counter("replications_total", &[], 1);
+            metrics.set_gauge("last_replication", &[], index as f64);
+            metrics.observe("replication_index", &[], index as f64);
+        }
+        index * 10
+    }
+
+    #[test]
+    fn values_and_sinks_are_jobs_invariant() {
+        let reference_sinks = observed_sinks();
+        let reference = run_replications(Jobs::serial(), 9, &reference_sinks, replicate);
+        for jobs in [2, 4, 16] {
+            let sinks = observed_sinks();
+            let values = run_replications(Jobs::new(jobs), 9, &sinks, replicate);
+            assert_eq!(values, reference, "values at jobs {jobs}");
+            assert_eq!(
+                sinks.recorder.as_ref().unwrap().snapshot(),
+                reference_sinks.recorder.as_ref().unwrap().snapshot(),
+                "trace at jobs {jobs}"
+            );
+            assert_eq!(
+                sinks.metrics.as_ref().unwrap().render_snapshot(),
+                reference_sinks.metrics.as_ref().unwrap().render_snapshot(),
+                "metrics at jobs {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn events_arrive_in_replication_order() {
+        let sinks = observed_sinks();
+        run_replications(Jobs::new(4), 12, &sinks, replicate);
+        let demands: Vec<u64> = sinks
+            .recorder
+            .as_ref()
+            .unwrap()
+            .snapshot()
+            .iter()
+            .map(|e| e.demand())
+            .collect();
+        assert_eq!(demands, (0..12).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn counters_add_and_last_gauge_wins() {
+        let sinks = observed_sinks();
+        run_replications(Jobs::new(3), 5, &sinks, replicate);
+        let metrics = sinks.metrics.as_ref().unwrap();
+        assert_eq!(metrics.with(|r| r.counter("replications_total", &[])), 5);
+        assert_eq!(
+            metrics.with(|r| r.gauge("last_replication", &[])),
+            Some(4.0)
+        );
+        assert_eq!(
+            metrics.with(|r| r.histogram_count("replication_index", &[])),
+            5
+        );
+    }
+
+    #[test]
+    fn disabled_sinks_stay_disabled() {
+        let sinks = ObsSinks::default();
+        let values = run_replications(Jobs::new(4), 3, &sinks, |i, local| {
+            assert!(local.recorder.is_none() && local.metrics.is_none());
+            i
+        });
+        assert_eq!(values, vec![0, 1, 2]);
+    }
+}

@@ -5,12 +5,15 @@
 //! 10,000 requests each, reporting per release and for the system: MET,
 //! CR, EER, NER, Total and NRDT.
 
+use wsu_core::middleware::MiddlewareConfig;
+use wsu_simcore::par::Jobs;
 use wsu_simcore::rng::MasterSeed;
 use wsu_workload::outcomes::CorrelatedOutcomes;
 use wsu_workload::runs::RunSpec;
 use wsu_workload::timing::ExecTimeModel;
 
-use crate::midsim::{simulate_run_observed, CellResult, ObsSinks};
+use crate::midsim::{plan_run, simulate_cell_observed, CellResult, ObsSinks};
+use crate::replicate::run_replications;
 use crate::report::TextTable;
 use crate::{PAPER_REQUESTS, PAPER_TIMEOUTS};
 
@@ -99,29 +102,90 @@ pub fn run_table5_observed(
     timing: ExecTimeModel,
     sinks: &ObsSinks,
 ) -> SimulationTable {
-    let runs = RunSpec::all()
-        .into_iter()
-        .map(|spec| {
-            let gen = CorrelatedOutcomes::from_run(&spec);
-            let cells = simulate_run_observed(
-                &gen,
-                timing,
-                requests,
-                timeouts,
-                seed,
-                &format!("table5/run{}", spec.run),
-                sinks,
-            );
-            RunResult {
-                run: spec.run,
-                cells,
-            }
-        })
-        .collect();
+    run_table5_jobs(seed, requests, timeouts, timing, sinks, Jobs::serial())
+}
+
+/// [`run_table5_observed`] over a worker pool: every `(run, timeout)`
+/// cell is one replication. Results, traces and metrics are merged in
+/// replication order, so the output is byte-identical for any `jobs`.
+pub fn run_table5_jobs(
+    seed: MasterSeed,
+    requests: u64,
+    timeouts: &[f64],
+    timing: ExecTimeModel,
+    sinks: &ObsSinks,
+    jobs: Jobs,
+) -> SimulationTable {
+    let specs = RunSpec::all();
+    let cells = simulate_table_cells(
+        "table5",
+        &specs,
+        requests,
+        timeouts,
+        timing,
+        seed,
+        sinks,
+        jobs,
+        CorrelatedOutcomes::from_run,
+    );
     SimulationTable {
         title: "Table 5: correlated release failures".to_owned(),
-        runs,
+        runs: group_cells(&specs, timeouts, cells),
     }
+}
+
+/// Fans the `(run, timeout)` grid out as replications, run-major and
+/// timeout-minor (the sequential iteration order). Each cell re-derives
+/// its run's demand plan — identical for every cell of the run, see
+/// [`plan_run`] — and simulates its own timeout column with its own
+/// generator, RNG streams and observability sinks.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_table_cells<G, F>(
+    table_tag: &str,
+    specs: &[RunSpec],
+    requests: u64,
+    timeouts: &[f64],
+    timing: ExecTimeModel,
+    seed: MasterSeed,
+    sinks: &ObsSinks,
+    jobs: Jobs,
+    make_gen: F,
+) -> Vec<CellResult>
+where
+    G: wsu_workload::outcomes::OutcomePairGen,
+    F: Fn(&RunSpec) -> G + Sync,
+{
+    run_replications(jobs, specs.len() * timeouts.len(), sinks, |r, local| {
+        let spec = &specs[r / timeouts.len()];
+        let timeout = timeouts[r % timeouts.len()];
+        let gen = make_gen(spec);
+        let run_tag = format!("{table_tag}/run{}", spec.run);
+        let plan = plan_run(&gen, timing, requests, seed, &run_tag);
+        simulate_cell_observed(
+            &plan,
+            MiddlewareConfig::paper(timeout),
+            seed,
+            local,
+            &format!("{run_tag}/t{timeout}"),
+        )
+    })
+}
+
+/// Groups a flat cell vector (run-major, timeout-minor) back into
+/// per-run rows.
+pub(crate) fn group_cells(
+    specs: &[RunSpec],
+    timeouts: &[f64],
+    cells: Vec<CellResult>,
+) -> Vec<RunResult> {
+    specs
+        .iter()
+        .zip(cells.chunks(timeouts.len().max(1)))
+        .map(|(spec, chunk)| RunResult {
+            run: spec.run,
+            cells: chunk.to_vec(),
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -7,13 +7,14 @@
 //! though the assumption is implausible for two releases of the same
 //! service.
 
+use wsu_simcore::par::Jobs;
 use wsu_simcore::rng::MasterSeed;
 use wsu_workload::outcomes::IndependentOutcomes;
 use wsu_workload::runs::RunSpec;
 use wsu_workload::timing::ExecTimeModel;
 
-use crate::midsim::{simulate_run_observed, ObsSinks};
-use crate::table5::{RunResult, SimulationTable};
+use crate::midsim::ObsSinks;
+use crate::table5::{group_cells, simulate_table_cells, SimulationTable};
 use crate::{PAPER_REQUESTS, PAPER_TIMEOUTS};
 
 /// Runs Table 6 with the paper's parameters.
@@ -45,28 +46,35 @@ pub fn run_table6_observed(
     timing: ExecTimeModel,
     sinks: &ObsSinks,
 ) -> SimulationTable {
-    let runs = RunSpec::all()
-        .into_iter()
-        .map(|spec| {
-            let gen = IndependentOutcomes::from_run(&spec);
-            let cells = simulate_run_observed(
-                &gen,
-                timing,
-                requests,
-                timeouts,
-                seed,
-                &format!("table6/run{}", spec.run),
-                sinks,
-            );
-            RunResult {
-                run: spec.run,
-                cells,
-            }
-        })
-        .collect();
+    run_table6_jobs(seed, requests, timeouts, timing, sinks, Jobs::serial())
+}
+
+/// [`run_table6_observed`] over a worker pool: every `(run, timeout)`
+/// cell is one replication. Results, traces and metrics are merged in
+/// replication order, so the output is byte-identical for any `jobs`.
+pub fn run_table6_jobs(
+    seed: MasterSeed,
+    requests: u64,
+    timeouts: &[f64],
+    timing: ExecTimeModel,
+    sinks: &ObsSinks,
+    jobs: Jobs,
+) -> SimulationTable {
+    let specs = RunSpec::all();
+    let cells = simulate_table_cells(
+        "table6",
+        &specs,
+        requests,
+        timeouts,
+        timing,
+        seed,
+        sinks,
+        jobs,
+        IndependentOutcomes::from_run,
+    );
     SimulationTable {
         title: "Table 6: independent release failures".to_owned(),
-        runs,
+        runs: group_cells(&specs, timeouts, cells),
     }
 }
 

@@ -42,7 +42,7 @@ impl MasterSeed {
     ///
     /// The same `(seed, name)` pair always produces the same stream.
     pub fn stream(self, name: &str) -> StreamRng {
-        StreamRng::from_seed(self.0 ^ fnv1a64(name.as_bytes()))
+        StreamRng::from_seed(self.derive(DOMAIN_NAMED, name, 0))
     }
 
     /// Derives an independent stream identified by `name` and an index.
@@ -50,10 +50,44 @@ impl MasterSeed {
     /// Useful for per-replica or per-run streams, e.g.
     /// `seed.indexed_stream("run", 3)`.
     pub fn indexed_stream(self, name: &str, index: u64) -> StreamRng {
-        let mut h = fnv1a64(name.as_bytes());
-        h ^= splitmix64(&mut { index.wrapping_add(0x9e37_79b9_7f4a_7c15) });
-        StreamRng::from_seed(self.0 ^ h)
+        StreamRng::from_seed(self.derive(DOMAIN_INDEXED, name, index))
     }
+
+    /// Derives a child seed by chaining every identifying word through
+    /// the SplitMix64 finalizer (a bijective mixer).
+    ///
+    /// Each absorption step is injective in the absorbed word for a
+    /// fixed running state, so distinct `(domain, name, index)` triples
+    /// cannot collide by algebraic cancellation the way the previous
+    /// plain-XOR composition could (`seed ^ h(a) ^ h(b)` is symmetric in
+    /// its operands; any pair of names or a name and an index whose
+    /// hashes XOR to the same value yielded the *same* stream).
+    fn derive(self, domain: u64, name: &str, index: u64) -> u64 {
+        let mut state = absorb(self.0, domain);
+        state = absorb(state, fnv1a64(name.as_bytes()));
+        absorb(state, index)
+    }
+}
+
+/// Domain tag for plain named streams.
+const DOMAIN_NAMED: u64 = 0x4e41_4d45_4453_5452; // "NAMEDSTR"
+/// Domain tag for indexed streams.
+const DOMAIN_INDEXED: u64 = 0x494e_4458_5354_5245; // "INDXSTRE"
+
+/// Absorbs one word into a running derivation state.
+///
+/// Addition of the word (plus a golden-ratio increment so absorbing
+/// zero still advances the state) followed by the bijective
+/// [`mix64`] finalizer: injective in `word` for any fixed `state`.
+fn absorb(state: u64, word: u64) -> u64 {
+    mix64(state.wrapping_add(0x9e37_79b9_7f4a_7c15).wrapping_add(word))
+}
+
+/// The SplitMix64 output finalizer: a bijective 64-bit mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl Default for MasterSeed {
@@ -247,6 +281,75 @@ mod tests {
         let x = seed.indexed_stream("run", 0).next_u64();
         let y = seed.indexed_stream("run", 1).next_u64();
         assert_ne!(x, y);
+    }
+
+    /// Regression for the plain-XOR derivation: `seed ^ fnv(name)` let
+    /// `MasterSeed::new(s).stream(a)` coincide exactly with
+    /// `MasterSeed::new(s ^ fnv(a) ^ fnv(b)).stream(b)` — the two
+    /// "independent" streams were byte-identical. The chained mix must
+    /// separate them.
+    #[test]
+    fn xor_cancellation_between_named_streams_is_gone() {
+        let h = |name: &str| fnv1a64(name.as_bytes());
+        let s1 = 0xDEAD_BEEF_u64;
+        let s2 = s1 ^ h("outcomes") ^ h("timing");
+        let mut a = MasterSeed::new(s1).stream("outcomes");
+        let mut b = MasterSeed::new(s2).stream("timing");
+        assert!((0..8).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    /// Regression: under the XOR scheme an indexed stream collided with
+    /// a named stream of a shifted master seed
+    /// (`indexed_stream(n, i)` == `new(s ^ sm(i)).stream(n)` where `sm`
+    /// is the old index expansion). The index must now be absorbed
+    /// through the chain, not XORed on top.
+    #[test]
+    fn xor_cancellation_between_indexed_and_named_streams_is_gone() {
+        // The old index expansion: splitmix64 over index + golden ratio.
+        let old_sm = |index: u64| {
+            let mut state = index.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            splitmix64(&mut state)
+        };
+        let s = 0x1234_5678_9abc_def0_u64;
+        for index in [0u64, 1, 2, 41] {
+            let mut a = MasterSeed::new(s).indexed_stream("run", index);
+            let mut b = MasterSeed::new(s ^ old_sm(index)).stream("run");
+            assert!((0..8).any(|_| a.next_u64() != b.next_u64()));
+        }
+    }
+
+    /// `(name, index)` pairs, plain names and nearby master seeds must
+    /// all produce pairwise-distinct streams: a broad independence sweep
+    /// over a few thousand derivations.
+    #[test]
+    fn derivation_sweep_has_no_collisions() {
+        use std::collections::HashSet;
+        let names = ["run", "plan", "midsim/middleware", "capacity/plan", ""];
+        let mut first_draws = HashSet::new();
+        let mut total = 0usize;
+        for seed_offset in 0..3u64 {
+            let seed = MasterSeed::new(0x5DEE_CE66_D201_3B44 ^ seed_offset);
+            for name in names {
+                assert!(first_draws.insert(seed.stream(name).next_u64()));
+                total += 1;
+                for index in 0..256u64 {
+                    assert!(
+                        first_draws.insert(seed.indexed_stream(name, index).next_u64()),
+                        "collision at seed {seed_offset} name {name:?} index {index}"
+                    );
+                    total += 1;
+                }
+            }
+        }
+        assert_eq!(first_draws.len(), total);
+    }
+
+    /// The derivation is not the raw XOR of seed and name hash.
+    #[test]
+    fn derivation_is_not_plain_xor() {
+        let seed = MasterSeed::new(99);
+        let xor_seeded = StreamRng::from_seed(99 ^ fnv1a64(b"x")).next_u64();
+        assert_ne!(seed.stream("x").next_u64(), xor_seeded);
     }
 
     #[test]

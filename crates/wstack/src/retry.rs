@@ -11,9 +11,11 @@
 //! recovery: an *evident* failure triggers up to `max_retries` re-runs.
 //! Whether a given failure is transient is decided per demand with the
 //! configured probability; a non-transient (deterministic) failure
-//! reproduces on every retry, which is precisely why the managed-upgrade
-//! architecture needs the diverse redundancy of a second release.
-//! Non-evident failures are never retried — nothing detects them.
+//! reproduces on the first retry, at which point recovery stops — the
+//! reproduction proves further retries pointless, and it is precisely
+//! why the managed-upgrade architecture needs the diverse redundancy of
+//! a second release. Non-evident failures are never retried — nothing
+//! detects them.
 
 use wsu_simcore::dist::DelayModel;
 use wsu_simcore::rng::StreamRng;
@@ -41,7 +43,8 @@ impl<S: ServiceEndpoint> RetryingEndpoint<S> {
     /// * `max_retries` — re-runs attempted after an evident failure;
     /// * `transient_fraction` — probability that an evident failure is
     ///   transient (a retry re-executes and may succeed) rather than
-    ///   deterministic (every retry reproduces it);
+    ///   deterministic (the first retry reproduces it and recovery
+    ///   stops);
     /// * `backoff` — delay added before each retry.
     ///
     /// # Panics
@@ -113,16 +116,18 @@ impl<S: ServiceEndpoint> ServiceEndpoint for RetryingEndpoint<S> {
             self.retries_attempted += 1;
             retried = true;
             total_time += self.backoff.sample(rng);
+            let again = self.inner.invoke(request, rng);
+            total_time += again.exec_time;
             if transient {
-                let again = self.inner.invoke(request, rng);
-                total_time += again.exec_time;
                 invocation = again;
             } else {
                 // Deterministic failure: the retry re-executes the same
-                // faulty path and takes comparable time.
-                let again = self.inner.invoke(request, rng);
-                total_time += again.exec_time;
+                // faulty path in comparable time and reproduces the
+                // failure, which proves further retries pointless — stop
+                // after the one reproducing retry instead of burning the
+                // whole budget.
                 invocation.class = ResponseClass::EvidentFailure;
+                break;
             }
         }
         if retried && invocation.class != ResponseClass::EvidentFailure {
@@ -172,7 +177,50 @@ mod tests {
         let rate = evident_rate(&mut ep, 20_000, 2);
         assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
         assert_eq!(ep.retries_recovered(), 0);
-        assert!(ep.retries_attempted() > 0);
+        // Exactly one reproducing retry per failing demand, never the
+        // whole budget: the failure rate is unchanged by retries, so the
+        // failing-demand count is the surviving-failure count.
+        assert_eq!(ep.retries_attempted(), (rate * 20_000.0).round() as u64);
+    }
+
+    #[test]
+    fn deterministic_failure_retries_exactly_once() {
+        // Always-failing deterministic service with a budget of 5: every
+        // demand stops after the single reproducing retry.
+        let inner = SyntheticService::builder("Svc", "1.0")
+            .outcomes(OutcomeProfile::new(0.0, 1.0, 0.0))
+            .exec_time(DelayModel::constant(0.1))
+            .build();
+        let mut ep = RetryingEndpoint::new(inner, 5, 0.0, DelayModel::constant(0.01));
+        let mut rng = StreamRng::from_seed(7);
+        let request = Envelope::request("invoke");
+        for _ in 0..3 {
+            let inv = ep.invoke(&request, &mut rng);
+            assert_eq!(inv.class, ResponseClass::EvidentFailure);
+        }
+        assert_eq!(ep.demands(), 3);
+        assert_eq!(ep.retries_attempted(), 3);
+        assert_eq!(ep.retries_recovered(), 0);
+    }
+
+    #[test]
+    fn persistent_transient_failure_exhausts_the_budget() {
+        // Always-failing *transient* service: every retry re-executes
+        // and fails again, so the whole budget is spent on each demand —
+        // the contrast with the deterministic early stop above.
+        let inner = SyntheticService::builder("Svc", "1.0")
+            .outcomes(OutcomeProfile::new(0.0, 1.0, 0.0))
+            .exec_time(DelayModel::constant(0.1))
+            .build();
+        let mut ep = RetryingEndpoint::new(inner, 3, 1.0, DelayModel::constant(0.01));
+        let mut rng = StreamRng::from_seed(8);
+        let request = Envelope::request("invoke");
+        for _ in 0..3 {
+            let inv = ep.invoke(&request, &mut rng);
+            assert_eq!(inv.class, ResponseClass::EvidentFailure);
+        }
+        assert_eq!(ep.retries_attempted(), 9);
+        assert_eq!(ep.retries_recovered(), 0);
     }
 
     #[test]
@@ -209,8 +257,9 @@ mod tests {
 
     #[test]
     fn retry_time_accumulates() {
-        // Always-failing deterministic service with 2 retries: time is
-        // 3 executions + 2 backoffs = 0.3 + 0.02.
+        // Always-failing deterministic service: the single reproducing
+        // retry costs 2 executions + 1 backoff = 0.2 + 0.01, however
+        // large the budget.
         let inner = SyntheticService::builder("Svc", "1.0")
             .outcomes(OutcomeProfile::new(0.0, 1.0, 0.0))
             .exec_time(DelayModel::constant(0.1))
@@ -219,7 +268,7 @@ mod tests {
         let mut rng = StreamRng::from_seed(6);
         let inv = ep.invoke(&Envelope::request("invoke"), &mut rng);
         assert_eq!(inv.class, ResponseClass::EvidentFailure);
-        assert!((inv.exec_time.as_secs() - 0.32).abs() < 1e-12);
+        assert!((inv.exec_time.as_secs() - 0.21).abs() < 1e-12);
     }
 
     #[test]
