@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 use wsu_bayes::whitebox::Resolution;
 use wsu_bench::report::{write_json, Entry};
 use wsu_experiments::bayes_study::StudyConfig;
+use wsu_experiments::campaign::{run_campaign_jobs, standard_plans, CampaignConfig};
 use wsu_experiments::midsim::ObsSinks;
 use wsu_experiments::{ablation, figures, table2, table5, table6, DEFAULT_SEED, PAPER_TIMEOUTS};
 use wsu_simcore::par::Jobs;
@@ -130,6 +131,24 @@ fn main() -> std::io::Result<()> {
         samples,
         || {
             std::hint::black_box(ablation::run_prior_ablation(&study1));
+        },
+    ));
+    let campaign_config = if full {
+        CampaignConfig::paper()
+    } else {
+        CampaignConfig::quick()
+    };
+    entries.push(time_runs(
+        &format!("experiments/faultcampaign/{scale}"),
+        samples,
+        || {
+            std::hint::black_box(run_campaign_jobs(
+                &standard_plans(),
+                &campaign_config,
+                DEFAULT_SEED,
+                &ObsSinks::default(),
+                Jobs::serial(),
+            ));
         },
     ));
 

@@ -445,6 +445,19 @@ impl ManagementSubsystem {
                 _ => {}
             }
         }
+        // Recovery must never leave the middleware unable to serve: if
+        // the sweep just suspended the last active release(s) — e.g. a
+        // correlated burst after an abort already phased one release out
+        // — restart the suspended ones immediately instead of waiting a
+        // demand.
+        if policy.auto_restart && releases.active_ids().is_empty() {
+            for info in releases.infos() {
+                if info.state == ReleaseState::Suspended {
+                    releases.restart(info.id)?;
+                    actions.push(RecoveryAction::Restarted(info.id));
+                }
+            }
+        }
         Ok(actions)
     }
 }
@@ -590,6 +603,9 @@ mod tests {
                 .outcomes(OutcomeProfile::new(0.0, 1.0, 0.0))
                 .build(),
         );
+        // A healthy second release keeps the set serving while `bad` is
+        // suspended (a lone release would be restarted immediately).
+        let _good = releases.deploy(SyntheticService::builder("Svc", "2.0").build());
         let mut rng = wsu_simcore::rng::StreamRng::from_seed(1);
         for _ in 0..3 {
             releases
@@ -606,6 +622,42 @@ mod tests {
         // Next sweep restarts it.
         let actions = mgr.apply_recovery(&mut releases).unwrap();
         assert_eq!(actions, vec![RecoveryAction::Restarted(bad)]);
+        assert_eq!(releases.state(bad).unwrap(), ReleaseState::Active);
+    }
+
+    #[test]
+    fn recovery_never_strands_the_release_set() {
+        let mut mgr = scenario1_manager(SwitchCriterion::better_than_old(0.99));
+        mgr.set_recovery_policy(Some(RecoveryPolicy {
+            suspend_after: 3,
+            auto_restart: true,
+        }));
+        let mut releases = ReleaseSet::new();
+        let bad = releases.deploy(
+            SyntheticService::builder("Svc", "1.0")
+                .outcomes(OutcomeProfile::new(0.0, 1.0, 0.0))
+                .build(),
+        );
+        let mut rng = wsu_simcore::rng::StreamRng::from_seed(1);
+        for _ in 0..3 {
+            releases
+                .invoke(
+                    bad,
+                    &wsu_wstack::message::Envelope::request("invoke"),
+                    &mut rng,
+                )
+                .unwrap();
+        }
+        // Suspending the only active release would leave nothing to
+        // serve the next demand, so the same sweep restarts it.
+        let actions = mgr.apply_recovery(&mut releases).unwrap();
+        assert_eq!(
+            actions,
+            vec![
+                RecoveryAction::Suspended(bad),
+                RecoveryAction::Restarted(bad)
+            ]
+        );
         assert_eq!(releases.state(bad).unwrap(), ReleaseState::Active);
     }
 

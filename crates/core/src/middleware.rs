@@ -210,6 +210,9 @@ impl UpgradeMiddleware {
         if active.is_empty() {
             return Err(CoreError::NoActiveReleases);
         }
+        // Clock-aware endpoints (fault injectors with time windows) see
+        // the dispatch instant before the demand reaches them.
+        self.releases.advance_clock(self.clock);
         let seq = self.demands;
         self.demands += 1;
         let record = match self.config.mode {

@@ -110,6 +110,16 @@ impl ReleaseSet {
         self.releases.len()
     }
 
+    /// Propagates the current virtual time to every deployed endpoint
+    /// (whatever its state), so clock-aware wrappers such as fault
+    /// injectors with virtual-time windows stay in sync with the
+    /// middleware.
+    pub fn advance_clock(&mut self, now_secs: f64) {
+        for deployed in &mut self.releases {
+            deployed.endpoint.advance_clock(now_secs);
+        }
+    }
+
     /// Returns `true` if no releases are deployed.
     pub fn is_empty(&self) -> bool {
         self.releases.is_empty()

@@ -156,6 +156,93 @@ mod tests {
     }
 
     #[test]
+    fn zero_demand_audit_has_no_rates() {
+        let audit = DetectionAudit::new();
+        assert_eq!(audit.demands(), 0);
+        for counts in [audit.release_a(), audit.release_b()] {
+            assert_eq!(counts.coverage(), None);
+            assert_eq!(counts.false_alarm_rate(), None);
+            assert_eq!(counts, ConfusionCounts::default());
+        }
+    }
+
+    #[test]
+    fn coverage_is_none_when_release_never_failed() {
+        // Demands were audited, but this release's truth was always
+        // "success": coverage is undefined, not 0 or 1.
+        let mut audit = DetectionAudit::new();
+        for _ in 0..10 {
+            audit.record(DemandOutcome::BOTH_OK, DemandOutcome::BOTH_OK);
+        }
+        assert_eq!(audit.demands(), 10);
+        assert_eq!(audit.release_a().coverage(), None);
+        assert_eq!(audit.release_a().false_alarm_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn all_false_positive_detector() {
+        // Every truth is success, every observation is failure: the
+        // false-alarm rate saturates at 1 and coverage stays undefined
+        // (there was never a real failure to cover).
+        let mut audit = DetectionAudit::new();
+        for _ in 0..8 {
+            audit.record(DemandOutcome::BOTH_OK, DemandOutcome::BOTH_FAILED);
+        }
+        for counts in [audit.release_a(), audit.release_b()] {
+            assert_eq!(counts.false_positives, 8);
+            assert_eq!(counts.true_negatives, 0);
+            assert_eq!(counts.false_alarm_rate(), Some(1.0));
+            assert_eq!(counts.coverage(), None);
+        }
+    }
+
+    #[test]
+    fn all_failures_leave_false_alarm_rate_undefined() {
+        // The mirror case: every truth is failure, so there is no
+        // success from which to raise a false alarm.
+        let mut audit = DetectionAudit::new();
+        audit.record(DemandOutcome::BOTH_FAILED, DemandOutcome::BOTH_OK);
+        audit.record(DemandOutcome::BOTH_FAILED, DemandOutcome::BOTH_FAILED);
+        for counts in [audit.release_a(), audit.release_b()] {
+            assert_eq!(counts.coverage(), Some(0.5));
+            assert_eq!(counts.false_alarm_rate(), None);
+        }
+    }
+
+    #[test]
+    fn disagreement_on_both_releases_splits_per_release() {
+        // Truth: A failed, B ok. Seen: A ok, B failed — a miss on A and
+        // a false alarm on B, in the same demand.
+        let mut audit = DetectionAudit::new();
+        audit.record(
+            DemandOutcome::new(true, false),
+            DemandOutcome::new(false, true),
+        );
+        let a = audit.release_a();
+        assert_eq!(
+            (
+                a.true_positives,
+                a.false_negatives,
+                a.false_positives,
+                a.true_negatives
+            ),
+            (0, 1, 0, 0)
+        );
+        let b = audit.release_b();
+        assert_eq!(
+            (
+                b.true_positives,
+                b.false_negatives,
+                b.false_positives,
+                b.true_negatives
+            ),
+            (0, 0, 1, 0)
+        );
+        assert_eq!(a.coverage(), Some(0.0));
+        assert_eq!(b.false_alarm_rate(), Some(1.0));
+    }
+
+    #[test]
     fn perfect_detection_audit() {
         let mut audit = DetectionAudit::new();
         for truth in [DemandOutcome::BOTH_OK, DemandOutcome::BOTH_FAILED] {

@@ -13,7 +13,7 @@ use wsu_experiments::bayes_study::StudyConfig;
 use wsu_experiments::midsim::ObsSinks;
 use wsu_experiments::obs::{jobs_from_args, ObsOptions};
 use wsu_experiments::{
-    ablation, capacity, figures, table2, table5, table6, DEFAULT_SEED, PAPER_TIMEOUTS,
+    ablation, campaign, capacity, figures, table2, table5, table6, DEFAULT_SEED, PAPER_TIMEOUTS,
 };
 use wsu_simcore::rng::MasterSeed;
 use wsu_workload::timing::ExecTimeModel;
@@ -59,7 +59,7 @@ fn main() -> std::io::Result<()> {
     };
     let requests = if quick { 2_000 } else { 10_000 };
 
-    eprintln!("[1/8] Table 2 (single seed + spread) ...");
+    eprintln!("[1/9] Table 2 (single seed + spread) ...");
     let t2 = ctx.time("all/table2", || {
         table2::run_table2_with(DEFAULT_SEED, &study1, &study2)
     });
@@ -81,7 +81,7 @@ fn main() -> std::io::Result<()> {
         table2::render_spread(&spread),
     )?;
 
-    eprintln!("[2/8] Fig. 7 ...");
+    eprintln!("[2/9] Fig. 7 ...");
     let (fig7, fig7_runs) = ctx.time("all/fig7", || figures::run_fig7(&study1));
     ctx.record_study(&fig7_runs.perfect, "fig7/perfect");
     if let Some(omission) = &fig7_runs.omission {
@@ -90,7 +90,7 @@ fn main() -> std::io::Result<()> {
     ctx.record_study(&fig7_runs.back_to_back, "fig7/back-to-back");
     fs::write(out_dir.join("fig7.tsv"), fig7.to_tsv())?;
 
-    eprintln!("[3/8] Fig. 8 ...");
+    eprintln!("[3/9] Fig. 8 ...");
     let (fig8, fig8_runs) = ctx.time("all/fig8", || figures::run_fig8(&study2));
     ctx.record_study(&fig8_runs.perfect, "fig8/perfect");
     if let Some(omission) = &fig8_runs.omission {
@@ -99,7 +99,7 @@ fn main() -> std::io::Result<()> {
     ctx.record_study(&fig8_runs.back_to_back, "fig8/back-to-back");
     fs::write(out_dir.join("fig8.tsv"), fig8.to_tsv())?;
 
-    eprintln!("[4/8] Table 5 ...");
+    eprintln!("[4/9] Table 5 ...");
     let t5 = ctx.time("all/table5", || {
         table5::run_table5_jobs(
             DEFAULT_SEED,
@@ -112,7 +112,7 @@ fn main() -> std::io::Result<()> {
     });
     fs::write(out_dir.join("table5.txt"), t5.render())?;
 
-    eprintln!("[5/8] Table 6 ...");
+    eprintln!("[5/9] Table 6 ...");
     let t6 = ctx.time("all/table6", || {
         table6::run_table6_jobs(
             DEFAULT_SEED,
@@ -125,7 +125,7 @@ fn main() -> std::io::Result<()> {
     });
     fs::write(out_dir.join("table6.txt"), t6.render())?;
 
-    eprintln!("[6/8] Calibrated-timing variants ...");
+    eprintln!("[6/9] Calibrated-timing variants ...");
     let t5c = ctx.time("all/table5-calibrated", || {
         table5::run_table5_jobs(
             DEFAULT_SEED,
@@ -149,7 +149,7 @@ fn main() -> std::io::Result<()> {
     });
     fs::write(out_dir.join("table6_calibrated.txt"), t6c.render())?;
 
-    eprintln!("[7/8] Ablations ...");
+    eprintln!("[7/9] Ablations ...");
     let ab = ctx.time("all/ablations", || {
         let mut ab = String::new();
         ab.push_str(&ablation::render_adjudicator_table(
@@ -196,7 +196,23 @@ fn main() -> std::io::Result<()> {
     });
     fs::write(out_dir.join("ablations.txt"), ab)?;
 
-    eprintln!("[8/8] Capacity study ...");
+    eprintln!("[8/9] Fault-injection campaign ...");
+    let campaign = ctx.time("all/faultcampaign", || {
+        campaign::run_campaign_jobs(
+            &campaign::standard_plans(),
+            &if quick {
+                campaign::CampaignConfig::quick()
+            } else {
+                campaign::CampaignConfig::paper()
+            },
+            DEFAULT_SEED,
+            &sinks,
+            jobs,
+        )
+    });
+    fs::write(out_dir.join("faultcampaign.txt"), campaign.render())?;
+
+    eprintln!("[9/9] Capacity study ...");
     let gen =
         wsu_workload::outcomes::CorrelatedOutcomes::from_run(&wsu_workload::runs::RunSpec::run2());
     let cap = ctx.time("all/capacity", || {

@@ -28,6 +28,7 @@
 
 pub mod ablation;
 pub mod bayes_study;
+pub mod campaign;
 pub mod capacity;
 pub mod figures;
 pub mod midsim;

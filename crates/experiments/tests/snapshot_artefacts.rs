@@ -10,7 +10,10 @@ use std::path::PathBuf;
 
 use wsu_bayes::whitebox::Resolution;
 use wsu_experiments::bayes_study::StudyConfig;
+use wsu_experiments::campaign::{run_campaign_jobs, standard_plans, CampaignConfig};
+use wsu_experiments::midsim::ObsSinks;
 use wsu_experiments::{figures, table2, DEFAULT_SEED};
+use wsu_simcore::par::Jobs;
 
 fn results_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -56,6 +59,37 @@ fn fig7_artefact_is_reproducible() {
         .expect("committed results/fig7.tsv");
     let (fig7, _) = figures::run_fig7(&paper_study1());
     assert_eq!(fig7.to_tsv(), golden, "results/fig7.tsv drifted");
+}
+
+#[test]
+#[ignore = "full paper scale; run with --release (CI perf-smoke job)"]
+fn faultcampaign_artefact_is_reproducible() {
+    let golden = std::fs::read_to_string(results_dir().join("faultcampaign.txt"))
+        .expect("committed results/faultcampaign.txt");
+    let rendered = run_campaign_jobs(
+        &standard_plans(),
+        &CampaignConfig::paper(),
+        DEFAULT_SEED,
+        &ObsSinks::default(),
+        Jobs::serial(),
+    )
+    .render();
+    assert_eq!(rendered, golden, "results/faultcampaign.txt drifted");
+}
+
+#[test]
+fn quick_faultcampaign_is_deterministic() {
+    let run = || {
+        run_campaign_jobs(
+            &standard_plans()[..4],
+            &CampaignConfig::quick(),
+            DEFAULT_SEED,
+            &ObsSinks::default(),
+            Jobs::serial(),
+        )
+        .render()
+    };
+    assert_eq!(run(), run(), "quick campaign run is not deterministic");
 }
 
 #[test]

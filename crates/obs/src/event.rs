@@ -102,6 +102,19 @@ pub enum TraceEvent {
         /// Recovery action label (`suspended` or `restarted`).
         action: String,
     },
+    /// A fault injector perturbed (or suppressed) a release's response.
+    FaultInjected {
+        /// Virtual time, in seconds (the injector's last-seen clock).
+        t: f64,
+        /// Injector-local demand sequence number (1-based).
+        demand: u64,
+        /// Release label of the wrapped endpoint.
+        release: String,
+        /// Name of the fault clause that fired.
+        clause: String,
+        /// Stable fault-kind label (e.g. `crash`, `wrong-evident`).
+        kind: String,
+    },
     /// A free-form log line (the `EventLog` compatibility path).
     Log {
         /// Virtual time, in seconds (0 when the logger has no clock).
@@ -126,6 +139,7 @@ impl TraceEvent {
             TraceEvent::ConfidenceUpdated { .. } => "ConfidenceUpdated",
             TraceEvent::SwitchDecision { .. } => "SwitchDecision",
             TraceEvent::ReleaseSuspended { .. } => "ReleaseSuspended",
+            TraceEvent::FaultInjected { .. } => "FaultInjected",
             TraceEvent::Log { .. } => "Log",
         }
     }
@@ -140,6 +154,7 @@ impl TraceEvent {
             | TraceEvent::ConfidenceUpdated { t, .. }
             | TraceEvent::SwitchDecision { t, .. }
             | TraceEvent::ReleaseSuspended { t, .. }
+            | TraceEvent::FaultInjected { t, .. }
             | TraceEvent::Log { t, .. } => *t,
         }
     }
@@ -154,6 +169,7 @@ impl TraceEvent {
             | TraceEvent::ConfidenceUpdated { demand, .. }
             | TraceEvent::SwitchDecision { demand, .. }
             | TraceEvent::ReleaseSuspended { demand, .. }
+            | TraceEvent::FaultInjected { demand, .. }
             | TraceEvent::Log { demand, .. } => *demand,
         }
     }
@@ -223,6 +239,16 @@ impl TraceEvent {
             } => {
                 w.uint_field("release", *release as u64);
                 w.str_field("action", action);
+            }
+            TraceEvent::FaultInjected {
+                release,
+                clause,
+                kind,
+                ..
+            } => {
+                w.str_field("release", release);
+                w.str_field("clause", clause);
+                w.str_field("fault", kind);
             }
             TraceEvent::Log { level, message, .. } => {
                 w.str_field("level", level);

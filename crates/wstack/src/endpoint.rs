@@ -69,6 +69,14 @@ pub trait ServiceEndpoint {
     /// Executes one request, returning the (ground-truth-classified)
     /// response and how long it took.
     fn invoke(&mut self, request: &Envelope, rng: &mut StreamRng) -> Invocation;
+
+    /// Informs the endpoint of the current virtual time, in seconds.
+    ///
+    /// The upgrade middleware calls this before dispatching each demand.
+    /// Most endpoints are clockless and ignore it; wrappers with
+    /// time-dependent behaviour (e.g. fault injectors with virtual-time
+    /// windows) consume it and forward it to the endpoint they wrap.
+    fn advance_clock(&mut self, _now_secs: f64) {}
 }
 
 /// A synthetic service sampling outcomes and timings independently on

@@ -98,6 +98,10 @@ impl<S: ServiceEndpoint> ServiceEndpoint for RetryingEndpoint<S> {
         self.inner.describe()
     }
 
+    fn advance_clock(&mut self, now_secs: f64) {
+        self.inner.advance_clock(now_secs);
+    }
+
     fn invoke(&mut self, request: &Envelope, rng: &mut StreamRng) -> Invocation {
         self.demands += 1;
         let mut invocation = self.inner.invoke(request, rng);

@@ -5,20 +5,34 @@
 //! messages. [`TransportLink`] wraps a [`ServiceEndpoint`] and models both,
 //! turning a lost message into an effectively unbounded response time (the
 //! middleware's timeout converts it into an evident failure).
+//!
+//! Loss is modelled separately per direction: a lost *request* means the
+//! service never executed, while a lost *response* means it did — ground
+//! truth a detection audit must distinguish. [`TransportLink::with_loss_probability`]
+//! keeps the original single-knob behaviour (request-side loss).
 
 use wsu_simcore::dist::DelayModel;
 use wsu_simcore::rng::StreamRng;
+use wsu_simcore::time::SimDuration;
 
 use crate::endpoint::{Invocation, ServiceEndpoint};
-use crate::message::Envelope;
+use crate::message::{Envelope, Fault, FaultCode};
+
+/// An end-to-end time no middleware timeout will accept (~1 virtual year).
+const NEVER_SECS: f64 = 3.15e7;
 
 /// Outcome of sending one request over a link.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Delivery {
     /// The response arrived after the given end-to-end time.
     Delivered(Invocation),
-    /// The request or the response was lost; no reply will ever arrive.
+    /// The request was lost on the way out; the service never executed
+    /// and no reply will ever arrive.
     Lost,
+    /// The service executed — the invocation records its ground truth —
+    /// but the response was lost on the way back, so the consumer will
+    /// never see it.
+    LostAfterExecution(Invocation),
 }
 
 impl Delivery {
@@ -26,13 +40,13 @@ impl Delivery {
     pub fn into_invocation(self) -> Option<Invocation> {
         match self {
             Delivery::Delivered(inv) => Some(inv),
-            Delivery::Lost => None,
+            Delivery::Lost | Delivery::LostAfterExecution(_) => None,
         }
     }
 
-    /// Returns `true` if the message was lost.
+    /// Returns `true` if the message was lost in either direction.
     pub fn is_lost(&self) -> bool {
-        matches!(self, Delivery::Lost)
+        matches!(self, Delivery::Lost | Delivery::LostAfterExecution(_))
     }
 }
 
@@ -59,9 +73,18 @@ impl Delivery {
 pub struct TransportLink<S> {
     endpoint: S,
     latency: DelayModel,
-    loss_probability: f64,
+    request_loss: f64,
+    response_loss: f64,
     sent: u64,
-    lost: u64,
+    lost_requests: u64,
+    lost_responses: u64,
+}
+
+fn check_probability(p: f64) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "loss probability {p} not in [0, 1]"
+    );
 }
 
 impl<S: ServiceEndpoint> TransportLink<S> {
@@ -70,9 +93,11 @@ impl<S: ServiceEndpoint> TransportLink<S> {
         TransportLink {
             endpoint,
             latency: DelayModel::constant(0.0),
-            loss_probability: 0.0,
+            request_loss: 0.0,
+            response_loss: 0.0,
             sent: 0,
-            lost: 0,
+            lost_requests: 0,
+            lost_responses: 0,
         }
     }
 
@@ -84,15 +109,37 @@ impl<S: ServiceEndpoint> TransportLink<S> {
 
     /// Sets the probability that a round trip is lost entirely.
     ///
+    /// Back-compat alias for [`TransportLink::with_request_loss`]: the
+    /// original model lost the round trip before the service executed.
+    ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
-    pub fn with_loss_probability(mut self, p: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "loss probability {p} not in [0, 1]"
-        );
-        self.loss_probability = p;
+    pub fn with_loss_probability(self, p: f64) -> Self {
+        self.with_request_loss(p)
+    }
+
+    /// Sets the probability that the *request* is lost on the way out
+    /// (the service never executes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_request_loss(mut self, p: f64) -> Self {
+        check_probability(p);
+        self.request_loss = p;
+        self
+    }
+
+    /// Sets the probability that the *response* is lost on the way back
+    /// (the service executes, but the consumer never hears).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_response_loss(mut self, p: f64) -> Self {
+        check_probability(p);
+        self.response_loss = p;
         self
     }
 
@@ -100,14 +147,20 @@ impl<S: ServiceEndpoint> TransportLink<S> {
     /// *end-to-end* time: network out + service execution + network back.
     pub fn send(&mut self, request: &Envelope, rng: &mut StreamRng) -> Delivery {
         self.sent += 1;
-        if rng.bernoulli(self.loss_probability) {
-            self.lost += 1;
+        if rng.bernoulli(self.request_loss) {
+            self.lost_requests += 1;
             return Delivery::Lost;
         }
         let out = self.latency.sample(rng);
         let mut invocation = self.endpoint.invoke(request, rng);
         let back = self.latency.sample(rng);
         invocation.exec_time = invocation.exec_time + out + back;
+        // Guarded so a link configured only via `with_loss_probability`
+        // consumes exactly the same random draws as it always did.
+        if self.response_loss > 0.0 && rng.bernoulli(self.response_loss) {
+            self.lost_responses += 1;
+            return Delivery::LostAfterExecution(invocation);
+        }
         Delivery::Delivered(invocation)
     }
 
@@ -116,9 +169,19 @@ impl<S: ServiceEndpoint> TransportLink<S> {
         self.sent
     }
 
-    /// Round trips lost.
+    /// Messages lost in either direction.
     pub fn lost(&self) -> u64 {
-        self.lost
+        self.lost_requests + self.lost_responses
+    }
+
+    /// Requests lost on the way out.
+    pub fn lost_requests(&self) -> u64 {
+        self.lost_requests
+    }
+
+    /// Responses lost on the way back.
+    pub fn lost_responses(&self) -> u64 {
+        self.lost_responses
     }
 
     /// Access to the wrapped endpoint.
@@ -135,6 +198,17 @@ impl<S: ServiceEndpoint> TransportLink<S> {
     pub fn into_inner(self) -> S {
         self.endpoint
     }
+
+    fn never_arrives(
+        operation: &str,
+        class: crate::outcome::ResponseClass,
+        reason: &str,
+    ) -> Invocation {
+        let mut invocation =
+            Invocation::from_class(operation, class, SimDuration::from_secs(NEVER_SECS));
+        invocation.response = Envelope::fault(operation, Fault::new(FaultCode::Timeout, reason));
+        invocation
+    }
 }
 
 impl<S: ServiceEndpoint> ServiceEndpoint for TransportLink<S> {
@@ -142,28 +216,29 @@ impl<S: ServiceEndpoint> ServiceEndpoint for TransportLink<S> {
         self.endpoint.describe()
     }
 
-    /// A lost round trip surfaces as a response that never arrives: an
-    /// evident failure with an execution time beyond any timeout, so the
-    /// middleware scores it as NRDT.
+    /// A lost message surfaces as a response that never arrives: an
+    /// execution time beyond any timeout, so the middleware scores it as
+    /// NRDT. A lost *request* is an evident failure of the round trip
+    /// (the service never ran); a lost *response* keeps the executed
+    /// service's ground-truth class.
     fn invoke(&mut self, request: &Envelope, rng: &mut StreamRng) -> Invocation {
         match self.send(request, rng) {
             Delivery::Delivered(invocation) => invocation,
-            Delivery::Lost => {
-                let mut invocation = Invocation::from_class(
-                    request.operation(),
-                    crate::outcome::ResponseClass::EvidentFailure,
-                    wsu_simcore::time::SimDuration::from_secs(3.15e7),
-                );
-                invocation.response = Envelope::fault(
-                    request.operation(),
-                    crate::message::Fault::new(
-                        crate::message::FaultCode::Timeout,
-                        "message lost in transit",
-                    ),
-                );
-                invocation
-            }
+            Delivery::Lost => Self::never_arrives(
+                request.operation(),
+                crate::outcome::ResponseClass::EvidentFailure,
+                "message lost in transit",
+            ),
+            Delivery::LostAfterExecution(invocation) => Self::never_arrives(
+                request.operation(),
+                invocation.class,
+                "response lost in transit",
+            ),
         }
+    }
+
+    fn advance_clock(&mut self, now_secs: f64) {
+        self.endpoint.advance_clock(now_secs);
     }
 }
 
@@ -171,7 +246,7 @@ impl<S: ServiceEndpoint> ServiceEndpoint for TransportLink<S> {
 mod tests {
     use super::*;
     use crate::endpoint::SyntheticService;
-    use crate::outcome::ResponseClass;
+    use crate::outcome::{OutcomeProfile, ResponseClass};
     use wsu_simcore::dist::DelayModel;
 
     fn service() -> SyntheticService {
@@ -211,6 +286,23 @@ mod tests {
             .count();
         assert!((lost as f64 / n as f64 - 0.2).abs() < 0.01);
         assert_eq!(link.lost() as usize, lost);
+        assert_eq!(link.lost_requests() as usize, lost);
+        assert_eq!(link.lost_responses(), 0);
+    }
+
+    #[test]
+    fn response_loss_rate_is_respected() {
+        let mut link = TransportLink::new(service()).with_response_loss(0.2);
+        let mut rng = StreamRng::from_seed(9);
+        let n = 50_000;
+        let lost = (0..n)
+            .filter(|_| link.send(&Envelope::request("invoke"), &mut rng).is_lost())
+            .count();
+        assert!((lost as f64 / n as f64 - 0.2).abs() < 0.01);
+        assert_eq!(link.lost_responses() as usize, lost);
+        assert_eq!(link.lost_requests(), 0);
+        // The service executed every single time — including lost ones.
+        assert_eq!(link.endpoint().invocations(), n as u64);
     }
 
     #[test]
@@ -229,8 +321,16 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_response_loss_panics() {
+        let _ = TransportLink::new(service()).with_response_loss(-0.1);
+    }
+
+    #[test]
     fn lost_delivery_has_no_invocation() {
         assert_eq!(Delivery::Lost.into_invocation(), None);
+        let inv = Invocation::from_class("op", ResponseClass::Correct, SimDuration::from_secs(0.1));
+        assert_eq!(Delivery::LostAfterExecution(inv).into_invocation(), None);
     }
 
     #[test]
@@ -244,6 +344,44 @@ mod tests {
         assert_eq!(inv.class, ResponseClass::EvidentFailure);
         assert!(inv.response.is_fault());
         assert_eq!(link.describe().service(), "S");
+        // The service never executed: the request was lost outbound.
+        assert_eq!(link.endpoint().invocations(), 0);
+    }
+
+    #[test]
+    fn lost_response_preserves_ground_truth_class() {
+        use crate::endpoint::ServiceEndpoint;
+        // A service that always fails non-evidently: if its response is
+        // lost, the audit's ground truth must still say NER, not ER.
+        let svc = SyntheticService::builder("S", "1.0")
+            .outcomes(OutcomeProfile::new(0.0, 0.0, 1.0))
+            .exec_time(DelayModel::constant(0.5))
+            .build();
+        let mut link = TransportLink::new(svc).with_response_loss(1.0);
+        let mut rng = StreamRng::from_seed(11);
+        let inv = link.invoke(&Envelope::request("invoke"), &mut rng);
+        assert_eq!(inv.class, ResponseClass::NonEvidentFailure);
+        assert!(inv.exec_time.as_secs() > 1e6);
+        assert!(inv.response.is_fault());
+        assert_eq!(link.endpoint().invocations(), 1);
+        assert_eq!(link.lost_responses(), 1);
+    }
+
+    #[test]
+    fn request_loss_draw_sequence_is_unchanged_by_the_split() {
+        // with_loss_probability must consume exactly the draws the
+        // pre-split implementation did, so existing seeded results hold.
+        let mut legacy = TransportLink::new(service()).with_loss_probability(0.3);
+        let mut split = TransportLink::new(service())
+            .with_request_loss(0.3)
+            .with_response_loss(0.0);
+        let mut rng_a = StreamRng::from_seed(42);
+        let mut rng_b = StreamRng::from_seed(42);
+        let req = Envelope::request("invoke");
+        for _ in 0..200 {
+            assert_eq!(legacy.send(&req, &mut rng_a), split.send(&req, &mut rng_b));
+        }
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
     }
 
     #[test]
