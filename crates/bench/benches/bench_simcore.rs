@@ -1,8 +1,10 @@
 //! Micro-benchmarks of the simulation substrate: RNG streams, event
-//! queue and a closed-loop engine run.
+//! queue, a closed-loop engine run, and the metric-handle fast path the
+//! demand loop writes through (string-keyed lookup vs pre-resolved id).
 
 use std::hint::black_box;
 use wsu_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsu_obs::metrics::MetricsRegistry;
 use wsu_simcore::dist::Exponential;
 use wsu_simcore::engine::{Engine, Handler};
 use wsu_simcore::queue::EventQueue;
@@ -75,5 +77,39 @@ fn engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, rng, queue, engine);
+fn metric_handles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simcore/metric_handles");
+    let labels = [("release", "1.0"), ("class", "CR")];
+    group.bench_function("inc_counter_string_keyed", |b| {
+        let mut reg = MetricsRegistry::new();
+        b.iter(|| {
+            reg.inc_counter("wsu_responses_total", &labels);
+        });
+    });
+    group.bench_function("inc_counter_id", |b| {
+        let mut reg = MetricsRegistry::new();
+        let id = reg.counter_id("wsu_responses_total", &labels);
+        b.iter(|| reg.inc_counter_id(black_box(id)));
+    });
+    group.bench_function("observe_string_keyed", |b| {
+        let mut reg = MetricsRegistry::new();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.37) % 5.0;
+            reg.observe("wsu_exec_time_seconds", &labels[..1], x);
+        });
+    });
+    group.bench_function("observe_id", |b| {
+        let mut reg = MetricsRegistry::new();
+        let id = reg.histogram_id("wsu_exec_time_seconds", &labels[..1]);
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.37) % 5.0;
+            reg.observe_id(black_box(id), x);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, rng, queue, engine, metric_handles);
 criterion_main!(benches);

@@ -123,31 +123,38 @@ impl Adjudicator {
                 source: None,
             };
         }
-        let valid: Vec<&CollectedResponse> =
-            collected.iter().filter(|r| r.class.is_valid()).collect();
-        // Rule 1: all evidently incorrect -> exception.
-        if valid.is_empty() {
-            return Adjudication {
-                verdict: SystemVerdict::Response(ResponseClass::EvidentFailure),
-                source: None,
-            };
-        }
+        // The valid subset is visited through filtered iterators rather
+        // than collected into a `Vec`, keeping adjudication allocation
+        // free; `filter(..).nth(idx)` selects the same element the old
+        // materialised slice indexed, so RNG draws line up draw for draw.
+        let mut valid = collected.iter().filter(|r| r.class.is_valid());
+        let first_valid = match valid.next() {
+            // Rule 1: all evidently incorrect -> exception.
+            None => {
+                return Adjudication {
+                    verdict: SystemVerdict::Response(ResponseClass::EvidentFailure),
+                    source: None,
+                };
+            }
+            Some(r) => r,
+        };
+        let valid_count = 1 + valid.clone().count();
         // Rule 4: a single valid response.
-        if valid.len() == 1 {
+        if valid_count == 1 {
             return Adjudication {
-                verdict: SystemVerdict::Response(valid[0].class),
-                source: Some(valid[0].release),
+                verdict: SystemVerdict::Response(first_valid.class),
+                source: Some(first_valid.release),
             };
         }
         // Rule 2: all valid responses identical. Correct responses are
         // identical by definition; coincident non-evident failures are
         // conservatively assumed identical (the paper's back-to-back
         // assumption).
-        let first_class = valid[0].class;
-        if valid.iter().all(|r| r.class == first_class) {
+        let first_class = first_valid.class;
+        if valid.clone().all(|r| r.class == first_class) {
             // Attribute to the fastest of the agreeing responses.
-            let fastest = valid
-                .iter()
+            let fastest = std::iter::once(first_valid)
+                .chain(valid)
                 .min_by(|a, b| a.exec_time.cmp(&b.exec_time))
                 .expect("non-empty valid set");
             return Adjudication {
@@ -158,25 +165,33 @@ impl Adjudicator {
         // Rule 3: several valid, differing responses.
         let chosen = match self.policy {
             SelectionPolicy::Random => {
-                let idx = rng.next_below(valid.len() as u64) as usize;
-                valid[idx]
+                let idx = rng.next_below(valid_count as u64) as usize;
+                collected
+                    .iter()
+                    .filter(|r| r.class.is_valid())
+                    .nth(idx)
+                    .expect("index below valid count")
             }
-            SelectionPolicy::Fastest => valid
-                .iter()
+            SelectionPolicy::Fastest => std::iter::once(first_valid)
+                .chain(valid)
                 .min_by(|a, b| a.exec_time.cmp(&b.exec_time))
                 .expect("non-empty valid set"),
             SelectionPolicy::Majority => {
                 let mut counts = [0usize; 3];
-                for r in &valid {
+                for r in collected.iter().filter(|r| r.class.is_valid()) {
                     counts[r.class.index()] += 1;
                 }
                 let best = *counts.iter().max().expect("three classes");
-                let majority: Vec<&&CollectedResponse> = valid
+                let tied = collected
                     .iter()
-                    .filter(|r| counts[r.class.index()] == best)
-                    .collect();
-                let idx = rng.next_below(majority.len() as u64) as usize;
-                majority[idx]
+                    .filter(|r| r.class.is_valid() && counts[r.class.index()] == best)
+                    .count();
+                let idx = rng.next_below(tied as u64) as usize;
+                collected
+                    .iter()
+                    .filter(|r| r.class.is_valid() && counts[r.class.index()] == best)
+                    .nth(idx)
+                    .expect("index below tie count")
             }
         };
         Adjudication {

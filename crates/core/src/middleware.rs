@@ -122,6 +122,18 @@ pub struct UpgradeMiddleware {
     /// Virtual instant stamped on the next demand's trace events. The
     /// caller (orchestrator or simulation driver) owns the clock.
     clock: f64,
+    /// Scratch buffers reused across demands so the steady-state path
+    /// does not allocate: the active-release snapshot, arrival order
+    /// (indices into `per_release`), adjudication input, and the
+    /// sequential visit order.
+    active_scratch: Vec<ReleaseId>,
+    arrived_scratch: Vec<usize>,
+    collected_scratch: Vec<CollectedResponse>,
+    order_scratch: Vec<ReleaseId>,
+    /// Recycled `per_release` buffers, returned via [`recycle`].
+    ///
+    /// [`recycle`]: UpgradeMiddleware::recycle
+    record_pool: Vec<Vec<ReleaseObservation>>,
 }
 
 impl UpgradeMiddleware {
@@ -133,6 +145,11 @@ impl UpgradeMiddleware {
             demands: 0,
             recorder: Box::new(NullRecorder),
             clock: 0.0,
+            active_scratch: Vec::new(),
+            arrived_scratch: Vec::new(),
+            collected_scratch: Vec::new(),
+            order_scratch: Vec::new(),
+            record_pool: Vec::new(),
         }
     }
 
@@ -206,8 +223,11 @@ impl UpgradeMiddleware {
         request: &Envelope,
         rng: &mut StreamRng,
     ) -> Result<DemandRecord, CoreError> {
-        let active = self.releases.active_ids();
+        let mut active = std::mem::take(&mut self.active_scratch);
+        active.clear();
+        active.extend_from_slice(self.releases.active_slice());
         if active.is_empty() {
+            self.active_scratch = active;
             return Err(CoreError::NoActiveReleases);
         }
         // Clock-aware endpoints (fault injectors with time windows) see
@@ -215,16 +235,30 @@ impl UpgradeMiddleware {
         self.releases.advance_clock(self.clock);
         let seq = self.demands;
         self.demands += 1;
-        let record = match self.config.mode {
+        let result = match self.config.mode {
             OperatingMode::Sequential { order } => {
-                self.process_sequential(seq, request, &active, order, rng)?
+                self.process_sequential(seq, request, &active, order, rng)
             }
-            _ => self.process_parallel(seq, request, &active, rng)?,
+            _ => self.process_parallel(seq, request, &active, rng),
         };
+        let releases = active.len();
+        self.active_scratch = active;
+        let record = result?;
         if self.recorder.enabled() {
-            self.emit_trace(&record, active.len());
+            self.emit_trace(&record, releases);
         }
         Ok(record)
+    }
+
+    /// Returns a processed record's per-release buffer to the pool so a
+    /// later demand can reuse it instead of allocating. Closed-loop
+    /// drivers call this once the record has been fully observed.
+    pub fn recycle(&mut self, record: DemandRecord) {
+        let mut buf = record.per_release;
+        buf.clear();
+        if self.record_pool.len() < 64 {
+            self.record_pool.push(buf);
+        }
     }
 
     /// Emits the demand's trace events, all stamped with the dispatch
@@ -245,7 +279,7 @@ impl UpgradeMiddleware {
                     t,
                     demand,
                     release: obs.release.index(),
-                    class: obs.class.abbrev().to_string(),
+                    class: obs.class.abbrev().into(),
                     exec_time: obs.exec_time.as_secs(),
                 });
             } else {
@@ -260,7 +294,7 @@ impl UpgradeMiddleware {
         self.recorder.record(TraceEvent::Adjudicated {
             t,
             demand,
-            verdict: record.system.verdict.label().to_string(),
+            verdict: record.system.verdict.label().into(),
             source: record.system.source.map(|r| r.index()),
             responders: record.system.responders,
             response_time: record.system.response_time.as_secs(),
@@ -277,7 +311,9 @@ impl UpgradeMiddleware {
     ) -> Result<DemandRecord, CoreError> {
         let timeout = self.config.timeout;
         let dt = self.config.adjudication_delay;
-        let mut per_release = Vec::with_capacity(active.len());
+        let mut per_release = self.record_pool.pop().unwrap_or_default();
+        per_release.clear();
+        per_release.reserve(active.len());
         for &id in active {
             let inv = self.releases.invoke(id, request, rng)?;
             per_release.push(ReleaseObservation {
@@ -288,21 +324,27 @@ impl UpgradeMiddleware {
             });
         }
 
-        // Responses in arrival order, truncated to the timeout.
-        let mut arrived: Vec<&ReleaseObservation> =
-            per_release.iter().filter(|o| o.within_timeout).collect();
-        arrived.sort_by_key(|a| a.exec_time);
+        // Responses in arrival order, truncated to the timeout. Indices
+        // into `per_release`; the (exec_time, index) key reproduces the
+        // stable sort a plain sort-by-exec-time would give.
+        let mut arrived = std::mem::take(&mut self.arrived_scratch);
+        arrived.clear();
+        arrived.extend((0..per_release.len()).filter(|&i| per_release[i].within_timeout));
+        arrived.sort_unstable_by_key(|&i| (per_release[i].exec_time, i));
+
+        let mut collected = std::mem::take(&mut self.collected_scratch);
+        collected.clear();
 
         let system = match self.config.mode {
             OperatingMode::ParallelReliability => {
-                let collected: Vec<CollectedResponse> = arrived
-                    .iter()
-                    .map(|o| CollectedResponse {
+                collected.extend(arrived.iter().map(|&i| {
+                    let o = &per_release[i];
+                    CollectedResponse {
                         release: o.release,
                         class: o.class,
                         exec_time: o.exec_time,
-                    })
-                    .collect();
+                    }
+                }));
                 let adj = self.config.adjudicator.adjudicate(&collected, rng);
                 // Wait for everyone or the timeout, whichever first.
                 let all_in = per_release.iter().all(|o| o.within_timeout);
@@ -323,7 +365,11 @@ impl UpgradeMiddleware {
             }
             OperatingMode::ParallelResponsiveness => {
                 // Return the first valid response as soon as it arrives.
-                match arrived.iter().find(|o| o.class.is_valid()) {
+                match arrived
+                    .iter()
+                    .map(|&i| &per_release[i])
+                    .find(|o| o.class.is_valid())
+                {
                     Some(first_valid) => SystemObservation {
                         verdict: SystemVerdict::Response(first_valid.class),
                         response_time: first_valid.exec_time + dt,
@@ -348,15 +394,14 @@ impl UpgradeMiddleware {
             }
             OperatingMode::ParallelDynamic { quorum } => {
                 let quorum = quorum.max(1);
-                let taken: Vec<&&ReleaseObservation> = arrived.iter().take(quorum).collect();
-                let collected: Vec<CollectedResponse> = taken
-                    .iter()
-                    .map(|o| CollectedResponse {
+                collected.extend(arrived.iter().take(quorum).map(|&i| {
+                    let o = &per_release[i];
+                    CollectedResponse {
                         release: o.release,
                         class: o.class,
                         exec_time: o.exec_time,
-                    })
-                    .collect();
+                    }
+                }));
                 let adj = self.config.adjudicator.adjudicate(&collected, rng);
                 let wait = if arrived.len() >= quorum {
                     collected
@@ -377,6 +422,11 @@ impl UpgradeMiddleware {
             OperatingMode::Sequential { .. } => unreachable!("handled by process_sequential"),
         };
 
+        collected.clear();
+        self.collected_scratch = collected;
+        arrived.clear();
+        self.arrived_scratch = arrived;
+
         Ok(DemandRecord {
             seq,
             per_release,
@@ -396,7 +446,9 @@ impl UpgradeMiddleware {
     ) -> Result<DemandRecord, CoreError> {
         let timeout = self.config.timeout;
         let dt = self.config.adjudication_delay;
-        let mut order_ids: Vec<ReleaseId> = active.to_vec();
+        let mut order_ids = std::mem::take(&mut self.order_scratch);
+        order_ids.clear();
+        order_ids.extend_from_slice(active);
         if order == SequentialOrder::Random {
             // Fisher–Yates with the demand's RNG stream.
             for i in (1..order_ids.len()).rev() {
@@ -404,7 +456,8 @@ impl UpgradeMiddleware {
                 order_ids.swap(i, j);
             }
         }
-        let mut per_release = Vec::new();
+        let mut per_release = self.record_pool.pop().unwrap_or_default();
+        per_release.clear();
         let mut waited = SimDuration::ZERO;
         let mut any_evident_collected = false;
         let mut outcome: Option<(SystemVerdict, Option<ReleaseId>)> = None;
@@ -435,6 +488,8 @@ impl UpgradeMiddleware {
                 (SystemVerdict::Unavailable, None)
             }
         });
+        order_ids.clear();
+        self.order_scratch = order_ids;
         let responders = per_release.iter().filter(|o| o.within_timeout).count();
         Ok(DemandRecord {
             seq,

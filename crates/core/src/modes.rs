@@ -15,6 +15,7 @@
 //!    tried only if the previous response was evidently incorrect or
 //!    timed out.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// Visit order for sequential execution.
@@ -55,17 +56,19 @@ impl OperatingMode {
         !matches!(self, OperatingMode::Sequential { .. })
     }
 
-    /// A short label used in experiment reports.
-    pub fn label(self) -> String {
+    /// A short label used in experiment reports. Borrowed for every mode
+    /// except `ParallelDynamic`, whose quorum is interpolated — so the
+    /// per-demand trace path does not allocate in the paper's modes.
+    pub fn label(self) -> Cow<'static, str> {
         match self {
-            OperatingMode::ParallelReliability => "parallel-reliability".to_owned(),
-            OperatingMode::ParallelResponsiveness => "parallel-responsiveness".to_owned(),
+            OperatingMode::ParallelReliability => Cow::Borrowed("parallel-reliability"),
+            OperatingMode::ParallelResponsiveness => Cow::Borrowed("parallel-responsiveness"),
             OperatingMode::ParallelDynamic { quorum } => {
-                format!("parallel-dynamic(quorum={quorum})")
+                Cow::Owned(format!("parallel-dynamic(quorum={quorum})"))
             }
             OperatingMode::Sequential { order } => match order {
-                SequentialOrder::Deployment => "sequential(deployment)".to_owned(),
-                SequentialOrder::Random => "sequential(random)".to_owned(),
+                SequentialOrder::Deployment => Cow::Borrowed("sequential(deployment)"),
+                SequentialOrder::Random => Cow::Borrowed("sequential(random)"),
             },
         }
     }

@@ -19,7 +19,7 @@
 use wsu_bayes::counts::JointCounts;
 use wsu_detect::coverage::DetectionAudit;
 use wsu_detect::oracle::{DemandOutcome, FailureDetector, PerfectOracle};
-use wsu_obs::SharedRegistry;
+use wsu_obs::{CounterId, HistogramId, SharedRegistry};
 use wsu_simcore::rng::StreamRng;
 use wsu_simcore::stats::{CountTable, Summary};
 use wsu_wstack::outcome::ResponseClass;
@@ -204,6 +204,39 @@ impl std::fmt::Debug for PairTracker {
     }
 }
 
+/// Lazily resolved handles for the system-level metric series. Each id
+/// is resolved on the first write that would create the series, so the
+/// set of exported series — and hence rendered snapshots — matches the
+/// String-keyed path exactly; afterwards a write is an array index.
+#[derive(Debug, Default)]
+struct SystemMetricHandles {
+    demands: Option<CounterId>,
+    responses: [Option<CounterId>; 3],
+    unavailable: Option<CounterId>,
+    response_time: Option<HistogramId>,
+}
+
+/// Lazily resolved handles for one release's metric series, with the
+/// release label rendered once instead of per demand.
+#[derive(Debug)]
+struct ReleaseMetricHandles {
+    label: String,
+    responses: [Option<CounterId>; 3],
+    timeouts: Option<CounterId>,
+    exec_time: Option<HistogramId>,
+}
+
+impl ReleaseMetricHandles {
+    fn new(release: usize) -> ReleaseMetricHandles {
+        ReleaseMetricHandles {
+            label: release.to_string(),
+            responses: [None; 3],
+            timeouts: None,
+            exec_time: None,
+        }
+    }
+}
+
 /// The monitoring subsystem.
 pub struct MonitoringSubsystem {
     per_release: Vec<ReleaseStats>,
@@ -213,6 +246,8 @@ pub struct MonitoringSubsystem {
     recent_capacity: usize,
     demands: u64,
     metrics: Option<SharedRegistry>,
+    system_handles: SystemMetricHandles,
+    release_handles: Vec<ReleaseMetricHandles>,
 }
 
 impl MonitoringSubsystem {
@@ -227,6 +262,8 @@ impl MonitoringSubsystem {
             recent_capacity,
             demands: 0,
             metrics: None,
+            system_handles: SystemMetricHandles::default(),
+            release_handles: Vec::new(),
         }
     }
 
@@ -237,6 +274,10 @@ impl MonitoringSubsystem {
     /// `wsu_response_time_seconds`).
     pub fn set_metrics(&mut self, metrics: SharedRegistry) {
         self.metrics = Some(metrics);
+        // Resolved ids index into the previous registry; drop them so
+        // they are re-resolved against the new one on first use.
+        self.system_handles = SystemMetricHandles::default();
+        self.release_handles.clear();
     }
 
     /// Tracks the joint failures of the pair `(old, new)` through a
@@ -313,36 +354,65 @@ impl MonitoringSubsystem {
         }
 
         if let Some(metrics) = &self.metrics {
-            metrics.inc_counter("wsu_demands_total", &[]);
+            let demands = *self
+                .system_handles
+                .demands
+                .get_or_insert_with(|| metrics.counter_id("wsu_demands_total", &[]));
+            metrics.inc_counter_id(demands);
             for obs in &record.per_release {
-                let release = obs.release.index().to_string();
-                if obs.within_timeout {
-                    metrics.inc_counter(
-                        "wsu_responses_total",
-                        &[("release", &release), ("class", obs.class.abbrev())],
-                    );
-                } else {
-                    metrics.inc_counter("wsu_timeouts_total", &[("release", &release)]);
+                let idx = obs.release.index();
+                while self.release_handles.len() <= idx {
+                    let next = self.release_handles.len();
+                    self.release_handles.push(ReleaseMetricHandles::new(next));
                 }
-                metrics.observe(
-                    "wsu_exec_time_seconds",
-                    &[("release", &release)],
-                    obs.exec_time.as_secs(),
-                );
+                let ReleaseMetricHandles {
+                    label,
+                    responses,
+                    timeouts,
+                    exec_time,
+                } = &mut self.release_handles[idx];
+                if obs.within_timeout {
+                    let id = *responses[obs.class.index()].get_or_insert_with(|| {
+                        metrics.counter_id(
+                            "wsu_responses_total",
+                            &[("release", label), ("class", obs.class.abbrev())],
+                        )
+                    });
+                    metrics.inc_counter_id(id);
+                } else {
+                    let id = *timeouts.get_or_insert_with(|| {
+                        metrics.counter_id("wsu_timeouts_total", &[("release", label)])
+                    });
+                    metrics.inc_counter_id(id);
+                }
+                let id = *exec_time.get_or_insert_with(|| {
+                    metrics.histogram_id("wsu_exec_time_seconds", &[("release", label)])
+                });
+                metrics.observe_id(id, obs.exec_time.as_secs());
             }
             match record.system.verdict {
                 SystemVerdict::Response(class) => {
-                    metrics.inc_counter("wsu_system_responses_total", &[("class", class.abbrev())])
+                    let id =
+                        *self.system_handles.responses[class.index()].get_or_insert_with(|| {
+                            metrics.counter_id(
+                                "wsu_system_responses_total",
+                                &[("class", class.abbrev())],
+                            )
+                        });
+                    metrics.inc_counter_id(id);
                 }
                 SystemVerdict::Unavailable => {
-                    metrics.inc_counter("wsu_system_unavailable_total", &[])
+                    let id = *self.system_handles.unavailable.get_or_insert_with(|| {
+                        metrics.counter_id("wsu_system_unavailable_total", &[])
+                    });
+                    metrics.inc_counter_id(id);
                 }
             }
-            metrics.observe(
-                "wsu_response_time_seconds",
-                &[],
-                record.system.response_time.as_secs(),
-            );
+            let id = *self
+                .system_handles
+                .response_time
+                .get_or_insert_with(|| metrics.histogram_id("wsu_response_time_seconds", &[]));
+            metrics.observe_id(id, record.system.response_time.as_secs());
         }
     }
 

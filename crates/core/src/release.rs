@@ -79,6 +79,10 @@ struct Deployed {
 /// The set of deployed releases behind one middleware instance.
 pub struct ReleaseSet {
     releases: Vec<Deployed>,
+    /// Ids of serving releases, in deployment order. Maintained on every
+    /// lifecycle transition so the per-demand path can borrow it instead
+    /// of rebuilding a fresh `Vec`.
+    active: Vec<ReleaseId>,
 }
 
 impl ReleaseSet {
@@ -86,7 +90,19 @@ impl ReleaseSet {
     pub fn new() -> ReleaseSet {
         ReleaseSet {
             releases: Vec::new(),
+            active: Vec::new(),
         }
+    }
+
+    fn rebuild_active(&mut self) {
+        self.active.clear();
+        self.active.extend(
+            self.releases
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.state.is_serving())
+                .map(|(i, _)| ReleaseId(i)),
+        );
     }
 
     /// Deploys a release, returning its id. New releases start `Active`.
@@ -102,6 +118,7 @@ impl ReleaseSet {
             state: ReleaseState::Active,
             consecutive_evident_failures: 0,
         });
+        self.active.push(id);
         id
     }
 
@@ -127,12 +144,13 @@ impl ReleaseSet {
 
     /// Ids of releases currently serving demands, in deployment order.
     pub fn active_ids(&self) -> Vec<ReleaseId> {
-        self.releases
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.state.is_serving())
-            .map(|(i, _)| ReleaseId(i))
-            .collect()
+        self.active.clone()
+    }
+
+    /// Borrowed view of the serving releases, in deployment order. The
+    /// per-demand hot path uses this to avoid allocating a fresh list.
+    pub fn active_slice(&self) -> &[ReleaseId] {
+        &self.active
     }
 
     /// Metadata for every deployed release.
@@ -255,6 +273,7 @@ impl ReleaseSet {
             });
         }
         deployed.state = ReleaseState::PhasedOut;
+        self.rebuild_active();
         Ok(())
     }
 
@@ -276,6 +295,7 @@ impl ReleaseSet {
             });
         }
         deployed.state = to;
+        self.rebuild_active();
         Ok(())
     }
 }
@@ -312,6 +332,7 @@ mod tests {
         assert_eq!(set.len(), 2);
         assert!(!set.is_empty());
         assert_eq!(set.active_ids(), vec![a, b]);
+        assert_eq!(set.active_slice(), &[a, b]);
     }
 
     #[test]
@@ -333,10 +354,13 @@ mod tests {
         set.suspend(id).unwrap();
         assert_eq!(set.state(id).unwrap(), ReleaseState::Suspended);
         assert!(set.active_ids().is_empty());
+        assert!(set.active_slice().is_empty());
         set.restart(id).unwrap();
         assert_eq!(set.state(id).unwrap(), ReleaseState::Active);
+        assert_eq!(set.active_slice(), &[id]);
         set.phase_out(id).unwrap();
         assert_eq!(set.state(id).unwrap(), ReleaseState::PhasedOut);
+        assert!(set.active_slice().is_empty());
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Asserts the zero-steady-state-allocation contract of the demand
+//! loop: a closed-loop simulation — engine, middleware, monitor — with
+//! a trace recorder *and* a metrics registry attached must not touch
+//! the heap once warm.
+//!
+//! The warm-up phase routes every outcome pattern the measured window
+//! replays (all response classes per release, timeouts, every system
+//! verdict), so all metric series are resolved, all scratch buffers
+//! have grown to size, every calendar-queue bucket has been visited,
+//! and the recorder's backing storage is pre-reserved.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator. The
+//! counter is a const-initialised thread-local, so allocations made by
+//! the libtest harness threads (which run concurrently with the test
+//! thread) never pollute the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use wsu_core::middleware::{MiddlewareConfig, UpgradeMiddleware};
+use wsu_core::monitor::MonitoringSubsystem;
+use wsu_obs::{SharedRecorder, SharedRegistry};
+use wsu_simcore::engine::{Engine, Handler};
+use wsu_simcore::rng::{MasterSeed, StreamRng};
+use wsu_simcore::time::{SimDuration, SimTime};
+use wsu_wstack::endpoint::{PlannedResponse, ScriptedEndpoint};
+use wsu_wstack::message::Envelope;
+use wsu_wstack::outcome::ResponseClass;
+
+thread_local! {
+    // `const` initialisation: reading or bumping the counter never
+    // allocates, so the allocator hooks cannot recurse.
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts an allocation on the current thread. `try_with` tolerates
+/// the TLS destructor window during thread teardown.
+fn count_allocation() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter is a
+// plain thread-local increment with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_allocation();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_allocation();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_allocation();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+const WARMUP: u64 = 200;
+const MEASURED: u64 = 1200;
+const TIMEOUT_SECS: f64 = 2.0;
+
+/// Deterministic outcome pattern for demand `i`. Every branch fires
+/// within the first `WARMUP` demands, so the measured window only
+/// replays series and code paths the warm-up has already visited.
+fn planned_pair(i: u64) -> ((ResponseClass, f64), (ResponseClass, f64)) {
+    use ResponseClass::{Correct, EvidentFailure, NonEvidentFailure};
+    if i % 29 == 28 {
+        ((Correct, 0.4), (Correct, 9.0)) // release 2 times out
+    } else if i % 23 == 22 {
+        ((Correct, 0.4), (EvidentFailure, 0.3))
+    } else if i % 19 == 18 {
+        ((NonEvidentFailure, 0.5), (NonEvidentFailure, 0.6)) // NER verdict
+    } else if i % 17 == 16 {
+        ((EvidentFailure, 0.3), (EvidentFailure, 0.4)) // ER verdict
+    } else if i % 13 == 12 {
+        ((Correct, 9.0), (Correct, 9.5)) // both late: unavailable
+    } else if i % 11 == 10 {
+        ((Correct, 9.0), (Correct, 0.5)) // release 1 times out
+    } else if i % 7 == 6 {
+        ((Correct, 0.5), (NonEvidentFailure, 0.8)) // random selection
+    } else if i % 5 == 4 {
+        ((EvidentFailure, 0.3), (Correct, 0.7))
+    } else {
+        ((Correct, 0.4), (Correct, 0.6))
+    }
+}
+
+fn planned(class: ResponseClass, secs: f64) -> PlannedResponse {
+    PlannedResponse {
+        class,
+        exec_time: SimDuration::from_secs(secs),
+    }
+}
+
+/// The closed-loop demand event.
+#[derive(Debug)]
+struct NextDemand;
+
+struct World {
+    middleware: UpgradeMiddleware,
+    monitor: MonitoringSubsystem,
+    remaining: u64,
+    request: Envelope,
+    mw_rng: StreamRng,
+    mon_rng: StreamRng,
+}
+
+impl Handler<NextDemand> for World {
+    fn handle(&mut self, engine: &mut Engine<NextDemand>, _event: NextDemand) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        self.middleware.set_virtual_time(engine.now().as_secs());
+        let record = self
+            .middleware
+            .process(&self.request, &mut self.mw_rng)
+            .expect("releases deployed");
+        let wait = record.system.response_time;
+        self.monitor.observe(&record, &mut self.mon_rng);
+        self.middleware.recycle(record);
+        if self.remaining > 0 {
+            engine.schedule_in(wait, NextDemand);
+        }
+    }
+}
+
+#[test]
+fn steady_state_demand_loop_does_not_allocate() {
+    let mut rel1 = ScriptedEndpoint::new("Component", "1.0");
+    let mut rel2 = ScriptedEndpoint::new("Component", "1.1");
+    for i in 0..WARMUP + MEASURED {
+        let (a, b) = planned_pair(i);
+        rel1.push(planned(a.0, a.1));
+        rel2.push(planned(b.0, b.1));
+    }
+
+    let mut middleware = UpgradeMiddleware::new(MiddlewareConfig::paper(TIMEOUT_SECS));
+    middleware.deploy(rel1);
+    middleware.deploy(rel2);
+    let recorder = SharedRecorder::new();
+    middleware.set_recorder(recorder.clone());
+    let registry = SharedRegistry::new();
+    let mut monitor = MonitoringSubsystem::new(0);
+    monitor.set_metrics(registry.clone());
+
+    let seed = MasterSeed::new(97);
+    let mut world = World {
+        middleware,
+        monitor,
+        remaining: WARMUP,
+        request: Envelope::request("invoke"),
+        mw_rng: seed.stream("alloc/middleware"),
+        mon_rng: seed.stream("alloc/monitor"),
+    };
+    let mut engine = Engine::new();
+    engine.schedule_at(SimTime::ZERO, NextDemand);
+    engine.run(&mut world);
+    assert_eq!(world.remaining, 0, "warm-up drained");
+
+    // Room for the measured window's trace events (at most 4 per
+    // demand: dispatch, two responses/timeouts, verdict).
+    recorder.reserve(4 * MEASURED as usize + 16);
+
+    let before = allocation_count();
+    world.remaining = MEASURED;
+    engine.schedule_in(SimDuration::from_secs(0.1), NextDemand);
+    engine.run(&mut world);
+    let allocs = allocation_count() - before;
+
+    assert_eq!(world.remaining, 0, "measured window drained");
+    assert_eq!(
+        allocs, 0,
+        "steady-state demand loop allocated {allocs} times over {MEASURED} demands"
+    );
+
+    // The loop really did the work it claims to have measured.
+    assert_eq!(world.middleware.demands(), WARMUP + MEASURED);
+    assert_eq!(world.monitor.demands(), WARMUP + MEASURED);
+    assert_eq!(recorder.len(), 4 * (WARMUP + MEASURED) as usize);
+    registry.with(|r| {
+        assert_eq!(r.counter("wsu_demands_total", &[]), WARMUP + MEASURED);
+    });
+}

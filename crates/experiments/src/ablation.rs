@@ -115,7 +115,7 @@ pub fn run_mode_ablation_jobs(seed: MasterSeed, requests: u64, jobs: Jobs) -> Ve
             .map(|g| g.total + g.nrdt)
             .sum();
         ModeRow {
-            mode: mode.label(),
+            mode: mode.label().into_owned(),
             cell,
             backend_invocations: backend,
         }

@@ -142,6 +142,9 @@ impl Handler<NextDemand> for World {
             .expect("releases deployed");
         let wait = record.system.response_time;
         self.monitor.observe(&record, &mut self.mon_rng);
+        // The record has been fully observed; hand its buffers back so
+        // the next demand reuses them instead of allocating.
+        self.middleware.recycle(record);
         if self.remaining > 0 {
             // Closed loop: the next request leaves when this response
             // reaches the consumer.

@@ -44,6 +44,17 @@ where
     T: Send,
     F: Fn(usize, &ObsSinks) -> T + Sync,
 {
+    if count <= 1 {
+        // Degenerate fan-out: with at most one replication the closure
+        // can write straight into the caller's sinks — merging a single
+        // private registry into empty sinks reproduces its content bit
+        // for bit, so skipping the snapshot, clone and fold changes
+        // nothing. (With several replications even `jobs = 1` must keep
+        // the private-sink merge: one running histogram sum groups
+        // floating-point additions differently than summing per-
+        // replication partials.)
+        return (0..count).map(|index| f(index, sinks)).collect();
+    }
     let want_recorder = sinks.recorder.is_some();
     let want_metrics = sinks.metrics.is_some();
     let outputs = par_map(jobs, count, |index| {
@@ -127,6 +138,30 @@ mod tests {
                 sinks.metrics.as_ref().unwrap().render_snapshot(),
                 reference_sinks.metrics.as_ref().unwrap().render_snapshot(),
                 "metrics at jobs {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_fast_path_matches_the_merged_path() {
+        // count <= 1 or jobs == 1 takes the inline path writing straight
+        // into the caller's sinks; a parallel run over the same work must
+        // leave byte-identical observability behind.
+        for count in [0, 1, 6] {
+            let inline_sinks = observed_sinks();
+            let inline = run_replications(Jobs::serial(), count, &inline_sinks, replicate);
+            let merged_sinks = observed_sinks();
+            let merged = run_replications(Jobs::new(4), count, &merged_sinks, replicate);
+            assert_eq!(inline, merged, "values at count {count}");
+            assert_eq!(
+                inline_sinks.recorder.as_ref().unwrap().snapshot(),
+                merged_sinks.recorder.as_ref().unwrap().snapshot(),
+                "trace at count {count}"
+            );
+            assert_eq!(
+                inline_sinks.metrics.as_ref().unwrap().render_snapshot(),
+                merged_sinks.metrics.as_ref().unwrap().render_snapshot(),
+                "metrics at count {count}"
             );
         }
     }

@@ -15,7 +15,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use wsu_obs::{Recorder, SharedRecorder, SharedRegistry, TraceEvent};
+use wsu_obs::{CounterId, Recorder, SharedRecorder, SharedRegistry, TraceEvent};
 use wsu_simcore::rng::{MasterSeed, StreamRng};
 use wsu_simcore::time::SimDuration;
 use wsu_wstack::endpoint::{Invocation, ServiceEndpoint};
@@ -130,6 +130,9 @@ pub struct FaultInjector<S> {
     tally: InjectionTally,
     recorder: Option<SharedRecorder>,
     metrics: Option<SharedRegistry>,
+    /// Resolved `wsu_fault_injected_total{kind,release}` ids, one per
+    /// distinct kind seen, so repeat injections don't re-render labels.
+    injected_ids: Vec<(&'static str, CounterId)>,
 }
 
 impl<S: ServiceEndpoint> FaultInjector<S> {
@@ -159,6 +162,7 @@ impl<S: ServiceEndpoint> FaultInjector<S> {
             tally,
             recorder: None,
             metrics: None,
+            injected_ids: Vec::new(),
         }
     }
 
@@ -172,6 +176,7 @@ impl<S: ServiceEndpoint> FaultInjector<S> {
     /// (builder).
     pub fn with_metrics(mut self, metrics: SharedRegistry) -> Self {
         self.metrics = Some(metrics);
+        self.injected_ids.clear();
         self
     }
 
@@ -244,17 +249,28 @@ impl<S: ServiceEndpoint> FaultInjector<S> {
     fn never_arrives(operation: &str, class: ResponseClass, reason: &str) -> Invocation {
         let mut invocation =
             Invocation::from_class(operation, class, SimDuration::from_secs(NEVER_SECS));
-        invocation.response = Envelope::fault(operation, Fault::new(FaultCode::Timeout, reason));
+        invocation.response = std::rc::Rc::new(Envelope::fault(
+            operation,
+            Fault::new(FaultCode::Timeout, reason),
+        ));
         invocation
     }
 
     fn record_injection(&mut self, clause_index: usize, kind: &'static str, demand: u64) {
         self.tally.bump(clause_index, kind);
         if let Some(metrics) = &self.metrics {
-            metrics.inc_counter(
-                "wsu_fault_injected_total",
-                &[("kind", kind), ("release", &self.release)],
-            );
+            let id = match self.injected_ids.iter().find(|(k, _)| *k == kind) {
+                Some(&(_, id)) => id,
+                None => {
+                    let id = metrics.counter_id(
+                        "wsu_fault_injected_total",
+                        &[("kind", kind), ("release", &self.release)],
+                    );
+                    self.injected_ids.push((kind, id));
+                    id
+                }
+            };
+            metrics.inc_counter_id(id);
         }
         if let Some(recorder) = &self.recorder {
             recorder.clone().record(TraceEvent::FaultInjected {
@@ -331,10 +347,10 @@ impl<S: ServiceEndpoint> ServiceEndpoint for FaultInjector<S> {
                 let inner = self.endpoint.invoke(request, rng);
                 let mut inv =
                     Invocation::from_class(&op, ResponseClass::EvidentFailure, inner.exec_time);
-                inv.response = Envelope::fault(
+                inv.response = std::rc::Rc::new(Envelope::fault(
                     &op,
                     Fault::new(FaultCode::Sender, "message corrupted in transit"),
-                );
+                ));
                 inv
             }
             FaultAction::Flap { period } => {

@@ -7,6 +7,7 @@
 //! `demand` whenever demands are processed in order; per-event latencies
 //! (execution time, response time) travel as payload fields instead.
 
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
 /// One structured trace event.
@@ -23,8 +24,9 @@ pub enum TraceEvent {
         demand: u64,
         /// Number of releases the demand was dispatched to.
         releases: usize,
-        /// Operating-mode label (e.g. `parallel-reliability`).
-        mode: String,
+        /// Operating-mode label (e.g. `parallel-reliability`). Borrowed
+        /// for the fixed modes, so per-demand emission does not allocate.
+        mode: Cow<'static, str>,
     },
     /// A release responded within the timeout.
     ResponseCollected {
@@ -34,8 +36,9 @@ pub enum TraceEvent {
         demand: u64,
         /// Index of the responding release in deployment order.
         release: usize,
-        /// Response classification label (`CR`, `ER` or `NER`).
-        class: String,
+        /// Response classification label (`CR`, `ER` or `NER`); always a
+        /// borrowed `&'static` label on the hot path.
+        class: Cow<'static, str>,
         /// Execution time of this release, in seconds.
         exec_time: f64,
     },
@@ -56,8 +59,9 @@ pub enum TraceEvent {
         t: f64,
         /// Demand sequence number.
         demand: u64,
-        /// System verdict label (`CR`, `ER`, `NER` or `unavailable`).
-        verdict: String,
+        /// System verdict label (`CR`, `ER`, `NER` or `NRDT`); always a
+        /// borrowed `&'static` label on the hot path.
+        verdict: Cow<'static, str>,
         /// Release whose response was selected, if any.
         source: Option<usize>,
         /// How many releases responded within the timeout.

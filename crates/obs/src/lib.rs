@@ -59,6 +59,6 @@ pub mod span;
 
 pub use event::TraceEvent;
 pub use jsonl::{parse_jsonl, JsonValue};
-pub use metrics::{MetricsRegistry, SharedRegistry};
+pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry, SharedRegistry};
 pub use recorder::{MemoryRecorder, NullRecorder, Recorder, SharedRecorder, TraceRing};
 pub use span::PhaseTimings;

@@ -5,6 +5,15 @@
 //! other registries (so per-run snapshots can be aggregated across
 //! experiment cells). [`SharedRegistry`] is the cloneable single-thread
 //! handle the subsystems hold.
+//!
+//! Hot paths resolve a `(name, labels)` pair to an integer series id
+//! once ([`MetricsRegistry::counter_id`] and friends) and then update by
+//! array index — no label-vector construction, no map lookup, no
+//! allocation per observation. The `String`-keyed API remains as the
+//! slow path and both roads meet in the same storage, so snapshots are
+//! byte-identical however a series was written. Each series' label
+//! prefix is rendered once at creation, so repeated snapshots do not
+//! re-format unchanged label sets.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -139,20 +148,198 @@ impl Histogram {
     }
 }
 
+/// Pre-rendered sample-line prefixes for one histogram series: computed
+/// once when the series is created, reused by every snapshot.
+#[derive(Debug, Clone, PartialEq)]
+struct HistogramRender {
+    /// `name_bucket{labels,le="bound"}`, one per finite bound.
+    bucket_lines: Vec<String>,
+    /// `name_bucket{labels,le="+Inf"}`.
+    inf_line: String,
+    /// `name_sum{labels}`.
+    sum_line: String,
+    /// `name_count{labels}`.
+    count_line: String,
+}
+
+impl HistogramRender {
+    fn new(key: &Key, bounds: &[f64]) -> Self {
+        let bucket_key = Key {
+            name: format!("{}_bucket", key.name),
+            labels: key.labels.clone(),
+        };
+        Self {
+            bucket_lines: bounds
+                .iter()
+                .map(|&b| bucket_key.render_with("le", &fmt_value(b)))
+                .collect(),
+            inf_line: bucket_key.render_with("le", "+Inf"),
+            sum_line: Key {
+                name: format!("{}_sum", key.name),
+                labels: key.labels.clone(),
+            }
+            .render(),
+            count_line: Key {
+                name: format!("{}_count", key.name),
+                labels: key.labels.clone(),
+            }
+            .render(),
+        }
+    }
+}
+
+/// Pre-resolved handle to one counter series — an index, so the hot
+/// path is `values[id] += delta`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Pre-resolved handle to one gauge series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Pre-resolved handle to one histogram series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
 /// The registry of labeled counters, gauges and histograms.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Series live in slot vectors; the sorted key maps only resolve a
+/// `(name, labels)` pair to its slot (at creation and in snapshots), so
+/// id-based updates never touch them.
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<Key, u64>,
-    gauges: BTreeMap<Key, f64>,
-    histograms: BTreeMap<Key, Histogram>,
+    counters: BTreeMap<Key, usize>,
+    counter_values: Vec<u64>,
+    counter_rendered: Vec<String>,
+    gauges: BTreeMap<Key, usize>,
+    gauge_values: Vec<f64>,
+    gauge_rendered: Vec<String>,
+    histograms: BTreeMap<Key, usize>,
+    histogram_values: Vec<Histogram>,
+    histogram_rendered: Vec<HistogramRender>,
     /// Bucket bounds configured per metric name.
     buckets: BTreeMap<String, Vec<f64>>,
+}
+
+impl PartialEq for MetricsRegistry {
+    /// Logical equality: same series with the same values, regardless of
+    /// the slot order the two registries happened to create them in.
+    fn eq(&self, other: &Self) -> bool {
+        self.counters.len() == other.counters.len()
+            && self.gauges.len() == other.gauges.len()
+            && self.histograms.len() == other.histograms.len()
+            && self.buckets == other.buckets
+            && self
+                .counters
+                .iter()
+                .zip(&other.counters)
+                .all(|((ka, &sa), (kb, &sb))| {
+                    ka == kb && self.counter_values[sa] == other.counter_values[sb]
+                })
+            && self
+                .gauges
+                .iter()
+                .zip(&other.gauges)
+                .all(|((ka, &sa), (kb, &sb))| {
+                    ka == kb && self.gauge_values[sa] == other.gauge_values[sb]
+                })
+            && self
+                .histograms
+                .iter()
+                .zip(&other.histograms)
+                .all(|((ka, &sa), (kb, &sb))| {
+                    ka == kb && self.histogram_values[sa] == other.histogram_values[sb]
+                })
+    }
 }
 
 impl MetricsRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn counter_slot(&mut self, key: Key) -> usize {
+        if let Some(&slot) = self.counters.get(&key) {
+            return slot;
+        }
+        let slot = self.counter_values.len();
+        self.counter_values.push(0);
+        self.counter_rendered.push(key.render());
+        self.counters.insert(key, slot);
+        slot
+    }
+
+    fn gauge_slot(&mut self, key: Key) -> usize {
+        if let Some(&slot) = self.gauges.get(&key) {
+            return slot;
+        }
+        let slot = self.gauge_values.len();
+        self.gauge_values.push(0.0);
+        self.gauge_rendered.push(key.render());
+        self.gauges.insert(key, slot);
+        slot
+    }
+
+    /// Creates the histogram slot with explicit bounds (used by merge);
+    /// `None` means "the bounds configured for this name, or default".
+    fn histogram_slot(&mut self, key: Key, bounds: Option<&[f64]>) -> usize {
+        if let Some(&slot) = self.histograms.get(&key) {
+            return slot;
+        }
+        let bounds: Vec<f64> = match bounds {
+            Some(b) => b.to_vec(),
+            None => self
+                .buckets
+                .get(&key.name)
+                .map(|b| b.as_slice())
+                .unwrap_or(&DEFAULT_BUCKETS)
+                .to_vec(),
+        };
+        let slot = self.histogram_values.len();
+        self.histogram_rendered
+            .push(HistogramRender::new(&key, &bounds));
+        self.histogram_values.push(Histogram::new(&bounds));
+        self.histograms.insert(key, slot);
+        slot
+    }
+
+    /// Resolves (creating if needed) the counter series and returns its
+    /// id. A freshly created series starts at 0 and *will* appear in
+    /// snapshots, so resolve ids at first write (or write right after).
+    pub fn counter_id(&mut self, name: &str, labels: &[(&str, &str)]) -> CounterId {
+        CounterId(self.counter_slot(Key::new(name, labels)))
+    }
+
+    /// Resolves (creating if needed) the gauge series id.
+    pub fn gauge_id(&mut self, name: &str, labels: &[(&str, &str)]) -> GaugeId {
+        GaugeId(self.gauge_slot(Key::new(name, labels)))
+    }
+
+    /// Resolves (creating if needed) the histogram series id, with the
+    /// bounds configured for `name` (or [`DEFAULT_BUCKETS`]).
+    pub fn histogram_id(&mut self, name: &str, labels: &[(&str, &str)]) -> HistogramId {
+        HistogramId(self.histogram_slot(Key::new(name, labels), None))
+    }
+
+    /// Increments a pre-resolved counter by 1 (array index, no lookup).
+    pub fn inc_counter_id(&mut self, id: CounterId) {
+        self.counter_values[id.0] += 1;
+    }
+
+    /// Adds `delta` to a pre-resolved counter.
+    pub fn add_counter_id(&mut self, id: CounterId, delta: u64) {
+        self.counter_values[id.0] += delta;
+    }
+
+    /// Sets a pre-resolved gauge.
+    pub fn set_gauge_id(&mut self, id: GaugeId, value: f64) {
+        self.gauge_values[id.0] = value;
+    }
+
+    /// Records one observation into a pre-resolved histogram.
+    pub fn observe_id(&mut self, id: HistogramId, value: f64) {
+        self.histogram_values[id.0].observe(value);
     }
 
     /// Increments a labeled counter by 1.
@@ -162,20 +349,30 @@ impl MetricsRegistry {
 
     /// Adds `delta` to a labeled counter.
     pub fn add_counter(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
-        *self.counters.entry(Key::new(name, labels)).or_insert(0) += delta;
+        let slot = self.counter_slot(Key::new(name, labels));
+        self.counter_values[slot] += delta;
     }
 
     /// Sets a labeled gauge.
     pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
-        self.gauges.insert(Key::new(name, labels), value);
+        let slot = self.gauge_slot(Key::new(name, labels));
+        self.gauge_values[slot] = value;
     }
 
     /// Raises a labeled gauge to `value` if it is higher than the
     /// current value (for high-water marks).
     pub fn max_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
-        let entry = self.gauges.entry(Key::new(name, labels)).or_insert(value);
-        if value > *entry {
-            *entry = value;
+        let key = Key::new(name, labels);
+        match self.gauges.get(&key) {
+            Some(&slot) => {
+                if value > self.gauge_values[slot] {
+                    self.gauge_values[slot] = value;
+                }
+            }
+            None => {
+                let slot = self.gauge_slot(key);
+                self.gauge_values[slot] = value;
+            }
         }
     }
 
@@ -188,36 +385,30 @@ impl MetricsRegistry {
     /// Records one observation into a labeled histogram, creating it
     /// with the configured (or [`DEFAULT_BUCKETS`]) bounds on first use.
     pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
-        let key = Key::new(name, labels);
-        let histogram = self.histograms.entry(key).or_insert_with(|| {
-            let bounds = self
-                .buckets
-                .get(name)
-                .map(|b| b.as_slice())
-                .unwrap_or(&DEFAULT_BUCKETS);
-            Histogram::new(bounds)
-        });
-        histogram.observe(value);
+        let slot = self.histogram_slot(Key::new(name, labels), None);
+        self.histogram_values[slot].observe(value);
     }
 
     /// Reads a counter (0 if never written).
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
         self.counters
             .get(&Key::new(name, labels))
-            .copied()
+            .map(|&slot| self.counter_values[slot])
             .unwrap_or(0)
     }
 
     /// Reads a gauge.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        self.gauges.get(&Key::new(name, labels)).copied()
+        self.gauges
+            .get(&Key::new(name, labels))
+            .map(|&slot| self.gauge_values[slot])
     }
 
     /// Total observation count of a histogram (0 if never written).
     pub fn histogram_count(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
         self.histograms
             .get(&Key::new(name, labels))
-            .map(|h| h.count)
+            .map(|&slot| self.histogram_values[slot].count)
             .unwrap_or(0)
     }
 
@@ -229,17 +420,21 @@ impl MetricsRegistry {
     /// Folds another registry into this one: counters and histograms
     /// add, gauges take the other registry's value (last write wins).
     pub fn merge(&mut self, other: &MetricsRegistry) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (k, &theirs) in &other.counters {
+            let slot = self.counter_slot(k.clone());
+            self.counter_values[slot] += other.counter_values[theirs];
         }
-        for (k, v) in &other.gauges {
-            self.gauges.insert(k.clone(), *v);
+        for (k, &theirs) in &other.gauges {
+            let slot = self.gauge_slot(k.clone());
+            self.gauge_values[slot] = other.gauge_values[theirs];
         }
-        for (k, h) in &other.histograms {
-            match self.histograms.get_mut(k) {
-                Some(mine) => mine.merge(h),
+        for (k, &theirs) in &other.histograms {
+            let h = &other.histogram_values[theirs];
+            match self.histograms.get(k) {
+                Some(&slot) => self.histogram_values[slot].merge(h),
                 None => {
-                    self.histograms.insert(k.clone(), h.clone());
+                    let slot = self.histogram_slot(k.clone(), Some(&h.bounds));
+                    self.histogram_values[slot] = h.clone();
                 }
             }
         }
@@ -250,65 +445,70 @@ impl MetricsRegistry {
         }
     }
 
+    /// A size estimate for [`snapshot`](Self::snapshot), so the output
+    /// string is allocated once.
+    fn snapshot_capacity(&self) -> usize {
+        let mut cap = 0;
+        for rendered in self.counter_rendered.iter().chain(&self.gauge_rendered) {
+            // "# TYPE name kind\n" upper bound plus "rendered value\n".
+            cap += rendered.len() + 48;
+        }
+        for r in &self.histogram_rendered {
+            for line in &r.bucket_lines {
+                cap += line.len() + 24;
+            }
+            cap += r.inf_line.len() + r.sum_line.len() + r.count_line.len() + 96;
+        }
+        cap
+    }
+
     /// Renders a Prometheus-text-style snapshot: `# TYPE` comments, one
     /// sample per line, histograms as cumulative `_bucket`/`_sum`/
     /// `_count` series. Deterministic (keys are sorted).
     pub fn snapshot(&self) -> String {
-        let mut out = String::new();
+        let mut out = String::with_capacity(self.snapshot_capacity());
         let mut last_name = "";
-        for (key, value) in &self.counters {
+        for (key, &slot) in &self.counters {
             if key.name != last_name {
                 let _ = writeln!(out, "# TYPE {} counter", key.name);
                 last_name = &key.name;
             }
-            let _ = writeln!(out, "{} {}", key.render(), value);
+            let _ = writeln!(
+                out,
+                "{} {}",
+                self.counter_rendered[slot], self.counter_values[slot]
+            );
         }
         last_name = "";
-        for (key, value) in &self.gauges {
+        for (key, &slot) in &self.gauges {
             if key.name != last_name {
                 let _ = writeln!(out, "# TYPE {} gauge", key.name);
                 last_name = &key.name;
             }
-            let _ = writeln!(out, "{} {}", key.render(), fmt_value(*value));
+            let _ = writeln!(
+                out,
+                "{} {}",
+                self.gauge_rendered[slot],
+                fmt_value(self.gauge_values[slot])
+            );
         }
         last_name = "";
-        for (key, histogram) in &self.histograms {
+        for (key, &slot) in &self.histograms {
             if key.name != last_name {
                 let _ = writeln!(out, "# TYPE {} histogram", key.name);
                 last_name = &key.name;
             }
-            let bucket_name = format!("{}_bucket", key.name);
-            let bucket_key = Key {
-                name: bucket_name,
-                labels: key.labels.clone(),
-            };
+            let histogram = &self.histogram_values[slot];
+            let rendered = &self.histogram_rendered[slot];
             let mut cumulative = 0u64;
-            for (i, &bound) in histogram.bounds.iter().enumerate() {
+            for (i, line) in rendered.bucket_lines.iter().enumerate() {
                 cumulative += histogram.counts[i];
-                let _ = writeln!(
-                    out,
-                    "{} {}",
-                    bucket_key.render_with("le", &fmt_value(bound)),
-                    cumulative
-                );
+                let _ = writeln!(out, "{} {}", line, cumulative);
             }
             cumulative += histogram.counts[histogram.bounds.len()];
-            let _ = writeln!(
-                out,
-                "{} {}",
-                bucket_key.render_with("le", "+Inf"),
-                cumulative
-            );
-            let sum_key = Key {
-                name: format!("{}_sum", key.name),
-                labels: key.labels.clone(),
-            };
-            let _ = writeln!(out, "{} {}", sum_key.render(), fmt_value(histogram.sum));
-            let count_key = Key {
-                name: format!("{}_count", key.name),
-                labels: key.labels.clone(),
-            };
-            let _ = writeln!(out, "{} {}", count_key.render(), histogram.count);
+            let _ = writeln!(out, "{} {}", rendered.inf_line, cumulative);
+            let _ = writeln!(out, "{} {}", rendered.sum_line, fmt_value(histogram.sum));
+            let _ = writeln!(out, "{} {}", rendered.count_line, histogram.count);
         }
         out
     }
@@ -368,6 +568,41 @@ impl SharedRegistry {
     /// Records one histogram observation.
     pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
         self.inner.borrow_mut().observe(name, labels, value);
+    }
+
+    /// Resolves (creating if needed) a counter series id.
+    pub fn counter_id(&self, name: &str, labels: &[(&str, &str)]) -> CounterId {
+        self.inner.borrow_mut().counter_id(name, labels)
+    }
+
+    /// Resolves (creating if needed) a gauge series id.
+    pub fn gauge_id(&self, name: &str, labels: &[(&str, &str)]) -> GaugeId {
+        self.inner.borrow_mut().gauge_id(name, labels)
+    }
+
+    /// Resolves (creating if needed) a histogram series id.
+    pub fn histogram_id(&self, name: &str, labels: &[(&str, &str)]) -> HistogramId {
+        self.inner.borrow_mut().histogram_id(name, labels)
+    }
+
+    /// Increments a pre-resolved counter by 1.
+    pub fn inc_counter_id(&self, id: CounterId) {
+        self.inner.borrow_mut().inc_counter_id(id);
+    }
+
+    /// Adds `delta` to a pre-resolved counter.
+    pub fn add_counter_id(&self, id: CounterId, delta: u64) {
+        self.inner.borrow_mut().add_counter_id(id, delta);
+    }
+
+    /// Sets a pre-resolved gauge.
+    pub fn set_gauge_id(&self, id: GaugeId, value: f64) {
+        self.inner.borrow_mut().set_gauge_id(id, value);
+    }
+
+    /// Records one observation into a pre-resolved histogram.
+    pub fn observe_id(&self, id: HistogramId, value: f64) {
+        self.inner.borrow_mut().observe_id(id, value);
     }
 
     /// Runs `f` with mutable access to the underlying registry.
@@ -456,5 +691,76 @@ mod tests {
         other.inc_counter("c", &[]);
         assert_eq!(shared.with(|r| r.counter("c", &[])), 2);
         assert!(shared.render_snapshot().contains("c 2"));
+    }
+
+    #[test]
+    fn id_and_string_paths_share_series() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter_id("c", &[("x", "1")]);
+        reg.inc_counter_id(c);
+        reg.add_counter_id(c, 2);
+        reg.inc_counter("c", &[("x", "1")]);
+        assert_eq!(reg.counter("c", &[("x", "1")]), 4);
+        // Resolving again returns the same slot.
+        assert_eq!(reg.counter_id("c", &[("x", "1")]), c);
+
+        let g = reg.gauge_id("g", &[]);
+        reg.set_gauge_id(g, 1.5);
+        assert_eq!(reg.gauge("g", &[]), Some(1.5));
+        reg.set_gauge("g", &[], 2.5);
+        assert_eq!(reg.gauge("g", &[]), Some(2.5));
+
+        reg.set_buckets("h", &[1.0]);
+        let h = reg.histogram_id("h", &[]);
+        reg.observe_id(h, 0.5);
+        reg.observe("h", &[], 3.0);
+        assert_eq!(reg.histogram_count("h", &[]), 2);
+        let snap = reg.snapshot();
+        assert!(snap.contains("h_bucket{le=\"1\"} 1"), "{snap}");
+        assert!(snap.contains("h_bucket{le=\"+Inf\"} 2"), "{snap}");
+    }
+
+    #[test]
+    fn snapshots_agree_between_id_and_string_writers() {
+        let mut via_ids = MetricsRegistry::new();
+        let mut via_strings = MetricsRegistry::new();
+        let c = via_ids.counter_id("wsu_x_total", &[("k", "v")]);
+        via_ids.add_counter_id(c, 7);
+        via_strings.add_counter("wsu_x_total", &[("k", "v")], 7);
+        let h = via_ids.histogram_id("lat", &[("k", "v")]);
+        via_ids.observe_id(h, 0.3);
+        via_strings.observe("lat", &[("k", "v")], 0.3);
+        assert_eq!(via_ids.snapshot(), via_strings.snapshot());
+        assert_eq!(via_ids, via_strings);
+    }
+
+    #[test]
+    fn equality_ignores_slot_creation_order() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.inc_counter("one", &[]);
+        a.inc_counter("two", &[]);
+        b.inc_counter("two", &[]);
+        b.inc_counter("one", &[]);
+        assert_eq!(a, b);
+        b.inc_counter("two", &[]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shared_registry_id_paths_work() {
+        let shared = SharedRegistry::new();
+        let c = shared.counter_id("c", &[]);
+        shared.inc_counter_id(c);
+        shared.add_counter_id(c, 1);
+        let g = shared.gauge_id("g", &[]);
+        shared.set_gauge_id(g, 4.0);
+        let h = shared.histogram_id("h", &[]);
+        shared.observe_id(h, 0.1);
+        shared.with(|r| {
+            assert_eq!(r.counter("c", &[]), 2);
+            assert_eq!(r.gauge("g", &[]), Some(4.0));
+            assert_eq!(r.histogram_count("h", &[]), 1);
+        });
     }
 }

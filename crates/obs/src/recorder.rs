@@ -69,6 +69,12 @@ impl MemoryRecorder {
         self.events.is_empty()
     }
 
+    /// Reserves room for at least `additional` more events, so a
+    /// measured steady-state window can record without reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.events.reserve(additional);
+    }
+
     /// Writes the events as JSONL to `path`, creating parent
     /// directories as needed.
     pub fn write_jsonl(&self, path: &Path) -> io::Result<()> {
@@ -114,6 +120,11 @@ impl SharedRecorder {
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.inner.borrow().is_empty()
+    }
+
+    /// Reserves room for at least `additional` more events.
+    pub fn reserve(&self, additional: usize) {
+        self.inner.borrow_mut().reserve(additional);
     }
 
     /// Writes the events as JSONL to `path`, creating parent

@@ -21,7 +21,7 @@ use std::fmt;
 /// assert_eq!(s.mean(), 2.0);
 /// assert_eq!(s.min(), Some(1.0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -98,7 +98,7 @@ impl Summary {
             return;
         }
         if self.count == 0 {
-            *self = other.clone();
+            *self = *other;
             return;
         }
         let n1 = self.count as f64;
@@ -345,7 +345,7 @@ mod tests {
     fn summary_merge_with_empty() {
         let mut a = Summary::new();
         a.record(1.0);
-        let before = a.clone();
+        let before = a;
         a.merge(&Summary::new());
         assert_eq!(a, before);
         let mut e = Summary::new();

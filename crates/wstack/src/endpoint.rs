@@ -12,6 +12,7 @@
 //!   feeds each release its half of the plan.
 
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 use wsu_simcore::dist::DelayModel;
 use wsu_simcore::rng::StreamRng;
@@ -34,25 +35,93 @@ pub struct Invocation {
     pub class: ResponseClass,
     /// How long the release took to produce the response.
     pub exec_time: SimDuration,
-    /// The response message itself.
-    pub response: Envelope,
+    /// The response message itself. Shared (`Rc`) so simulation
+    /// endpoints can hand out pooled template envelopes without copying
+    /// the body per demand; equality compares envelope contents.
+    pub response: Rc<Envelope>,
 }
 
 impl Invocation {
-    /// Creates an invocation result, synthesising a response envelope
-    /// appropriate for the class.
+    /// Creates an invocation result, synthesising a fresh response
+    /// envelope appropriate for the class. The slow path — endpoints in
+    /// the demand loop reuse [`ResponseTemplates`] instead.
     pub fn from_class(operation: &str, class: ResponseClass, exec_time: SimDuration) -> Invocation {
-        let response = match class {
-            ResponseClass::Correct => Envelope::response(operation).with_part("result", "ok"),
-            ResponseClass::EvidentFailure => Envelope::fault(
+        Invocation {
+            class,
+            exec_time,
+            response: Rc::new(synthesise_response(operation, class)),
+        }
+    }
+}
+
+/// Builds the class-appropriate response envelope for `operation`.
+fn synthesise_response(operation: &str, class: ResponseClass) -> Envelope {
+    match class {
+        ResponseClass::Correct => Envelope::response(operation).with_part("result", "ok"),
+        ResponseClass::EvidentFailure => Envelope::fault(
+            operation,
+            Fault::new(FaultCode::Receiver, "internal service error"),
+        ),
+        // A non-evident failure *looks* like a success on the wire.
+        ResponseClass::NonEvidentFailure => {
+            Envelope::response(operation).with_part("result", "plausible-but-wrong")
+        }
+    }
+}
+
+/// A per-endpoint pool of the three class-synthesised response
+/// envelopes for one operation.
+///
+/// The envelopes are built once (per operation seen — rebuilding only
+/// when the operation changes, which simulation workloads never do) and
+/// handed out as shared [`Rc`]s, so the steady-state invoke path costs
+/// a reference-count bump instead of an envelope construction.
+#[derive(Debug, Clone, Default)]
+pub struct ResponseTemplates {
+    operation: String,
+    templates: Option<[Rc<Envelope>; 3]>,
+}
+
+impl ResponseTemplates {
+    /// An empty pool; templates are built on first use.
+    pub fn new() -> ResponseTemplates {
+        ResponseTemplates::default()
+    }
+
+    fn rebuild(&mut self, operation: &str) {
+        self.operation.clear();
+        self.operation.push_str(operation);
+        self.templates = Some([
+            Rc::new(synthesise_response(operation, ResponseClass::Correct)),
+            Rc::new(synthesise_response(
                 operation,
-                Fault::new(FaultCode::Receiver, "internal service error"),
-            ),
-            // A non-evident failure *looks* like a success on the wire.
-            ResponseClass::NonEvidentFailure => {
-                Envelope::response(operation).with_part("result", "plausible-but-wrong")
-            }
-        };
+                ResponseClass::EvidentFailure,
+            )),
+            Rc::new(synthesise_response(
+                operation,
+                ResponseClass::NonEvidentFailure,
+            )),
+        ]);
+    }
+
+    /// An invocation result whose response envelope is the pooled
+    /// template for `class` (identical content to
+    /// [`Invocation::from_class`]).
+    pub fn invocation(
+        &mut self,
+        operation: &str,
+        class: ResponseClass,
+        exec_time: SimDuration,
+    ) -> Invocation {
+        if self.templates.is_none() || self.operation != operation {
+            self.rebuild(operation);
+        }
+        let templates = self.templates.as_ref().expect("templates built");
+        let response = Rc::clone(match class {
+            ResponseClass::Correct => &templates[0],
+            ResponseClass::EvidentFailure => &templates[1],
+            ResponseClass::NonEvidentFailure => &templates[2],
+        });
         Invocation {
             class,
             exec_time,
@@ -87,6 +156,7 @@ pub struct SyntheticService {
     outcomes: OutcomeProfile,
     exec_time: DelayModel,
     invocations: u64,
+    templates: ResponseTemplates,
 }
 
 impl SyntheticService {
@@ -122,7 +192,8 @@ impl ServiceEndpoint for SyntheticService {
         self.invocations += 1;
         let class = self.outcomes.sample(rng);
         let exec_time = self.exec_time.sample(rng);
-        Invocation::from_class(request.operation(), class, exec_time)
+        self.templates
+            .invocation(request.operation(), class, exec_time)
     }
 }
 
@@ -182,6 +253,7 @@ impl SyntheticServiceBuilder {
             outcomes: self.outcomes,
             exec_time: self.exec_time,
             invocations: 0,
+            templates: ResponseTemplates::new(),
         }
     }
 }
@@ -225,6 +297,7 @@ pub struct ScriptedEndpoint {
     description: ServiceDescription,
     plan: VecDeque<PlannedResponse>,
     served: u64,
+    templates: ResponseTemplates,
 }
 
 impl ScriptedEndpoint {
@@ -240,6 +313,7 @@ impl ScriptedEndpoint {
             description,
             plan: VecDeque::new(),
             served: 0,
+            templates: ResponseTemplates::new(),
         }
     }
 
@@ -279,7 +353,8 @@ impl ServiceEndpoint for ScriptedEndpoint {
             .pop_front()
             .expect("scripted endpoint plan exhausted");
         self.served += 1;
-        Invocation::from_class(request.operation(), planned.class, planned.exec_time)
+        self.templates
+            .invocation(request.operation(), planned.class, planned.exec_time)
     }
 }
 

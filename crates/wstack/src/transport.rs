@@ -206,7 +206,10 @@ impl<S: ServiceEndpoint> TransportLink<S> {
     ) -> Invocation {
         let mut invocation =
             Invocation::from_class(operation, class, SimDuration::from_secs(NEVER_SECS));
-        invocation.response = Envelope::fault(operation, Fault::new(FaultCode::Timeout, reason));
+        invocation.response = std::rc::Rc::new(Envelope::fault(
+            operation,
+            Fault::new(FaultCode::Timeout, reason),
+        ));
         invocation
     }
 }
