@@ -1,5 +1,6 @@
 //! Micro-benchmarks for the observability layer: metrics registry
-//! record/snapshot, trace-event recording and JSON serialisation.
+//! record/snapshot, quantile-sketch overhead, trace-event recording and
+//! JSON serialisation.
 
 use std::hint::black_box;
 
@@ -7,6 +8,7 @@ use wsu_bench::{criterion_group, criterion_main, Criterion};
 use wsu_obs::event::TraceEvent;
 use wsu_obs::metrics::MetricsRegistry;
 use wsu_obs::recorder::{MemoryRecorder, NullRecorder, Recorder, SharedRecorder};
+use wsu_obs::{QuantileSketch, SloConfig, SloObservation, SloWindow};
 
 fn sample_event(demand: u64) -> TraceEvent {
     TraceEvent::ResponseCollected {
@@ -86,5 +88,66 @@ fn recorder(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, registry, recorder);
+fn quantile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/quantile");
+    group.sample_size(20);
+    group.bench_function("sketch_observe", |b| {
+        let mut sketch = QuantileSketch::default();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.37) % 5.0 + 1e-3;
+            sketch.observe(x);
+            black_box(sketch.count())
+        });
+    });
+    group.bench_function("sketch_observe_id", |b| {
+        let mut reg = MetricsRegistry::new();
+        let id = reg.sketch_id("wsu_response_time_quantiles", &[]);
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.37) % 5.0 + 1e-3;
+            reg.observe_sketch_id(id, x);
+        });
+    });
+    group.bench_function("sketch_quantile_read", |b| {
+        let mut sketch = QuantileSketch::default();
+        let mut x = 0.0f64;
+        for _ in 0..10_000 {
+            x = (x + 0.37) % 5.0 + 1e-3;
+            sketch.observe(x);
+        }
+        b.iter(|| black_box(sketch.p99()));
+    });
+    group.bench_function("sketch_merge", |b| {
+        let mut shard = QuantileSketch::default();
+        let mut x = 0.0f64;
+        for _ in 0..10_000 {
+            x = (x + 0.37) % 5.0 + 1e-3;
+            shard.observe(x);
+        }
+        let mut acc = QuantileSketch::default();
+        b.iter(|| {
+            acc.merge(&shard);
+            black_box(acc.count())
+        });
+    });
+    group.bench_function("slo_observe", |b| {
+        let mut slo = SloWindow::new(SloConfig::default());
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 0.6;
+            slo.observe(SloObservation {
+                t,
+                available: true,
+                fault: false,
+                false_alarm: false,
+                response_time: 0.6,
+            });
+            black_box(slo.snapshot().demands)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, registry, recorder, quantile);
 criterion_main!(benches);

@@ -97,6 +97,9 @@ pub struct SystemObservation {
 pub struct DemandRecord {
     /// Demand sequence number (assigned by the middleware).
     pub seq: u64,
+    /// Dispatch instant in virtual time, in seconds (the middleware's
+    /// clock when the demand arrived) — what windowed trackers key on.
+    pub t: f64,
     /// Per-release observations, in the order releases were invoked.
     /// Sequential mode only contains entries for releases actually tried.
     pub per_release: Vec<ReleaseObservation>,
@@ -299,6 +302,23 @@ impl UpgradeMiddleware {
             responders: record.system.responders,
             response_time: record.system.response_time.as_secs(),
         });
+        // The demand's virtual-time cost, attributed per phase: under
+        // eq. (8) the consumer's wait is transport (release execution,
+        // capped by the timeout) plus the adjudication delay `dT`;
+        // detection, Bayes updates and recovery run between demands and
+        // cost zero virtual seconds. All-numeric payload — no
+        // allocation on the per-demand path.
+        let dt = self.config.adjudication_delay.as_secs();
+        let response_time = record.system.response_time.as_secs();
+        self.recorder.record(TraceEvent::SpanClosed {
+            t,
+            demand,
+            transport: (response_time - dt).max(0.0),
+            detection: 0.0,
+            adjudication: dt,
+            bayes: 0.0,
+            recovery: 0.0,
+        });
     }
 
     /// Parallel modes: invoke everyone, then collect per the mode.
@@ -429,6 +449,7 @@ impl UpgradeMiddleware {
 
         Ok(DemandRecord {
             seq,
+            t: self.clock,
             per_release,
             system,
         })
@@ -493,6 +514,7 @@ impl UpgradeMiddleware {
         let responders = per_release.iter().filter(|o| o.within_timeout).count();
         Ok(DemandRecord {
             seq,
+            t: self.clock,
             per_release,
             system: SystemObservation {
                 verdict,
@@ -783,9 +805,11 @@ mod tests {
                 "DemandDispatched",
                 "ResponseCollected",
                 "Timeout",
-                "Adjudicated"
+                "Adjudicated",
+                "SpanClosed"
             ]
         );
+        assert_eq!(rec.t, 10.5);
         assert!(events.iter().all(|e| e.virtual_time() == 10.5));
         assert!(events.iter().all(|e| e.demand() == rec.seq));
         match &events[3] {

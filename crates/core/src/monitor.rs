@@ -14,12 +14,22 @@
 //! * joint failure counts of a designated (old, new) release pair,
 //!   scored through a configurable [`FailureDetector`] — the observations
 //!   driving the white-box Bayesian inference;
-//! * a bounded in-memory log of recent records ("the database").
+//! * a bounded in-memory log of recent records ("the database");
+//! * streaming dependability telemetry: tail-latency quantile sketches
+//!   (system response time and per-release execution time) and a
+//!   windowed availability/SLO tracker ([`SloWindow`]) polled as a
+//!   [`DependabilitySnapshot`]. Both are always on — fixed-size
+//!   structures fed allocation-free on the per-demand path — so the
+//!   campaign reports get p99/p999 and worst-window availability even
+//!   without a metrics registry attached.
 
 use wsu_bayes::counts::JointCounts;
 use wsu_detect::coverage::DetectionAudit;
 use wsu_detect::oracle::{DemandOutcome, FailureDetector, PerfectOracle};
-use wsu_obs::{CounterId, HistogramId, SharedRegistry};
+use wsu_obs::{
+    CounterId, DependabilitySnapshot, HistogramId, QuantileSketch, SharedRegistry, SketchId,
+    SloConfig, SloObservation, SloWindow,
+};
 use wsu_simcore::rng::StreamRng;
 use wsu_simcore::stats::{CountTable, Summary};
 use wsu_wstack::outcome::ResponseClass;
@@ -36,6 +46,7 @@ pub struct ReleaseStats {
     nrdt: u64,
     exec_all: Summary,
     exec_within: Summary,
+    exec_sketch: QuantileSketch,
 }
 
 impl ReleaseStats {
@@ -45,6 +56,7 @@ impl ReleaseStats {
             nrdt: 0,
             exec_all: Summary::new(),
             exec_within: Summary::new(),
+            exec_sketch: QuantileSketch::default(),
         }
     }
 
@@ -78,6 +90,12 @@ impl ReleaseStats {
     /// Execution-time statistics over responses within the timeout.
     pub fn exec_within_summary(&self) -> &Summary {
         &self.exec_within
+    }
+
+    /// Tail-latency quantile sketch over all execution times (p50/p90/
+    /// p99/p999 within a 1% relative-error bound).
+    pub fn exec_quantiles(&self) -> &QuantileSketch {
+        &self.exec_sketch
     }
 
     /// Availability: fraction of demands with a response within the
@@ -214,6 +232,7 @@ struct SystemMetricHandles {
     responses: [Option<CounterId>; 3],
     unavailable: Option<CounterId>,
     response_time: Option<HistogramId>,
+    response_sketch: Option<SketchId>,
 }
 
 /// Lazily resolved handles for one release's metric series, with the
@@ -224,6 +243,7 @@ struct ReleaseMetricHandles {
     responses: [Option<CounterId>; 3],
     timeouts: Option<CounterId>,
     exec_time: Option<HistogramId>,
+    exec_sketch: Option<SketchId>,
 }
 
 impl ReleaseMetricHandles {
@@ -233,6 +253,7 @@ impl ReleaseMetricHandles {
             responses: [None; 3],
             timeouts: None,
             exec_time: None,
+            exec_sketch: None,
         }
     }
 }
@@ -245,6 +266,8 @@ pub struct MonitoringSubsystem {
     recent: std::collections::VecDeque<DemandRecord>,
     recent_capacity: usize,
     demands: u64,
+    response_sketch: QuantileSketch,
+    slo: SloWindow,
     metrics: Option<SharedRegistry>,
     system_handles: SystemMetricHandles,
     release_handles: Vec<ReleaseMetricHandles>,
@@ -261,10 +284,20 @@ impl MonitoringSubsystem {
             recent: std::collections::VecDeque::with_capacity(recent_capacity.min(4096)),
             recent_capacity,
             demands: 0,
+            response_sketch: QuantileSketch::default(),
+            slo: SloWindow::default(),
             metrics: None,
             system_handles: SystemMetricHandles::default(),
             release_handles: Vec::new(),
         }
+    }
+
+    /// Reconfigures the windowed availability/SLO tracker (window width,
+    /// ring depth, latency threshold). Resets any windows accumulated so
+    /// far, so call it before the first demand — [`crate::upgrade`] does,
+    /// aligning the latency threshold with the middleware timeout.
+    pub fn configure_slo(&mut self, config: SloConfig) {
+        self.slo = SloWindow::new(config);
     }
 
     /// Routes per-demand counters and timing histograms into a shared
@@ -314,6 +347,7 @@ impl MonitoringSubsystem {
             }
             let stats = &mut self.per_release[idx];
             stats.exec_all.record(obs.exec_time.as_secs());
+            stats.exec_sketch.observe(obs.exec_time.as_secs());
             if obs.within_timeout {
                 stats.counts.bump(obs.class.index());
                 stats.exec_within.record(obs.exec_time.as_secs());
@@ -328,7 +362,10 @@ impl MonitoringSubsystem {
         self.system
             .response_time
             .record(record.system.response_time.as_secs());
+        self.response_sketch
+            .observe(record.system.response_time.as_secs());
 
+        let mut false_alarm = false;
         if let Some(pair) = &mut self.pair {
             let a = record.observation(pair.old);
             let b = record.observation(pair.new);
@@ -340,11 +377,24 @@ impl MonitoringSubsystem {
                     b.class.is_failure() || !b.within_timeout,
                 );
                 let seen = pair.detector.observe(truth, rng);
+                false_alarm =
+                    (seen.a_failed && !truth.a_failed) || (seen.b_failed && !truth.b_failed);
                 pair.truth.record(truth.a_failed, truth.b_failed);
                 pair.observed.record(seen.a_failed, seen.b_failed);
                 pair.audit.record(truth, seen);
             }
         }
+
+        self.slo.observe(SloObservation {
+            t: record.t,
+            available: matches!(record.system.verdict, SystemVerdict::Response(_)),
+            fault: record
+                .per_release
+                .iter()
+                .any(|o| o.class.is_failure() || !o.within_timeout),
+            false_alarm,
+            response_time: record.system.response_time.as_secs(),
+        });
 
         if self.recent_capacity > 0 {
             if self.recent.len() == self.recent_capacity {
@@ -370,6 +420,7 @@ impl MonitoringSubsystem {
                     responses,
                     timeouts,
                     exec_time,
+                    exec_sketch,
                 } = &mut self.release_handles[idx];
                 if obs.within_timeout {
                     let id = *responses[obs.class.index()].get_or_insert_with(|| {
@@ -389,6 +440,10 @@ impl MonitoringSubsystem {
                     metrics.histogram_id("wsu_exec_time_seconds", &[("release", label)])
                 });
                 metrics.observe_id(id, obs.exec_time.as_secs());
+                let id = *exec_sketch.get_or_insert_with(|| {
+                    metrics.sketch_id("wsu_exec_time_quantiles", &[("release", label)])
+                });
+                metrics.observe_sketch_id(id, obs.exec_time.as_secs());
             }
             match record.system.verdict {
                 SystemVerdict::Response(class) => {
@@ -413,6 +468,11 @@ impl MonitoringSubsystem {
                 .response_time
                 .get_or_insert_with(|| metrics.histogram_id("wsu_response_time_seconds", &[]));
             metrics.observe_id(id, record.system.response_time.as_secs());
+            let id = *self
+                .system_handles
+                .response_sketch
+                .get_or_insert_with(|| metrics.sketch_id("wsu_response_time_quantiles", &[]));
+            metrics.observe_sketch_id(id, record.system.response_time.as_secs());
         }
     }
 
@@ -434,6 +494,24 @@ impl MonitoringSubsystem {
     /// Demands observed.
     pub fn demands(&self) -> u64 {
         self.demands
+    }
+
+    /// Tail-latency quantile sketch over consumer-visible response times
+    /// (p50/p90/p99/p999 within a 1% relative-error bound).
+    pub fn response_quantiles(&self) -> &QuantileSketch {
+        &self.response_sketch
+    }
+
+    /// The windowed availability/SLO tracker.
+    pub fn slo(&self) -> &SloWindow {
+        &self.slo
+    }
+
+    /// Current dependability snapshot: lifetime availability, fault and
+    /// false-alarm rates, latency-violation rate and worst-window
+    /// availability, taken from the SLO tracker.
+    pub fn dependability_snapshot(&self) -> DependabilitySnapshot {
+        self.slo.snapshot()
     }
 
     /// The most recent demand records, oldest first.
@@ -517,6 +595,7 @@ mod tests {
     ) -> DemandRecord {
         DemandRecord {
             seq,
+            t: seq as f64,
             per_release: vec![
                 ReleaseObservation {
                     release: ReleaseId::new(0),
@@ -769,7 +848,112 @@ mod tests {
                 2
             );
             assert_eq!(r.histogram_count("wsu_response_time_seconds", &[]), 2);
+            assert_eq!(
+                r.sketch("wsu_response_time_quantiles", &[])
+                    .unwrap()
+                    .count(),
+                2
+            );
+            assert_eq!(
+                r.sketch("wsu_exec_time_quantiles", &[("release", "0")])
+                    .unwrap()
+                    .count(),
+                2
+            );
+            assert_eq!(
+                r.sketch("wsu_exec_time_quantiles", &[("release", "1")])
+                    .unwrap()
+                    .count(),
+                2
+            );
         });
+    }
+
+    #[test]
+    fn quantile_sketches_are_always_on() {
+        let mut mon = MonitoringSubsystem::new(0);
+        let mut rng = StreamRng::from_seed(12);
+        for i in 0..100 {
+            mon.observe(
+                &record(
+                    i,
+                    (ResponseClass::Correct, 0.5, true),
+                    (ResponseClass::Correct, 0.6, true),
+                    SystemVerdict::Response(ResponseClass::Correct),
+                    0.7,
+                ),
+                &mut rng,
+            );
+        }
+        let sketch = mon.response_quantiles();
+        assert_eq!(sketch.count(), 100);
+        assert!((sketch.p50() - 0.7).abs() / 0.7 <= sketch.alpha());
+        assert!((sketch.p999() - 0.7).abs() / 0.7 <= sketch.alpha());
+        let rel = mon.release_stats(ReleaseId::new(1)).unwrap();
+        assert_eq!(rel.exec_quantiles().count(), 100);
+        assert!((rel.exec_quantiles().p99() - 0.6).abs() / 0.6 <= sketch.alpha());
+    }
+
+    #[test]
+    fn slo_window_tracks_availability_faults_and_false_alarms() {
+        let mut mon = MonitoringSubsystem::new(0);
+        mon.configure_slo(SloConfig {
+            window_secs: 10.0,
+            windows: 8,
+            latency_threshold: 1.0,
+        });
+        mon.track_pair_with(
+            ReleaseId::new(0),
+            ReleaseId::new(1),
+            wsu_detect::oracle::FalseAlarmOracle::new(1.0),
+        );
+        let mut rng = StreamRng::from_seed(13);
+        // Window [0, 10): two good demands (but every demand trips the
+        // false-alarm detector).
+        for i in 0..2 {
+            mon.observe(
+                &record(
+                    i,
+                    (ResponseClass::Correct, 0.5, true),
+                    (ResponseClass::Correct, 0.6, true),
+                    SystemVerdict::Response(ResponseClass::Correct),
+                    0.7,
+                ),
+                &mut rng,
+            );
+        }
+        // Window [10, 20): one unavailable demand with a real fault and a
+        // latency violation (2.1 s > 1.0 s threshold).
+        mon.observe(
+            &record(
+                12,
+                (ResponseClass::Correct, 5.0, false),
+                (ResponseClass::Correct, 5.0, false),
+                SystemVerdict::Unavailable,
+                2.1,
+            ),
+            &mut rng,
+        );
+        // Window [20, 30): close the previous ones.
+        mon.observe(
+            &record(
+                25,
+                (ResponseClass::Correct, 0.5, true),
+                (ResponseClass::Correct, 0.6, true),
+                SystemVerdict::Response(ResponseClass::Correct),
+                0.7,
+            ),
+            &mut rng,
+        );
+        let snap = mon.dependability_snapshot();
+        assert_eq!(snap.demands, 4);
+        assert!((snap.availability - 0.75).abs() < 1e-12);
+        assert!((snap.fault_rate - 0.25).abs() < 1e-12);
+        assert!((snap.false_alarm_rate - 0.75).abs() < 1e-12);
+        assert!((snap.latency_violation_rate - 0.25).abs() < 1e-12);
+        assert_eq!(mon.slo().complete_windows(), 2);
+        // Worst completed window is the one holding the unavailable demand.
+        assert_eq!(snap.worst_window_availability, 0.0);
     }
 
     #[test]

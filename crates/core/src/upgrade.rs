@@ -18,7 +18,9 @@ use wsu_detect::back2back::BackToBackDetector;
 use wsu_detect::oracle::{
     ChainDetector, FailureDetector, FalseAlarmOracle, OmissionOracle, PerfectOracle,
 };
-use wsu_obs::{NullRecorder, Recorder, SharedRegistry, TraceEvent};
+use wsu_obs::{
+    DemandSpan, NullRecorder, Recorder, SharedRegistry, SloConfig, SpanProfile, TraceEvent,
+};
 use wsu_simcore::rng::{MasterSeed, StreamRng};
 use wsu_wstack::endpoint::ServiceEndpoint;
 use wsu_wstack::message::Envelope;
@@ -253,6 +255,8 @@ pub struct ManagedUpgrade {
     /// times of all demands processed so far, per the paper's eq. (8)
     /// timing model with back-to-back demands.
     virtual_time: f64,
+    /// Per-phase decomposition of where the virtual time went.
+    span_profile: SpanProfile,
 }
 
 #[allow(deprecated)]
@@ -270,6 +274,13 @@ impl ManagedUpgrade {
         let new_id = middleware.deploy(new);
         let mut monitor = MonitoringSubsystem::new(config.recent_capacity);
         monitor.track_pair_with(old_id, new_id, BoxedDetector(config.detector.build()));
+        // A consumer wait beyond the middleware timeout is the natural
+        // latency SLO: served demands stay under it, timeout-bound ones
+        // exceed it.
+        monitor.configure_slo(SloConfig {
+            latency_threshold: middleware.config().timeout.as_secs(),
+            ..SloConfig::default()
+        });
         let manager = ManagementSubsystem::with_resolution(
             config.prior_a,
             config.prior_b,
@@ -303,6 +314,7 @@ impl ManagedUpgrade {
             monitor_rng: seed.stream("managed-upgrade/monitor"),
             recorder: Box::new(NullRecorder),
             virtual_time: 0.0,
+            span_profile: SpanProfile::new(),
         }
     }
 
@@ -369,6 +381,19 @@ impl ManagedUpgrade {
             .process(&request, &mut self.demand_rng)
             .expect("at least one active release");
         self.monitor.observe(&record, &mut self.monitor_rng);
+        // Same phase attribution as the middleware's SpanClosed event:
+        // the wait on releases is transport, the fixed `dT` is
+        // adjudication; detection, Bayes updates and recovery run
+        // between demands at zero virtual cost (paper eq. (8)).
+        let dt = self.middleware.config().adjudication_delay.as_secs();
+        let response_time = record.system.response_time.as_secs();
+        self.span_profile.record(&DemandSpan {
+            t: record.t,
+            demand: record.seq,
+            transport: (response_time - dt).max(0.0),
+            adjudication: dt,
+            ..DemandSpan::default()
+        });
         // Demands are back to back: the clock advances by what the
         // consumer waited.
         self.virtual_time += record.system.response_time.as_secs();
@@ -519,6 +544,11 @@ impl ManagedUpgrade {
     /// The monitoring subsystem.
     pub fn monitor(&self) -> &MonitoringSubsystem {
         &self.monitor
+    }
+
+    /// Per-phase decomposition of the accumulated virtual time.
+    pub fn span_profile(&self) -> &SpanProfile {
+        &self.span_profile
     }
 
     /// The management subsystem.
@@ -900,6 +930,28 @@ mod tests {
                 1
             );
         });
+    }
+
+    #[test]
+    fn span_profile_accounts_for_all_virtual_time() {
+        let config = UpgradeConfig::default().with_resolution(small_res());
+        let mut upgrade = upgrade_with(
+            OutcomeProfile::always_correct(),
+            OutcomeProfile::always_correct(),
+            config,
+        );
+        upgrade.run_demands(100);
+        let profile = upgrade.span_profile();
+        assert_eq!(profile.demands(), 100);
+        // Every virtual second the consumer waited is attributed to a
+        // phase — transport and adjudication partition the clock.
+        assert!((profile.total() - upgrade.virtual_time()).abs() < 1e-9);
+        let dt = upgrade.middleware().config().adjudication_delay.as_secs();
+        assert!((profile.phase_total("adjudication").unwrap() - 100.0 * dt).abs() < 1e-9);
+        assert_eq!(profile.phase_total("bayes"), Some(0.0));
+        // The monitor's always-on telemetry saw the same demands.
+        assert_eq!(upgrade.monitor().response_quantiles().count(), 100);
+        assert_eq!(upgrade.monitor().dependability_snapshot().demands, 100);
     }
 
     #[test]

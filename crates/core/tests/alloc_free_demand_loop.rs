@@ -1,7 +1,8 @@
 //! Asserts the zero-steady-state-allocation contract of the demand
 //! loop: a closed-loop simulation — engine, middleware, monitor — with
-//! a trace recorder *and* a metrics registry attached must not touch
-//! the heap once warm.
+//! a trace recorder *and* a metrics registry attached (quantile
+//! sketches and SLO window included), and a live `/metrics` exporter
+//! serving in the background, must not touch the heap once warm.
 //!
 //! The warm-up phase routes every outcome pattern the measured window
 //! replays (all response classes per release, timeouts, every system
@@ -19,7 +20,7 @@ use std::cell::Cell;
 
 use wsu_core::middleware::{MiddlewareConfig, UpgradeMiddleware};
 use wsu_core::monitor::MonitoringSubsystem;
-use wsu_obs::{SharedRecorder, SharedRegistry};
+use wsu_obs::{http_get, MetricsExporter, SharedRecorder, SharedRegistry, SloConfig};
 use wsu_simcore::engine::{Engine, Handler};
 use wsu_simcore::rng::{MasterSeed, StreamRng};
 use wsu_simcore::time::{SimDuration, SimTime};
@@ -159,6 +160,19 @@ fn steady_state_demand_loop_does_not_allocate() {
     let registry = SharedRegistry::new();
     let mut monitor = MonitoringSubsystem::new(0);
     monitor.set_metrics(registry.clone());
+    // Short windows so the measured run cycles the SLO ring many times:
+    // slot reuse must be allocation-free too.
+    monitor.configure_slo(SloConfig {
+        window_secs: 10.0,
+        windows: 16,
+        latency_threshold: TIMEOUT_SECS,
+    });
+
+    // A live exporter serving on its own thread. Its allocations land on
+    // that thread's counter; the demand loop must stay at zero with the
+    // server running.
+    let exporter = MetricsExporter::bind("127.0.0.1:0").expect("bind exporter");
+    exporter.publish_metrics("# warming up\n");
 
     let seed = MasterSeed::new(97);
     let mut world = World {
@@ -174,9 +188,9 @@ fn steady_state_demand_loop_does_not_allocate() {
     engine.run(&mut world);
     assert_eq!(world.remaining, 0, "warm-up drained");
 
-    // Room for the measured window's trace events (at most 4 per
-    // demand: dispatch, two responses/timeouts, verdict).
-    recorder.reserve(4 * MEASURED as usize + 16);
+    // Room for the measured window's trace events (at most 5 per
+    // demand: dispatch, two responses/timeouts, verdict, span).
+    recorder.reserve(5 * MEASURED as usize + 16);
 
     let before = allocation_count();
     world.remaining = MEASURED;
@@ -193,8 +207,32 @@ fn steady_state_demand_loop_does_not_allocate() {
     // The loop really did the work it claims to have measured.
     assert_eq!(world.middleware.demands(), WARMUP + MEASURED);
     assert_eq!(world.monitor.demands(), WARMUP + MEASURED);
-    assert_eq!(recorder.len(), 4 * (WARMUP + MEASURED) as usize);
+    assert_eq!(recorder.len(), 5 * (WARMUP + MEASURED) as usize);
     registry.with(|r| {
         assert_eq!(r.counter("wsu_demands_total", &[]), WARMUP + MEASURED);
+        assert_eq!(
+            r.sketch("wsu_response_time_quantiles", &[])
+                .unwrap()
+                .count(),
+            WARMUP + MEASURED
+        );
     });
+    let snap = world.monitor.dependability_snapshot();
+    assert_eq!(snap.demands, WARMUP + MEASURED);
+    assert!(world.monitor.slo().complete_windows() > 0, "{snap:?}");
+
+    // The exporter serves the rendered snapshot byte for byte.
+    let rendered = registry.with(|r| r.snapshot());
+    exporter.publish_metrics(&rendered);
+    exporter.publish_snapshot(&snap.to_json());
+    let addr = exporter.local_addr();
+    let resp = http_get(addr, "/metrics").expect("GET /metrics");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.body, rendered,
+        "served /metrics must match in-process rendering"
+    );
+    let resp = http_get(addr, "/snapshot").expect("GET /snapshot");
+    assert_eq!(resp.body, snap.to_json());
+    exporter.shutdown();
 }

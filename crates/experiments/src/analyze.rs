@@ -1,0 +1,305 @@
+//! Offline trace analysis: a recorded JSONL event trace becomes an
+//! availability timeline and a per-phase latency breakdown, both as
+//! TSV — the `wsu-analyze` binary's engine.
+//!
+//! The analyzer only needs two event kinds out of any trace:
+//!
+//! * `Adjudicated` — one per demand: virtual time, system verdict and
+//!   consumer-visible response time. Verdict `NRDT` means the demand
+//!   found the service unavailable.
+//! * `SpanClosed` — the same demand's virtual-time cost attributed to
+//!   middleware phases (transport, detection, adjudication, bayes,
+//!   recovery).
+//!
+//! Everything else (fault injections, confidence updates, logs) passes
+//! through uncounted, so traces from any binary analyze fine.
+
+use wsu_obs::jsonl::{parse_jsonl, JsonValue};
+use wsu_obs::{DemandSpan, QuantileSketch, SpanProfile, SPAN_PHASES};
+
+/// One window of the availability timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityWindow {
+    /// Window start, in virtual seconds.
+    pub start: f64,
+    /// Demands adjudicated in the window.
+    pub demands: u64,
+    /// Demands that found the service available.
+    pub available: u64,
+    /// Sum of consumer-visible response times (seconds).
+    pub response_time_sum: f64,
+}
+
+impl AvailabilityWindow {
+    /// Fraction of the window's demands that found the service up.
+    pub fn availability(&self) -> f64 {
+        if self.demands == 0 {
+            return f64::NAN;
+        }
+        self.available as f64 / self.demands as f64
+    }
+
+    /// Mean consumer-visible response time over the window.
+    pub fn mean_response_time(&self) -> f64 {
+        if self.demands == 0 {
+            return f64::NAN;
+        }
+        self.response_time_sum / self.demands as f64
+    }
+}
+
+/// Everything the analyzer extracted from one trace.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// Width of the timeline windows, in virtual seconds.
+    pub window_secs: f64,
+    /// Events in the trace (all kinds).
+    pub events: usize,
+    /// Demands adjudicated.
+    pub demands: u64,
+    /// Demands that found the service available.
+    pub available: u64,
+    /// The availability timeline, one entry per non-empty window in
+    /// virtual-time order.
+    pub windows: Vec<AvailabilityWindow>,
+    /// Tail-latency sketch over consumer-visible response times.
+    pub sketch: QuantileSketch,
+    /// Per-phase decomposition aggregated from the span events.
+    pub profile: SpanProfile,
+}
+
+/// Analyzes JSONL trace text.
+///
+/// # Errors
+///
+/// Returns a message when the text is not valid JSONL or `window_secs`
+/// is not positive and finite.
+pub fn analyze_trace(text: &str, window_secs: f64) -> Result<TraceAnalysis, String> {
+    if !(window_secs > 0.0 && window_secs.is_finite()) {
+        return Err(format!("window width {window_secs} must be positive"));
+    }
+    let events = parse_jsonl(text).map_err(|e| e.to_string())?;
+    let mut analysis = TraceAnalysis {
+        window_secs,
+        events: events.len(),
+        demands: 0,
+        available: 0,
+        windows: Vec::new(),
+        sketch: QuantileSketch::default(),
+        profile: SpanProfile::new(),
+    };
+    // epoch -> accumulating window; BTreeMap keeps virtual-time order.
+    let mut windows: std::collections::BTreeMap<u64, AvailabilityWindow> =
+        std::collections::BTreeMap::new();
+    for event in &events {
+        let kind = event.get("kind").and_then(JsonValue::as_str).unwrap_or("");
+        match kind {
+            "Adjudicated" => {
+                let t = event.get("t").and_then(JsonValue::as_f64).unwrap_or(0.0);
+                let verdict = event.get("verdict").and_then(JsonValue::as_str);
+                let response_time = event
+                    .get("response_time")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0);
+                let up = verdict.is_some_and(|v| v != "NRDT");
+                analysis.demands += 1;
+                analysis.available += u64::from(up);
+                analysis.sketch.observe(response_time);
+                let epoch = (t / window_secs).floor().max(0.0) as u64;
+                let window = windows.entry(epoch).or_insert(AvailabilityWindow {
+                    start: epoch as f64 * window_secs,
+                    demands: 0,
+                    available: 0,
+                    response_time_sum: 0.0,
+                });
+                window.demands += 1;
+                window.available += u64::from(up);
+                window.response_time_sum += response_time;
+            }
+            "SpanClosed" => {
+                let num = |key: &str| event.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+                analysis.profile.record(&DemandSpan {
+                    t: num("t"),
+                    demand: event.get("demand").and_then(JsonValue::as_u64).unwrap_or(0),
+                    transport: num("transport"),
+                    detection: num("detection"),
+                    adjudication: num("adjudication"),
+                    bayes: num("bayes"),
+                    recovery: num("recovery"),
+                });
+            }
+            _ => {}
+        }
+    }
+    analysis.windows = windows.into_values().collect();
+    Ok(analysis)
+}
+
+impl TraceAnalysis {
+    /// Lifetime availability over the whole trace.
+    pub fn availability(&self) -> f64 {
+        if self.demands == 0 {
+            return f64::NAN;
+        }
+        self.available as f64 / self.demands as f64
+    }
+
+    /// The availability timeline as TSV: one row per non-empty window.
+    pub fn availability_tsv(&self) -> String {
+        let mut out = String::from(
+            "window_start_s\tdemands\tavailable\tavailability\tmean_response_time_s\n",
+        );
+        for w in &self.windows {
+            out.push_str(&format!(
+                "{:.3}\t{}\t{}\t{:.6}\t{:.6}\n",
+                w.start,
+                w.demands,
+                w.available,
+                w.availability(),
+                w.mean_response_time(),
+            ));
+        }
+        out
+    }
+
+    /// The per-phase latency breakdown as TSV.
+    pub fn phases_tsv(&self) -> String {
+        let mut out = String::from("phase\ttotal_s\tmean_s_per_demand\tshare\n");
+        let demands = self.profile.demands().max(1) as f64;
+        let grand = self.profile.total();
+        for phase in SPAN_PHASES {
+            let total = self.profile.phase_total(phase).unwrap_or(0.0);
+            let share = if grand > 0.0 { total / grand } else { 0.0 };
+            out.push_str(&format!(
+                "{phase}\t{total:.6}\t{:.6}\t{share:.6}\n",
+                total / demands
+            ));
+        }
+        out.push_str(&format!(
+            "total\t{grand:.6}\t{:.6}\t1.000000\n",
+            grand / demands
+        ));
+        out
+    }
+
+    /// A short human-readable summary for stdout.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} events, {} demands, availability {:.4}\n",
+            self.events,
+            self.demands,
+            self.availability()
+        ));
+        out.push_str(&format!(
+            "response time: p50 {:.3} s  p90 {:.3} s  p99 {:.3} s  p999 {:.3} s\n",
+            self.sketch.p50(),
+            self.sketch.p90(),
+            self.sketch.p99(),
+            self.sketch.p999()
+        ));
+        out.push_str(&format!(
+            "timeline: {} non-empty windows of {} s\n",
+            self.windows.len(),
+            self.window_secs
+        ));
+        if self.profile.demands() > 0 {
+            out.push_str(&self.profile.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsu_core::upgrade::{ManagedUpgrade, UpgradeConfig};
+    use wsu_obs::{jsonl, SharedRecorder};
+    use wsu_simcore::rng::MasterSeed;
+    use wsu_wstack::endpoint::SyntheticService;
+    use wsu_wstack::outcome::OutcomeProfile;
+
+    fn recorded_trace() -> String {
+        let old = SyntheticService::builder("Svc", "1.0")
+            .outcomes(OutcomeProfile::always_correct())
+            .exec_time_mean(0.1)
+            .build();
+        let new = SyntheticService::builder("Svc", "1.1")
+            .outcomes(OutcomeProfile::always_correct())
+            .exec_time_mean(0.1)
+            .build();
+        let mut upgrade =
+            ManagedUpgrade::new(old, new, UpgradeConfig::default(), MasterSeed::new(7));
+        let recorder = SharedRecorder::new();
+        upgrade.attach_recorder(recorder.clone());
+        upgrade.run_demands(300);
+        jsonl::render_events(&recorder.snapshot())
+    }
+
+    #[test]
+    fn analyzes_a_real_trace_end_to_end() {
+        let text = recorded_trace();
+        let analysis = analyze_trace(&text, 10.0).expect("valid trace");
+        assert_eq!(analysis.demands, 300);
+        assert_eq!(analysis.available, 300);
+        assert_eq!(analysis.availability(), 1.0);
+        assert_eq!(analysis.profile.demands(), 300);
+        // Span totals account for every second the sketch saw.
+        assert!((analysis.profile.total() - analysis.sketch.sum()).abs() < 1e-6);
+        let windows_demands: u64 = analysis.windows.iter().map(|w| w.demands).sum();
+        assert_eq!(windows_demands, 300);
+        // Windows are in virtual-time order.
+        for pair in analysis.windows.windows(2) {
+            assert!(pair[0].start < pair[1].start);
+        }
+    }
+
+    #[test]
+    fn tsv_outputs_are_well_formed() {
+        let text = recorded_trace();
+        let analysis = analyze_trace(&text, 5.0).expect("valid trace");
+        let avail = analysis.availability_tsv();
+        let mut lines = avail.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "window_start_s\tdemands\tavailable\tavailability\tmean_response_time_s"
+        );
+        for line in lines {
+            assert_eq!(line.split('\t').count(), 5, "{line}");
+        }
+        let phases = analysis.phases_tsv();
+        assert!(phases.starts_with("phase\ttotal_s\t"), "{phases}");
+        // transport + adjudication + 3 zero phases + total row + header.
+        assert_eq!(phases.lines().count(), SPAN_PHASES.len() + 2);
+        assert!(phases.contains("total\t"), "{phases}");
+        let summary = analysis.render_summary();
+        assert!(summary.contains("availability 1.0000"), "{summary}");
+        assert!(summary.contains("p999"), "{summary}");
+    }
+
+    #[test]
+    fn unavailable_demands_dent_the_right_window() {
+        let trace = concat!(
+            "{\"kind\":\"Adjudicated\",\"t\":1.0,\"demand\":0,\"verdict\":\"CR\",\"source\":0,\"responders\":1,\"response_time\":0.5}\n",
+            "{\"kind\":\"Adjudicated\",\"t\":12.0,\"demand\":1,\"verdict\":\"NRDT\",\"source\":null,\"responders\":0,\"response_time\":2.1}\n",
+            "{\"kind\":\"Log\",\"t\":12.0,\"demand\":1,\"level\":\"info\",\"message\":\"ignored\"}\n",
+        );
+        let analysis = analyze_trace(trace, 10.0).expect("valid trace");
+        assert_eq!(analysis.demands, 2);
+        assert_eq!(analysis.available, 1);
+        assert_eq!(analysis.windows.len(), 2);
+        assert_eq!(analysis.windows[0].availability(), 1.0);
+        assert_eq!(analysis.windows[1].availability(), 0.0);
+        assert_eq!(analysis.windows[1].start, 10.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(analyze_trace("{not json}", 10.0).is_err());
+        assert!(analyze_trace("", 0.0).is_err());
+        assert!(analyze_trace("", -1.0).is_err());
+        let empty = analyze_trace("", 10.0).expect("empty trace is fine");
+        assert_eq!(empty.demands, 0);
+        assert!(empty.availability().is_nan());
+    }
+}

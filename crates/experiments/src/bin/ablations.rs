@@ -1,8 +1,10 @@
 //! Runs the four ablation studies (A1–A4 in DESIGN.md).
 //!
 //! Usage: `ablations [--quick] [--jobs N] [--trace PATH] [--metrics PATH]`
-//! — with observability on, each ablation becomes a timed phase in the
-//! metrics snapshot and a log line in the trace.
+//! plus the shared observability flags `--serve-metrics PORT`,
+//! `--serve-hold SECS` and `--phase-metrics` — with tracing on, each
+//! ablation becomes a log line in the trace, and `--phase-metrics`
+//! turns each into a timed `wsu_phase_seconds` gauge in the snapshot.
 
 use wsu_bayes::whitebox::Resolution;
 use wsu_experiments::ablation::{

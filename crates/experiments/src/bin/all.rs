@@ -1,9 +1,11 @@
 //! Runs every experiment and writes the outputs under `results/`.
 //!
 //! Usage: `all [--quick] [--out DIR] [--jobs N] [--trace PATH]
-//! [--metrics PATH]` — `--jobs` sizes the replication worker pool for
-//! the simulation-backed studies (Tables 5–6, ablations, capacity)
-//! without changing any output byte.
+//! [--metrics PATH]` plus the shared observability flags
+//! `--serve-metrics PORT`, `--serve-hold SECS` and `--phase-metrics` —
+//! `--jobs` sizes the replication worker pool for the simulation-backed
+//! studies (Tables 5–6, ablations, capacity) without changing any
+//! output byte.
 
 use std::fs;
 use std::path::PathBuf;

@@ -1,0 +1,77 @@
+//! `wsu-analyze` — offline analyzer for recorded JSONL event traces.
+//!
+//! Usage: `wsu-analyze <trace.jsonl> [--window SECS]
+//! [--availability PATH] [--phases PATH]`
+//!
+//! Prints a summary (demands, availability, response-time percentiles,
+//! span profile) to stdout. `--availability` writes the windowed
+//! availability timeline as TSV, `--phases` the per-phase latency
+//! breakdown; `--window` sets the timeline window width (default 60
+//! virtual seconds).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::exit;
+
+use wsu_experiments::analyze::analyze_trace;
+
+fn value_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(path) => PathBuf::from(path),
+        None => {
+            eprintln!(
+                "usage: wsu-analyze <trace.jsonl> [--window SECS] \
+                 [--availability PATH] [--phases PATH]"
+            );
+            exit(2);
+        }
+    };
+    let window_secs = value_after(&args, "--window")
+        .map(|v| match v.parse::<f64>() {
+            Ok(secs) => secs,
+            Err(_) => {
+                eprintln!("--window {v} is not a number");
+                exit(2);
+            }
+        })
+        .unwrap_or(60.0);
+    let text = match fs::read_to_string(&trace_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {}: {err}", trace_path.display());
+            exit(1);
+        }
+    };
+    let analysis = match analyze_trace(&text, window_secs) {
+        Ok(analysis) => analysis,
+        Err(err) => {
+            eprintln!("cannot analyze {}: {err}", trace_path.display());
+            exit(1);
+        }
+    };
+    print!("{}", analysis.render_summary());
+    let write = |path: &str, content: String, what: &str| {
+        let path = PathBuf::from(path);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).expect("create output directory");
+            }
+        }
+        fs::write(&path, content).expect("write analysis output");
+        eprintln!("{what}: -> {}", path.display());
+    };
+    if let Some(path) = value_after(&args, "--availability") {
+        write(&path, analysis.availability_tsv(), "availability timeline");
+    }
+    if let Some(path) = value_after(&args, "--phases") {
+        write(&path, analysis.phases_tsv(), "phase breakdown");
+    }
+}

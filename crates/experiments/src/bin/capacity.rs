@@ -1,7 +1,9 @@
 //! Runs the server-capacity study (extension E6): parallel vs
 //! sequential dispatch under open Poisson arrivals.
 //!
-//! Usage: `capacity [--quick] [--jobs N] [--trace PATH] [--metrics PATH]`.
+//! Usage: `capacity [--quick] [--jobs N] [--trace PATH] [--metrics PATH]`
+//! plus the shared observability flags `--serve-metrics PORT`,
+//! `--serve-hold SECS` and `--phase-metrics`.
 
 use wsu_experiments::capacity::{render_capacity_table, run_capacity_study_jobs};
 use wsu_experiments::obs::{jobs_from_env, ObsOptions};

@@ -2,12 +2,16 @@
 //! detection-coverage table.
 //!
 //! Usage: `faultcampaign [--quick] [--plan NAME] [--jobs N]
-//! [--trace PATH] [--metrics PATH]` — `--plan` restricts the matrix to
-//! the named plan (repeatable); `--quick` runs a reduced demand count;
-//! `--jobs` picks the replication worker-pool size (default: one per
-//! hardware thread) without changing any output; `--trace`/`--metrics`
-//! write a JSONL event trace and a metrics snapshot without changing
-//! the table on stdout.
+//! [--trace PATH] [--metrics PATH] [--serve-metrics PORT]
+//! [--serve-hold SECS] [--phase-metrics]` — `--plan` restricts the
+//! matrix to the named plan (repeatable); `--quick` runs a reduced
+//! demand count; `--jobs` picks the replication worker-pool size
+//! (default: one per hardware thread) without changing any output;
+//! `--trace`/`--metrics` write a JSONL event trace and a metrics
+//! snapshot without changing the table on stdout; `--serve-metrics`
+//! serves the snapshot on `/metrics` and the per-plan dependability
+//! snapshots on `/snapshot`; `--phase-metrics` adds the wall-clock
+//! `wsu_phase_seconds` gauges.
 
 use wsu_experiments::campaign::{run_campaign_jobs, standard_plans, CampaignConfig};
 use wsu_experiments::obs::{jobs_from_env, ObsOptions};
@@ -49,5 +53,6 @@ fn main() {
         run_campaign_jobs(&specs, &config, DEFAULT_SEED, &sinks, jobs)
     });
     print!("{}", table.render());
+    ctx.publish_snapshot(&table.snapshots_json());
     ctx.finish().expect("write observability outputs");
 }

@@ -1,6 +1,8 @@
 //! Regenerates Fig. 7 (Scenario 1 percentile curves) as a TSV table.
 //!
-//! Usage: `fig7 [--quick] [--trace PATH] [--metrics PATH]`.
+//! Usage: `fig7 [--quick] [--trace PATH] [--metrics PATH]` plus the
+//! shared observability flags `--serve-metrics PORT`, `--serve-hold
+//! SECS` and `--phase-metrics`.
 
 use wsu_bayes::whitebox::Resolution;
 use wsu_experiments::bayes_study::StudyConfig;

@@ -1,6 +1,8 @@
 //! Regenerates Fig. 8 (Scenario 2 percentile curves) as a TSV table.
 //!
-//! Usage: `fig8 [--quick] [--trace PATH] [--metrics PATH]`.
+//! Usage: `fig8 [--quick] [--trace PATH] [--metrics PATH]` plus the
+//! shared observability flags `--serve-metrics PORT`, `--serve-hold
+//! SECS` and `--phase-metrics`.
 
 use wsu_bayes::whitebox::Resolution;
 use wsu_experiments::bayes_study::StudyConfig;

@@ -1,0 +1,32 @@
+//! `wsu-httpget` — the workspace's hand-rolled HTTP/1.1 client, as a
+//! binary. CI uses it to scrape a live `--serve-metrics` endpoint
+//! without assuming curl exists.
+//!
+//! Usage: `wsu-httpget <host:port> <path>` — prints the response body
+//! to stdout; exits non-zero on connection failure or a non-200 status.
+
+use std::process::exit;
+
+use wsu_obs::http_get;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, path) = match (args.first(), args.get(1)) {
+        (Some(addr), Some(path)) => (addr.as_str(), path.as_str()),
+        _ => {
+            eprintln!("usage: wsu-httpget <host:port> <path>");
+            exit(2);
+        }
+    };
+    match http_get(addr, path) {
+        Ok(resp) if resp.status == 200 => print!("{}", resp.body),
+        Ok(resp) => {
+            eprintln!("GET {path}: status {}", resp.status);
+            exit(1);
+        }
+        Err(err) => {
+            eprintln!("GET {addr}{path} failed: {err}");
+            exit(1);
+        }
+    }
+}

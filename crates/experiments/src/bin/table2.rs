@@ -1,10 +1,11 @@
 //! Regenerates Table 2 (duration of managed upgrade).
 //!
 //! Usage: `table2 [--quick] [--seeds N] [--trace PATH] [--metrics PATH]`
-//! — `--quick` runs a reduced-scale version; `--seeds N` additionally
-//! reports the spread of every cell across N seeds; `--trace`/`--metrics`
-//! replay every study's checkpoints into an event trace and a metrics
-//! snapshot.
+//! plus the shared observability flags `--serve-metrics PORT`,
+//! `--serve-hold SECS` and `--phase-metrics` — `--quick` runs a
+//! reduced-scale version; `--seeds N` additionally reports the spread
+//! of every cell across N seeds; `--trace`/`--metrics` replay every
+//! study's checkpoints into an event trace and a metrics snapshot.
 
 use wsu_bayes::whitebox::Resolution;
 use wsu_experiments::bayes_study::StudyConfig;

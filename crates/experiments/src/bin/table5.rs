@@ -1,12 +1,16 @@
 //! Regenerates Table 5 (correlated release failures).
 //!
 //! Usage: `table5 [--quick] [--calibrated] [--jobs N] [--trace PATH]
-//! [--metrics PATH]` — `--calibrated` uses the execution-time model
+//! [--metrics PATH] [--serve-metrics PORT] [--serve-hold SECS]
+//! [--phase-metrics]` — `--calibrated` uses the execution-time model
 //! whose unconditional MET matches the paper's reported values (see
 //! EXPERIMENTS.md); `--jobs` picks the replication worker-pool size
 //! (default: one per hardware thread) without changing any output;
 //! `--trace`/`--metrics` write a JSONL event trace and a metrics
-//! snapshot without changing the table on stdout.
+//! snapshot without changing the table on stdout; `--serve-metrics`
+//! serves the snapshot live on `http://127.0.0.1:PORT/metrics`
+//! (`--serve-hold` keeps it up after the run); `--phase-metrics` adds
+//! the wall-clock `wsu_phase_seconds` gauges to the snapshot.
 
 use wsu_experiments::obs::{jobs_from_env, ObsOptions};
 use wsu_experiments::table5::run_table5_jobs;

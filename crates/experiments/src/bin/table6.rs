@@ -1,7 +1,8 @@
 //! Regenerates Table 6 (independent release failures).
 //!
 //! Usage: `table6 [--quick] [--calibrated] [--jobs N] [--trace PATH]
-//! [--metrics PATH]`.
+//! [--metrics PATH]` plus the shared observability flags
+//! `--serve-metrics PORT`, `--serve-hold SECS` and `--phase-metrics`.
 
 use wsu_experiments::obs::{jobs_from_env, ObsOptions};
 use wsu_experiments::table6::run_table6_jobs;

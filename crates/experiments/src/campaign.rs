@@ -15,6 +15,7 @@ use wsu_core::manage::AbortPolicy;
 use wsu_core::middleware::MiddlewareConfig;
 use wsu_core::upgrade::{DetectorKind, ManagedUpgrade, UpgradeConfig, UpgradePhase};
 use wsu_faults::{FaultAction, FaultClause, FaultInjector, FaultScenario, FaultTrigger};
+use wsu_obs::DependabilitySnapshot;
 use wsu_simcore::dist::DelayModel;
 use wsu_simcore::par::Jobs;
 use wsu_simcore::rng::MasterSeed;
@@ -246,6 +247,14 @@ pub struct PlanResult {
     pub outcome: String,
     /// System availability over the run.
     pub availability: f64,
+    /// 99th-percentile consumer-visible response time (seconds).
+    pub p99: f64,
+    /// 99.9th-percentile consumer-visible response time (seconds).
+    pub p999: f64,
+    /// Availability of the worst completed SLO window.
+    pub worst_window_availability: f64,
+    /// Full windowed dependability snapshot at end of run.
+    pub snapshot: DependabilitySnapshot,
 }
 
 /// The rendered campaign.
@@ -271,7 +280,8 @@ impl CampaignTable {
             self.title.clone(),
             &[
                 "Plan", "Detector", "Demands", "Injected", "Kinds", "Detected", "Cov(old)",
-                "Cov(new)", "FA(old)", "FA(new)", "Outcome", "Avail",
+                "Cov(new)", "FA(old)", "FA(new)", "Outcome", "Avail", "p99(s)", "p999(s)",
+                "WinAvail",
             ],
         );
         for row in &self.rows {
@@ -297,9 +307,30 @@ impl CampaignTable {
                 fmt_rate(row.false_alarm_new),
                 row.outcome.clone(),
                 format!("{:.4}", row.availability),
+                format!("{:.3}", row.p99),
+                format!("{:.3}", row.p999),
+                format!("{:.4}", row.worst_window_availability),
             ]);
         }
         table.render()
+    }
+
+    /// The per-plan dependability snapshots as one JSON document, the
+    /// body `faultcampaign --serve-metrics` publishes on `/snapshot`.
+    pub fn snapshots_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"wsu-campaign-snapshot/1\",\"plans\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"plan\":\"{}\",\"snapshot\":{}}}",
+                row.name,
+                row.snapshot.to_json()
+            ));
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -417,6 +448,7 @@ fn run_plan(
         UpgradePhase::Switched { at_demand } => format!("switched@{at_demand}"),
         UpgradePhase::Aborted { at_demand } => format!("aborted@{at_demand}"),
     };
+    let snapshot = upgrade.monitor().dependability_snapshot();
     PlanResult {
         name,
         detector: format!("{:?}", spec.detector),
@@ -430,6 +462,10 @@ fn run_plan(
         false_alarm_new: b.false_alarm_rate(),
         outcome,
         availability: upgrade.monitor().system_stats().availability(),
+        p99: upgrade.monitor().response_quantiles().p99(),
+        p999: upgrade.monitor().response_quantiles().p999(),
+        worst_window_availability: snapshot.worst_window_availability,
+        snapshot,
     }
 }
 
@@ -516,9 +552,56 @@ mod tests {
         for row in &table.rows {
             assert!(text.contains(&row.name), "missing plan {}", row.name);
         }
-        for needle in ["Cov(old)", "FA(new)", "Outcome", "Avail", "Detected"] {
+        for needle in [
+            "Cov(old)", "FA(new)", "Outcome", "Avail", "Detected", "p99(s)", "p999(s)", "WinAvail",
+        ] {
             assert!(text.contains(needle), "missing column {needle}");
         }
+    }
+
+    #[test]
+    fn tail_latency_and_window_columns_are_sane() {
+        let table = quick();
+        let baseline = &table.rows[0];
+        // Constant 0.5 s services + dT: every response time is 0.6 s, so
+        // p99 and p999 sit there (within the sketch's 1% bound) and every
+        // window is fully available.
+        assert!((baseline.p99 - 0.6).abs() / 0.6 <= 0.01, "{}", baseline.p99);
+        assert!((baseline.p999 - 0.6).abs() / 0.6 <= 0.01);
+        assert_eq!(baseline.worst_window_availability, 1.0);
+        // The hang plan drags the tail out to the timeout.
+        let hang = table.rows.iter().find(|r| r.name == "new-hang").unwrap();
+        assert!(
+            hang.p999 > baseline.p999,
+            "{} vs {}",
+            hang.p999,
+            baseline.p999
+        );
+        // Coincident crashes take both releases down at once: the worst
+        // window shows the dip that the lifetime average smooths over.
+        let burst = table
+            .rows
+            .iter()
+            .find(|r| r.name == "coincident-burst")
+            .unwrap();
+        assert!(burst.worst_window_availability < burst.availability);
+    }
+
+    #[test]
+    fn snapshots_json_lists_every_plan() {
+        let table = quick();
+        let json = table.snapshots_json();
+        assert!(json.starts_with("{\"schema\":\"wsu-campaign-snapshot/1\""));
+        for row in &table.rows {
+            assert!(
+                json.contains(&format!("{{\"plan\":\"{}\",\"snapshot\":{{", row.name)),
+                "missing {}",
+                row.name
+            );
+        }
+        // Each embedded snapshot is the monitor's own rendering.
+        assert!(json.contains("\"schema\":\"wsu-snapshot/1\""));
+        assert!(wsu_obs::parse_jsonl(&json).is_ok(), "snapshot JSON parses");
     }
 
     #[test]

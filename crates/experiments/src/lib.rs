@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod analyze;
 pub mod bayes_study;
 pub mod campaign;
 pub mod capacity;

@@ -1,11 +1,18 @@
 //! `--trace` / `--metrics` wiring shared by the experiment binaries.
 //!
-//! Every binary accepts the same two optional flags:
+//! Every binary accepts the same optional flags:
 //!
 //! * `--trace <path>` — write the run's event trace there as JSONL;
-//! * `--metrics <path>` — write a Prometheus-text metrics snapshot.
+//! * `--metrics <path>` — write a Prometheus-text metrics snapshot;
+//! * `--serve-metrics <port>` — serve the live snapshot over HTTP on
+//!   `127.0.0.1:<port>` (`/metrics`, `/health`, `/snapshot`);
+//! * `--serve-hold <secs>` — after the tables are printed, keep the
+//!   metrics server up this long before exiting (for scrapes);
+//! * `--phase-metrics` — include the wall-clock `wsu_phase_seconds`
+//!   gauges in the snapshot. Off by default: wall-clock values differ
+//!   run to run, so the default snapshot is deterministic.
 //!
-//! With neither flag nothing is attached anywhere: the middleware keeps
+//! With no flag nothing is attached anywhere: the middleware keeps
 //! its [`wsu_obs::NullRecorder`], the monitor records no metrics, and
 //! stdout stays byte-identical to the unobserved run. Diagnostics about
 //! the written files go to stderr so they never disturb the tables.
@@ -14,7 +21,9 @@ use std::fs;
 use std::io;
 use std::path::PathBuf;
 
-use wsu_obs::{PhaseTimings, Recorder, SharedRecorder, SharedRegistry, TraceEvent};
+use wsu_obs::{
+    MetricsExporter, PhaseTimings, Recorder, SharedRecorder, SharedRegistry, TraceEvent,
+};
 use wsu_simcore::par::Jobs;
 
 use crate::bayes_study::StudyRun;
@@ -27,23 +36,34 @@ pub struct ObsOptions {
     pub trace: Option<PathBuf>,
     /// Destination for the metrics snapshot, if requested.
     pub metrics: Option<PathBuf>,
+    /// Loopback port for the live metrics server, if requested.
+    pub serve: Option<u16>,
+    /// Seconds to keep the metrics server up after the run.
+    pub serve_hold: Option<f64>,
+    /// Whether the wall-clock `wsu_phase_seconds` gauges are exported.
+    pub phase_metrics: bool,
 }
 
 impl ObsOptions {
-    /// Scans `args` for `--trace <path>` and `--metrics <path>`.
+    /// Scans `args` for the observability flags.
     ///
     /// Unrelated arguments are left alone, so binaries keep their own
     /// flag handling untouched.
     pub fn parse(args: &[String]) -> ObsOptions {
-        fn value_after(args: &[String], flag: &str) -> Option<PathBuf> {
+        fn raw_value_after<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
             args.iter()
                 .position(|a| a == flag)
                 .and_then(|i| args.get(i + 1))
-                .map(PathBuf::from)
+        }
+        fn value_after(args: &[String], flag: &str) -> Option<PathBuf> {
+            raw_value_after(args, flag).map(PathBuf::from)
         }
         ObsOptions {
             trace: value_after(args, "--trace"),
             metrics: value_after(args, "--metrics"),
+            serve: raw_value_after(args, "--serve-metrics").and_then(|v| v.parse().ok()),
+            serve_hold: raw_value_after(args, "--serve-hold").and_then(|v| v.parse().ok()),
+            phase_metrics: args.iter().any(|a| a == "--phase-metrics"),
         }
     }
 
@@ -74,11 +94,21 @@ pub fn jobs_from_env() -> Jobs {
 }
 
 impl ObsOptions {
-    /// Builds the live context: one sink per requested output file.
+    /// Builds the live context: one sink per requested output file, and
+    /// a live HTTP exporter when `--serve-metrics` was given (which also
+    /// implies a metrics registry, so there is something to serve).
     pub fn context(&self) -> ObsContext {
+        let exporter = self.serve.map(|port| {
+            let exporter =
+                MetricsExporter::bind(&format!("127.0.0.1:{port}")).expect("bind metrics exporter");
+            eprintln!("metrics: serving http://{}/metrics", exporter.local_addr());
+            exporter
+        });
+        let metrics = (self.metrics.is_some() || exporter.is_some()).then(SharedRegistry::new);
         ObsContext {
             recorder: self.trace.as_ref().map(|_| SharedRecorder::new()),
-            metrics: self.metrics.as_ref().map(|_| SharedRegistry::new()),
+            metrics,
+            exporter,
             timings: PhaseTimings::new(),
             options: self.clone(),
         }
@@ -90,8 +120,10 @@ impl ObsOptions {
 pub struct ObsContext {
     /// The shared trace recorder, present iff `--trace` was given.
     pub recorder: Option<SharedRecorder>,
-    /// The shared metrics registry, present iff `--metrics` was given.
+    /// The shared metrics registry, present iff `--metrics` or
+    /// `--serve-metrics` was given.
     pub metrics: Option<SharedRegistry>,
+    exporter: Option<MetricsExporter>,
     timings: PhaseTimings,
     options: ObsOptions,
 }
@@ -105,6 +137,26 @@ impl ObsContext {
     /// `true` when at least one output was requested.
     pub fn enabled(&self) -> bool {
         self.recorder.is_some() || self.metrics.is_some()
+    }
+
+    /// Publishes the registry's current rendering to the live exporter.
+    /// A no-op without `--serve-metrics`. Call it whenever a progress
+    /// milestone makes the registry worth scraping; [`finish`] publishes
+    /// the final state either way.
+    ///
+    /// [`finish`]: ObsContext::finish
+    pub fn publish(&self) {
+        if let (Some(exporter), Some(metrics)) = (&self.exporter, &self.metrics) {
+            exporter.publish_metrics(&metrics.render_snapshot());
+        }
+    }
+
+    /// Publishes a JSON document on the exporter's `/snapshot` route. A
+    /// no-op without `--serve-metrics`.
+    pub fn publish_snapshot(&self, json: &str) {
+        if let Some(exporter) = &self.exporter {
+            exporter.publish_snapshot(json);
+        }
     }
 
     /// Clones the sinks in the shape the simulation layer accepts.
@@ -189,24 +241,49 @@ impl ObsContext {
         }
     }
 
-    /// Writes the requested output files and reports them on stderr.
+    /// Writes the requested output files, publishes the final snapshot
+    /// on the live exporter (holding it up for `--serve-hold` seconds)
+    /// and reports everything on stderr.
     ///
     /// Parent directories are created as needed. Call this once, after
     /// the binary has printed its tables.
+    ///
+    /// The wall-clock phase gauges (`wsu_phase_seconds`) are only
+    /// exported under `--phase-metrics`: they measure this run's real
+    /// elapsed time, so including them by default would make otherwise
+    /// deterministic snapshots differ run to run.
     pub fn finish(self) -> io::Result<()> {
         if let (Some(recorder), Some(path)) = (&self.recorder, &self.options.trace) {
             recorder.write_jsonl(path)?;
             eprintln!("trace: {} events -> {}", recorder.len(), path.display());
         }
-        if let (Some(metrics), Some(path)) = (&self.metrics, &self.options.metrics) {
-            self.timings.export(metrics);
-            if let Some(dir) = path.parent() {
-                if !dir.as_os_str().is_empty() {
-                    fs::create_dir_all(dir)?;
+        if let Some(metrics) = &self.metrics {
+            if self.options.phase_metrics {
+                self.timings.export(metrics);
+            }
+            let rendered = metrics.render_snapshot();
+            if let Some(path) = &self.options.metrics {
+                if let Some(dir) = path.parent() {
+                    if !dir.as_os_str().is_empty() {
+                        fs::create_dir_all(dir)?;
+                    }
+                }
+                fs::write(path, &rendered)?;
+                eprintln!("metrics: snapshot -> {}", path.display());
+            }
+            if let Some(exporter) = &self.exporter {
+                exporter.publish_metrics(&rendered);
+                if let Some(hold) = self.options.serve_hold {
+                    eprintln!(
+                        "metrics: holding http://{}/metrics for {hold}s",
+                        exporter.local_addr()
+                    );
+                    std::thread::sleep(std::time::Duration::from_secs_f64(hold.max(0.0)));
                 }
             }
-            fs::write(path, metrics.render_snapshot())?;
-            eprintln!("metrics: snapshot -> {}", path.display());
+        }
+        if let Some(exporter) = self.exporter {
+            exporter.shutdown();
         }
         Ok(())
     }
@@ -242,6 +319,44 @@ mod tests {
     fn flag_without_value_is_ignored() {
         let opts = ObsOptions::parse(&strs(&["--trace"]));
         assert_eq!(opts.trace, None);
+        let opts = ObsOptions::parse(&strs(&["--serve-metrics", "not-a-port"]));
+        assert_eq!(opts.serve, None);
+    }
+
+    #[test]
+    fn parses_serve_and_phase_flags() {
+        let args = strs(&[
+            "--serve-metrics",
+            "9184",
+            "--serve-hold",
+            "2.5",
+            "--phase-metrics",
+        ]);
+        let opts = ObsOptions::parse(&args);
+        assert_eq!(opts.serve, Some(9184));
+        assert_eq!(opts.serve_hold, Some(2.5));
+        assert!(opts.phase_metrics);
+    }
+
+    #[test]
+    fn serving_implies_a_registry_and_serves_its_rendering() {
+        let opts = ObsOptions {
+            serve: Some(0), // ephemeral port
+            ..ObsOptions::default()
+        };
+        let ctx = opts.context();
+        assert!(ctx.enabled());
+        let metrics = ctx.metrics.clone().expect("serve implies a registry");
+        metrics.inc_counter("wsu_demands_total", &[]);
+        ctx.publish();
+        ctx.publish_snapshot("{\"ok\":true}");
+        let addr = ctx.exporter.as_ref().unwrap().local_addr();
+        let resp = wsu_obs::http_get(addr, "/metrics").expect("GET /metrics");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, metrics.render_snapshot());
+        let resp = wsu_obs::http_get(addr, "/snapshot").expect("GET /snapshot");
+        assert_eq!(resp.body, "{\"ok\":true}");
+        ctx.finish().expect("finish without output files");
     }
 
     #[test]
@@ -254,7 +369,7 @@ mod tests {
     fn timing_records_a_log_event_when_tracing() {
         let opts = ObsOptions {
             trace: Some(PathBuf::from("unused.jsonl")),
-            metrics: None,
+            ..ObsOptions::default()
         };
         let mut ctx = opts.context();
         assert_eq!(ctx.time("simulate", || 7), 7);

@@ -119,6 +119,32 @@ pub enum TraceEvent {
         /// Stable fault-kind label (e.g. `crash`, `wrong-evident`).
         kind: String,
     },
+    /// A demand's virtual-time span closed, with its cost attributed
+    /// per middleware phase. All fields are in seconds; phases that the
+    /// paper's timing model charges nothing for (detection, Bayes
+    /// update, recovery) are carried explicitly so the attribution is
+    /// auditable and richer timing models slot in without a schema
+    /// change. Payload is all-numeric, so per-demand emission does not
+    /// allocate.
+    SpanClosed {
+        /// Virtual time of dispatch, in seconds.
+        t: f64,
+        /// Demand sequence number.
+        demand: u64,
+        /// Time spent waiting on release responses (transport +
+        /// execution), in seconds.
+        transport: f64,
+        /// Time attributed to failure detection, in seconds.
+        detection: f64,
+        /// Time attributed to adjudication (the paper's `dT`), in
+        /// seconds.
+        adjudication: f64,
+        /// Time attributed to the Bayesian confidence update, in
+        /// seconds.
+        bayes: f64,
+        /// Time attributed to recovery actions, in seconds.
+        recovery: f64,
+    },
     /// A free-form log line (the `EventLog` compatibility path).
     Log {
         /// Virtual time, in seconds (0 when the logger has no clock).
@@ -144,6 +170,7 @@ impl TraceEvent {
             TraceEvent::SwitchDecision { .. } => "SwitchDecision",
             TraceEvent::ReleaseSuspended { .. } => "ReleaseSuspended",
             TraceEvent::FaultInjected { .. } => "FaultInjected",
+            TraceEvent::SpanClosed { .. } => "SpanClosed",
             TraceEvent::Log { .. } => "Log",
         }
     }
@@ -159,6 +186,7 @@ impl TraceEvent {
             | TraceEvent::SwitchDecision { t, .. }
             | TraceEvent::ReleaseSuspended { t, .. }
             | TraceEvent::FaultInjected { t, .. }
+            | TraceEvent::SpanClosed { t, .. }
             | TraceEvent::Log { t, .. } => *t,
         }
     }
@@ -174,6 +202,7 @@ impl TraceEvent {
             | TraceEvent::SwitchDecision { demand, .. }
             | TraceEvent::ReleaseSuspended { demand, .. }
             | TraceEvent::FaultInjected { demand, .. }
+            | TraceEvent::SpanClosed { demand, .. }
             | TraceEvent::Log { demand, .. } => *demand,
         }
     }
@@ -253,6 +282,24 @@ impl TraceEvent {
                 w.str_field("release", release);
                 w.str_field("clause", clause);
                 w.str_field("fault", kind);
+            }
+            TraceEvent::SpanClosed {
+                transport,
+                detection,
+                adjudication,
+                bayes,
+                recovery,
+                ..
+            } => {
+                w.num_field("transport", *transport);
+                w.num_field("detection", *detection);
+                w.num_field("adjudication", *adjudication);
+                w.num_field("bayes", *bayes);
+                w.num_field("recovery", *recovery);
+                w.num_field(
+                    "total",
+                    transport + detection + adjudication + bayes + recovery,
+                );
             }
             TraceEvent::Log { level, message, .. } => {
                 w.str_field("level", level);

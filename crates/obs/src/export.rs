@@ -1,0 +1,288 @@
+//! A hand-rolled HTTP/1.1 exporter over `std::net` — the workspace's
+//! first real network surface.
+//!
+//! [`MetricsExporter`] binds a `TcpListener` and serves three `GET`
+//! routes from a background thread:
+//!
+//! * `/metrics` — the last published Prometheus-text snapshot,
+//! * `/snapshot` — the last published JSON dependability snapshot,
+//! * `/health` — a constant liveness probe.
+//!
+//! The simulation is single-threaded (`SharedRegistry` is
+//! `Rc<RefCell<…>>` and not `Send`), so the exporter never touches the
+//! registry: the owning thread renders a snapshot **string** and
+//! [`publish_metrics`](MetricsExporter::publish_metrics)es it into an
+//! `Arc<Mutex<String>>` whenever convenient — outside the demand loop,
+//! so serving adds zero allocations to the hot path (the server
+//! allocates on its own thread). Responses are therefore byte-identical
+//! to the in-process rendering at publish time.
+//!
+//! [`http_get`] is the matching hand-rolled client, used by the tests
+//! and the CI exporter smoke step so the whole round trip stays
+//! dependency-free.
+
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// State shared between the owning thread and the server thread.
+#[derive(Debug)]
+struct ExporterState {
+    metrics: Mutex<String>,
+    snapshot: Mutex<String>,
+    shutdown: AtomicBool,
+}
+
+/// A live `/metrics` + `/snapshot` + `/health` endpoint.
+///
+/// Dropping the exporter shuts the server thread down.
+#[derive(Debug)]
+pub struct MetricsExporter {
+    state: Arc<ExporterState>,
+    addr: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the server thread. Both published bodies start empty.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ExporterState {
+            metrics: Mutex::new(String::new()),
+            snapshot: Mutex::new(String::from("{}")),
+            shutdown: AtomicBool::new(false),
+        });
+        let server_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("wsu-metrics-exporter".into())
+            .spawn(move || serve(listener, &server_state))?;
+        Ok(Self {
+            state,
+            addr,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (reports the actual port after binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Publishes the Prometheus-text body served on `/metrics`.
+    pub fn publish_metrics(&self, text: &str) {
+        if let Ok(mut slot) = self.state.metrics.lock() {
+            slot.clear();
+            slot.push_str(text);
+        }
+    }
+
+    /// Publishes the JSON body served on `/snapshot`.
+    pub fn publish_snapshot(&self, json: &str) {
+        if let Ok(mut slot) = self.state.snapshot.lock() {
+            slot.clear();
+            slot.push_str(json);
+        }
+    }
+
+    /// Stops the server thread and waits for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The blocking accept loop run on the exporter thread.
+fn serve(listener: TcpListener, state: &ExporterState) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = handle_connection(stream, state);
+    }
+}
+
+/// Reads one request and writes one response (`Connection: close`).
+fn handle_connection(mut stream: TcpStream, state: &ExporterState) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let request = read_head(&mut stream)?;
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Strip any query string; routes take no parameters.
+    let path = path.split('?').next().unwrap_or("");
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+    }
+    match path {
+        "/metrics" => {
+            let body = state.metrics.lock().map(|s| s.clone()).unwrap_or_default();
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/snapshot" => {
+            let body = state.snapshot.lock().map(|s| s.clone()).unwrap_or_default();
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/health" => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n",
+        ),
+    }
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`), bounded at 8
+/// KiB — enough for any client this repo speaks to.
+fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while head.len() < 8192 {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(String::from_utf8_lossy(&head).into_owned())
+}
+
+/// Writes a minimal HTTP/1.1 response.
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A parsed HTTP response from [`http_get`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// The numeric status code (e.g. 200).
+    pub status: u16,
+    /// The response body.
+    pub body: String,
+}
+
+/// Fetches `path` from `addr` with one blocking HTTP/1.1 GET — the
+/// hand-rolled client used by tests and the CI exporter smoke step.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> io::Result<HttpResponse> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = match raw.find("\r\n\r\n") {
+        Some(i) => (&raw[..i], &raw[i + 4..]),
+        None => (raw.as_str(), ""),
+    };
+    let status = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    Ok(HttpResponse {
+        status,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_published_metrics_byte_identically() {
+        let exporter = MetricsExporter::bind("127.0.0.1:0").expect("bind");
+        let snapshot = "# TYPE wsu_demands_total counter\nwsu_demands_total 42\n";
+        exporter.publish_metrics(snapshot);
+        let response = http_get(exporter.local_addr(), "/metrics").expect("GET /metrics");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, snapshot);
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn health_and_snapshot_routes_respond() {
+        let exporter = MetricsExporter::bind("127.0.0.1:0").expect("bind");
+        exporter.publish_snapshot("{\"demands\":7}");
+        let health = http_get(exporter.local_addr(), "/health").expect("GET /health");
+        assert_eq!(health.status, 200);
+        assert_eq!(health.body, "ok\n");
+        let snap = http_get(exporter.local_addr(), "/snapshot").expect("GET /snapshot");
+        assert_eq!(snap.status, 200);
+        assert_eq!(snap.body, "{\"demands\":7}");
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let exporter = MetricsExporter::bind("127.0.0.1:0").expect("bind");
+        let response = http_get(exporter.local_addr(), "/nope").expect("GET /nope");
+        assert_eq!(response.status, 404);
+    }
+
+    #[test]
+    fn republishing_replaces_the_served_body() {
+        let exporter = MetricsExporter::bind("127.0.0.1:0").expect("bind");
+        exporter.publish_metrics("a 1\n");
+        exporter.publish_metrics("a 2\n");
+        let response = http_get(exporter.local_addr(), "/metrics").expect("GET");
+        assert_eq!(response.body, "a 2\n");
+    }
+
+    #[test]
+    fn query_strings_are_ignored() {
+        let exporter = MetricsExporter::bind("127.0.0.1:0").expect("bind");
+        exporter.publish_metrics("m 1\n");
+        let response = http_get(exporter.local_addr(), "/metrics?x=1").expect("GET");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, "m 1\n");
+    }
+}

@@ -19,13 +19,24 @@
 //! * [`metrics::MetricsRegistry`] — labeled counters, gauges and
 //!   fixed-bucket histograms, snapshotable to a Prometheus-text-style
 //!   string and mergeable across runs.
+//! * [`quantile::QuantileSketch`] — a log-scale-bucket quantile sketch
+//!   with an exact relative-error bound, mergeable across replication
+//!   shards, rendered as Prometheus summary series by the registry.
+//! * [`slo::SloWindow`] — a ring of virtual-time windows tracking
+//!   availability, fault rate, false-alarm rate and latency-threshold
+//!   violations, polled as a [`slo::DependabilitySnapshot`].
 //! * [`jsonl`] — a hand-rolled JSONL exporter (no serde) plus a small
 //!   JSON parser used to validate traces in tests.
-//! * [`span::PhaseTimings`] — wall-clock phase timers for profiling
-//!   experiment stages.
+//! * [`span`] — wall-clock phase timers ([`span::PhaseTimings`]) and
+//!   per-demand virtual-time span decomposition
+//!   ([`span::DemandSpan`], [`span::SpanProfile`]).
+//! * [`export::MetricsExporter`] — a hand-rolled HTTP/1.1
+//!   `/metrics` + `/health` + `/snapshot` endpoint over `std::net`.
 //!
-//! Everything is plain `std`; the crate adds no dependencies, no
-//! threads and no global state.
+//! Everything is plain `std`: the crate adds no dependencies and no
+//! global state, and the only thread it ever spawns is the opt-in
+//! metrics exporter's server thread (the simulation itself stays
+//! single-threaded).
 //!
 //! # Example
 //!
@@ -52,13 +63,19 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod export;
 pub mod jsonl;
 pub mod metrics;
+pub mod quantile;
 pub mod recorder;
+pub mod slo;
 pub mod span;
 
 pub use event::TraceEvent;
+pub use export::{http_get, HttpResponse, MetricsExporter};
 pub use jsonl::{parse_jsonl, JsonValue};
-pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry, SharedRegistry};
+pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry, SharedRegistry, SketchId};
+pub use quantile::QuantileSketch;
 pub use recorder::{MemoryRecorder, NullRecorder, Recorder, SharedRecorder, TraceRing};
-pub use span::PhaseTimings;
+pub use slo::{DependabilitySnapshot, SloConfig, SloObservation, SloWindow};
+pub use span::{DemandSpan, PhaseTimings, SpanProfile, SPAN_PHASES};

@@ -1,4 +1,5 @@
-//! Labeled metrics: counters, gauges and fixed-bucket histograms.
+//! Labeled metrics: counters, gauges, fixed-bucket histograms and
+//! quantile sketches.
 //!
 //! [`MetricsRegistry`] stores metrics keyed by `(name, sorted labels)`,
 //! renders them as a Prometheus-text-style snapshot and merges with
@@ -19,6 +20,8 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
+
+use crate::quantile::{QuantileSketch, SUMMARY_QUANTILES};
 
 /// Default histogram bucket upper bounds, in seconds — tuned for the
 /// paper's sub-second to few-second service times.
@@ -188,6 +191,40 @@ impl HistogramRender {
     }
 }
 
+/// Pre-rendered sample-line prefixes for one quantile-sketch series,
+/// rendered as a Prometheus summary: one `quantile="…"` line per entry
+/// in [`SUMMARY_QUANTILES`] plus `_sum` and `_count`.
+#[derive(Debug, Clone, PartialEq)]
+struct SketchRender {
+    /// `name{labels,quantile="q"}`, one per summary quantile.
+    quantile_lines: Vec<String>,
+    /// `name_sum{labels}`.
+    sum_line: String,
+    /// `name_count{labels}`.
+    count_line: String,
+}
+
+impl SketchRender {
+    fn new(key: &Key) -> Self {
+        Self {
+            quantile_lines: SUMMARY_QUANTILES
+                .iter()
+                .map(|&(_, label)| key.render_with("quantile", label))
+                .collect(),
+            sum_line: Key {
+                name: format!("{}_sum", key.name),
+                labels: key.labels.clone(),
+            }
+            .render(),
+            count_line: Key {
+                name: format!("{}_count", key.name),
+                labels: key.labels.clone(),
+            }
+            .render(),
+        }
+    }
+}
+
 /// Pre-resolved handle to one counter series — an index, so the hot
 /// path is `values[id] += delta`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -200,6 +237,10 @@ pub struct GaugeId(usize);
 /// Pre-resolved handle to one histogram series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramId(usize);
+
+/// Pre-resolved handle to one quantile-sketch series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchId(usize);
 
 /// The registry of labeled counters, gauges and histograms.
 ///
@@ -217,6 +258,9 @@ pub struct MetricsRegistry {
     histograms: BTreeMap<Key, usize>,
     histogram_values: Vec<Histogram>,
     histogram_rendered: Vec<HistogramRender>,
+    sketches: BTreeMap<Key, usize>,
+    sketch_values: Vec<QuantileSketch>,
+    sketch_rendered: Vec<SketchRender>,
     /// Bucket bounds configured per metric name.
     buckets: BTreeMap<String, Vec<f64>>,
 }
@@ -228,6 +272,7 @@ impl PartialEq for MetricsRegistry {
         self.counters.len() == other.counters.len()
             && self.gauges.len() == other.gauges.len()
             && self.histograms.len() == other.histograms.len()
+            && self.sketches.len() == other.sketches.len()
             && self.buckets == other.buckets
             && self
                 .counters
@@ -249,6 +294,13 @@ impl PartialEq for MetricsRegistry {
                 .zip(&other.histograms)
                 .all(|((ka, &sa), (kb, &sb))| {
                     ka == kb && self.histogram_values[sa] == other.histogram_values[sb]
+                })
+            && self
+                .sketches
+                .iter()
+                .zip(&other.sketches)
+                .all(|((ka, &sa), (kb, &sb))| {
+                    ka == kb && self.sketch_values[sa] == other.sketch_values[sb]
                 })
     }
 }
@@ -304,6 +356,17 @@ impl MetricsRegistry {
         slot
     }
 
+    fn sketch_slot(&mut self, key: Key) -> usize {
+        if let Some(&slot) = self.sketches.get(&key) {
+            return slot;
+        }
+        let slot = self.sketch_values.len();
+        self.sketch_rendered.push(SketchRender::new(&key));
+        self.sketch_values.push(QuantileSketch::default());
+        self.sketches.insert(key, slot);
+        slot
+    }
+
     /// Resolves (creating if needed) the counter series and returns its
     /// id. A freshly created series starts at 0 and *will* appear in
     /// snapshots, so resolve ids at first write (or write right after).
@@ -320,6 +383,11 @@ impl MetricsRegistry {
     /// bounds configured for `name` (or [`DEFAULT_BUCKETS`]).
     pub fn histogram_id(&mut self, name: &str, labels: &[(&str, &str)]) -> HistogramId {
         HistogramId(self.histogram_slot(Key::new(name, labels), None))
+    }
+
+    /// Resolves (creating if needed) the quantile-sketch series id.
+    pub fn sketch_id(&mut self, name: &str, labels: &[(&str, &str)]) -> SketchId {
+        SketchId(self.sketch_slot(Key::new(name, labels)))
     }
 
     /// Increments a pre-resolved counter by 1 (array index, no lookup).
@@ -340,6 +408,12 @@ impl MetricsRegistry {
     /// Records one observation into a pre-resolved histogram.
     pub fn observe_id(&mut self, id: HistogramId, value: f64) {
         self.histogram_values[id.0].observe(value);
+    }
+
+    /// Records one observation into a pre-resolved quantile sketch
+    /// (array index plus one logarithm — no allocation).
+    pub fn observe_sketch_id(&mut self, id: SketchId, value: f64) {
+        self.sketch_values[id.0].observe(value);
     }
 
     /// Increments a labeled counter by 1.
@@ -389,6 +463,13 @@ impl MetricsRegistry {
         self.histogram_values[slot].observe(value);
     }
 
+    /// Records one observation into a labeled quantile sketch,
+    /// creating it with the default configuration on first use.
+    pub fn observe_sketch(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let slot = self.sketch_slot(Key::new(name, labels));
+        self.sketch_values[slot].observe(value);
+    }
+
     /// Reads a counter (0 if never written).
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
         self.counters
@@ -412,13 +493,24 @@ impl MetricsRegistry {
             .unwrap_or(0)
     }
 
-    /// Whether nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    /// Reads a quantile sketch (`None` if never written).
+    pub fn sketch(&self, name: &str, labels: &[(&str, &str)]) -> Option<&QuantileSketch> {
+        self.sketches
+            .get(&Key::new(name, labels))
+            .map(|&slot| &self.sketch_values[slot])
     }
 
-    /// Folds another registry into this one: counters and histograms
-    /// add, gauges take the other registry's value (last write wins).
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.sketches.is_empty()
+    }
+
+    /// Folds another registry into this one: counters, histograms and
+    /// quantile sketches add, gauges take the other registry's value
+    /// (last write wins).
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, &theirs) in &other.counters {
             let slot = self.counter_slot(k.clone());
@@ -435,6 +527,16 @@ impl MetricsRegistry {
                 None => {
                     let slot = self.histogram_slot(k.clone(), Some(&h.bounds));
                     self.histogram_values[slot] = h.clone();
+                }
+            }
+        }
+        for (k, &theirs) in &other.sketches {
+            let s = &other.sketch_values[theirs];
+            match self.sketches.get(k) {
+                Some(&slot) => self.sketch_values[slot].merge(s),
+                None => {
+                    let slot = self.sketch_slot(k.clone());
+                    self.sketch_values[slot] = s.clone();
                 }
             }
         }
@@ -458,6 +560,12 @@ impl MetricsRegistry {
                 cap += line.len() + 24;
             }
             cap += r.inf_line.len() + r.sum_line.len() + r.count_line.len() + 96;
+        }
+        for r in &self.sketch_rendered {
+            for line in &r.quantile_lines {
+                cap += line.len() + 24;
+            }
+            cap += r.sum_line.len() + r.count_line.len() + 96;
         }
         cap
     }
@@ -509,6 +617,21 @@ impl MetricsRegistry {
             let _ = writeln!(out, "{} {}", rendered.inf_line, cumulative);
             let _ = writeln!(out, "{} {}", rendered.sum_line, fmt_value(histogram.sum));
             let _ = writeln!(out, "{} {}", rendered.count_line, histogram.count);
+        }
+        last_name = "";
+        for (key, &slot) in &self.sketches {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} summary", key.name);
+                last_name = &key.name;
+            }
+            let sketch = &self.sketch_values[slot];
+            let rendered = &self.sketch_rendered[slot];
+            for (&(q, _), line) in SUMMARY_QUANTILES.iter().zip(&rendered.quantile_lines) {
+                let value = sketch.quantile(q).unwrap_or(f64::NAN);
+                let _ = writeln!(out, "{} {}", line, fmt_value(value));
+            }
+            let _ = writeln!(out, "{} {}", rendered.sum_line, fmt_value(sketch.sum()));
+            let _ = writeln!(out, "{} {}", rendered.count_line, sketch.count());
         }
         out
     }
@@ -570,6 +693,11 @@ impl SharedRegistry {
         self.inner.borrow_mut().observe(name, labels, value);
     }
 
+    /// Records one quantile-sketch observation.
+    pub fn observe_sketch(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.inner.borrow_mut().observe_sketch(name, labels, value);
+    }
+
     /// Resolves (creating if needed) a counter series id.
     pub fn counter_id(&self, name: &str, labels: &[(&str, &str)]) -> CounterId {
         self.inner.borrow_mut().counter_id(name, labels)
@@ -603,6 +731,16 @@ impl SharedRegistry {
     /// Records one observation into a pre-resolved histogram.
     pub fn observe_id(&self, id: HistogramId, value: f64) {
         self.inner.borrow_mut().observe_id(id, value);
+    }
+
+    /// Resolves (creating if needed) a quantile-sketch series id.
+    pub fn sketch_id(&self, name: &str, labels: &[(&str, &str)]) -> SketchId {
+        self.inner.borrow_mut().sketch_id(name, labels)
+    }
+
+    /// Records one observation into a pre-resolved quantile sketch.
+    pub fn observe_sketch_id(&self, id: SketchId, value: f64) {
+        self.inner.borrow_mut().observe_sketch_id(id, value);
     }
 
     /// Runs `f` with mutable access to the underlying registry.
@@ -745,6 +883,66 @@ mod tests {
         assert_eq!(a, b);
         b.inc_counter("two", &[]);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sketches_render_as_summaries() {
+        let mut reg = MetricsRegistry::new();
+        for i in 1..=100 {
+            reg.observe_sketch("rt", &[("release", "old")], i as f64 * 0.01);
+        }
+        let snap = reg.snapshot();
+        assert!(snap.contains("# TYPE rt summary"), "{snap}");
+        assert!(
+            snap.contains("rt{release=\"old\",quantile=\"0.5\"}"),
+            "{snap}"
+        );
+        assert!(
+            snap.contains("rt{release=\"old\",quantile=\"0.999\"}"),
+            "{snap}"
+        );
+        assert!(snap.contains("rt_count{release=\"old\"} 100"), "{snap}");
+        let sketch = reg.sketch("rt", &[("release", "old")]).unwrap();
+        assert!((sketch.p50() - 0.5).abs() / 0.5 <= sketch.alpha() * 1.0001);
+    }
+
+    #[test]
+    fn sketch_merge_adds_mass_and_keeps_snapshots_identical() {
+        let mut whole = MetricsRegistry::new();
+        let mut left = MetricsRegistry::new();
+        let mut right = MetricsRegistry::new();
+        for i in 0..60 {
+            let v = 0.05 + i as f64 * 0.003;
+            whole.observe_sketch("rt", &[], v);
+            if i < 30 {
+                left.observe_sketch("rt", &[], v);
+            } else {
+                right.observe_sketch("rt", &[], v);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        assert_eq!(left.snapshot(), whole.snapshot());
+    }
+
+    #[test]
+    fn sketch_id_and_string_paths_share_series() {
+        let mut reg = MetricsRegistry::new();
+        let id = reg.sketch_id("s", &[("k", "v")]);
+        reg.observe_sketch_id(id, 0.2);
+        reg.observe_sketch("s", &[("k", "v")], 0.4);
+        assert_eq!(reg.sketch("s", &[("k", "v")]).unwrap().count(), 2);
+        assert_eq!(reg.sketch_id("s", &[("k", "v")]), id);
+    }
+
+    #[test]
+    fn empty_sketch_renders_nan_quantiles() {
+        let mut reg = MetricsRegistry::new();
+        reg.sketch_id("s", &[]);
+        let snap = reg.snapshot();
+        assert!(snap.contains("s{quantile=\"0.5\"} NaN"), "{snap}");
+        assert!(snap.contains("s_sum 0"), "{snap}");
+        assert!(snap.contains("s_count 0"), "{snap}");
     }
 
     #[test]

@@ -1,0 +1,395 @@
+//! Log-scale-bucket quantile sketches with exact relative-error bounds.
+//!
+//! [`QuantileSketch`] is an HDR/DDSketch-style histogram over
+//! geometrically spaced buckets: bucket `i` covers
+//! `(min_value·γ^(i-1), min_value·γ^i]` with `γ = (1+α)/(1−α)`, so the
+//! mid-bucket estimate `2·lo·γ/(1+γ)` is within relative error `α` of
+//! **any** value in the bucket. Because a rank query walks cumulative
+//! counts in value order, the reported quantile lands in the bucket
+//! that contains the exact order statistic — the `α` bound is a
+//! guarantee, not a heuristic.
+//!
+//! The bucket array is sized once at construction and every
+//! [`observe`](QuantileSketch::observe) is an array increment, so the
+//! sketch is allocation-free on the per-demand hot path and two
+//! sketches with the same configuration [`merge`](QuantileSketch::merge)
+//! by adding counts — exactly what deterministic shard folding
+//! (`MetricsRegistry::merge` across `--jobs N` replication shards)
+//! needs.
+
+/// The quantiles rendered by the registry's summary output, with their
+/// Prometheus `quantile` label values.
+pub const SUMMARY_QUANTILES: [(f64, &str); 4] =
+    [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
+
+/// Default relative-error bound (1%).
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// Default smallest distinguishable value, in seconds (1 µs). Values at
+/// or below this collapse into the underflow bucket.
+pub const DEFAULT_MIN_VALUE: f64 = 1e-6;
+
+/// Default largest distinguishable value, in seconds. Values above this
+/// clamp into the top bucket.
+pub const DEFAULT_MAX_VALUE: f64 = 1e4;
+
+/// A mergeable log-bucket quantile sketch with relative error ≤ `alpha`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    /// Configured relative-error bound.
+    alpha: f64,
+    /// Bucket growth factor `(1+α)/(1−α)`.
+    gamma: f64,
+    /// `ln(gamma)`, precomputed for the observe path.
+    ln_gamma: f64,
+    /// Lower edge of bucket 1; values ≤ this land in the underflow
+    /// bucket and are reported as `min_seen`.
+    min_value: f64,
+    /// Counts for buckets `1..=counts.len()`.
+    counts: Vec<u64>,
+    /// Observations at or below `min_value`.
+    underflow: u64,
+    count: u64,
+    sum: f64,
+    min_seen: f64,
+    max_seen: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new(DEFAULT_ALPHA)
+    }
+}
+
+impl QuantileSketch {
+    /// A sketch with relative error `alpha` over the default value
+    /// range [`DEFAULT_MIN_VALUE`, `DEFAULT_MAX_VALUE`].
+    pub fn new(alpha: f64) -> Self {
+        Self::with_range(alpha, DEFAULT_MIN_VALUE, DEFAULT_MAX_VALUE)
+    }
+
+    /// A sketch with relative error `alpha` distinguishing values in
+    /// `(min_value, max_value]`. Values outside clamp to the edge
+    /// buckets (their reported estimates stay within `[min, max]` of
+    /// the data actually seen).
+    pub fn with_range(alpha: f64, min_value: f64, max_value: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "alpha must be in (0, 1), got {alpha}"
+        );
+        assert!(
+            min_value > 0.0 && max_value > min_value,
+            "need 0 < min_value < max_value"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        let ln_gamma = gamma.ln();
+        let buckets = ((max_value / min_value).ln() / ln_gamma).ceil() as usize + 1;
+        Self {
+            alpha,
+            gamma,
+            ln_gamma,
+            min_value,
+            counts: vec![0; buckets],
+            underflow: 0,
+            count: 0,
+            sum: 0.0,
+            min_seen: f64::INFINITY,
+            max_seen: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The configured relative-error bound.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observed value (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min_seen)
+    }
+
+    /// Largest observed value (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max_seen)
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Records one observation. Allocation-free: one logarithm and one
+    /// array increment.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += value;
+        if value < self.min_seen {
+            self.min_seen = value;
+        }
+        if value > self.max_seen {
+            self.max_seen = value;
+        }
+        if value <= self.min_value {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((value / self.min_value).ln() / self.ln_gamma).ceil() as usize;
+        let idx = idx.saturating_sub(1).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// The estimate reported for bucket `idx` (0-based): the point that
+    /// minimises worst-case relative error over the bucket's range,
+    /// clamped to the observed `[min, max]`.
+    fn bucket_estimate(&self, idx: usize) -> f64 {
+        let lo = self.min_value * self.gamma.powi(idx as i32);
+        let est = 2.0 * lo * self.gamma / (1.0 + self.gamma);
+        est.clamp(self.min_seen, self.max_seen)
+    }
+
+    /// The `q`-quantile estimate (`q` in `[0, 1]`), or `None` when the
+    /// sketch is empty. Uses the nearest-rank definition
+    /// `rank = max(1, ⌈q·n⌉)`; the estimate is within relative error
+    /// [`alpha`](Self::alpha) of the exact order statistic (exact for
+    /// values at or below `min_value`, where `min_seen` is returned).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = self.underflow;
+        if cumulative >= rank {
+            return Some(self.min_seen);
+        }
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(self.bucket_estimate(idx));
+            }
+        }
+        Some(self.max_seen)
+    }
+
+    /// The median estimate (`NaN` when empty).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5).unwrap_or(f64::NAN)
+    }
+
+    /// The 90th-percentile estimate (`NaN` when empty).
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.9).unwrap_or(f64::NAN)
+    }
+
+    /// The 99th-percentile estimate (`NaN` when empty).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99).unwrap_or(f64::NAN)
+    }
+
+    /// The 99.9th-percentile estimate (`NaN` when empty).
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999).unwrap_or(f64::NAN)
+    }
+
+    /// Folds another sketch into this one. Same configuration (the only
+    /// case deterministic shard folding produces): bucket counts add,
+    /// so merge order cannot change any rank query. Different
+    /// configuration: the other sketch's mass is re-observed at its
+    /// bucket estimates, like `Histogram::merge` with foreign bounds.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.alpha == other.alpha
+            && self.min_value == other.min_value
+            && self.counts.len() == other.counts.len()
+        {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += b;
+            }
+            self.underflow += other.underflow;
+        } else {
+            for _ in 0..other.underflow {
+                let v = other.min_seen.max(0.0);
+                if v <= self.min_value {
+                    self.underflow += 1;
+                } else {
+                    let idx = ((v / self.min_value).ln() / self.ln_gamma).ceil() as usize;
+                    let idx = idx.saturating_sub(1).min(self.counts.len() - 1);
+                    self.counts[idx] += 1;
+                }
+            }
+            for (idx, &c) in other.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let at = other.bucket_estimate(idx);
+                let slot = if at <= self.min_value {
+                    None
+                } else {
+                    let i = ((at / self.min_value).ln() / self.ln_gamma).ceil() as usize;
+                    Some(i.saturating_sub(1).min(self.counts.len() - 1))
+                };
+                match slot {
+                    Some(i) => self.counts[i] += c,
+                    None => self.underflow += c,
+                }
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min_seen < self.min_seen {
+            self.min_seen = other.min_seen;
+        }
+        if other.max_seen > self.max_seen {
+            self.max_seen = other.max_seen;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::default();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert!(s.p99().is_nan());
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn single_value_is_reported_exactly_at_every_quantile() {
+        let mut s = QuantileSketch::default();
+        s.observe(0.42);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = s.quantile(q).unwrap();
+            assert!((est - 0.42).abs() / 0.42 <= s.alpha(), "q={q} est={est}");
+        }
+        assert_eq!(s.min(), Some(0.42));
+        assert_eq!(s.max(), Some(0.42));
+    }
+
+    #[test]
+    fn estimates_stay_within_alpha_of_exact_order_statistics() {
+        // Deterministic LCG so the test needs no external RNG.
+        let mut state = 0x9E37_79B9u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut s = QuantileSketch::default();
+        let mut values = Vec::new();
+        for _ in 0..5000 {
+            // Log-uniform over ~[1e-3, 1e1] seconds.
+            let v = 10f64.powf(next() * 4.0 - 3.0);
+            s.observe(v);
+            values.push(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&values, q);
+            let est = s.quantile(q).unwrap();
+            let rel = (est - exact).abs() / exact;
+            assert!(
+                rel <= s.alpha() * 1.0001,
+                "q={q} exact={exact} est={est} rel={rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn underflow_values_report_the_observed_minimum() {
+        let mut s = QuantileSketch::default();
+        s.observe(0.0);
+        s.observe(0.0);
+        s.observe(1.0);
+        assert_eq!(s.quantile(0.5), Some(0.0));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn overflow_values_clamp_to_the_top_bucket() {
+        let mut s = QuantileSketch::with_range(0.01, 1e-3, 1.0);
+        s.observe(50.0);
+        let est = s.quantile(1.0).unwrap();
+        assert_eq!(est, 50.0, "clamped to max_seen");
+    }
+
+    #[test]
+    fn merge_of_same_config_matches_single_sketch() {
+        let mut merged = QuantileSketch::default();
+        let mut single = QuantileSketch::default();
+        let mut shard = QuantileSketch::default();
+        for i in 0..100 {
+            let v = 0.01 * (i + 1) as f64;
+            single.observe(v);
+            if i % 2 == 0 {
+                merged.observe(v);
+            } else {
+                shard.observe(v);
+            }
+        }
+        merged.merge(&shard);
+        assert_eq!(merged, single);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter_for_same_config() {
+        let mut a = QuantileSketch::default();
+        let mut b = QuantileSketch::default();
+        for i in 0..50 {
+            a.observe(0.1 + i as f64 * 0.01);
+            b.observe(1.0 + i as f64 * 0.02);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_with_foreign_config_preserves_count_and_sum() {
+        let mut a = QuantileSketch::new(0.01);
+        let mut b = QuantileSketch::new(0.05);
+        a.observe(0.5);
+        b.observe(2.0);
+        b.observe(0.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.sum() - 2.5).abs() < 1e-12);
+        assert_eq!(a.max(), Some(2.0));
+        assert_eq!(a.min(), Some(0.0));
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut s = QuantileSketch::default();
+        s.observe(f64::NAN);
+        s.observe(f64::INFINITY);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Edge cases of the Prometheus-text rendering: label escaping, empty
+//! registries, zero-observation histograms and merges of registries
+//! with disjoint label sets.
+
+use wsu_obs::MetricsRegistry;
+
+#[test]
+fn label_values_escape_backslash_quote_and_newline() {
+    let mut reg = MetricsRegistry::new();
+    reg.inc_counter("c", &[("path", "a\\b")]);
+    reg.inc_counter("c", &[("path", "say \"hi\"")]);
+    reg.inc_counter("c", &[("path", "line1\nline2")]);
+    let snap = reg.snapshot();
+    assert!(snap.contains("c{path=\"a\\\\b\"} 1"), "{snap}");
+    assert!(snap.contains("c{path=\"say \\\"hi\\\"\"} 1"), "{snap}");
+    assert!(snap.contains("c{path=\"line1\\nline2\"} 1"), "{snap}");
+    // No raw newline may survive inside a label value: every rendered
+    // line must still be a complete sample or comment.
+    for line in snap.lines() {
+        assert!(
+            line.starts_with("# TYPE") || line.ends_with(" 1"),
+            "broken line: {line:?}"
+        );
+    }
+}
+
+#[test]
+fn escaped_labels_round_trip_through_reads() {
+    let mut reg = MetricsRegistry::new();
+    let labels = [("k", "v\\1\"2\n3")];
+    reg.add_counter("c", &labels, 7);
+    assert_eq!(reg.counter("c", &labels), 7);
+}
+
+#[test]
+fn empty_registry_renders_an_empty_snapshot() {
+    let reg = MetricsRegistry::new();
+    assert!(reg.is_empty());
+    assert_eq!(reg.snapshot(), "");
+}
+
+#[test]
+fn histogram_with_zero_observations_renders_zero_series() {
+    let mut reg = MetricsRegistry::new();
+    reg.set_buckets("h", &[0.5, 1.0]);
+    reg.histogram_id("h", &[("k", "v")]);
+    let snap = reg.snapshot();
+    assert!(snap.contains("# TYPE h histogram"), "{snap}");
+    assert!(snap.contains("h_bucket{k=\"v\",le=\"0.5\"} 0"), "{snap}");
+    assert!(snap.contains("h_bucket{k=\"v\",le=\"1\"} 0"), "{snap}");
+    assert!(snap.contains("h_bucket{k=\"v\",le=\"+Inf\"} 0"), "{snap}");
+    assert!(snap.contains("h_sum{k=\"v\"} 0"), "{snap}");
+    assert!(snap.contains("h_count{k=\"v\"} 0"), "{snap}");
+}
+
+#[test]
+fn merge_with_disjoint_label_sets_keeps_both_series() {
+    let mut a = MetricsRegistry::new();
+    let mut b = MetricsRegistry::new();
+    a.inc_counter("reqs", &[("release", "old")]);
+    b.add_counter("reqs", &[("release", "new")], 3);
+    a.set_gauge("g", &[("zone", "a")], 1.0);
+    b.set_gauge("g", &[("zone", "b")], 2.0);
+    a.observe("h", &[("release", "old")], 0.1);
+    b.observe("h", &[("release", "new")], 0.2);
+    b.observe_sketch("s", &[("release", "new")], 0.3);
+    a.merge(&b);
+    assert_eq!(a.counter("reqs", &[("release", "old")]), 1);
+    assert_eq!(a.counter("reqs", &[("release", "new")]), 3);
+    assert_eq!(a.gauge("g", &[("zone", "a")]), Some(1.0));
+    assert_eq!(a.gauge("g", &[("zone", "b")]), Some(2.0));
+    assert_eq!(a.histogram_count("h", &[("release", "old")]), 1);
+    assert_eq!(a.histogram_count("h", &[("release", "new")]), 1);
+    assert_eq!(a.sketch("s", &[("release", "new")]).unwrap().count(), 1);
+    let snap = a.snapshot();
+    // One `# TYPE` header per metric name, shared by both label sets.
+    assert_eq!(snap.matches("# TYPE reqs counter").count(), 1, "{snap}");
+    assert!(snap.contains("reqs{release=\"new\"} 3"), "{snap}");
+    assert!(snap.contains("reqs{release=\"old\"} 1"), "{snap}");
+}
+
+#[test]
+fn merge_into_empty_registry_clones_everything() {
+    let mut src = MetricsRegistry::new();
+    src.inc_counter("c", &[]);
+    src.observe("h", &[], 0.25);
+    src.observe_sketch("s", &[], 0.75);
+    let mut dst = MetricsRegistry::new();
+    dst.merge(&src);
+    assert_eq!(dst, src);
+    assert_eq!(dst.snapshot(), src.snapshot());
+}

@@ -1,0 +1,127 @@
+//! Acceptance sweep: `QuantileSketch` estimates stay within the stated
+//! relative-error bound of exact sorted-array quantiles across 32
+//! seeds and several response-time-like distributions.
+
+use wsu_obs::quantile::QuantileSketch;
+use wsu_obs::MetricsRegistry;
+
+/// SplitMix64 — a self-contained deterministic generator, so the sweep
+/// needs no dependency on the simulation's RNG.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Draws one value from the given distribution shape.
+fn draw(shape: usize, rng: &mut SplitMix) -> f64 {
+    let u = rng.next_f64();
+    match shape {
+        // Uniform response times in [0.1, 2.1] s — the paper's range.
+        0 => 0.1 + 2.0 * u,
+        // Exponential with mean 0.5 s (heavy right tail).
+        1 => -0.5 * (1.0 - u).ln().max(-40.0),
+        // Log-uniform over [1e-4, 1e2] s (six decades).
+        2 => 10f64.powf(u * 6.0 - 4.0),
+        // Bimodal: fast path at ~0.2 s, timeout spike at ~2.0 s.
+        _ => {
+            if u < 0.9 {
+                0.2 + 0.01 * rng.next_f64()
+            } else {
+                2.0 + 0.1 * rng.next_f64()
+            }
+        }
+    }
+}
+
+#[test]
+fn sketch_matches_exact_quantiles_over_32_seeds() {
+    for seed in 0..32u64 {
+        for shape in 0..4 {
+            let mut rng = SplitMix(0xD15E_A5E0 ^ (seed << 8) ^ shape as u64);
+            let mut sketch = QuantileSketch::default();
+            let mut values = Vec::with_capacity(2000);
+            for _ in 0..2000 {
+                let v = draw(shape, &mut rng);
+                sketch.observe(v);
+                values.push(v);
+            }
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for q in [0.5, 0.9, 0.99, 0.999] {
+                let exact = exact_quantile(&values, q);
+                let est = sketch.quantile(q).expect("non-empty sketch");
+                let rel = (est - exact).abs() / exact;
+                assert!(
+                    rel <= sketch.alpha() * 1.0001,
+                    "seed={seed} shape={shape} q={q} exact={exact} est={est} rel={rel}"
+                );
+            }
+        }
+    }
+}
+
+/// Shard folding must be deterministic: folding the same per-shard
+/// registries in the same order — which is what the parallel
+/// replication runner guarantees at any `--jobs N` — renders
+/// byte-identical snapshots, and the integer-backed quantile lines are
+/// byte-identical even against a single-pass registry (only the
+/// float `_sum` line is grouping-sensitive, as with histograms).
+#[test]
+fn sharded_registry_merge_is_deterministic_and_rank_exact() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix(0xFEED_F00D ^ seed);
+        let mut whole = MetricsRegistry::new();
+        let mut shards: Vec<MetricsRegistry> = (0..4).map(|_| MetricsRegistry::new()).collect();
+        for i in 0..400 {
+            let v = draw(i % 4, &mut rng);
+            whole.observe_sketch("wsu_rt", &[("release", "old")], v);
+            shards[i % 4].observe_sketch("wsu_rt", &[("release", "old")], v);
+        }
+        let fold = |shards: &[MetricsRegistry]| {
+            let mut merged = MetricsRegistry::new();
+            for shard in shards {
+                merged.merge(shard);
+            }
+            merged
+        };
+        let merged = fold(&shards);
+        // Same shard sequence, second fold: byte-identical snapshot.
+        assert_eq!(
+            merged.snapshot(),
+            fold(&shards).snapshot(),
+            "seed={seed}: shard folding must be deterministic"
+        );
+        // Quantile and count lines are integer-backed, so they even
+        // match a single-pass registry byte for byte.
+        let non_sum = |snap: String| -> Vec<String> {
+            snap.lines()
+                .filter(|l| !l.starts_with("wsu_rt_sum"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(
+            non_sum(merged.snapshot()),
+            non_sum(whole.snapshot()),
+            "seed={seed}: rank queries must not depend on sharding"
+        );
+        let merged_sketch = merged.sketch("wsu_rt", &[("release", "old")]).unwrap();
+        let whole_sketch = whole.sketch("wsu_rt", &[("release", "old")]).unwrap();
+        let rel = (merged_sketch.sum() - whole_sketch.sum()).abs() / whole_sketch.sum();
+        assert!(rel < 1e-12, "seed={seed}: sums differ beyond rounding");
+    }
+}
