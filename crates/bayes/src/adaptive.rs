@@ -1,0 +1,551 @@
+//! Adaptive coarse-to-fine white-box resolution.
+//!
+//! The fixed default grid spends 96×96×32 cells uniformly over the
+//! priors' full supports, but after any real amount of evidence the
+//! posterior occupies a small corner of that grid: the rest of the
+//! cells buy nothing. The adaptive mode splits the budget instead:
+//!
+//! 1. a **coarse** engine (default 32×32×16, ~6% of the default cell
+//!    count) tracks the posterior over the *full* support and is
+//!    updated at every checkpoint;
+//! 2. its marginals locate the **high-mass window** of each axis — the
+//!    central interval holding `mass_target` of the posterior, snapped
+//!    outwards to coarse cell edges and padded by `guard_cells`;
+//! 3. a **fine** engine at full resolution is built over just that
+//!    window ([`WhiteBoxInference::windowed`]) and answers all queries.
+//!
+//! Checkpoints that keep the posterior inside the current fine window
+//! are pure steady-state work: one coarse and one fine incremental
+//! update, **zero heap allocations**. When the window escapes (mass
+//! drifts outside it) or the posterior has tightened so much that the
+//! window is twice as wide as needed, the fine engine is **rebuilt**
+//! over the new window — an allocating refinement, counted by
+//! [`AdaptiveUpdater::refinements`] — and rebased to the cumulative
+//! counts. Refinements are rare by construction: the window must halve
+//! (or escape) to trigger one, so a study run incurs O(log) rebuilds.
+//!
+//! # Accuracy contract
+//!
+//! Adaptive results are **not** bit-identical to the fixed grid — the
+//! fine grid's cells sit at different coordinates. The contract is a
+//! tolerance one, pinned by this module's golden tests:
+//!
+//! * at least `mass_target` (default `0.9999`) of posterior mass lies
+//!   inside the window, so confidence queries lose at most
+//!   `1 − mass_target` plus discretisation error;
+//! * percentiles agree with the fixed default grid to within one fixed
+//!   default grid cell width;
+//! * the default fixed-resolution path is completely untouched: the
+//!   adaptive mode is opt-in via [`Resolution::adaptive`] and builds on
+//!   the same kernels and the same windowed constructor that reproduces
+//!   the fixed grid bit-for-bit at full-support windows.
+
+use crate::beta::ScaledBeta;
+use crate::counts::JointCounts;
+use crate::posterior::MarginalView;
+use crate::whitebox::{CoincidencePrior, PosteriorUpdater, Resolution, WhiteBoxInference};
+
+/// Configuration of the adaptive coarse-to-fine mode. Build one with
+/// [`Resolution::adaptive`] and customise fields as needed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveResolution {
+    /// Full-support coarse tracking grid.
+    pub coarse: Resolution,
+    /// Windowed fine grid; all queries are answered at this resolution.
+    pub fine: Resolution,
+    /// Posterior mass the window must capture per axis (the central
+    /// interval), before snapping and guard padding.
+    pub mass_target: f64,
+    /// Coarse cells of margin added on each side of the snapped window.
+    pub guard_cells: usize,
+}
+
+impl Default for AdaptiveResolution {
+    /// Coarse 32×32×16 over the full support, fine [`Resolution::default`]
+    /// over the window, 99.99% captured mass, one coarse guard cell.
+    fn default() -> AdaptiveResolution {
+        AdaptiveResolution {
+            coarse: Resolution {
+                a_cells: 32,
+                b_cells: 32,
+                q_cells: 16,
+            },
+            fine: Resolution::default(),
+            mass_target: 0.9999,
+            guard_cells: 1,
+        }
+    }
+}
+
+impl AdaptiveResolution {
+    fn validate(self) {
+        assert!(
+            self.mass_target > 0.5 && self.mass_target < 1.0,
+            "mass_target {} not in (0.5, 1)",
+            self.mass_target
+        );
+    }
+}
+
+/// One axis window in prior-support coordinates, snapped to coarse cell
+/// edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Window {
+    lo: f64,
+    hi: f64,
+}
+
+impl Window {
+    fn contains(self, other: Window) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    fn width(self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Selects the axis window: the central `mass_target` interval of the
+/// coarse marginal, snapped outwards to coarse cell edges and padded by
+/// `guard_cells`, clamped to the support.
+fn select_window(
+    marginal: &MarginalView<'_>,
+    range: f64,
+    cells: usize,
+    mass_target: f64,
+    guard_cells: usize,
+) -> Window {
+    let tail = (1.0 - mass_target) / 2.0;
+    let lo_q = marginal.percentile(tail);
+    let hi_q = marginal.percentile(1.0 - tail);
+    let cell = range / cells as f64;
+    let lo_cell = ((lo_q / cell).floor() as isize - guard_cells as isize).max(0) as usize;
+    let hi_cell = (((hi_q / cell).ceil() as isize + guard_cells as isize) as usize).min(cells);
+    // A degenerate marginal can collapse both quantiles into one cell
+    // edge; keep at least one cell of window.
+    let hi_cell = hi_cell.max(lo_cell + 1);
+    Window {
+        lo: range * lo_cell as f64 / cells as f64,
+        hi: range * hi_cell as f64 / cells as f64,
+    }
+}
+
+/// Adaptive coarse-to-fine white-box engine: the opt-in alternative to
+/// a fixed-resolution [`WhiteBoxInference`]. See the module docs for
+/// the algorithm and accuracy contract.
+#[derive(Debug, Clone)]
+pub struct AdaptiveWhiteBox {
+    prior_a: ScaledBeta,
+    prior_b: ScaledBeta,
+    coincidence: CoincidencePrior,
+    adaptive: AdaptiveResolution,
+    coarse: WhiteBoxInference,
+}
+
+impl AdaptiveWhiteBox {
+    /// Creates an adaptive engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a resolution component is zero, a coincidence-prior
+    /// parameter is out of range, or `mass_target` is not in `(0.5, 1)`.
+    pub fn new(
+        prior_a: ScaledBeta,
+        prior_b: ScaledBeta,
+        coincidence: CoincidencePrior,
+        adaptive: AdaptiveResolution,
+    ) -> AdaptiveWhiteBox {
+        adaptive.validate();
+        let coarse =
+            WhiteBoxInference::with_resolution(prior_a, prior_b, coincidence, adaptive.coarse);
+        AdaptiveWhiteBox {
+            prior_a,
+            prior_b,
+            coincidence,
+            adaptive,
+            coarse,
+        }
+    }
+
+    /// The adaptive configuration.
+    pub fn adaptive(&self) -> AdaptiveResolution {
+        self.adaptive
+    }
+
+    /// The prior over the old release's pfd.
+    pub fn prior_a(&self) -> ScaledBeta {
+        self.prior_a
+    }
+
+    /// The prior over the new release's pfd.
+    pub fn prior_b(&self) -> ScaledBeta {
+        self.prior_b
+    }
+
+    /// Creates an incremental adaptive updater positioned at the prior.
+    /// The coarse tracker and the first fine window (located from the
+    /// coarse prior marginals) are allocated here; steady-state
+    /// [`AdaptiveUpdater::update_to`] calls are allocation-free.
+    pub fn updater(&self) -> AdaptiveUpdater {
+        let coarse = self.coarse.updater();
+        let window_a = self.desired_window_a(&coarse);
+        let window_b = self.desired_window_b(&coarse);
+        let (fine_engine, fine) = self.build_fine(window_a, window_b, &JointCounts::new());
+        AdaptiveUpdater {
+            shared: self.clone(),
+            coarse,
+            fine_engine,
+            fine,
+            window_a,
+            window_b,
+            refinements: 0,
+        }
+    }
+
+    fn desired_window_a(&self, coarse: &PosteriorUpdater) -> Window {
+        select_window(
+            &coarse.marginal_a(),
+            self.prior_a.range(),
+            self.adaptive.coarse.a_cells,
+            self.adaptive.mass_target,
+            self.adaptive.guard_cells,
+        )
+    }
+
+    fn desired_window_b(&self, coarse: &PosteriorUpdater) -> Window {
+        select_window(
+            &coarse.marginal_b(),
+            self.prior_b.range(),
+            self.adaptive.coarse.b_cells,
+            self.adaptive.mass_target,
+            self.adaptive.guard_cells,
+        )
+    }
+
+    fn build_fine(
+        &self,
+        window_a: Window,
+        window_b: Window,
+        counts: &JointCounts,
+    ) -> (WhiteBoxInference, PosteriorUpdater) {
+        let engine = WhiteBoxInference::windowed(
+            self.prior_a,
+            self.prior_b,
+            self.coincidence,
+            self.adaptive.fine,
+            (window_a.lo, window_a.hi),
+            (window_b.lo, window_b.hi),
+        );
+        let mut updater = engine.updater();
+        if counts.demands() > 0 {
+            updater.rebase(counts);
+        }
+        (engine, updater)
+    }
+}
+
+/// Stateful incremental engine of the adaptive mode. Owns a coarse
+/// full-support tracker and a windowed fine engine; queries are served
+/// from the fine engine's cached marginals, allocation-free, exactly
+/// like [`PosteriorUpdater`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveUpdater {
+    shared: AdaptiveWhiteBox,
+    coarse: PosteriorUpdater,
+    fine_engine: WhiteBoxInference,
+    fine: PosteriorUpdater,
+    window_a: Window,
+    window_b: Window,
+    refinements: u64,
+}
+
+impl AdaptiveUpdater {
+    /// Advances both trackers to the given cumulative counts, rebuilding
+    /// the fine window first if the posterior escaped or outgrew it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the posterior vanishes everywhere (counts impossible
+    /// under the prior).
+    pub fn update_to(&mut self, counts: &JointCounts) {
+        self.coarse.update_to(counts);
+        if self.refresh_window(counts) {
+            return; // the rebuild rebased the fine engine to `counts`
+        }
+        self.fine.update_to(counts);
+    }
+
+    /// Exact recompute of both trackers from total counts (the
+    /// escape hatch for non-monotone count sequences; `update_to`
+    /// delegates to the same path automatically in that case).
+    pub fn rebase(&mut self, counts: &JointCounts) {
+        self.coarse.rebase(counts);
+        if self.refresh_window(counts) {
+            return;
+        }
+        self.fine.rebase(counts);
+    }
+
+    /// Re-selects the desired window from the (already updated) coarse
+    /// marginals and rebuilds the fine engine if the current window no
+    /// longer fits. Returns `true` if a rebuild happened (the fine
+    /// engine is then already at `counts`).
+    fn refresh_window(&mut self, counts: &JointCounts) -> bool {
+        let desired_a = self.shared.desired_window_a(&self.coarse);
+        let desired_b = self.shared.desired_window_b(&self.coarse);
+        let escaped = !self.window_a.contains(desired_a) || !self.window_b.contains(desired_b);
+        // Rebuild when the posterior tightened enough that the fine
+        // grid wastes more than half its cells (per axis) outside the
+        // needed window; the factor-of-two hysteresis keeps refinements
+        // logarithmic in the total tightening.
+        let outgrown = desired_a.width() < 0.5 * self.window_a.width()
+            || desired_b.width() < 0.5 * self.window_b.width();
+        if !(escaped || outgrown) {
+            return false;
+        }
+        let (fine_engine, fine) = self.shared.build_fine(desired_a, desired_b, counts);
+        self.fine_engine = fine_engine;
+        self.fine = fine;
+        self.window_a = desired_a;
+        self.window_b = desired_b;
+        self.refinements += 1;
+        true
+    }
+
+    /// The cumulative counts the posterior currently reflects.
+    pub fn counts(&self) -> JointCounts {
+        self.fine.counts()
+    }
+
+    /// Number of fine-window rebuilds since construction.
+    pub fn refinements(&self) -> u64 {
+        self.refinements
+    }
+
+    /// The current fine window of the `P_A` axis.
+    pub fn window_a(&self) -> (f64, f64) {
+        (self.window_a.lo, self.window_a.hi)
+    }
+
+    /// The current fine window of the `P_B` axis.
+    pub fn window_b(&self) -> (f64, f64) {
+        (self.window_b.lo, self.window_b.hi)
+    }
+
+    /// The windowed fine engine currently answering queries.
+    pub fn fine_engine(&self) -> &WhiteBoxInference {
+        &self.fine_engine
+    }
+
+    /// Borrowed fine-grid marginal of `P_A`; allocation-free.
+    pub fn marginal_a(&self) -> MarginalView<'_> {
+        self.fine.marginal_a()
+    }
+
+    /// Borrowed fine-grid marginal of `P_B`; allocation-free.
+    pub fn marginal_b(&self) -> MarginalView<'_> {
+        self.fine.marginal_b()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario1() -> (ScaledBeta, ScaledBeta) {
+        (
+            ScaledBeta::new(20.0, 20.0, 0.002).unwrap(),
+            ScaledBeta::new(2.0, 3.0, 0.002).unwrap(),
+        )
+    }
+
+    fn fixed_updater() -> PosteriorUpdater {
+        let (pa, pb) = scenario1();
+        WhiteBoxInference::new(pa, pb, CoincidencePrior::IndifferenceUniform).updater()
+    }
+
+    fn adaptive_updater() -> AdaptiveUpdater {
+        let (pa, pb) = scenario1();
+        AdaptiveWhiteBox::new(
+            pa,
+            pb,
+            CoincidencePrior::IndifferenceUniform,
+            Resolution::adaptive(),
+        )
+        .updater()
+    }
+
+    /// One fixed default grid cell width of the B axis — the percentile
+    /// tolerance of the accuracy contract.
+    const B_CELL: f64 = 0.002 / 96.0;
+
+    #[test]
+    fn prior_state_matches_fixed_grid() {
+        let adaptive = adaptive_updater();
+        let fixed = fixed_updater();
+        let (am, fm) = (adaptive.marginal_b(), fixed.marginal_b());
+        assert!(
+            (am.mean() - fm.mean()).abs() < B_CELL,
+            "{} vs {}",
+            am.mean(),
+            fm.mean()
+        );
+        assert!((am.percentile(0.99) - fm.percentile(0.99)).abs() < B_CELL);
+    }
+
+    #[test]
+    fn golden_tolerance_along_a_clean_run() {
+        // The accuracy contract, pinned over a realistic monotone count
+        // trajectory: percentiles within one default-grid cell,
+        // confidence within 1 - mass_target plus discretisation slack.
+        let mut adaptive = adaptive_updater();
+        let mut fixed = fixed_updater();
+        for n in [500u64, 2_000, 8_000, 30_000, 100_000] {
+            let counts = JointCounts::from_raw(n, 0, n / 10_000, n / 20_000);
+            adaptive.update_to(&counts);
+            fixed.update_to(&counts);
+            for (am, fm) in [
+                (adaptive.marginal_a(), fixed.marginal_a()),
+                (adaptive.marginal_b(), fixed.marginal_b()),
+            ] {
+                for c in [0.5, 0.9, 0.99] {
+                    let (ap, fp) = (am.percentile(c), fm.percentile(c));
+                    assert!(
+                        (ap - fp).abs() <= B_CELL,
+                        "n={n} c={c}: adaptive {ap} vs fixed {fp}"
+                    );
+                }
+                let target = fm.percentile(0.95);
+                assert!(
+                    (am.confidence(target) - fm.confidence(target)).abs() <= 2e-2,
+                    "n={n}: confidence mismatch at {target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refinements_are_logarithmic_not_per_checkpoint() {
+        let mut adaptive = adaptive_updater();
+        let checkpoints = 40u64;
+        for k in 1..=checkpoints {
+            adaptive.update_to(&JointCounts::from_raw(k * 2_500, 0, 0, 0));
+        }
+        let r = adaptive.refinements();
+        // The posterior tightens by orders of magnitude over 100k clean
+        // demands, so at least one refinement must fire — but far fewer
+        // than one per checkpoint.
+        assert!(r >= 1, "no refinement over a long clean run");
+        assert!(r <= 10, "{r} refinements for {checkpoints} checkpoints");
+    }
+
+    #[test]
+    fn window_escape_triggers_rebuild_and_stays_accurate() {
+        let mut adaptive = adaptive_updater();
+        let mut fixed = fixed_updater();
+        // Clean run tightens the window near zero...
+        adaptive.update_to(&JointCounts::from_raw(50_000, 0, 0, 0));
+        let before = adaptive.refinements();
+        // ...then a failure burst moves B's mass sharply upwards,
+        // escaping the tightened window.
+        let burst = JointCounts::from_raw(51_000, 0, 0, 60);
+        adaptive.update_to(&burst);
+        fixed.update_to(&burst);
+        assert!(adaptive.refinements() > before, "escape did not rebuild");
+        let (ap, fp) = (
+            adaptive.marginal_b().percentile(0.99),
+            fixed.marginal_b().percentile(0.99),
+        );
+        assert!((ap - fp).abs() <= B_CELL, "{ap} vs {fp}");
+    }
+
+    #[test]
+    fn steady_state_checkpoints_do_not_rebuild() {
+        let mut adaptive = adaptive_updater();
+        adaptive.update_to(&JointCounts::from_raw(10_000, 0, 0, 0));
+        let settled = adaptive.refinements();
+        // Small monotone increments keep the posterior where it is.
+        for k in 1..=5u64 {
+            adaptive.update_to(&JointCounts::from_raw(10_000 + k * 200, 0, 0, 0));
+        }
+        assert_eq!(adaptive.refinements(), settled);
+    }
+
+    #[test]
+    fn non_monotone_counts_rebase() {
+        let mut adaptive = adaptive_updater();
+        adaptive.update_to(&JointCounts::from_raw(10_000, 0, 0, 2));
+        // Fewer demands than before: the updaters must rebase, not panic.
+        let back = JointCounts::from_raw(4_000, 0, 0, 1);
+        adaptive.update_to(&back);
+        assert_eq!(adaptive.counts(), back);
+        let mut fixed = fixed_updater();
+        fixed.update_to(&back);
+        let (ap, fp) = (
+            adaptive.marginal_b().percentile(0.9),
+            fixed.marginal_b().percentile(0.9),
+        );
+        assert!((ap - fp).abs() <= B_CELL, "{ap} vs {fp}");
+    }
+
+    #[test]
+    fn windows_cover_the_mass_and_live_inside_the_support() {
+        let mut adaptive = adaptive_updater();
+        adaptive.update_to(&JointCounts::from_raw(30_000, 0, 3, 5));
+        for (lo, hi) in [adaptive.window_a(), adaptive.window_b()] {
+            assert!(lo >= 0.0 && lo < hi && hi <= 0.002, "window ({lo}, {hi})");
+        }
+        // The fine marginal is normalised over the window.
+        let total: f64 = adaptive.marginal_b().masses().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_full_support_reproduces_fixed_grid_bitwise() {
+        // The keystone of the opt-in guarantee: a full-support window is
+        // the fixed engine, bit for bit.
+        let (pa, pb) = scenario1();
+        let fixed = WhiteBoxInference::new(pa, pb, CoincidencePrior::IndifferenceUniform);
+        let windowed = WhiteBoxInference::windowed(
+            pa,
+            pb,
+            CoincidencePrior::IndifferenceUniform,
+            Resolution::default(),
+            (0.0, pa.range()),
+            (0.0, pb.range()),
+        );
+        let counts = JointCounts::from_raw(5_000, 1, 2, 3);
+        let (p1, p2) = (fixed.posterior(&counts), windowed.posterior(&counts));
+        for (m1, m2) in [
+            (p1.marginal_a(), p2.marginal_a()),
+            (p1.marginal_b(), p2.marginal_b()),
+        ] {
+            let bits1: Vec<u64> = m1.masses().iter().map(|v| v.to_bits()).collect();
+            let bits2: Vec<u64> = m2.masses().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits1, bits2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mass_target")]
+    fn rejects_bad_mass_target() {
+        let (pa, pb) = scenario1();
+        let mut cfg = Resolution::adaptive();
+        cfg.mass_target = 0.3;
+        let _ = AdaptiveWhiteBox::new(pa, pb, CoincidencePrior::IndifferenceUniform, cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn rejects_inverted_window() {
+        let (pa, pb) = scenario1();
+        let _ = WhiteBoxInference::windowed(
+            pa,
+            pb,
+            CoincidencePrior::IndifferenceUniform,
+            Resolution::default(),
+            (0.001, 0.0005),
+            (0.0, 0.002),
+        );
+    }
+}

@@ -16,8 +16,10 @@
 //!
 //! Supporting modules: [`special`] (log-gamma, regularized incomplete
 //! beta, log-sum-exp), [`beta`] (Beta and scaled-Beta distributions),
-//! [`counts`] (joint outcome bookkeeping) and [`posterior`] (grid
-//! marginals with percentile/confidence queries).
+//! [`counts`] (joint outcome bookkeeping), [`posterior`] (grid
+//! marginals with percentile/confidence queries), [`kernels`] (the
+//! vectorized structure-of-arrays grid kernels) and [`adaptive`]
+//! (opt-in coarse-to-fine grid refinement).
 //!
 //! # Example: black-box confidence after observing 1000 clean demands
 //!
@@ -38,14 +40,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod beta;
 pub mod blackbox;
 pub mod compare;
 pub mod counts;
+pub mod kernels;
 pub mod posterior;
 pub mod special;
 pub mod whitebox;
 
+pub use adaptive::{AdaptiveResolution, AdaptiveUpdater, AdaptiveWhiteBox};
 pub use beta::ScaledBeta;
 pub use blackbox::{BlackBoxInference, BlackBoxUpdater};
 pub use counts::JointCounts;

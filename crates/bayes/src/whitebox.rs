@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use crate::beta::ScaledBeta;
 use crate::counts::JointCounts;
+use crate::kernels::{self, LaneBuf, Term};
 use crate::posterior::{self, GridPosterior, MarginalView};
 
 /// The conditional prior of the coincident-failure probability
@@ -127,98 +128,109 @@ impl Default for Resolution {
     }
 }
 
+impl Resolution {
+    /// The default adaptive coarse-to-fine configuration: a 32×32×16
+    /// coarse pass over the full prior support locates the posterior's
+    /// high-mass region, and a fine grid at the default fixed resolution
+    /// is spent only there. See [`crate::adaptive`] for the accuracy
+    /// contract.
+    pub fn adaptive() -> crate::adaptive::AdaptiveResolution {
+        crate::adaptive::AdaptiveResolution::default()
+    }
+}
+
 /// The precomputed grid tables — prior masses, per-cell event
 /// log-probabilities, `p_AB` values and axis edges. Shared via [`Arc`]
 /// between the engine, every posterior it produces and any incremental
 /// updaters, so queries never copy the ~300k `f64` of tables.
+///
+/// The log tables live in cache-aligned, lane-padded [`LaneBuf`]s
+/// (structure-of-arrays): each of the four event classes is its own
+/// contiguous stream, padded with dead-cell `-inf` up to a lane
+/// multiple, so the chunked kernels in [`crate::kernels`] sweep whole
+/// lanes with no tail inside the per-term loops and no per-cell
+/// liveness branch.
 #[derive(Debug)]
-struct GridTables {
-    a_edges: Vec<f64>,
-    b_edges: Vec<f64>,
+pub(crate) struct GridTables {
+    pub(crate) a_edges: Vec<f64>,
+    pub(crate) b_edges: Vec<f64>,
     /// Per-cell log prior mass; NEG_INFINITY where the prior vanishes.
-    ln_prior: Vec<f64>,
+    ln_prior: LaneBuf,
     /// Per-cell `ln` of the four event probabilities (p11, p10, p01, p00).
-    ln_p11: Vec<f64>,
-    ln_p10: Vec<f64>,
-    ln_p01: Vec<f64>,
-    ln_p00: Vec<f64>,
+    ln_p11: LaneBuf,
+    ln_p10: LaneBuf,
+    ln_p01: LaneBuf,
+    ln_p00: LaneBuf,
     /// Per-cell `p_AB` values, for the coincidence marginal.
     p_ab: Vec<f64>,
     /// Number of q points actually used.
-    q_points: usize,
+    pub(crate) q_points: usize,
     /// Support of the coincidence marginal, `min(range_A, range_B)`.
     pab_range: f64,
 }
 
 impl GridTables {
-    fn cells(&self) -> usize {
+    pub(crate) fn cells(&self) -> usize {
         self.ln_prior.len()
     }
 
-    fn a_cells(&self) -> usize {
+    /// Lane-padded cell count — the length of every padded table slice
+    /// and of the `ln_w` buffers the kernels sweep.
+    fn padded_cells(&self) -> usize {
+        self.ln_prior.padded_len()
+    }
+
+    pub(crate) fn a_cells(&self) -> usize {
         self.a_edges.len() - 1
     }
 
-    fn b_cells(&self) -> usize {
+    pub(crate) fn b_cells(&self) -> usize {
         self.b_edges.len() - 1
     }
 
-    /// Recomputes `ln_w` from total counts in one fused pass, returning
-    /// the running maximum. Cells where the prior vanishes are left
-    /// untouched (they must already hold `NEG_INFINITY`). The operation
-    /// order — prior, then the `r1..r4` terms guarded on positive counts
-    /// — is the reference order every other path must reproduce.
-    fn accumulate_ln_w(&self, counts: &JointCounts, ln_w: &mut [f64]) -> f64 {
-        let r1 = counts.both_failed() as f64;
-        let r2 = counts.only_a_failed() as f64;
-        let r3 = counts.only_b_failed() as f64;
-        let r4 = counts.both_succeeded() as f64;
-        let mut max = f64::NEG_INFINITY;
-        for (c, slot) in ln_w.iter_mut().enumerate() {
-            let prior = self.ln_prior[c];
-            if prior == f64::NEG_INFINITY {
-                continue;
-            }
-            let mut w = prior;
-            if r1 > 0.0 {
-                w += r1 * self.ln_p11[c];
-            }
-            if r2 > 0.0 {
-                w += r2 * self.ln_p10[c];
-            }
-            if r3 > 0.0 {
-                w += r3 * self.ln_p01[c];
-            }
-            if r4 > 0.0 {
-                w += r4 * self.ln_p00[c];
-            }
-            *slot = w;
-            if w > max {
-                max = w;
+    /// The live (count > 0) likelihood terms in the reference order
+    /// `r1..r4`, as lane-padded table slices. Returns the filled prefix
+    /// length; no allocation.
+    fn live_terms<'a>(&'a self, deltas: [f64; 4]) -> ([Term<'a>; 4], usize) {
+        let tables: [&'a [f64]; 4] = [
+            self.ln_p11.padded(),
+            self.ln_p10.padded(),
+            self.ln_p01.padded(),
+            self.ln_p00.padded(),
+        ];
+        let mut terms: [Term<'a>; 4] = [(&[], 0.0); 4];
+        let mut n = 0;
+        for (&d, &table) in deltas.iter().zip(&tables) {
+            if d > 0.0 {
+                terms[n] = (table, d);
+                n += 1;
             }
         }
-        max
+        (terms, n)
     }
-}
 
-/// `ln_w += d · ln_p`, skipping nothing: dead cells (`-inf`) stay dead
-/// because `d > 0` keeps `d · ln_p` away from NaN territory.
-fn axpy(ln_w: &mut [f64], ln_p: &[f64], d: f64) {
-    for (w, &p) in ln_w.iter_mut().zip(ln_p) {
-        *w += d * p;
+    /// Recomputes `ln_w` (a lane-padded buffer) from total counts via
+    /// the one shared batch kernel, returning the running maximum. The
+    /// operation order — prior, then the `r1..r4` terms guarded on
+    /// positive counts, each a separately rounded `+=` — is the
+    /// reference order every other path must reproduce. Dead and
+    /// padding cells come out `-inf` (`-inf + d·(-inf)` for the live
+    /// deltas), exactly as they went in.
+    ///
+    /// This is the **single** recompute path: both
+    /// [`WhiteBoxInference::posterior`] and [`PosteriorUpdater::rebase`]
+    /// call it, which is what makes batch and rebased-incremental
+    /// results bit-identical by construction.
+    pub(crate) fn recompute_into(&self, counts: &JointCounts, ln_w: &mut [f64]) -> f64 {
+        let deltas = [
+            counts.both_failed() as f64,
+            counts.only_a_failed() as f64,
+            counts.only_b_failed() as f64,
+            counts.both_succeeded() as f64,
+        ];
+        let (terms, n) = self.live_terms(deltas);
+        kernels::recompute_max(ln_w, self.ln_prior.padded(), &terms[..n])
     }
-}
-
-/// As [`axpy`], fused with the running-max scan of the final pass.
-fn axpy_max(ln_w: &mut [f64], ln_p: &[f64], d: f64) -> f64 {
-    let mut max = f64::NEG_INFINITY;
-    for (w, &p) in ln_w.iter_mut().zip(ln_p) {
-        *w += d * p;
-        if *w > max {
-            max = *w;
-        }
-    }
-    max
 }
 
 /// White-box inference engine. Construction precomputes the prior masses
@@ -255,17 +267,59 @@ impl WhiteBoxInference {
         coincidence: CoincidencePrior,
         resolution: Resolution,
     ) -> WhiteBoxInference {
+        WhiteBoxInference::windowed(
+            prior_a,
+            prior_b,
+            coincidence,
+            resolution,
+            (0.0, prior_a.range()),
+            (0.0, prior_b.range()),
+        )
+    }
+
+    /// Creates an engine whose grid covers only the given axis windows
+    /// instead of the priors' full supports. This is the fine stage of
+    /// the adaptive coarse-to-fine mode ([`crate::adaptive`]): spending
+    /// the whole grid budget on the posterior's high-mass region. Prior
+    /// mass outside the windows is simply not represented — queries
+    /// against the resulting posteriors treat it as zero — so windows
+    /// must cover essentially all posterior mass for accurate answers.
+    ///
+    /// With the full-support windows `(0, range)` this is exactly
+    /// [`WhiteBoxInference::with_resolution`], bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any resolution component is zero, a coincidence-prior
+    /// parameter is out of range, or a window is empty, inverted or
+    /// outside `[0, range]`.
+    pub fn windowed(
+        prior_a: ScaledBeta,
+        prior_b: ScaledBeta,
+        coincidence: CoincidencePrior,
+        resolution: Resolution,
+        a_window: (f64, f64),
+        b_window: (f64, f64),
+    ) -> WhiteBoxInference {
         assert!(
             resolution.a_cells > 0 && resolution.b_cells > 0 && resolution.q_cells > 0,
             "grid resolution components must be positive"
         );
         coincidence.validate();
+        for (window, range) in [(a_window, prior_a.range()), (b_window, prior_b.range())] {
+            assert!(
+                window.0 >= 0.0 && window.0 < window.1 && window.1 <= range,
+                "window {window:?} empty or outside the prior support [0, {range}]"
+            );
+        }
         let (na, nb) = (resolution.a_cells, resolution.b_cells);
+        // `lo + (hi - lo)·i/n`: for the full-support window this reduces
+        // to `0 + range·i/n`, reproducing the unwindowed edges exactly.
         let a_edges: Vec<f64> = (0..=na)
-            .map(|i| prior_a.range() * i as f64 / na as f64)
+            .map(|i| a_window.0 + (a_window.1 - a_window.0) * i as f64 / na as f64)
             .collect();
         let b_edges: Vec<f64> = (0..=nb)
-            .map(|j| prior_b.range() * j as f64 / nb as f64)
+            .map(|j| b_window.0 + (b_window.1 - b_window.0) * j as f64 / nb as f64)
             .collect();
         let a_mass: Vec<f64> = (0..na)
             .map(|i| prior_a.mass(a_edges[i], a_edges[i + 1]))
@@ -323,11 +377,13 @@ impl WhiteBoxInference {
             tables: Arc::new(GridTables {
                 a_edges,
                 b_edges,
-                ln_prior,
-                ln_p11,
-                ln_p10,
-                ln_p01,
-                ln_p00,
+                // Pad with the dead-cell encoding so chunked sweeps can
+                // cover the padding lanes without affecting any result.
+                ln_prior: LaneBuf::new(&ln_prior, f64::NEG_INFINITY),
+                ln_p11: LaneBuf::new(&ln_p11, f64::NEG_INFINITY),
+                ln_p10: LaneBuf::new(&ln_p10, f64::NEG_INFINITY),
+                ln_p01: LaneBuf::new(&ln_p01, f64::NEG_INFINITY),
+                ln_p00: LaneBuf::new(&ln_p00, f64::NEG_INFINITY),
                 p_ab: p_ab_values,
                 q_points,
                 pab_range: prior_a.range().min(prior_b.range()),
@@ -361,16 +417,14 @@ impl WhiteBoxInference {
     /// floating-point operation order is identical, so batch and
     /// incremental results agree bit-for-bit at the same totals.
     pub fn posterior(&self, counts: &JointCounts) -> WhiteBoxPosterior {
-        let mut ln_w = vec![f64::NEG_INFINITY; self.tables.cells()];
-        let max = self.tables.accumulate_ln_w(counts, &mut ln_w);
+        let mut ln_w = vec![f64::NEG_INFINITY; self.tables.padded_cells()];
+        let max = self.tables.recompute_into(counts, &mut ln_w);
         assert!(
             max.is_finite(),
             "posterior vanished everywhere: counts {counts} are impossible under the prior"
         );
-        let weights: Vec<f64> = ln_w
-            .iter()
-            .map(|&w| if w.is_finite() { (w - max).exp() } else { 0.0 })
-            .collect();
+        let mut weights = vec![0.0; self.tables.cells()];
+        kernels::exp_weights(&ln_w[..self.tables.cells()], max, &mut weights);
         WhiteBoxPosterior {
             tables: Arc::clone(&self.tables),
             weights,
@@ -389,7 +443,7 @@ impl WhiteBoxInference {
         let mut updater = PosteriorUpdater {
             tables: Arc::clone(&self.tables),
             counts: JointCounts::new(),
-            ln_w: vec![f64::NEG_INFINITY; self.tables.cells()],
+            ln_w: LaneBuf::filled(self.tables.cells(), f64::NEG_INFINITY),
             max: f64::NEG_INFINITY,
             a_weights: vec![0.0; self.tables.a_cells()],
             b_weights: vec![0.0; self.tables.b_cells()],
@@ -411,7 +465,11 @@ pub struct WhiteBoxPosterior {
 }
 
 impl WhiteBoxPosterior {
-    /// Marginal posterior of `P_A` (eq. (4)).
+    /// Marginal posterior of `P_A` (eq. (4)). Each sum is an
+    /// element-wise serial chain in grid order — the one marginal
+    /// association, shared with the incremental updater's fused pass
+    /// ([`kernels::exp_stride_sums`]), so batch and incremental
+    /// marginals agree bit for bit at equal weights.
     pub fn marginal_a(&self) -> GridPosterior {
         let t = &self.tables;
         let mut sums = vec![0.0; t.a_cells()];
@@ -425,7 +483,8 @@ impl WhiteBoxPosterior {
         GridPosterior::from_weights(t.a_edges.clone(), sums)
     }
 
-    /// Marginal posterior of `P_B` (eq. (5)).
+    /// Marginal posterior of `P_B` (eq. (5)); same element-wise serial
+    /// chains as [`Self::marginal_a`].
     pub fn marginal_b(&self) -> GridPosterior {
         let t = &self.tables;
         let mut sums = vec![0.0; t.b_cells()];
@@ -470,28 +529,33 @@ impl WhiteBoxPosterior {
 /// **zero heap allocation**:
 ///
 /// * `update_to` applies **delta counts** in place — `ln_w += Δr_i ·
-///   ln p_i` — one fused axpy pass per event class whose count moved
-///   (between checkpoints failures are rare, so usually only the Δr4
-///   term is live), with the running max for stable renormalisation
-///   folded into the last pass;
-/// * one further fused pass exponentiates the grid and accumulates both
-///   marginal stride sums, in the same order as the batch marginals, so
-///   at equal `ln_w` the marginals agree bit-for-bit;
+///   ln p_i` — as **one** fused, lane-chunked pass over the grid
+///   ([`kernels::fused_axpy_max`]): every event class whose count moved
+///   is a term of the same sweep, with the running max for stable
+///   renormalisation folded in, so a checkpoint touches the ~300k-cell
+///   buffer once instead of once per class;
+/// * one further fused pass ([`kernels::exp_stride_sums`])
+///   exponentiates the grid and accumulates both marginal stride sums,
+///   in the same order as the batch marginals — skipping the `exp` for
+///   cells that provably underflow to exactly `0.0` — so at equal
+///   `ln_w` the marginals agree bit-for-bit;
 /// * [`PosteriorUpdater::marginal_a`]/[`PosteriorUpdater::marginal_b`]
 ///   return borrowed [`MarginalView`]s over the cached masses instead of
 ///   freshly allocated grids.
 ///
 /// Counts normally grow monotonically; if a checkpoint moves any count
 /// backwards the updater transparently **rebases** — an exact in-place
-/// recompute from the new totals using the batch operation order.
-/// Repeated counts are a no-op. The accumulated delta path can drift
-/// from the batch result by a few units in the last place of `ln_w`
-/// (one rounding per update); `rebase` restores exact batch bits.
+/// recompute from the new totals through [`GridTables::recompute_into`],
+/// the same kernel call [`WhiteBoxInference::posterior`] makes, so the
+/// two stay bit-identical by construction. Repeated counts are a no-op.
+/// The accumulated delta path can drift from the batch result by a few
+/// units in the last place of `ln_w` (one rounding per update);
+/// `rebase` restores exact batch bits.
 #[derive(Debug, Clone)]
 pub struct PosteriorUpdater {
     tables: Arc<GridTables>,
     counts: JointCounts,
-    ln_w: Vec<f64>,
+    ln_w: LaneBuf,
     max: f64,
     a_weights: Vec<f64>,
     b_weights: Vec<f64>,
@@ -522,24 +586,11 @@ impl PosteriorUpdater {
             (counts.only_b_failed() - old.only_b_failed()) as f64,
             (counts.both_succeeded() - old.both_succeeded()) as f64,
         ];
-        let Some(last_live) = deltas.iter().rposition(|&d| d > 0.0) else {
+        if deltas.iter().all(|&d| d == 0.0) {
             return; // zero-delta checkpoint: nothing moved
-        };
-        {
-            let tables = &*self.tables;
-            let terms: [&[f64]; 4] = [
-                &tables.ln_p11,
-                &tables.ln_p10,
-                &tables.ln_p01,
-                &tables.ln_p00,
-            ];
-            for (&d, &term) in deltas.iter().zip(terms.iter()).take(last_live) {
-                if d > 0.0 {
-                    axpy(&mut self.ln_w, term, d);
-                }
-            }
-            self.max = axpy_max(&mut self.ln_w, terms[last_live], deltas[last_live]);
         }
+        let (terms, n) = self.tables.live_terms(deltas);
+        self.max = kernels::fused_axpy_max(self.ln_w.padded_mut(), &terms[..n]);
         self.counts = *counts;
         self.finish_update();
     }
@@ -547,8 +598,7 @@ impl PosteriorUpdater {
     /// Exact in-place recompute from total counts, restoring batch-path
     /// bits (also the escape hatch for non-monotone count sequences).
     pub fn rebase(&mut self, counts: &JointCounts) {
-        let tables = Arc::clone(&self.tables);
-        self.max = tables.accumulate_ln_w(counts, &mut self.ln_w);
+        self.max = self.tables.recompute_into(counts, self.ln_w.padded_mut());
         self.counts = *counts;
         self.finish_update();
     }
@@ -565,27 +615,17 @@ impl PosteriorUpdater {
     /// One fused pass: exponentiate every cell against the running max
     /// and accumulate both marginal stride sums in grid order (the exact
     /// addition order of the batch marginals), then normalise into the
-    /// cached mass buffers.
+    /// cached mass buffers. Cells whose shifted log-weight provably
+    /// underflows to `0.0` skip both the `exp` and the no-op additions
+    /// (bit-identical; see [`kernels::EXP_UNDERFLOW`]).
     fn refresh_marginals(&mut self) {
-        let tables = &*self.tables;
-        let max = self.max;
-        self.a_weights.fill(0.0);
-        self.b_weights.fill(0.0);
-        let nb = tables.b_cells();
-        let q = tables.q_points;
-        let mut idx = 0;
-        for a_slot in self.a_weights.iter_mut() {
-            for b_slot in self.b_weights.iter_mut() {
-                for _ in 0..q {
-                    let w = self.ln_w[idx];
-                    let x = if w.is_finite() { (w - max).exp() } else { 0.0 };
-                    *a_slot += x;
-                    *b_slot += x;
-                    idx += 1;
-                }
-            }
-        }
-        debug_assert_eq!(idx, nb * q * tables.a_cells());
+        kernels::exp_stride_sums(
+            self.ln_w.padded(),
+            self.max,
+            self.tables.q_points,
+            &mut self.a_weights,
+            &mut self.b_weights,
+        );
         posterior::normalize_into(&self.a_weights, &mut self.a_masses);
         posterior::normalize_into(&self.b_weights, &mut self.b_masses);
     }

@@ -3,9 +3,11 @@
 //! and the black-box conjugate-grid path.
 
 use std::hint::black_box;
+use wsu_bayes::adaptive::AdaptiveWhiteBox;
 use wsu_bayes::beta::ScaledBeta;
 use wsu_bayes::blackbox::BlackBoxInference;
 use wsu_bayes::counts::JointCounts;
+use wsu_bayes::kernels;
 use wsu_bayes::whitebox::{CoincidencePrior, Resolution, WhiteBoxInference};
 use wsu_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -120,6 +122,97 @@ fn whitebox_incremental(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-kernel throughput over a default-grid-sized buffer (96×96×32 =
+/// 294,912 cells): the lane-chunked structure-of-arrays kernels the
+/// white-box hot paths are built from.
+fn whitebox_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayes/kernels");
+    const CELLS: usize = 96 * 96 * 32;
+    // Synthetic but realistically-shaped data: log-weights spread over
+    // the post-shift band the updater produces, log-probability tables
+    // in the per-demand range, and a sprinkle of dead (-inf) cells.
+    let base: Vec<f64> = (0..CELLS)
+        .map(|i| {
+            if i % 37 == 0 {
+                f64::NEG_INFINITY
+            } else {
+                -((i % 7919) as f64) * 1.5e-3
+            }
+        })
+        .collect();
+    let p1: Vec<f64> = (0..CELLS)
+        .map(|i| -1e-4 * ((i % 997) as f64) - 1e-6)
+        .collect();
+    let p2: Vec<f64> = (0..CELLS)
+        .map(|i| -2e-4 * ((i % 641) as f64) - 1e-6)
+        .collect();
+    let p3: Vec<f64> = (0..CELLS)
+        .map(|i| -5e-5 * ((i % 1301) as f64) - 1e-6)
+        .collect();
+
+    let mut w = base.clone();
+    group.bench_function("axpy/96x96x32", |b| {
+        b.iter(|| kernels::axpy(black_box(&mut w), black_box(&p1), 500.0));
+    });
+    let mut w = base.clone();
+    group.bench_function("axpy_max/96x96x32", |b| {
+        b.iter(|| black_box(kernels::axpy_max(black_box(&mut w), black_box(&p1), 500.0)));
+    });
+    let mut w = base.clone();
+    group.bench_function("fused3/96x96x32", |b| {
+        b.iter(|| {
+            black_box(kernels::fused_axpy_max(
+                black_box(&mut w),
+                &[(&p1, 498.0), (&p2, 1.0), (&p3, 1.0)],
+            ))
+        });
+    });
+    group.bench_function("exp_weights/96x96x32", |b| {
+        let mut x = vec![0.0; CELLS];
+        b.iter(|| kernels::exp_weights(black_box(&base), 0.0, black_box(&mut x)));
+    });
+    group.bench_function("exp_stride_sums/96x96x32", |b| {
+        let mut a_sums = vec![0.0; 96];
+        let mut b_sums = vec![0.0; 96];
+        b.iter(|| {
+            kernels::exp_stride_sums(black_box(&base), 0.0, 32, &mut a_sums, &mut b_sums);
+            black_box(a_sums[0] + b_sums[0])
+        });
+    });
+    group.finish();
+}
+
+/// Adaptive coarse-to-fine vs the fixed default grid on the same
+/// growing-counts checkpoint loop as `bayes/incremental` — the latency
+/// side of the adaptive contract (the accuracy side is pinned by
+/// `wsu_bayes::adaptive`'s golden tests). The adaptive cost includes
+/// the coarse tracker, the window re-selection and any fine-window
+/// rebuilds the trajectory triggers.
+fn whitebox_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayes/adaptive");
+    let engine = AdaptiveWhiteBox::new(
+        ScaledBeta::new(20.0, 20.0, 0.002).unwrap(),
+        ScaledBeta::new(2.0, 3.0, 0.002).unwrap(),
+        CoincidencePrior::IndifferenceUniform,
+        Resolution::adaptive(),
+    );
+    let mut updater = engine.updater();
+    let mut counts = JointCounts::new();
+    group.bench_function("checkpoint/coarse32_fine96", move |b| {
+        b.iter(|| {
+            counts = JointCounts::from_raw(
+                counts.demands() + 500,
+                counts.both_failed(),
+                counts.only_a_failed() + 1,
+                counts.only_b_failed() + 1,
+            );
+            updater.update_to(&counts);
+            black_box(updater.marginal_a().percentile(0.99) + updater.marginal_b().percentile(0.99))
+        });
+    });
+    group.finish();
+}
+
 fn blackbox_incremental(c: &mut Criterion) {
     let mut group = c.benchmark_group("bayes/blackbox_incremental");
     let prior = ScaledBeta::new(2.0, 3.0, 0.01).unwrap();
@@ -165,6 +258,8 @@ criterion_group!(
     benches,
     whitebox_posterior,
     whitebox_incremental,
+    whitebox_kernels,
+    whitebox_adaptive,
     whitebox_marginals,
     blackbox_posterior,
     blackbox_incremental,

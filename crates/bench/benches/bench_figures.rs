@@ -17,6 +17,7 @@ fn config(demands: u64, every: u64) -> StudyConfig {
             b_cells: 48,
             q_cells: 16,
         },
+        adaptive: None,
         confidence: 0.99,
         target: 1e-3,
         seed: DEFAULT_SEED,

@@ -34,6 +34,7 @@ fn main() {
         } else {
             Resolution::default()
         },
+        adaptive: None,
         confidence: 0.99,
         target: 1e-3,
         seed: DEFAULT_SEED,

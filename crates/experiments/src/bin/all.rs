@@ -47,6 +47,7 @@ fn main() -> std::io::Result<()> {
         demands: if quick { 10_000 } else { 50_000 },
         checkpoint_every: 500,
         resolution: res,
+        adaptive: None,
         confidence: 0.99,
         target: 1e-3,
         seed: DEFAULT_SEED,
@@ -55,6 +56,7 @@ fn main() -> std::io::Result<()> {
         demands: if quick { 4_000 } else { 10_000 },
         checkpoint_every: 100,
         resolution: res,
+        adaptive: None,
         confidence: 0.99,
         target: 1e-3,
         seed: DEFAULT_SEED,

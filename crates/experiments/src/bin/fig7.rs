@@ -23,6 +23,7 @@ fn main() {
                     b_cells: 48,
                     q_cells: 16,
                 },
+                adaptive: None,
                 confidence: 0.99,
                 target: 1e-3,
                 seed: DEFAULT_SEED,

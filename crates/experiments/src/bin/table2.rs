@@ -1,11 +1,15 @@
 //! Regenerates Table 2 (duration of managed upgrade).
 //!
-//! Usage: `table2 [--quick] [--seeds N] [--trace PATH] [--metrics PATH]`
-//! plus the shared observability flags `--serve-metrics PORT`,
-//! `--serve-hold SECS` and `--phase-metrics` — `--quick` runs a
-//! reduced-scale version; `--seeds N` additionally reports the spread
-//! of every cell across N seeds; `--trace`/`--metrics` replay every
-//! study's checkpoints into an event trace and a metrics snapshot.
+//! Usage: `table2 [--quick] [--adaptive] [--seeds N] [--trace PATH]
+//! [--metrics PATH]` plus the shared observability flags
+//! `--serve-metrics PORT`, `--serve-hold SECS` and `--phase-metrics` —
+//! `--quick` runs a reduced-scale version; `--adaptive` runs the
+//! studies on the adaptive coarse-to-fine grid (default coarse
+//! 32×32×16, fine 96×96×32 over the high-mass window; durations agree
+//! with the fixed grid to the adaptive tolerance contract, not
+//! bit-for-bit); `--seeds N` additionally reports the spread of every
+//! cell across N seeds; `--trace`/`--metrics` replay every study's
+//! checkpoints into an event trace and a metrics snapshot.
 
 use wsu_bayes::whitebox::Resolution;
 use wsu_experiments::bayes_study::StudyConfig;
@@ -17,6 +21,10 @@ use wsu_simcore::rng::MasterSeed;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let adaptive = args
+        .iter()
+        .any(|a| a == "--adaptive")
+        .then(Resolution::adaptive);
     let mut ctx = ObsOptions::from_env().context();
     let spread_seeds: Option<usize> = args
         .iter()
@@ -34,6 +42,7 @@ fn main() {
                 demands: 10_000,
                 checkpoint_every: 500,
                 resolution: res,
+                adaptive,
                 confidence: 0.99,
                 target: 1e-3,
                 seed: DEFAULT_SEED,
@@ -42,9 +51,20 @@ fn main() {
                 demands: 5_000,
                 checkpoint_every: 100,
                 resolution: res,
+                adaptive,
                 confidence: 0.99,
                 target: 1e-3,
                 seed: DEFAULT_SEED,
+            };
+            run_table2_with(DEFAULT_SEED, &c1, &c2)
+        } else if adaptive.is_some() {
+            let c1 = StudyConfig {
+                adaptive,
+                ..StudyConfig::paper_scenario1(DEFAULT_SEED)
+            };
+            let c2 = StudyConfig {
+                adaptive,
+                ..StudyConfig::paper_scenario2(DEFAULT_SEED)
             };
             run_table2_with(DEFAULT_SEED, &c1, &c2)
         } else {
@@ -73,6 +93,7 @@ fn main() {
             demands: if quick { 10_000 } else { 50_000 },
             checkpoint_every: 500,
             resolution: res,
+            adaptive,
             confidence: 0.99,
             target: 1e-3,
             seed: DEFAULT_SEED,
@@ -81,6 +102,7 @@ fn main() {
             demands: if quick { 5_000 } else { 10_000 },
             checkpoint_every: 100,
             resolution: res,
+            adaptive,
             confidence: 0.99,
             target: 1e-3,
             seed: DEFAULT_SEED,

@@ -138,6 +138,7 @@ mod tests {
                 demands: 6_000,
                 checkpoint_every: 500,
                 resolution: res,
+                adaptive: None,
                 confidence: 0.99,
                 target: 1e-3,
                 seed,
@@ -146,6 +147,7 @@ mod tests {
                 demands: 4_000,
                 checkpoint_every: 200,
                 resolution: res,
+                adaptive: None,
                 confidence: 0.99,
                 target: 1e-3,
                 seed,
