@@ -73,6 +73,7 @@ pub mod middleware;
 pub mod modes;
 pub mod monitor;
 pub mod release;
+pub mod serve;
 pub mod single_release;
 pub mod upgrade;
 
@@ -86,5 +87,6 @@ pub use middleware::{DemandRecord, MiddlewareConfig, UpgradeMiddleware};
 pub use modes::OperatingMode;
 pub use monitor::MonitoringSubsystem;
 pub use release::{ReleaseId, ReleaseInfo, ReleaseState};
+pub use serve::{DemandOutcome, DemandWorker, ReleaseSpec, ServeSpec};
 pub use single_release::SingleReleaseTracker;
 pub use upgrade::{ManagedUpgrade, UpgradeConfig, UpgradePhase};

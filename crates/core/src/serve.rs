@@ -1,0 +1,327 @@
+//! A `Send`-able serving facade over the upgrade middleware.
+//!
+//! The middleware itself is deliberately not `Send`: endpoints hand
+//! out `Rc`-pooled response envelopes and the whole demand loop is
+//! single-threaded by design. A real HTTP front, however, runs one
+//! serving thread per core. This module bridges the two worlds the
+//! same way the parallel replication runner does:
+//!
+//! * [`ServeSpec`] is a plain-data **blueprint** of a deployment
+//!   (middleware config + per-release outcome/latency models + master
+//!   seed). It is `Send + Sync`, so it can be shared across worker
+//!   threads.
+//! * [`DemandWorker`] is the **per-worker instantiation**: each
+//!   serving thread builds its own middleware, endpoints and RNG
+//!   stream from the shared spec (`spec.worker(index)`), so the
+//!   steady-state demand path touches no cross-thread state at all —
+//!   no locks, no atomics, no sharing. Worker `i`'s random stream is
+//!   derived as `MasterSeed::indexed_stream("serve-worker", i)`, so a
+//!   fleet of workers is deterministic given (seed, worker index,
+//!   demand index) regardless of request interleaving across workers.
+//!
+//! [`DemandOutcome`] is the `Copy` summary a front returns to its
+//! client: the same fields the middleware's `DemandRecord` carries,
+//! minus the per-release buffer (which is recycled straight back into
+//! the middleware's pool, keeping the loop allocation-free).
+
+use wsu_simcore::dist::DelayModel;
+use wsu_simcore::rng::{MasterSeed, StreamRng};
+use wsu_wstack::endpoint::SyntheticService;
+use wsu_wstack::message::Envelope;
+use wsu_wstack::outcome::OutcomeProfile;
+
+use crate::adjudicate::SystemVerdict;
+use crate::error::CoreError;
+use crate::middleware::{MiddlewareConfig, UpgradeMiddleware};
+
+/// Blueprint of one deployed release: everything needed to rebuild its
+/// synthetic endpoint on any worker thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReleaseSpec {
+    /// Service name (e.g. `"Quote"`).
+    pub service: String,
+    /// Release string (e.g. `"1.0"`).
+    pub release: String,
+    /// Outcome probabilities the release samples from.
+    pub outcomes: OutcomeProfile,
+    /// Execution-time model.
+    pub exec_time: DelayModel,
+}
+
+impl ReleaseSpec {
+    /// Creates a release blueprint.
+    pub fn new(
+        service: &str,
+        release: &str,
+        outcomes: OutcomeProfile,
+        exec_time: DelayModel,
+    ) -> ReleaseSpec {
+        ReleaseSpec {
+            service: service.to_string(),
+            release: release.to_string(),
+            outcomes,
+            exec_time,
+        }
+    }
+}
+
+/// A `Send + Sync` blueprint of a served deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSpec {
+    /// Middleware configuration (mode, timeout, adjudicator).
+    pub middleware: MiddlewareConfig,
+    /// The releases deployed behind the interface, in deploy order.
+    pub releases: Vec<ReleaseSpec>,
+    /// Master seed; each worker derives an independent stream from it.
+    pub seed: u64,
+    /// Operation name stamped on the request envelope.
+    pub operation: String,
+}
+
+impl ServeSpec {
+    /// A spec with no releases; push [`ReleaseSpec`]s before serving.
+    pub fn new(middleware: MiddlewareConfig, seed: u64) -> ServeSpec {
+        ServeSpec {
+            middleware,
+            releases: Vec::new(),
+            seed,
+            operation: "invoke".to_string(),
+        }
+    }
+
+    /// Adds a release (builder style).
+    #[must_use]
+    pub fn with_release(mut self, release: ReleaseSpec) -> ServeSpec {
+        self.releases.push(release);
+        self
+    }
+
+    /// The paper's two-release upgrade scenario: release 1.0 and a
+    /// slightly more reliable 1.1 running in parallel-reliability mode
+    /// behind the default 2 s timeout.
+    pub fn paper(seed: u64) -> ServeSpec {
+        ServeSpec::new(MiddlewareConfig::default(), seed)
+            .with_release(ReleaseSpec::new(
+                "Quote",
+                "1.0",
+                OutcomeProfile::new(0.999, 0.0005, 0.0005),
+                DelayModel::exponential(0.3),
+            ))
+            .with_release(ReleaseSpec::new(
+                "Quote",
+                "1.1",
+                OutcomeProfile::new(0.9995, 0.00025, 0.00025),
+                DelayModel::exponential(0.25),
+            ))
+    }
+
+    /// A fully deterministic two-release deployment — every demand is
+    /// answered correctly with constant execution times, so round-trip
+    /// smoke tests can assert exact outcomes.
+    pub fn deterministic(seed: u64) -> ServeSpec {
+        ServeSpec::new(MiddlewareConfig::default(), seed)
+            .with_release(ReleaseSpec::new(
+                "Quote",
+                "1.0",
+                OutcomeProfile::always_correct(),
+                DelayModel::constant(0.05),
+            ))
+            .with_release(ReleaseSpec::new(
+                "Quote",
+                "1.1",
+                OutcomeProfile::always_correct(),
+                DelayModel::constant(0.04),
+            ))
+    }
+
+    /// Builds worker `index`'s private demand loop: its own
+    /// middleware, endpoints and RNG stream. Call once per serving
+    /// thread, from that thread.
+    pub fn worker(&self, index: u64) -> DemandWorker {
+        let mut middleware = UpgradeMiddleware::new(self.middleware);
+        for release in &self.releases {
+            middleware.deploy(
+                SyntheticService::builder(&release.service, &release.release)
+                    .outcomes(release.outcomes)
+                    .exec_time(release.exec_time)
+                    .build(),
+            );
+        }
+        DemandWorker {
+            middleware,
+            rng: MasterSeed::new(self.seed).indexed_stream("serve-worker", index),
+            request: Envelope::request(&self.operation),
+            clock: 0.0,
+            worker: index,
+        }
+    }
+}
+
+/// The consumer-visible outcome of one served demand (`Copy`, so
+/// fronts can hand it around without touching the record pool).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DemandOutcome {
+    /// Worker-local demand sequence number.
+    pub seq: u64,
+    /// The worker that served it.
+    pub worker: u64,
+    /// Virtual dispatch instant (worker-local virtual clock), seconds.
+    pub t: f64,
+    /// The adjudicated verdict.
+    pub verdict: SystemVerdict,
+    /// The consumer's virtual wait, in seconds (includes `dT`).
+    pub response_time: f64,
+    /// How many releases responded within the timeout.
+    pub responders: usize,
+    /// Index of the release whose response was forwarded, if one was.
+    pub source: Option<usize>,
+}
+
+impl DemandOutcome {
+    /// The verdict's table label (`CR`, `ER`, `NER`, `NRDT`).
+    pub fn verdict_label(&self) -> &'static str {
+        self.verdict.label()
+    }
+}
+
+/// One worker thread's private demand loop over the shared blueprint.
+///
+/// Not `Send` (and doesn't need to be): build it *on* the serving
+/// thread via [`ServeSpec::worker`].
+#[derive(Debug)]
+pub struct DemandWorker {
+    middleware: UpgradeMiddleware,
+    rng: StreamRng,
+    request: Envelope,
+    clock: f64,
+    worker: u64,
+}
+
+impl DemandWorker {
+    /// Serves one demand end to end on this worker's middleware and
+    /// advances its virtual clock by the consumer's wait. The demand
+    /// record's buffer is recycled immediately, so the steady-state
+    /// path allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoActiveReleases`] if the spec deployed nothing.
+    pub fn demand(&mut self) -> Result<DemandOutcome, CoreError> {
+        self.middleware.set_virtual_time(self.clock);
+        let record = self.middleware.process(&self.request, &mut self.rng)?;
+        let outcome = DemandOutcome {
+            seq: record.seq,
+            worker: self.worker,
+            t: record.t,
+            verdict: record.system.verdict,
+            response_time: record.system.response_time.as_secs(),
+            responders: record.system.responders,
+            source: record.system.source.map(|r| r.index()),
+        };
+        self.clock += outcome.response_time;
+        self.middleware.recycle(record);
+        Ok(outcome)
+    }
+
+    /// Demands served by this worker so far.
+    pub fn demands(&self) -> u64 {
+        self.middleware.demands()
+    }
+
+    /// This worker's index within the fleet.
+    pub fn worker_index(&self) -> u64 {
+        self.worker
+    }
+
+    /// The worker's virtual clock (sum of served response times).
+    pub fn virtual_time(&self) -> f64 {
+        self.clock
+    }
+
+    /// The middleware's configured timeout, in seconds — an upper
+    /// bound (plus `dT`) on any single demand's virtual wait.
+    pub fn timeout_secs(&self) -> f64 {
+        self.middleware.config().timeout.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsu_wstack::outcome::ResponseClass;
+
+    /// The whole point of the facade: the blueprint crosses threads.
+    #[test]
+    fn serve_spec_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeSpec>();
+        assert_send_sync::<ReleaseSpec>();
+        assert_send_sync::<DemandOutcome>();
+    }
+
+    #[test]
+    fn deterministic_spec_serves_correct_demands() {
+        let spec = ServeSpec::deterministic(7);
+        let mut worker = spec.worker(0);
+        for seq in 0..10 {
+            let outcome = worker.demand().expect("demand");
+            assert_eq!(outcome.seq, seq);
+            assert_eq!(outcome.worker, 0);
+            assert_eq!(
+                outcome.verdict,
+                SystemVerdict::Response(ResponseClass::Correct)
+            );
+            assert_eq!(outcome.responders, 2);
+            // max(0.05, 0.04) + dT = 0.15.
+            assert!((outcome.response_time - 0.15).abs() < 1e-12);
+        }
+        assert_eq!(worker.demands(), 10);
+        assert!((worker.virtual_time() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn virtual_clock_stamps_dispatch_instants() {
+        let spec = ServeSpec::deterministic(7);
+        let mut worker = spec.worker(3);
+        let first = worker.demand().expect("demand");
+        let second = worker.demand().expect("demand");
+        assert_eq!(first.t, 0.0);
+        assert!((second.t - first.response_time).abs() < 1e-12);
+        assert_eq!(worker.worker_index(), 3);
+    }
+
+    #[test]
+    fn workers_draw_independent_deterministic_streams() {
+        let spec = ServeSpec::paper(42);
+        // Same worker index twice: identical outcome sequence.
+        let run = |index: u64| -> Vec<(u64, String, f64)> {
+            let mut worker = spec.worker(index);
+            (0..50)
+                .map(|_| {
+                    let o = worker.demand().expect("demand");
+                    (o.seq, o.verdict_label().to_string(), o.response_time)
+                })
+                .collect()
+        };
+        assert_eq!(run(0), run(0));
+        assert_eq!(run(5), run(5));
+        // Distinct indices: distinct streams (response times differ).
+        let a = run(0);
+        let b = run(1);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.2 != y.2));
+    }
+
+    #[test]
+    fn empty_spec_reports_no_active_releases() {
+        let spec = ServeSpec::new(MiddlewareConfig::default(), 1);
+        let mut worker = spec.worker(0);
+        assert_eq!(worker.demand(), Err(CoreError::NoActiveReleases));
+    }
+
+    #[test]
+    fn timeout_bound_is_exposed() {
+        let spec = ServeSpec::deterministic(1);
+        let worker = spec.worker(0);
+        assert_eq!(worker.timeout_secs(), 2.0);
+    }
+}

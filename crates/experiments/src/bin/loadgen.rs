@@ -1,0 +1,185 @@
+//! `wsu-loadgen` — closed-loop load generator for `wsu-serve`.
+//!
+//! Opens `--connections` keep-alive connections and drives each in a
+//! closed loop (one request in flight per connection), capturing
+//! per-request wall latency in a mergeable quantile sketch. Prints a
+//! summary and, with `--out`, writes a `wsu-bench/1` report
+//! (`results/BENCH_http.json`) the stock `bench_compare` guard can
+//! diff.
+//!
+//! Usage:
+//!
+//! ```text
+//! wsu-loadgen --addr HOST:PORT [--connections N] [--requests N]
+//!             [--warmup N] [--out PATH] [--expect-server-match]
+//! ```
+//!
+//! `--expect-server-match` scrapes the server's `/metrics` after the
+//! run and requires its summed `wsu_http_demands_total` to equal the
+//! client-side 200 count (timed + warmup) — valid when this generator
+//! is the server's only client. Exits non-zero on any request error or
+//! on an agreement mismatch.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::exit;
+use std::time::Duration;
+
+use wsu_experiments::loadgen::{render_bench_json, run_load, scrape_demand_total, LoadgenConfig};
+
+struct Options {
+    addr: String,
+    connections: usize,
+    requests: u64,
+    warmup: u64,
+    out: Option<String>,
+    expect_server_match: bool,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        addr: String::new(),
+        connections: 2,
+        requests: 500,
+        warmup: 50,
+        out: None,
+        expect_server_match: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--expect-server-match" {
+            options.expect_server_match = true;
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--addr" => options.addr = value.clone(),
+            "--connections" => {
+                options.connections = value
+                    .parse()
+                    .map_err(|_| format!("--connections: not a count: {value}"))?;
+            }
+            "--requests" => {
+                options.requests = value
+                    .parse()
+                    .map_err(|_| format!("--requests: not a count: {value}"))?;
+            }
+            "--warmup" => {
+                options.warmup = value
+                    .parse()
+                    .map_err(|_| format!("--warmup: not a count: {value}"))?;
+            }
+            "--out" => options.out = Some(value.clone()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 2;
+    }
+    if options.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    if options.connections == 0 {
+        return Err("--connections must be at least 1".to_string());
+    }
+    Ok(options)
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("--addr {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("--addr {addr}: no address"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("wsu-loadgen: {message}");
+            eprintln!(
+                "usage: wsu-loadgen --addr HOST:PORT [--connections N] \
+                 [--requests N] [--warmup N] [--out PATH] [--expect-server-match]"
+            );
+            exit(2);
+        }
+    };
+    let addr = match resolve(&options.addr) {
+        Ok(addr) => addr,
+        Err(message) => {
+            eprintln!("wsu-loadgen: {message}");
+            exit(2);
+        }
+    };
+    let config = LoadgenConfig {
+        addr,
+        connections: options.connections,
+        requests_per_conn: options.requests,
+        warmup_per_conn: options.warmup,
+        timeout: Duration::from_secs(5),
+    };
+    let summary = match run_load(&config) {
+        Ok(summary) => summary,
+        Err(err) => {
+            eprintln!("wsu-loadgen: connect {addr} failed: {err}");
+            exit(1);
+        }
+    };
+    println!(
+        "connections={} ok={} errors={} elapsed={:.3}s",
+        summary.connections,
+        summary.ok,
+        summary.errors,
+        summary.elapsed.as_secs_f64(),
+    );
+    println!(
+        "requests/sec={:.1} p50={}ns p99={}ns p999={}ns",
+        summary.requests_per_sec,
+        summary.latency_ns(0.50),
+        summary.latency_ns(0.99),
+        summary.latency_ns(0.999),
+    );
+    if let Some(path) = &options.out {
+        let json = render_bench_json(&summary);
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        if let Err(err) = std::fs::write(path, json) {
+            eprintln!("wsu-loadgen: write {path} failed: {err}");
+            exit(1);
+        }
+        println!("wrote {path}");
+    }
+    let mut failed = false;
+    if summary.errors > 0 {
+        eprintln!("wsu-loadgen: {} request(s) failed", summary.errors);
+        failed = true;
+    }
+    if options.expect_server_match {
+        match scrape_demand_total(addr) {
+            Ok(server_total) => {
+                let client_total = summary.ok + summary.warmup_ok;
+                if server_total == client_total {
+                    println!("server agreement: wsu_http_demands_total={server_total} matches");
+                } else {
+                    eprintln!(
+                        "wsu-loadgen: server counted {server_total} demands, \
+                         client counted {client_total}"
+                    );
+                    failed = true;
+                }
+            }
+            Err(err) => {
+                eprintln!("wsu-loadgen: /metrics scrape failed: {err}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        exit(1);
+    }
+}

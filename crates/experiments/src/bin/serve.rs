@@ -1,0 +1,128 @@
+//! `wsu-serve` — the upgrade middleware as a real HTTP service.
+//!
+//! Binds a thread-per-core accept loop and serves:
+//!
+//! * `POST /demand` — one demand through the middleware (dispatch,
+//!   adjudicate, respond), answered as a small JSON outcome;
+//! * `GET /metrics` — merged per-worker Prometheus text;
+//! * `GET /snapshot` — aggregate JSON;
+//! * `GET /health` — liveness.
+//!
+//! Usage:
+//!
+//! ```text
+//! wsu-serve [--addr HOST:PORT] [--workers N] [--spec paper|deterministic]
+//!           [--seed N] [--duration SECS]
+//! ```
+//!
+//! Defaults: `--addr 127.0.0.1:9100`, `--workers 0` (one per hardware
+//! thread), `--spec paper`, the workspace seed, `--duration 0` (serve
+//! until killed). Prints `listening on ADDR workers=N` once ready.
+
+use std::process::exit;
+use std::time::Duration;
+
+use wsu_core::serve::ServeSpec;
+use wsu_experiments::serve::{FrontConfig, HttpFront};
+
+struct Options {
+    addr: String,
+    workers: usize,
+    spec: String,
+    seed: u64,
+    duration: f64,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        addr: "127.0.0.1:9100".to_string(),
+        workers: 0,
+        spec: "paper".to_string(),
+        seed: 0x5745_4253_5643_5550,
+        duration: 0.0,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--addr" => options.addr = value(i)?.clone(),
+            "--workers" => {
+                options.workers = value(i)?
+                    .parse()
+                    .map_err(|_| format!("--workers: not a count: {}", args[i + 1]))?;
+            }
+            "--spec" => options.spec = value(i)?.clone(),
+            "--seed" => {
+                options.seed = value(i)?
+                    .parse()
+                    .map_err(|_| format!("--seed: not a u64: {}", args[i + 1]))?;
+            }
+            "--duration" => {
+                options.duration = value(i)?
+                    .parse()
+                    .map_err(|_| format!("--duration: not seconds: {}", args[i + 1]))?;
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+        i += 2;
+    }
+    Ok(options)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("wsu-serve: {message}");
+            eprintln!(
+                "usage: wsu-serve [--addr HOST:PORT] [--workers N] \
+                 [--spec paper|deterministic] [--seed N] [--duration SECS]"
+            );
+            exit(2);
+        }
+    };
+    let spec = match options.spec.as_str() {
+        "paper" => ServeSpec::paper(options.seed),
+        "deterministic" => ServeSpec::deterministic(options.seed),
+        other => {
+            eprintln!("wsu-serve: unknown --spec {other} (want paper|deterministic)");
+            exit(2);
+        }
+    };
+    let front = match HttpFront::start(FrontConfig::new(&options.addr, options.workers, spec)) {
+        Ok(front) => front,
+        Err(err) => {
+            eprintln!("wsu-serve: bind {} failed: {err}", options.addr);
+            exit(1);
+        }
+    };
+    println!(
+        "listening on {} workers={} spec={} seed={}",
+        front.local_addr(),
+        if options.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            options.workers
+        },
+        options.spec,
+        options.seed,
+    );
+    if options.duration > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(options.duration));
+        let demands = front.demands();
+        front.shutdown();
+        println!("served {demands} demands in {:.1}s", options.duration);
+    } else {
+        // Serve until the process is killed.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+}

@@ -18,6 +18,11 @@
 //! middleware simulation, Section 5.2). [`report`] renders aligned text
 //! tables.
 //!
+//! Serving: [`serve`] (binary `wsu-serve`) runs the upgrade middleware
+//! behind a thread-per-core HTTP accept loop, and [`loadgen`] (binary
+//! `wsu-loadgen`) drives it closed-loop and publishes
+//! `results/BENCH_http.json`.
+//!
 //! All experiments are deterministic given a [`MasterSeed`]; the
 //! binaries use [`DEFAULT_SEED`].
 //!
@@ -32,10 +37,12 @@ pub mod bayes_study;
 pub mod campaign;
 pub mod capacity;
 pub mod figures;
+pub mod loadgen;
 pub mod midsim;
 pub mod obs;
 pub mod replicate;
 pub mod report;
+pub mod serve;
 pub mod table2;
 pub mod table5;
 pub mod table6;

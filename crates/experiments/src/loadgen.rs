@@ -1,0 +1,329 @@
+//! Closed-loop HTTP load generator for the serving front.
+//!
+//! [`run_load`] opens `connections` keep-alive connections to a
+//! `wsu-serve` front and drives each from its own thread in a **closed
+//! loop**: every connection keeps exactly one request in flight
+//! (`POST /demand`), so total in-flight load is fixed at `connections`
+//! and the generator measures the front's capacity at that concurrency
+//! rather than open-loop queueing collapse. Per-request wall latency is
+//! captured in a per-thread [`QuantileSketch`] and merged at the end,
+//! so the hot loop shares nothing across threads.
+//!
+//! The summary can be cross-checked against the server's own books:
+//! [`scrape_demand_total`] reads `GET /metrics` and sums the per-worker
+//! `wsu_http_demands_total` series, which must equal the client-side
+//! count of 200s when the generator is the only client (the CI
+//! http-smoke job asserts exactly this).
+//!
+//! [`render_bench_json`] publishes the run as `results/BENCH_http.json`
+//! in the workspace's `wsu-bench/1` schema, so the stock
+//! `bench_compare` regression guard can diff runs. (The experiments
+//! crate deliberately does not depend on `wsu-bench` — the bench crate
+//! depends on experiments — so the few lines of JSON are rendered
+//! here.)
+
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use wsu_obs::http::{http_get, HttpClient};
+use wsu_obs::quantile::QuantileSketch;
+
+/// Relative-error bound for the latency sketches (1%).
+const SKETCH_ALPHA: f64 = 0.01;
+
+/// Configuration for one closed-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Front address, e.g. `127.0.0.1:9100`.
+    pub addr: SocketAddr,
+    /// Concurrent keep-alive connections (= fixed in-flight window).
+    pub connections: usize,
+    /// Requests each connection issues after warmup.
+    pub requests_per_conn: u64,
+    /// Per-connection untimed warmup requests.
+    pub warmup_per_conn: u64,
+    /// Per-request I/O timeout.
+    pub timeout: Duration,
+}
+
+impl LoadgenConfig {
+    /// A config with the defaults the CI smoke run uses.
+    pub fn new(addr: SocketAddr) -> LoadgenConfig {
+        LoadgenConfig {
+            addr,
+            connections: 2,
+            requests_per_conn: 500,
+            warmup_per_conn: 50,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What one closed-loop run measured.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    /// Connections driven.
+    pub connections: usize,
+    /// Requests that completed with status 200 (timed phase only).
+    pub ok: u64,
+    /// Warmup requests that completed with status 200 (untimed, but
+    /// they do land in the server's demand counter — the agreement
+    /// check needs them).
+    pub warmup_ok: u64,
+    /// Requests that failed (I/O error or non-200 status).
+    pub errors: u64,
+    /// Wall time of the timed phase.
+    pub elapsed: Duration,
+    /// Completed requests per wall second.
+    pub requests_per_sec: f64,
+    /// Merged per-request wall-latency sketch (seconds).
+    pub latency: QuantileSketch,
+}
+
+impl LoadSummary {
+    /// A latency quantile in nanoseconds (0 when nothing was recorded).
+    pub fn latency_ns(&self, q: f64) -> u64 {
+        to_ns(self.latency.quantile(q).unwrap_or(0.0))
+    }
+}
+
+fn to_ns(seconds: f64) -> u64 {
+    if seconds.is_finite() && seconds > 0.0 {
+        (seconds * 1e9).round() as u64
+    } else {
+        0
+    }
+}
+
+/// One connection's share of the run.
+struct ConnResult {
+    ok: u64,
+    warmup_ok: u64,
+    errors: u64,
+    latency: QuantileSketch,
+}
+
+/// Drives the closed loop and returns the merged summary.
+///
+/// # Errors
+///
+/// Fails if any connection cannot be established; individual request
+/// failures after connect are counted in [`LoadSummary::errors`]
+/// instead (the loop keeps going so one hiccup doesn't void a run).
+pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadSummary> {
+    let mut clients = Vec::with_capacity(config.connections);
+    for _ in 0..config.connections {
+        clients.push(HttpClient::connect(config.addr, config.timeout)?);
+    }
+    let started = Instant::now();
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .into_iter()
+            .map(|client| scope.spawn(move || drive_connection(client, config)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or(ConnResult {
+                    ok: 0,
+                    warmup_ok: 0,
+                    errors: config.requests_per_conn,
+                    latency: QuantileSketch::new(SKETCH_ALPHA),
+                })
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut latency = QuantileSketch::new(SKETCH_ALPHA);
+    let mut ok = 0;
+    let mut warmup_ok = 0;
+    let mut errors = 0;
+    for result in &results {
+        ok += result.ok;
+        warmup_ok += result.warmup_ok;
+        errors += result.errors;
+        latency.merge(&result.latency);
+    }
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    Ok(LoadSummary {
+        connections: config.connections,
+        ok,
+        warmup_ok,
+        errors,
+        elapsed,
+        requests_per_sec: ok as f64 / secs,
+        latency,
+    })
+}
+
+/// One connection's closed loop: warmup, then timed requests.
+fn drive_connection(mut client: HttpClient, config: &LoadgenConfig) -> ConnResult {
+    let mut result = ConnResult {
+        ok: 0,
+        warmup_ok: 0,
+        errors: 0,
+        latency: QuantileSketch::new(SKETCH_ALPHA),
+    };
+    for _ in 0..config.warmup_per_conn {
+        if matches!(client.request("POST", "/demand", b""), Ok(r) if r.status == 200) {
+            result.warmup_ok += 1;
+        }
+    }
+    for _ in 0..config.requests_per_conn {
+        let started = Instant::now();
+        match client.request("POST", "/demand", b"") {
+            Ok(resp) if resp.status == 200 => {
+                result.ok += 1;
+                result.latency.observe(started.elapsed().as_secs_f64());
+            }
+            Ok(_) | Err(_) => result.errors += 1,
+        }
+    }
+    result
+}
+
+/// Sums the server's per-worker `wsu_http_demands_total` counters from
+/// a `GET /metrics` scrape — the server-side view of how many demands
+/// it has served, for agreement checks against the client-side count.
+///
+/// # Errors
+///
+/// Propagates scrape I/O failures; a non-200 scrape or an absent
+/// series reads as 0.
+pub fn scrape_demand_total(addr: SocketAddr) -> io::Result<u64> {
+    let response = http_get(addr, "/metrics")?;
+    if response.status != 200 {
+        return Ok(0);
+    }
+    Ok(sum_counter(&response.body, "wsu_http_demands_total"))
+}
+
+/// Sums every sample of `name` in a Prometheus text body.
+fn sum_counter(body: &str, name: &str) -> u64 {
+    let mut total = 0u64;
+    for line in body.lines() {
+        if !line.starts_with(name) || line.starts_with('#') {
+            continue;
+        }
+        let rest = &line[name.len()..];
+        // Accept `name 3` and `name{labels} 3`, reject `name_suffix 3`.
+        if !rest.starts_with(' ') && !rest.starts_with('{') {
+            continue;
+        }
+        if let Some(value) = line.rsplit(' ').next() {
+            if let Ok(v) = value.parse::<f64>() {
+                total += v.round() as u64;
+            }
+        }
+    }
+    total
+}
+
+/// Renders the run as a `wsu-bench/1` report (the `BENCH_http.json`
+/// format): throughput plus latency quantiles, all in nanoseconds so
+/// the stock `bench_compare` guard can diff two runs. The extra
+/// `requests_per_sec` field is informational — `bench_compare` ignores
+/// unknown fields.
+pub fn render_bench_json(summary: &LoadSummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(640);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"wsu-bench/1\",\n");
+    out.push_str("  \"bench\": \"BENCH_http\",\n");
+    out.push_str("  \"unit\": \"ns\",\n");
+    let _ = writeln!(
+        out,
+        "  \"requests_per_sec\": {:.1},",
+        summary.requests_per_sec
+    );
+    let _ = writeln!(out, "  \"connections\": {},", summary.connections);
+    let _ = writeln!(out, "  \"requests_ok\": {},", summary.ok);
+    let _ = writeln!(out, "  \"requests_failed\": {},", summary.errors);
+    out.push_str("  \"results\": [\n");
+    let min = to_ns(summary.latency.min().unwrap_or(0.0));
+    let max = to_ns(summary.latency.max().unwrap_or(0.0));
+    let mean_ns = if summary.ok > 0 {
+        to_ns(summary.elapsed.as_secs_f64() * summary.connections as f64 / summary.ok as f64)
+    } else {
+        0
+    };
+    let entries = [
+        ("http/demand/latency_p50", summary.latency_ns(0.50)),
+        ("http/demand/latency_p99", summary.latency_ns(0.99)),
+        ("http/demand/latency_p999", summary.latency_ns(0.999)),
+        ("http/demand/mean_ns_per_req", mean_ns),
+    ];
+    for (i, (name, median)) in entries.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{ \"name\": \"{name}\", \"median_ns\": {median}, \"min_ns\": {min}, \"max_ns\": {max} }}{}",
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_counter_handles_labels_and_suffixes() {
+        let body = "# TYPE wsu_http_demands_total counter\n\
+                    wsu_http_demands_total{worker=\"0\"} 3\n\
+                    wsu_http_demands_total{worker=\"1\"} 4\n\
+                    wsu_http_demands_total_other 100\n\
+                    wsu_http_requests_total{route=\"demand\"} 9\n";
+        assert_eq!(sum_counter(body, "wsu_http_demands_total"), 7);
+    }
+
+    #[test]
+    fn sum_counter_accepts_unlabelled_series() {
+        assert_eq!(
+            sum_counter("wsu_http_demands_total 12\n", "wsu_http_demands_total"),
+            12
+        );
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let mut latency = QuantileSketch::new(SKETCH_ALPHA);
+        for i in 1..=100 {
+            latency.observe(i as f64 * 1e-6);
+        }
+        let summary = LoadSummary {
+            connections: 2,
+            ok: 100,
+            warmup_ok: 10,
+            errors: 0,
+            elapsed: Duration::from_millis(10),
+            requests_per_sec: 10_000.0,
+            latency,
+        };
+        let json = render_bench_json(&summary);
+        assert!(json.contains("\"schema\": \"wsu-bench/1\""));
+        assert!(json.contains("\"bench\": \"BENCH_http\""));
+        assert!(json.contains("\"name\": \"http/demand/latency_p50\""));
+        assert!(json.contains("\"name\": \"http/demand/latency_p999\""));
+        assert!(json.contains("\"requests_per_sec\": 10000.0,"));
+        // The workspace's own JSON parser must accept it.
+        let parsed = wsu_obs::jsonl::parse_jsonl(&json.replace('\n', " ")).expect("valid JSON");
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn latency_ns_is_zero_on_empty_sketch() {
+        let summary = LoadSummary {
+            connections: 1,
+            ok: 0,
+            warmup_ok: 0,
+            errors: 5,
+            elapsed: Duration::from_millis(1),
+            requests_per_sec: 0.0,
+            latency: QuantileSketch::new(SKETCH_ALPHA),
+        };
+        assert_eq!(summary.latency_ns(0.5), 0);
+    }
+}

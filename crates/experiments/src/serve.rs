@@ -1,0 +1,522 @@
+//! The real serving front: the upgrade middleware behind a
+//! thread-per-core `std::net` accept loop.
+//!
+//! [`HttpFront`] binds a `TcpListener` and spawns `workers` serving
+//! threads. Every worker owns a **private** demand loop
+//! ([`wsu_core::serve::DemandWorker`] — its own middleware, endpoints
+//! and RNG stream) plus a private metrics registry, so the steady-state
+//! request path shares nothing with other workers: the only lock a
+//! demand touches is the worker's own (uncontended) registry mutex,
+//! taken briefly to bump pre-resolved counter/sketch ids. Cross-worker
+//! aggregation happens only on a `/metrics` or `/snapshot` scrape,
+//! which merges the per-worker registries into one rendering.
+//!
+//! Routes:
+//!
+//! * `POST /demand` — one closed-loop demand through the middleware:
+//!   dispatch, adjudicate, respond. The response is a small JSON
+//!   object with the adjudicated verdict, virtual response time,
+//!   responder count and forwarding source.
+//! * `GET /metrics` — Prometheus-text rendering of the merged
+//!   per-worker registries.
+//! * `GET /snapshot` — aggregate JSON (total demands, per-verdict
+//!   counts, per-worker demand counts).
+//! * `GET /health` — liveness probe.
+//!
+//! Method mismatches on known routes earn `405` with an `Allow`
+//! header; malformed requests earn `400`; both come straight from the
+//! shared [`wsu_obs::http`] layer's error taxonomy.
+//!
+//! ## Accept model
+//!
+//! Each worker polls a shared nonblocking listener and then serves the
+//! accepted connection's keep-alive conversation to completion before
+//! accepting again. A closed-loop client fleet should therefore use at
+//! most `workers` concurrent connections — exactly what `wsu-loadgen`
+//! does. (With no epoll in `std`, one-connection-at-a-time per worker
+//! is the honest zero-dependency design; the poll sleep only costs
+//! when a worker is idle.)
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wsu_core::serve::ServeSpec;
+use wsu_obs::http::{HttpConn, RecvError, Request, Response};
+use wsu_obs::metrics::{CounterId, MetricsRegistry, SketchId};
+
+/// Configuration for [`HttpFront::start`].
+#[derive(Debug, Clone)]
+pub struct FrontConfig {
+    /// Bind address, e.g. `"127.0.0.1:0"` for an ephemeral port.
+    pub addr: String,
+    /// Serving threads; `0` means one per available hardware thread.
+    pub workers: usize,
+    /// The deployment blueprint every worker instantiates.
+    pub spec: ServeSpec,
+    /// Per-connection read/write timeout.
+    pub io_timeout: Duration,
+}
+
+impl FrontConfig {
+    /// A front on `addr` with the given spec and default timeouts.
+    pub fn new(addr: &str, workers: usize, spec: ServeSpec) -> FrontConfig {
+        FrontConfig {
+            addr: addr.to_string(),
+            workers,
+            spec,
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// State shared by every serving thread.
+struct FrontShared {
+    shutdown: AtomicBool,
+    /// One registry per worker; slot `w` is written only by worker `w`
+    /// (scrapes briefly lock each slot to merge).
+    registries: Vec<Mutex<MetricsRegistry>>,
+    /// Total demands served, mirrored outside the registries so
+    /// `/snapshot` and tests can read it without a merge.
+    demands: AtomicU64,
+}
+
+/// A running serving front. Dropping it shuts the workers down.
+pub struct HttpFront {
+    addr: SocketAddr,
+    shared: Arc<FrontShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl HttpFront {
+    /// Binds the listener and spawns the serving threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/clone failures.
+    pub fn start(config: FrontConfig) -> io::Result<HttpFront> {
+        let workers = config.effective_workers();
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(FrontShared {
+            shutdown: AtomicBool::new(false),
+            registries: (0..workers)
+                .map(|_| Mutex::new(MetricsRegistry::new()))
+                .collect(),
+            demands: AtomicU64::new(0),
+        });
+        let spec = Arc::new(config.spec);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            let spec = Arc::clone(&spec);
+            let io_timeout = config.io_timeout;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wsu-serve-{w}"))
+                    .spawn(move || worker_loop(&listener, &shared, &spec, w, io_timeout))?,
+            );
+        }
+        Ok(HttpFront {
+            addr,
+            shared,
+            handles,
+        })
+    }
+
+    /// The bound address (real port after binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total demands served so far, across all workers.
+    pub fn demands(&self) -> u64 {
+        self.shared.demands.load(Ordering::Relaxed)
+    }
+
+    /// Merged Prometheus-text rendering of the per-worker registries —
+    /// the same bytes `GET /metrics` serves.
+    pub fn metrics_text(&self) -> String {
+        render_merged_metrics(&self.shared)
+    }
+
+    /// Stops the workers and waits for them to exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpFront {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for HttpFront {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpFront")
+            .field("addr", &self.addr)
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+/// How long an idle worker sleeps between accept polls.
+const ACCEPT_POLL: Duration = Duration::from_micros(500);
+
+/// Pre-resolved metric ids for one worker's registry.
+struct WorkerMetrics {
+    demands: CounterId,
+    verdicts: [CounterId; 4],
+    requests: [CounterId; 5],
+    errors: CounterId,
+    virtual_seconds: SketchId,
+    service_seconds: SketchId,
+}
+
+/// Route index for `wsu_http_requests_total{route=…}`.
+const ROUTES: [&str; 5] = ["demand", "metrics", "snapshot", "health", "other"];
+
+/// Verdict label order for `wsu_http_verdicts_total{verdict=…}`.
+const VERDICTS: [&str; 4] = ["CR", "ER", "NER", "NRDT"];
+
+impl WorkerMetrics {
+    fn resolve(registry: &mut MetricsRegistry, worker: &str) -> WorkerMetrics {
+        WorkerMetrics {
+            demands: registry.counter_id("wsu_http_demands_total", &[("worker", worker)]),
+            verdicts: VERDICTS.map(|v| {
+                registry.counter_id(
+                    "wsu_http_verdicts_total",
+                    &[("verdict", v), ("worker", worker)],
+                )
+            }),
+            requests: ROUTES.map(|r| {
+                registry.counter_id(
+                    "wsu_http_requests_total",
+                    &[("route", r), ("worker", worker)],
+                )
+            }),
+            errors: registry.counter_id("wsu_http_request_errors_total", &[("worker", worker)]),
+            virtual_seconds: registry
+                .sketch_id("wsu_http_virtual_response_seconds", &[("worker", worker)]),
+            service_seconds: registry.sketch_id("wsu_http_service_seconds", &[("worker", worker)]),
+        }
+    }
+
+    fn verdict_id(&self, label: &str) -> CounterId {
+        let i = VERDICTS.iter().position(|v| *v == label).unwrap_or(3);
+        self.verdicts[i]
+    }
+}
+
+/// One serving thread: poll-accept, then serve each connection's
+/// keep-alive conversation to completion.
+fn worker_loop(
+    listener: &TcpListener,
+    shared: &FrontShared,
+    spec: &ServeSpec,
+    worker: usize,
+    io_timeout: Duration,
+) {
+    let mut demand_worker = spec.worker(worker as u64);
+    let worker_label = worker.to_string();
+    let metrics = {
+        let mut registry = shared.registries[worker].lock().expect("registry poisoned");
+        WorkerMetrics::resolve(&mut registry, &worker_label)
+    };
+    // Reused per-response JSON buffer: the demand path allocates only
+    // inside the HTTP layer's own reused buffers.
+    let mut json = String::with_capacity(160);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = serve_connection(
+                    stream,
+                    shared,
+                    &mut demand_worker,
+                    &metrics,
+                    worker,
+                    io_timeout,
+                    &mut json,
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Serves one connection until close, error or shutdown.
+#[allow(clippy::too_many_arguments)]
+fn serve_connection(
+    stream: TcpStream,
+    shared: &FrontShared,
+    demand_worker: &mut wsu_core::serve::DemandWorker,
+    metrics: &WorkerMetrics,
+    worker: usize,
+    io_timeout: Duration,
+    json: &mut String,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut conn = HttpConn::new(stream);
+    loop {
+        match conn.recv() {
+            Ok(request) => {
+                let started = Instant::now();
+                let response = route(&request, shared, demand_worker, metrics, worker, json);
+                let served_demand = request.method == "POST" && request.path == "/demand";
+                if served_demand {
+                    let mut registry = shared.registries[worker].lock().expect("registry poisoned");
+                    registry.observe_sketch_id(
+                        metrics.service_seconds,
+                        started.elapsed().as_secs_f64(),
+                    );
+                }
+                let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+                conn.send(&response, keep_alive)?;
+                if !keep_alive {
+                    return Ok(());
+                }
+            }
+            Err(err) => {
+                if let Some(response) = err.response() {
+                    {
+                        let mut registry =
+                            shared.registries[worker].lock().expect("registry poisoned");
+                        registry.inc_counter_id(metrics.errors);
+                    }
+                    let _ = conn.send(&response, false);
+                }
+                return match err {
+                    RecvError::Io(io) => Err(io),
+                    _ => Ok(()),
+                };
+            }
+        }
+    }
+}
+
+/// Routes one request on worker `worker`.
+fn route(
+    request: &Request,
+    shared: &FrontShared,
+    demand_worker: &mut wsu_core::serve::DemandWorker,
+    metrics: &WorkerMetrics,
+    worker: usize,
+    json: &mut String,
+) -> Response {
+    let route_index = match request.path.as_str() {
+        "/demand" => 0,
+        "/metrics" => 1,
+        "/snapshot" => 2,
+        "/health" => 3,
+        _ => 4,
+    };
+    {
+        let mut registry = shared.registries[worker].lock().expect("registry poisoned");
+        registry.inc_counter_id(metrics.requests[route_index]);
+    }
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/demand") => match demand_worker.demand() {
+            Ok(outcome) => {
+                {
+                    let mut registry = shared.registries[worker].lock().expect("registry poisoned");
+                    registry.inc_counter_id(metrics.demands);
+                    registry.inc_counter_id(metrics.verdict_id(outcome.verdict_label()));
+                    registry.observe_sketch_id(metrics.virtual_seconds, outcome.response_time);
+                }
+                shared.demands.fetch_add(1, Ordering::Relaxed);
+                render_outcome_json(json, &outcome);
+                Response::json(200, json.clone())
+            }
+            Err(err) => Response::text(503, format!("no active releases: {err:?}\n")),
+        },
+        ("GET" | "HEAD", "/demand") => Response::method_not_allowed("POST"),
+        ("GET", "/metrics") => Response::bytes(
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_merged_metrics(shared).into_bytes(),
+        ),
+        ("GET", "/snapshot") => Response::json(200, render_snapshot_json(shared)),
+        ("GET", "/health") => Response::text(200, "ok\n"),
+        (_, "/metrics" | "/snapshot" | "/health") => Response::method_not_allowed("GET"),
+        ("GET", _) => Response::text(404, "not found\n"),
+        (_, _) => Response::method_not_allowed("GET, POST"),
+    }
+}
+
+/// Renders one demand outcome as the `/demand` response body.
+fn render_outcome_json(out: &mut String, outcome: &wsu_core::serve::DemandOutcome) {
+    use std::fmt::Write as _;
+    out.clear();
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"worker\":{},\"verdict\":\"{}\",\"response_time\":{},\"responders\":{},",
+        outcome.seq,
+        outcome.worker,
+        outcome.verdict_label(),
+        outcome.response_time,
+        outcome.responders,
+    );
+    match outcome.source {
+        Some(source) => {
+            let _ = write!(out, "\"source\":{source},");
+        }
+        None => out.push_str("\"source\":null,"),
+    }
+    let _ = write!(out, "\"t\":{}}}", outcome.t);
+}
+
+/// Merges every worker's registry and renders the Prometheus text.
+fn render_merged_metrics(shared: &FrontShared) -> String {
+    let mut merged = MetricsRegistry::new();
+    for slot in &shared.registries {
+        let registry = slot.lock().expect("registry poisoned");
+        merged.merge(&registry);
+    }
+    merged.snapshot()
+}
+
+/// Aggregate JSON for `/snapshot`.
+fn render_snapshot_json(shared: &FrontShared) -> String {
+    use std::fmt::Write as _;
+    let workers = shared.registries.len();
+    let mut per_worker = Vec::with_capacity(workers);
+    let mut verdicts = [0u64; 4];
+    for (w, slot) in shared.registries.iter().enumerate() {
+        let registry = slot.lock().expect("registry poisoned");
+        let label = w.to_string();
+        per_worker.push(registry.counter("wsu_http_demands_total", &[("worker", &label)]));
+        for (i, v) in VERDICTS.iter().enumerate() {
+            verdicts[i] += registry.counter(
+                "wsu_http_verdicts_total",
+                &[("verdict", v), ("worker", &label)],
+            );
+        }
+    }
+    let total: u64 = per_worker.iter().sum();
+    let mut out = String::with_capacity(128);
+    let _ = write!(
+        out,
+        "{{\"workers\":{workers},\"demands\":{total},\"verdicts\":{{"
+    );
+    for (i, v) in VERDICTS.iter().enumerate() {
+        let _ = write!(
+            out,
+            "\"{v}\":{}{}",
+            verdicts[i],
+            if i + 1 < VERDICTS.len() { "," } else { "" }
+        );
+    }
+    out.push_str("},\"per_worker\":[");
+    for (w, count) in per_worker.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{count}{}",
+            if w + 1 < per_worker.len() { "," } else { "" }
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsu_obs::http::{http_get, HttpClient};
+
+    fn deterministic_front(workers: usize) -> HttpFront {
+        HttpFront::start(FrontConfig::new(
+            "127.0.0.1:0",
+            workers,
+            ServeSpec::deterministic(11),
+        ))
+        .expect("start front")
+    }
+
+    #[test]
+    fn health_demand_and_metrics_roundtrip() {
+        let front = deterministic_front(2);
+        let addr = front.local_addr();
+        let health = http_get(addr, "/health").expect("health");
+        assert_eq!(health.status, 200);
+
+        let mut client = HttpClient::connect(addr, Duration::from_secs(5)).expect("connect");
+        for _ in 0..5 {
+            let resp = client.request("POST", "/demand", b"").expect("demand");
+            assert_eq!(resp.status, 200);
+            assert!(resp.body.contains("\"verdict\":\"CR\""));
+            assert!(resp.keep_alive);
+        }
+        drop(client);
+        assert_eq!(front.demands(), 5);
+        let metrics = front.metrics_text();
+        assert!(metrics.contains("wsu_http_demands_total"));
+        front.shutdown();
+    }
+
+    #[test]
+    fn wrong_methods_get_405_with_allow() {
+        let front = deterministic_front(1);
+        let addr = front.local_addr();
+        let mut client = HttpClient::connect(addr, Duration::from_secs(5)).expect("connect");
+        let resp = client.request("GET", "/demand", b"").expect("GET /demand");
+        assert_eq!(resp.status, 405);
+        let resp = client
+            .request("POST", "/metrics", b"")
+            .expect("POST /metrics");
+        assert_eq!(resp.status, 405);
+        let resp = client.request("GET", "/nope", b"").expect("GET /nope");
+        assert_eq!(resp.status, 404);
+        front.shutdown();
+    }
+
+    #[test]
+    fn snapshot_aggregates_worker_counts() {
+        let front = deterministic_front(2);
+        let addr = front.local_addr();
+        let mut client = HttpClient::connect(addr, Duration::from_secs(5)).expect("connect");
+        for _ in 0..3 {
+            assert_eq!(
+                client
+                    .request("POST", "/demand", b"")
+                    .expect("demand")
+                    .status,
+                200
+            );
+        }
+        drop(client);
+        let snap = http_get(addr, "/snapshot").expect("snapshot");
+        assert_eq!(snap.status, 200);
+        assert!(snap.body.starts_with("{\"workers\":2,\"demands\":3,"));
+        assert!(snap.body.contains("\"CR\":3"));
+        front.shutdown();
+    }
+}

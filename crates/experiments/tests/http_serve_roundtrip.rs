@@ -1,0 +1,170 @@
+//! End-to-end test: `wsu-loadgen`'s closed loop against `wsu-serve`'s
+//! front, over real sockets, with at least two worker threads — the
+//! in-process version of the CI http-smoke job.
+
+use std::time::Duration;
+
+use wsu_core::serve::ServeSpec;
+use wsu_experiments::loadgen::{render_bench_json, run_load, scrape_demand_total, LoadgenConfig};
+use wsu_experiments::serve::{FrontConfig, HttpFront};
+use wsu_obs::http::{http_get, HttpClient};
+
+fn start_front(workers: usize) -> HttpFront {
+    HttpFront::start(FrontConfig::new(
+        "127.0.0.1:0",
+        workers,
+        ServeSpec::deterministic(23),
+    ))
+    .expect("start front")
+}
+
+#[test]
+fn closed_loop_roundtrip_against_two_workers() {
+    let front = start_front(2);
+    let addr = front.local_addr();
+    let config = LoadgenConfig {
+        addr,
+        connections: 2,
+        requests_per_conn: 200,
+        warmup_per_conn: 20,
+        timeout: Duration::from_secs(5),
+    };
+    let summary = run_load(&config).expect("load run");
+
+    // Every demand against the deterministic spec must succeed.
+    assert_eq!(summary.errors, 0, "no request may fail on loopback");
+    assert_eq!(summary.ok, 400);
+    assert_eq!(summary.warmup_ok, 40);
+    assert!(summary.requests_per_sec > 0.0);
+    assert!(summary.latency.count() == 400);
+    assert!(summary.latency_ns(0.50) > 0);
+    assert!(summary.latency_ns(0.999) >= summary.latency_ns(0.50));
+
+    // Server-side books must agree exactly with the client's count.
+    let server_total = scrape_demand_total(addr).expect("scrape");
+    assert_eq!(
+        server_total,
+        summary.ok + summary.warmup_ok,
+        "server demand counter must match the client-side 200 count"
+    );
+    assert_eq!(front.demands(), server_total);
+
+    // The deterministic spec answers every demand correctly: the
+    // verdict counters must show nothing but CR.
+    let metrics = front.metrics_text();
+    let cr: u64 = metrics
+        .lines()
+        .filter(|l| l.starts_with("wsu_http_verdicts_total{verdict=\"CR\""))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum();
+    assert_eq!(cr, server_total, "all verdicts must be CR");
+    // The other verdict series are pre-registered but must stay zero.
+    let non_cr: u64 = metrics
+        .lines()
+        .filter(|l| l.starts_with("wsu_http_verdicts_total") && !l.contains("verdict=\"CR\""))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum();
+    assert_eq!(non_cr, 0, "no non-CR verdicts on the deterministic spec");
+
+    // Both workers must actually have served demands: two closed-loop
+    // connections occupy two workers for the whole run, so neither
+    // counter can be zero.
+    let per_worker: Vec<u64> = metrics
+        .lines()
+        .filter(|l| l.starts_with("wsu_http_demands_total{worker="))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .collect();
+    assert_eq!(per_worker.len(), 2, "both workers must appear in /metrics");
+    assert!(
+        per_worker.iter().all(|&c| c > 0),
+        "both workers must serve demands, got {per_worker:?}"
+    );
+
+    // The bench report renders from a real run.
+    let json = render_bench_json(&summary);
+    assert!(json.contains("\"bench\": \"BENCH_http\""));
+    assert!(json.contains("http/demand/latency_p999"));
+
+    front.shutdown();
+}
+
+#[test]
+fn demand_outcomes_are_deterministic_json() {
+    let front = start_front(1);
+    let mut client =
+        HttpClient::connect(front.local_addr(), Duration::from_secs(5)).expect("connect");
+    // One worker, one connection: the outcome stream is exactly the
+    // deterministic spec's, so the first responses are predictable.
+    for seq in 0..3 {
+        let resp = client.request("POST", "/demand", b"").expect("demand");
+        assert_eq!(resp.status, 200);
+        assert!(
+            resp.body
+                .contains(&format!("\"seq\":{seq},\"worker\":0,\"verdict\":\"CR\"")),
+            "unexpected outcome JSON: {}",
+            resp.body
+        );
+        assert!(resp.body.contains("\"response_time\":0.15"));
+        assert!(resp.body.contains("\"responders\":2"));
+    }
+    front.shutdown();
+}
+
+#[test]
+fn serving_front_route_semantics() {
+    let front = start_front(2);
+    let addr = front.local_addr();
+
+    let health = http_get(addr, "/health").expect("health");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\n");
+
+    let mut client = HttpClient::connect(addr, Duration::from_secs(5)).expect("connect");
+
+    // GET on the POST route: 405 with Allow: POST.
+    let resp = client.request("GET", "/demand", b"").expect("GET /demand");
+    assert_eq!(resp.status, 405);
+    // POST on a GET route: 405 with Allow: GET.
+    let resp = client
+        .request("POST", "/health", b"")
+        .expect("POST /health");
+    assert_eq!(resp.status, 405);
+    // Unknown path: 404.
+    let resp = client
+        .request("GET", "/missing", b"")
+        .expect("GET /missing");
+    assert_eq!(resp.status, 404);
+    // The connection survived all three errors (keep-alive intact).
+    let resp = client
+        .request("POST", "/demand", b"")
+        .expect("POST /demand");
+    assert_eq!(resp.status, 200);
+
+    let snap = http_get(addr, "/snapshot").expect("snapshot");
+    assert_eq!(snap.status, 200);
+    assert!(snap.body.contains("\"demands\":1"));
+    front.shutdown();
+}
+
+#[test]
+fn front_shutdown_is_prompt_and_clean() {
+    use std::sync::mpsc;
+    let front = start_front(4);
+    let addr = front.local_addr();
+    let mut client = HttpClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    assert_eq!(
+        client
+            .request("POST", "/demand", b"")
+            .expect("demand")
+            .status,
+        200
+    );
+    drop(client);
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        front.shutdown();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(5))
+        .expect("front shutdown hung");
+}

@@ -1,5 +1,5 @@
-//! A hand-rolled HTTP/1.1 exporter over `std::net` — the workspace's
-//! first real network surface.
+//! The live `/metrics` + `/snapshot` + `/health` endpoint, built on the
+//! shared hand-rolled HTTP layer ([`crate::http`]).
 //!
 //! [`MetricsExporter`] binds a `TcpListener` and serves three `GET`
 //! routes from a background thread:
@@ -17,16 +17,32 @@
 //! allocates on its own thread). Responses are therefore byte-identical
 //! to the in-process rendering at publish time.
 //!
-//! [`http_get`] is the matching hand-rolled client, used by the tests
-//! and the CI exporter smoke step so the whole round trip stays
-//! dependency-free.
+//! Protocol behaviour (the PR 8 bug fixes):
+//!
+//! * request framing, keep-alive and bounded reads come from
+//!   [`crate::http`] — one buffered reader instead of the old
+//!   one-syscall-per-byte loop;
+//! * an empty or malformed head is answered `400 Bad Request` (the old
+//!   code parsed it as method `""` and said `405`); genuine method
+//!   mismatches earn `405` **with an `Allow: GET` header**;
+//! * shutdown no longer relies on a throwaway connect to the bound
+//!   address (which fails when bound to `0.0.0.0`): the accept loop
+//!   polls a nonblocking listener, and the wake-up connect — a latency
+//!   optimisation, not a correctness requirement — targets a
+//!   loopback-rewritten address and tolerates failure.
 
-use std::io::{self, Read as _, Write as _};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use crate::http::{HttpConn, RecvError, Request, Response};
+
+// Re-exported here for compatibility: these types originated in this
+// module before the HTTP layer was factored out.
+pub use crate::http::{http_get, HttpResponse};
 
 /// State shared between the owning thread and the server thread.
 #[derive(Debug)]
@@ -51,6 +67,9 @@ impl MetricsExporter {
     /// starts the server thread. Both published bodies start empty.
     pub fn bind(addr: &str) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        // Nonblocking so the accept loop can observe the shutdown flag
+        // even if nobody ever connects again (see `stop`).
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(ExporterState {
             metrics: Mutex::new(String::new()),
@@ -60,7 +79,7 @@ impl MetricsExporter {
         let server_state = Arc::clone(&state);
         let handle = std::thread::Builder::new()
             .name("wsu-metrics-exporter".into())
-            .spawn(move || serve(listener, &server_state))?;
+            .spawn(move || serve(&listener, &server_state))?;
         Ok(Self {
             state,
             addr,
@@ -99,10 +118,29 @@ impl MetricsExporter {
             return;
         };
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // Best-effort wake-up so the accept loop notices the flag
+        // immediately instead of on its next poll tick. The bound
+        // address may be unspecified (`0.0.0.0` / `::`), which is not
+        // connectable — rewrite it to the matching loopback. Shutdown
+        // stays correct even if this connect fails (the poll loop exits
+        // on its own), so the result is deliberately ignored.
+        let _ = TcpStream::connect_timeout(&wake_addr(self.addr), Duration::from_millis(100));
         let _ = handle.join();
     }
+}
+
+/// The address `stop` connects to in order to nudge the accept loop:
+/// the listener's own address with unspecified IPs (`0.0.0.0`, `::`)
+/// rewritten to the matching loopback.
+fn wake_addr(bound: SocketAddr) -> SocketAddr {
+    let mut addr = bound;
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr.ip() {
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        });
+    }
+    addr
 }
 
 impl Drop for MetricsExporter {
@@ -111,127 +149,94 @@ impl Drop for MetricsExporter {
     }
 }
 
-/// The blocking accept loop run on the exporter thread.
-fn serve(listener: TcpListener, state: &ExporterState) {
-    for stream in listener.incoming() {
+/// How long the accept loop sleeps between polls when idle. Shutdown
+/// latency is bounded by this even when the wake-up connect fails.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Per-connection read timeout: bounds slow-loris heads and idle
+/// keep-alive connections (the exporter serves one connection at a
+/// time, so a stalled peer must not block later scrapes for long).
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The accept loop run on the exporter thread (nonblocking poll).
+fn serve(listener: &TcpListener, state: &ExporterState) {
+    loop {
         if state.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let Ok(stream) = stream else { continue };
-        let _ = handle_connection(stream, state);
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = handle_connection(stream, state);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => continue,
+        }
     }
 }
 
-/// Reads one request and writes one response (`Connection: close`).
-fn handle_connection(mut stream: TcpStream, state: &ExporterState) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    let request = read_head(&mut stream)?;
-    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    // Strip any query string; routes take no parameters.
-    let path = path.split('?').next().unwrap_or("");
-    if method != "GET" {
-        return respond(
-            &mut stream,
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n",
-        );
+/// Serves one connection: requests are answered until the peer stops
+/// keeping the connection alive, errors out, or the exporter shuts
+/// down.
+fn handle_connection(stream: TcpStream, state: &ExporterState) -> io::Result<()> {
+    // The listener is nonblocking; accepted sockets inherit that on
+    // some platforms. Serve the connection with blocking, bounded
+    // reads.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    let mut conn = HttpConn::new(stream);
+    loop {
+        match conn.recv() {
+            Ok(request) => {
+                let shutting_down = state.shutdown.load(Ordering::SeqCst);
+                let keep_alive = request.keep_alive() && !shutting_down;
+                conn.send(&route(&request, state), keep_alive)?;
+                if !keep_alive {
+                    return Ok(());
+                }
+            }
+            Err(err) => {
+                // A malformed, oversized or stalled request earns its
+                // diagnostic status; a clean close or idle timeout
+                // earns silence. Either way the connection is done.
+                if let Some(response) = err.response() {
+                    let _ = conn.send(&response, false);
+                }
+                return match err {
+                    RecvError::Io(io) => Err(io),
+                    _ => Ok(()),
+                };
+            }
+        }
     }
-    match path {
+}
+
+/// Routes one parsed request to its response.
+fn route(request: &Request, state: &ExporterState) -> Response {
+    if request.method != "GET" {
+        // The head parsed fine, the method is just not allowed here —
+        // a genuine 405, with the Allow header 405 requires.
+        return Response::method_not_allowed("GET");
+    }
+    match request.path.as_str() {
         "/metrics" => {
             let body = state.metrics.lock().map(|s| s.clone()).unwrap_or_default();
-            respond(
-                &mut stream,
-                "200 OK",
+            Response::bytes(
+                200,
                 "text/plain; version=0.0.4; charset=utf-8",
-                &body,
+                body.into_bytes(),
             )
         }
         "/snapshot" => {
             let body = state.snapshot.lock().map(|s| s.clone()).unwrap_or_default();
-            respond(&mut stream, "200 OK", "application/json", &body)
+            Response::json(200, body)
         }
-        "/health" => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
-        _ => respond(
-            &mut stream,
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n",
-        ),
+        "/health" => Response::text(200, "ok\n"),
+        _ => Response::text(404, "not found\n"),
     }
-}
-
-/// Reads until the end of the request head (`\r\n\r\n`), bounded at 8
-/// KiB — enough for any client this repo speaks to.
-fn read_head(stream: &mut TcpStream) -> io::Result<String> {
-    let mut head = Vec::with_capacity(256);
-    let mut byte = [0u8; 1];
-    while head.len() < 8192 {
-        match stream.read(&mut byte) {
-            Ok(0) => break,
-            Ok(_) => {
-                head.push(byte[0]);
-                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
-                    break;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == io::ErrorKind::TimedOut => break,
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(String::from_utf8_lossy(&head).into_owned())
-}
-
-/// Writes a minimal HTTP/1.1 response.
-fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
-}
-
-/// A parsed HTTP response from [`http_get`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HttpResponse {
-    /// The numeric status code (e.g. 200).
-    pub status: u16,
-    /// The response body.
-    pub body: String,
-}
-
-/// Fetches `path` from `addr` with one blocking HTTP/1.1 GET — the
-/// hand-rolled client used by tests and the CI exporter smoke step.
-pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> io::Result<HttpResponse> {
-    let addr = addr
-        .to_socket_addrs()?
-        .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
-    stream.write_all(request.as_bytes())?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
-    let (head, body) = match raw.find("\r\n\r\n") {
-        Some(i) => (&raw[..i], &raw[i + 4..]),
-        None => (raw.as_str(), ""),
-    };
-    let status = head
-        .lines()
-        .next()
-        .and_then(|line| line.split_whitespace().nth(1))
-        .and_then(|code| code.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
-    Ok(HttpResponse {
-        status,
-        body: body.to_string(),
-    })
 }
 
 #[cfg(test)]

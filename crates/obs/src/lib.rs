@@ -30,8 +30,12 @@
 //! * [`span`] — wall-clock phase timers ([`span::PhaseTimings`]) and
 //!   per-demand virtual-time span decomposition
 //!   ([`span::DemandSpan`], [`span::SpanProfile`]).
-//! * [`export::MetricsExporter`] — a hand-rolled HTTP/1.1
-//!   `/metrics` + `/health` + `/snapshot` endpoint over `std::net`.
+//! * [`http`] — the shared hand-rolled HTTP/1.1 layer over `std::net`
+//!   (framed request/response parsing, `Content-Length` bodies,
+//!   keep-alive, bounded reads) behind every network surface in the
+//!   workspace.
+//! * [`export::MetricsExporter`] — a `/metrics` + `/health` +
+//!   `/snapshot` endpoint built on that layer.
 //!
 //! Everything is plain `std`: the crate adds no dependencies and no
 //! global state, and the only thread it ever spawns is the opt-in
@@ -64,6 +68,7 @@
 
 pub mod event;
 pub mod export;
+pub mod http;
 pub mod jsonl;
 pub mod metrics;
 pub mod quantile;
@@ -72,7 +77,8 @@ pub mod slo;
 pub mod span;
 
 pub use event::TraceEvent;
-pub use export::{http_get, HttpResponse, MetricsExporter};
+pub use export::MetricsExporter;
+pub use http::{http_get, HttpClient, HttpConn, HttpResponse};
 pub use jsonl::{parse_jsonl, JsonValue};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry, SharedRegistry, SketchId};
 pub use quantile::QuantileSketch;
