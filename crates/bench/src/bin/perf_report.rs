@@ -17,6 +17,7 @@ use wsu_bayes::whitebox::Resolution;
 use wsu_bench::report::{write_json, Entry};
 use wsu_experiments::bayes_study::StudyConfig;
 use wsu_experiments::campaign::{run_campaign_jobs, standard_plans, CampaignConfig};
+use wsu_experiments::fleetstudy::{run_fleetstudy_jobs, standard_cells, FleetStudyConfig};
 use wsu_experiments::midsim::ObsSinks;
 use wsu_experiments::{ablation, figures, table2, table5, table6, DEFAULT_SEED, PAPER_TIMEOUTS};
 use wsu_simcore::par::Jobs;
@@ -147,6 +148,25 @@ fn main() -> std::io::Result<()> {
             std::hint::black_box(run_campaign_jobs(
                 &standard_plans(),
                 &campaign_config,
+                DEFAULT_SEED,
+                &ObsSinks::default(),
+                Jobs::serial(),
+            ));
+        },
+    ));
+
+    let fleet_config = if full {
+        FleetStudyConfig::paper()
+    } else {
+        FleetStudyConfig::quick()
+    };
+    entries.push(time_runs(
+        &format!("experiments/fleetstudy/{scale}"),
+        samples,
+        || {
+            std::hint::black_box(run_fleetstudy_jobs(
+                &standard_cells(),
+                &fleet_config,
                 DEFAULT_SEED,
                 &ObsSinks::default(),
                 Jobs::serial(),

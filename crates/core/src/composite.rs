@@ -23,6 +23,7 @@ use wsu_wstack::endpoint::{Invocation, ServiceEndpoint};
 use wsu_wstack::message::Envelope;
 use wsu_wstack::outcome::{OutcomeProfile, ResponseClass};
 use wsu_wstack::registry::PublishedConfidence;
+use wsu_wstack::wsdl::ServiceDescription;
 
 /// One component dependency of a composite service.
 struct Component {
@@ -188,6 +189,52 @@ impl std::fmt::Debug for CompositeService {
         f.debug_struct("CompositeService")
             .field("name", &self.name)
             .field("components", &self.component_names())
+            .finish()
+    }
+}
+
+/// Adapts a [`CompositeService`] into a [`ServiceEndpoint`], so a
+/// functionally-equivalent composite can be deployed *as a release*
+/// behind the upgrade middleware — the atomic-replacement recovery
+/// story: when a release is demoted, a composite stand-in from the
+/// registry is bound in its place.
+pub struct CompositeEndpoint {
+    composite: CompositeService,
+    description: ServiceDescription,
+}
+
+impl CompositeEndpoint {
+    /// Wraps a composite, describing it as `release` of its own name.
+    pub fn new(composite: CompositeService, release: &str) -> CompositeEndpoint {
+        let description = ServiceDescription::new(composite.name(), release);
+        CompositeEndpoint {
+            composite,
+            description,
+        }
+    }
+
+    /// The wrapped composite.
+    pub fn composite(&self) -> &CompositeService {
+        &self.composite
+    }
+}
+
+impl ServiceEndpoint for CompositeEndpoint {
+    fn describe(&self) -> &ServiceDescription {
+        &self.description
+    }
+
+    fn invoke(&mut self, request: &Envelope, rng: &mut StreamRng) -> Invocation {
+        let inv = self.composite.invoke(request, rng);
+        Invocation::from_class(request.operation(), inv.class, inv.exec_time)
+    }
+}
+
+impl std::fmt::Debug for CompositeEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositeEndpoint")
+            .field("composite", &self.composite)
+            .field("release", &self.description.release())
             .finish()
     }
 }
@@ -401,6 +448,24 @@ mod tests {
             .count();
         let rate = correct as f64 / n as f64;
         assert!((rate - 0.9604).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn composite_endpoint_serves_as_a_release() {
+        let composite = CompositeService::builder("Travel")
+            .glue_time(SimDuration::from_secs(0.05))
+            .component("flights", component(OutcomeProfile::always_correct(), 0.3))
+            .component("hotels", component(OutcomeProfile::always_correct(), 0.2))
+            .build();
+        let mut endpoint = CompositeEndpoint::new(composite, "sub-1");
+        assert_eq!(endpoint.describe().service(), "Travel");
+        assert_eq!(endpoint.describe().release(), "sub-1");
+        assert_eq!(endpoint.composite().component_count(), 2);
+        let mut rng = StreamRng::from_seed(6);
+        let inv = endpoint.invoke(&Envelope::request("book"), &mut rng);
+        assert_eq!(inv.class, ResponseClass::Correct);
+        assert!((inv.exec_time.as_secs() - 0.55).abs() < 1e-12);
+        assert!(format!("{endpoint:?}").contains("sub-1"));
     }
 
     #[test]

@@ -19,6 +19,11 @@ pub enum CoreError {
         /// What was attempted.
         operation: &'static str,
     },
+    /// A traffic weight was not finite and non-negative.
+    InvalidWeight {
+        /// The release whose weight was rejected.
+        release: ReleaseId,
+    },
     /// A configuration value was rejected.
     InvalidConfig(String),
     /// The requested operation is not published by the service.
@@ -34,6 +39,12 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "release {release} cannot be {operation} in its current state"
+                )
+            }
+            CoreError::InvalidWeight { release } => {
+                write!(
+                    f,
+                    "release {release} weight must be finite and non-negative"
                 )
             }
             CoreError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),

@@ -67,6 +67,7 @@ pub mod adjudicate;
 pub mod composite;
 pub mod confidence_pub;
 pub mod error;
+pub mod fleet;
 pub mod log;
 pub mod manage;
 pub mod middleware;
@@ -80,6 +81,10 @@ pub mod upgrade;
 pub use adjudicate::{Adjudicator, SelectionPolicy, SystemVerdict};
 pub use composite::CompositeService;
 pub use error::CoreError;
+pub use fleet::{
+    FleetDemand, FleetOrchestrator, FleetPlan, FleetStats, FleetStatus, ProbeRule, PromotionRule,
+    RollbackRule, SubstitutePool, WeightRamp,
+};
 pub use manage::{
     Assessment, AssessmentView, ManagementSubsystem, SwitchCriterion, SwitchDecision,
 };

@@ -245,6 +245,50 @@ pub enum RecoveryAction {
     Restarted(ReleaseId),
 }
 
+/// What a fleet orchestrator does with a release that keeps failing,
+/// *beyond* the per-sweep suspend/restart of [`RecoveryPolicy`].
+///
+/// [`RecoveryPolicy`] handles transient streaks; the strategy decides
+/// what to do when an incident is declared (streak threshold hit, or
+/// the canary's windowed fault rate degrades past its rollback rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryStrategy {
+    /// Suspend the failing release and restart it in place — the
+    /// paper's own "recovery of the failed releases" (Section 4.1).
+    /// Cheap, but a persistent fault keeps reopening the incident.
+    RestartInPlace,
+    /// Phase the failing canary out permanently and restore the
+    /// upstream stable release's traffic weight. The canary chain halts
+    /// at the demoted stage.
+    DemoteAndRollback,
+    /// Phase the failing canary out and bind a functionally-equivalent
+    /// substitute from the service registry as a stand-in release for
+    /// the same stage (atomic replacement, à la Saboohi & Kareem).
+    /// Falls back to [`RecoveryStrategy::DemoteAndRollback`] when no
+    /// substitute is available.
+    Substitute,
+}
+
+impl RecoveryStrategy {
+    /// A short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryStrategy::RestartInPlace => "restart",
+            RecoveryStrategy::DemoteAndRollback => "rollback",
+            RecoveryStrategy::Substitute => "substitute",
+        }
+    }
+
+    /// All strategies, in table order.
+    pub fn all() -> [RecoveryStrategy; 3] {
+        [
+            RecoveryStrategy::RestartInPlace,
+            RecoveryStrategy::DemoteAndRollback,
+            RecoveryStrategy::Substitute,
+        ]
+    }
+}
+
 /// The incremental engine behind [`ManagementSubsystem::assess_incremental`]:
 /// either a fixed-resolution updater or the opt-in adaptive
 /// coarse-to-fine engine ([`wsu_bayes::adaptive`]).
@@ -713,6 +757,111 @@ mod tests {
         assert_eq!(releases.state(bad).unwrap(), ReleaseState::Active);
     }
 
+    /// Deploys `n` releases that fail every demand with an evident
+    /// error, then drives `streak` demands through each so every one of
+    /// them carries a suspension-worthy failure streak.
+    fn burst_fleet(n: usize, streak: u32) -> (ReleaseSet, Vec<ReleaseId>) {
+        let mut releases = ReleaseSet::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                releases.deploy(
+                    SyntheticService::builder("Svc", &format!("1.{i}"))
+                        .outcomes(OutcomeProfile::new(0.0, 1.0, 0.0))
+                        .build(),
+                )
+            })
+            .collect();
+        let mut rng = wsu_simcore::rng::StreamRng::from_seed(7);
+        for &id in &ids {
+            for _ in 0..streak {
+                releases
+                    .invoke(
+                        id,
+                        &wsu_wstack::message::Envelope::request("invoke"),
+                        &mut rng,
+                    )
+                    .unwrap();
+            }
+        }
+        (releases, ids)
+    }
+
+    #[test]
+    fn correlated_burst_on_a_three_fleet_restarts_every_release() {
+        // Regression: the zero-active rescue path used to be exercised
+        // only with a single release. A correlated burst that earns all
+        // three releases a suspension in the same sweep must restart
+        // all of them — deterministically, in deployment order — not
+        // panic or bring back only index 0.
+        let mut mgr = scenario1_manager(SwitchCriterion::better_than_old(0.99));
+        mgr.set_recovery_policy(Some(RecoveryPolicy {
+            suspend_after: 3,
+            auto_restart: true,
+        }));
+        let (mut releases, ids) = burst_fleet(3, 3);
+        let actions = mgr.apply_recovery(&mut releases).unwrap();
+        let expected: Vec<RecoveryAction> = ids
+            .iter()
+            .map(|&id| RecoveryAction::Suspended(id))
+            .chain(ids.iter().map(|&id| RecoveryAction::Restarted(id)))
+            .collect();
+        assert_eq!(actions, expected);
+        for &id in &ids {
+            assert_eq!(releases.state(id).unwrap(), ReleaseState::Active);
+        }
+    }
+
+    #[test]
+    fn zero_active_rescue_restarts_all_survivors_not_just_the_first() {
+        // 4-release fleet where one release was already phased out (an
+        // aborted upgrade): a burst suspending the remaining three must
+        // restart exactly those three and leave the phased-out release
+        // untouched.
+        let mut mgr = scenario1_manager(SwitchCriterion::better_than_old(0.99));
+        mgr.set_recovery_policy(Some(RecoveryPolicy {
+            suspend_after: 3,
+            auto_restart: true,
+        }));
+        let (mut releases, ids) = burst_fleet(4, 3);
+        releases.phase_out(ids[1]).unwrap();
+        let survivors = [ids[0], ids[2], ids[3]];
+        let actions = mgr.apply_recovery(&mut releases).unwrap();
+        let expected: Vec<RecoveryAction> = survivors
+            .iter()
+            .map(|&id| RecoveryAction::Suspended(id))
+            .chain(survivors.iter().map(|&id| RecoveryAction::Restarted(id)))
+            .collect();
+        assert_eq!(actions, expected);
+        for &id in &survivors {
+            assert_eq!(releases.state(id).unwrap(), ReleaseState::Active);
+        }
+        assert_eq!(releases.state(ids[1]).unwrap(), ReleaseState::PhasedOut);
+        assert_eq!(releases.active_ids().len(), 3);
+    }
+
+    #[test]
+    fn zero_active_rescue_without_auto_restart_leaves_the_fleet_suspended() {
+        // The rescue is explicitly gated on `auto_restart`: a policy
+        // without it suspends all three and stops — no panic, no
+        // implicit restart.
+        let mut mgr = scenario1_manager(SwitchCriterion::better_than_old(0.99));
+        mgr.set_recovery_policy(Some(RecoveryPolicy {
+            suspend_after: 3,
+            auto_restart: false,
+        }));
+        let (mut releases, ids) = burst_fleet(3, 3);
+        let actions = mgr.apply_recovery(&mut releases).unwrap();
+        let expected: Vec<RecoveryAction> = ids
+            .iter()
+            .map(|&id| RecoveryAction::Suspended(id))
+            .collect();
+        assert_eq!(actions, expected);
+        assert!(releases.active_ids().is_empty());
+        for &id in &ids {
+            assert_eq!(releases.state(id).unwrap(), ReleaseState::Suspended);
+        }
+    }
+
     #[test]
     fn recovery_disabled_is_a_no_op() {
         let mut mgr = scenario1_manager(SwitchCriterion::better_than_old(0.99));
@@ -743,6 +892,14 @@ mod tests {
             let got = adaptive.assess_incremental(&counts).decision;
             assert_eq!(got, want, "at {counts}");
         }
+    }
+
+    #[test]
+    fn recovery_strategy_labels() {
+        assert_eq!(RecoveryStrategy::RestartInPlace.label(), "restart");
+        assert_eq!(RecoveryStrategy::DemoteAndRollback.label(), "rollback");
+        assert_eq!(RecoveryStrategy::Substitute.label(), "substitute");
+        assert_eq!(RecoveryStrategy::all().len(), 3);
     }
 
     #[test]

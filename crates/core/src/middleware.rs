@@ -242,6 +242,7 @@ impl UpgradeMiddleware {
             OperatingMode::Sequential { order } => {
                 self.process_sequential(seq, request, &active, order, rng)
             }
+            OperatingMode::WeightedFleet => self.process_weighted(seq, request, rng),
             _ => self.process_parallel(seq, request, &active, rng),
         };
         let releases = active.len();
@@ -439,7 +440,9 @@ impl UpgradeMiddleware {
                     responders: collected.len(),
                 }
             }
-            OperatingMode::Sequential { .. } => unreachable!("handled by process_sequential"),
+            OperatingMode::Sequential { .. } | OperatingMode::WeightedFleet => {
+                unreachable!("handled by process_sequential/process_weighted")
+            }
         };
 
         collected.clear();
@@ -447,6 +450,55 @@ impl UpgradeMiddleware {
         arrived.clear();
         self.arrived_scratch = arrived;
 
+        Ok(DemandRecord {
+            seq,
+            t: self.clock,
+            per_release,
+            system,
+        })
+    }
+
+    /// Weighted-fleet mode: a single uniform draw routes the demand to
+    /// exactly one active release in proportion to the traffic weights
+    /// (canary chains). The chosen release's response is forwarded as
+    /// is — there is nothing to adjudicate against — so the consumer's
+    /// wait is that release's execution time (bounded by the timeout)
+    /// plus `dT`.
+    fn process_weighted(
+        &mut self,
+        seq: u64,
+        request: &Envelope,
+        rng: &mut StreamRng,
+    ) -> Result<DemandRecord, CoreError> {
+        let timeout = self.config.timeout;
+        let dt = self.config.adjudication_delay;
+        let u = rng.next_f64();
+        let id = self.releases.route(u).ok_or(CoreError::NoActiveReleases)?;
+        let inv = self.releases.invoke(id, request, rng)?;
+        let within = inv.exec_time <= timeout;
+        let mut per_release = self.record_pool.pop().unwrap_or_default();
+        per_release.clear();
+        per_release.push(ReleaseObservation {
+            release: id,
+            class: inv.class,
+            exec_time: inv.exec_time,
+            within_timeout: within,
+        });
+        let system = if within {
+            SystemObservation {
+                verdict: SystemVerdict::Response(inv.class),
+                response_time: inv.exec_time + dt,
+                source: Some(id),
+                responders: 1,
+            }
+        } else {
+            SystemObservation {
+                verdict: SystemVerdict::Unavailable,
+                response_time: timeout + dt,
+                source: None,
+                responders: 0,
+            }
+        };
         Ok(DemandRecord {
             seq,
             t: self.clock,
@@ -773,6 +825,59 @@ mod tests {
         mw.deploy(scripted("1.1", &[(ResponseClass::Correct, 9.0)]));
         let rec = run_one(&mut mw, 16);
         assert_eq!(rec.system.verdict, SystemVerdict::Unavailable);
+    }
+
+    #[test]
+    fn weighted_fleet_routes_each_demand_to_one_release() {
+        let mut config = MiddlewareConfig::paper(1.5);
+        config.mode = OperatingMode::WeightedFleet;
+        let mut mw = UpgradeMiddleware::new(config);
+        let a = mw.deploy(
+            SyntheticService::builder("Svc", "1.0")
+                .outcomes(OutcomeProfile::always_correct())
+                .exec_time(DelayModel::constant(0.3))
+                .build(),
+        );
+        let b = mw.deploy(
+            SyntheticService::builder("Svc", "1.1")
+                .outcomes(OutcomeProfile::always_correct())
+                .exec_time(DelayModel::constant(0.2))
+                .build(),
+        );
+        mw.releases_mut().set_weight(a, 0.9).unwrap();
+        mw.releases_mut().set_weight(b, 0.1).unwrap();
+        let mut rng = StreamRng::from_seed(20);
+        let mut counts = [0u32; 2];
+        for _ in 0..500 {
+            let rec = mw.process(&Envelope::request("invoke"), &mut rng).unwrap();
+            assert_eq!(rec.per_release.len(), 1);
+            assert_eq!(rec.system.responders, 1);
+            assert!(rec.system.verdict.is_correct());
+            let source = rec.system.source.unwrap();
+            assert_eq!(source, rec.per_release[0].release);
+            counts[source.index()] += 1;
+            // Single-release wait: that release's exec time + dT.
+            let expected = rec.per_release[0].exec_time.as_secs() + 0.1;
+            assert!((rec.system.response_time.as_secs() - expected).abs() < 1e-12);
+            mw.recycle(rec);
+        }
+        // 90/10 split: the heavy release must dominate.
+        assert!(counts[0] > 400, "counts: {counts:?}");
+        assert!(counts[1] > 10, "counts: {counts:?}");
+    }
+
+    #[test]
+    fn weighted_fleet_timeout_is_unavailable() {
+        let mut config = MiddlewareConfig::paper(1.5);
+        config.mode = OperatingMode::WeightedFleet;
+        let mut mw = UpgradeMiddleware::new(config);
+        mw.deploy(scripted("1.0", &[(ResponseClass::Correct, 9.0)]));
+        let rec = run_one(&mut mw, 21);
+        assert_eq!(rec.system.verdict, SystemVerdict::Unavailable);
+        assert_eq!(rec.system.responders, 0);
+        assert_eq!(rec.system.source, None);
+        // Timeout + dT.
+        assert!((rec.system.response_time.as_secs() - 1.6).abs() < 1e-12);
     }
 
     #[test]

@@ -47,13 +47,22 @@ pub enum OperatingMode {
         /// The order in which releases are tried.
         order: SequentialOrder,
     },
+    /// Canary-fleet mode: each demand is routed to exactly one active
+    /// release, drawn in proportion to the per-release traffic weights
+    /// (see [`crate::release::ReleaseSet::set_weight`]). Used by staged
+    /// canary chains, where a new release takes a small weight slice
+    /// that ramps up as its assessed confidence grows.
+    WeightedFleet,
 }
 
 impl OperatingMode {
     /// Returns `true` for the modes that dispatch to all releases at
     /// once.
     pub fn is_parallel(self) -> bool {
-        !matches!(self, OperatingMode::Sequential { .. })
+        !matches!(
+            self,
+            OperatingMode::Sequential { .. } | OperatingMode::WeightedFleet
+        )
     }
 
     /// A short label used in experiment reports. Borrowed for every mode
@@ -70,6 +79,7 @@ impl OperatingMode {
                 SequentialOrder::Deployment => Cow::Borrowed("sequential(deployment)"),
                 SequentialOrder::Random => Cow::Borrowed("sequential(random)"),
             },
+            OperatingMode::WeightedFleet => Cow::Borrowed("weighted-fleet"),
         }
     }
 }
@@ -100,6 +110,15 @@ mod tests {
             order: SequentialOrder::Deployment
         }
         .is_parallel());
+        assert!(!OperatingMode::WeightedFleet.is_parallel());
+    }
+
+    #[test]
+    fn weighted_fleet_label_is_borrowed() {
+        assert!(matches!(
+            OperatingMode::WeightedFleet.label(),
+            Cow::Borrowed("weighted-fleet")
+        ));
     }
 
     #[test]

@@ -74,6 +74,10 @@ struct Deployed {
     endpoint: Box<dyn ServiceEndpoint>,
     state: ReleaseState,
     consecutive_evident_failures: u32,
+    /// Relative traffic weight for weighted-fleet routing. Ignored by
+    /// the parallel/sequential modes, which dispatch to every active
+    /// release regardless of weight.
+    weight: f64,
 }
 
 /// The set of deployed releases behind one middleware instance.
@@ -83,6 +87,11 @@ pub struct ReleaseSet {
     /// lifecycle transition so the per-demand path can borrow it instead
     /// of rebuilding a fresh `Vec`.
     active: Vec<ReleaseId>,
+    /// Cumulative weights parallel to `active` (`cum_weights[i]` is the
+    /// sum of the first `i + 1` active releases' weights). Rebuilt only
+    /// on lifecycle/weight changes, so weighted routing is a single
+    /// multiply plus a short scan — no per-demand allocation.
+    cum_weights: Vec<f64>,
 }
 
 impl ReleaseSet {
@@ -91,6 +100,7 @@ impl ReleaseSet {
         ReleaseSet {
             releases: Vec::new(),
             active: Vec::new(),
+            cum_weights: Vec::new(),
         }
     }
 
@@ -103,9 +113,20 @@ impl ReleaseSet {
                 .filter(|(_, d)| d.state.is_serving())
                 .map(|(i, _)| ReleaseId(i)),
         );
+        self.rebuild_cum_weights();
     }
 
-    /// Deploys a release, returning its id. New releases start `Active`.
+    fn rebuild_cum_weights(&mut self) {
+        self.cum_weights.clear();
+        let mut total = 0.0;
+        for id in &self.active {
+            total += self.releases[id.0].weight;
+            self.cum_weights.push(total);
+        }
+    }
+
+    /// Deploys a release, returning its id. New releases start `Active`
+    /// with weight 1.0.
     pub fn deploy(&mut self, endpoint: impl ServiceEndpoint + 'static) -> ReleaseId {
         self.deploy_boxed(Box::new(endpoint))
     }
@@ -117,8 +138,11 @@ impl ReleaseSet {
             endpoint,
             state: ReleaseState::Active,
             consecutive_evident_failures: 0,
+            weight: 1.0,
         });
         self.active.push(id);
+        self.cum_weights
+            .push(self.cum_weights.last().copied().unwrap_or(0.0) + 1.0);
         id
     }
 
@@ -208,6 +232,65 @@ impl ReleaseSet {
             deployed.consecutive_evident_failures = 0;
         }
         Ok(invocation)
+    }
+
+    /// Sets a release's traffic weight (weighted-fleet routing only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRelease`] for an unknown id and
+    /// [`CoreError::InvalidWeight`] unless the weight is finite and
+    /// non-negative.
+    pub fn set_weight(&mut self, id: ReleaseId, weight: f64) -> Result<(), CoreError> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(CoreError::InvalidWeight { release: id });
+        }
+        let deployed = self
+            .releases
+            .get_mut(id.0)
+            .ok_or(CoreError::UnknownRelease(id))?;
+        deployed.weight = weight;
+        self.rebuild_cum_weights();
+        Ok(())
+    }
+
+    /// A release's current traffic weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownRelease`] for an unknown id.
+    pub fn weight(&self, id: ReleaseId) -> Result<f64, CoreError> {
+        self.releases
+            .get(id.0)
+            .map(|d| d.weight)
+            .ok_or(CoreError::UnknownRelease(id))
+    }
+
+    /// Sum of the active releases' weights.
+    pub fn total_active_weight(&self) -> f64 {
+        self.cum_weights.last().copied().unwrap_or(0.0)
+    }
+
+    /// Routes a uniform draw `u ∈ [0, 1)` to one active release in
+    /// proportion to the weights. Returns `None` when nothing is active;
+    /// when every active weight is zero the first active release takes
+    /// the demand (the fleet must still answer).
+    pub fn route(&self, u: f64) -> Option<ReleaseId> {
+        let total = self.total_active_weight();
+        if self.active.is_empty() {
+            return None;
+        }
+        if total <= 0.0 {
+            return Some(self.active[0]);
+        }
+        let target = u * total;
+        for (i, cum) in self.cum_weights.iter().enumerate() {
+            if target < *cum {
+                return Some(self.active[i]);
+            }
+        }
+        // u == 1.0 - ε rounding: fall back to the last active release.
+        self.active.last().copied()
     }
 
     /// Consecutive evident failures of a release (for recovery policies).
@@ -426,6 +509,78 @@ mod tests {
         set.invoke(id, &Envelope::request("invoke"), &mut rng)
             .unwrap();
         assert_eq!(set.consecutive_evident_failures(id).unwrap(), 0);
+    }
+
+    #[test]
+    fn weights_default_to_one_and_route_proportionally() {
+        let mut set = ReleaseSet::new();
+        let a = set.deploy(service("1.0"));
+        let b = set.deploy(service("1.1"));
+        assert_eq!(set.weight(a).unwrap(), 1.0);
+        assert_eq!(set.total_active_weight(), 2.0);
+        set.set_weight(a, 0.75).unwrap();
+        set.set_weight(b, 0.25).unwrap();
+        assert_eq!(set.total_active_weight(), 1.0);
+        assert_eq!(set.route(0.0), Some(a));
+        assert_eq!(set.route(0.74), Some(a));
+        assert_eq!(set.route(0.76), Some(b));
+        assert_eq!(set.route(0.999_999), Some(b));
+    }
+
+    #[test]
+    fn routing_skips_non_serving_releases() {
+        let mut set = ReleaseSet::new();
+        let a = set.deploy(service("1.0"));
+        let b = set.deploy(service("1.1"));
+        let c = set.deploy(service("1.2"));
+        set.set_weight(a, 0.5).unwrap();
+        set.set_weight(b, 0.3).unwrap();
+        set.set_weight(c, 0.2).unwrap();
+        set.suspend(b).unwrap();
+        // Remaining mass is 0.7: a covers [0, 5/7), c covers [5/7, 1).
+        assert_eq!(set.route(0.5), Some(a));
+        assert_eq!(set.route(0.8), Some(c));
+        set.restart(b).unwrap();
+        assert_eq!(set.route(0.6), Some(b));
+    }
+
+    #[test]
+    fn routing_with_zero_total_weight_uses_first_active() {
+        let mut set = ReleaseSet::new();
+        let a = set.deploy(service("1.0"));
+        let b = set.deploy(service("1.1"));
+        set.set_weight(a, 0.0).unwrap();
+        set.set_weight(b, 0.0).unwrap();
+        assert_eq!(set.route(0.5), Some(a));
+        set.suspend(a).unwrap();
+        assert_eq!(set.route(0.5), Some(b));
+    }
+
+    #[test]
+    fn routing_empty_set_returns_none() {
+        let set = ReleaseSet::new();
+        assert_eq!(set.route(0.5), None);
+        let mut set = ReleaseSet::new();
+        let a = set.deploy(service("1.0"));
+        set.suspend(a).unwrap();
+        assert_eq!(set.route(0.5), None);
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected() {
+        let mut set = ReleaseSet::new();
+        let a = set.deploy(service("1.0"));
+        assert_eq!(
+            set.set_weight(a, -0.1),
+            Err(CoreError::InvalidWeight { release: a })
+        );
+        assert!(set.set_weight(a, f64::NAN).is_err());
+        assert!(set.set_weight(a, f64::INFINITY).is_err());
+        assert!(set.set_weight(ReleaseId::new(9), 1.0).is_err());
+        assert!(set.weight(ReleaseId::new(9)).is_err());
+        // The rejected weight left the table untouched.
+        assert_eq!(set.weight(a).unwrap(), 1.0);
+        assert_eq!(set.total_active_weight(), 1.0);
     }
 
     #[test]

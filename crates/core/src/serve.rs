@@ -46,10 +46,14 @@ pub struct ReleaseSpec {
     pub outcomes: OutcomeProfile,
     /// Execution-time model.
     pub exec_time: DelayModel,
+    /// Traffic weight share under
+    /// [`OperatingMode::WeightedFleet`](crate::modes::OperatingMode::WeightedFleet);
+    /// ignored by the parallel/sequential modes.
+    pub weight: f64,
 }
 
 impl ReleaseSpec {
-    /// Creates a release blueprint.
+    /// Creates a release blueprint at the default weight `1.0`.
     pub fn new(
         service: &str,
         release: &str,
@@ -61,7 +65,15 @@ impl ReleaseSpec {
             release: release.to_string(),
             outcomes,
             exec_time,
+            weight: 1.0,
         }
+    }
+
+    /// Sets the weighted-fleet traffic share (builder style).
+    #[must_use]
+    pub fn with_weight(mut self, weight: f64) -> ReleaseSpec {
+        self.weight = weight;
+        self
     }
 }
 
@@ -134,18 +146,62 @@ impl ServeSpec {
             ))
     }
 
+    /// A three-release staged canary fleet: a stable 1.0 carrying 70%
+    /// of the traffic, a 1.1 canary at 20% and a 1.2 canary at 10%,
+    /// all deterministic (always correct, constant execution times) so
+    /// round-trip tests can pin exact counter agreement across a
+    /// mid-run [`DemandWorker::promote`].
+    pub fn canary_fleet(seed: u64) -> ServeSpec {
+        let middleware = MiddlewareConfig {
+            mode: crate::modes::OperatingMode::WeightedFleet,
+            ..MiddlewareConfig::default()
+        };
+        ServeSpec::new(middleware, seed)
+            .with_release(
+                ReleaseSpec::new(
+                    "Quote",
+                    "1.0",
+                    OutcomeProfile::always_correct(),
+                    DelayModel::constant(0.05),
+                )
+                .with_weight(0.7),
+            )
+            .with_release(
+                ReleaseSpec::new(
+                    "Quote",
+                    "1.1",
+                    OutcomeProfile::always_correct(),
+                    DelayModel::constant(0.04),
+                )
+                .with_weight(0.2),
+            )
+            .with_release(
+                ReleaseSpec::new(
+                    "Quote",
+                    "1.2",
+                    OutcomeProfile::always_correct(),
+                    DelayModel::constant(0.03),
+                )
+                .with_weight(0.1),
+            )
+    }
+
     /// Builds worker `index`'s private demand loop: its own
     /// middleware, endpoints and RNG stream. Call once per serving
     /// thread, from that thread.
     pub fn worker(&self, index: u64) -> DemandWorker {
         let mut middleware = UpgradeMiddleware::new(self.middleware);
         for release in &self.releases {
-            middleware.deploy(
+            let id = middleware.deploy(
                 SyntheticService::builder(&release.service, &release.release)
                     .outcomes(release.outcomes)
                     .exec_time(release.exec_time)
                     .build(),
             );
+            middleware
+                .releases_mut()
+                .set_weight(id, release.weight)
+                .expect("spec weights are finite and non-negative");
         }
         DemandWorker {
             middleware,
@@ -243,6 +299,29 @@ impl DemandWorker {
     pub fn timeout_secs(&self) -> f64 {
         self.middleware.config().timeout.as_secs()
     }
+
+    /// Mid-run promotion for a weighted fleet: routes **all**
+    /// subsequent traffic to `release` (weight `1.0`) and none to the
+    /// other deployed releases (weight `0.0`). Idempotent; demands
+    /// already served are unaffected, demands served afterwards go to
+    /// the promoted release — none are dropped or double-counted.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownRelease`] if `release` is out of range.
+    pub fn promote(&mut self, release: usize) -> Result<(), CoreError> {
+        use crate::release::ReleaseId;
+        let target = ReleaseId::new(release);
+        let releases = self.middleware.releases_mut();
+        // Validate the target before touching any weight.
+        releases.weight(target)?;
+        for index in 0..releases.len() {
+            let id = ReleaseId::new(index);
+            let weight = if id == target { 1.0 } else { 0.0 };
+            releases.set_weight(id, weight)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -323,5 +402,42 @@ mod tests {
         let spec = ServeSpec::deterministic(1);
         let worker = spec.worker(0);
         assert_eq!(worker.timeout_secs(), 2.0);
+    }
+
+    #[test]
+    fn canary_fleet_routes_by_weight_to_one_release_per_demand() {
+        let spec = ServeSpec::canary_fleet(9);
+        let mut worker = spec.worker(0);
+        let mut counts = [0u64; 3];
+        for _ in 0..2_000 {
+            let outcome = worker.demand().expect("demand");
+            assert_eq!(outcome.responders, 1);
+            counts[outcome.source.expect("weighted routing forwards")] += 1;
+        }
+        // 70/20/10 split, with slack for sampling noise.
+        assert!(counts[0] > 1_250, "counts: {counts:?}");
+        assert!(counts[1] > 250, "counts: {counts:?}");
+        assert!(counts[2] > 100, "counts: {counts:?}");
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+    }
+
+    #[test]
+    fn promotion_redirects_all_traffic_without_losing_demands() {
+        let spec = ServeSpec::canary_fleet(10);
+        let mut worker = spec.worker(0);
+        for _ in 0..100 {
+            worker.demand().expect("demand");
+        }
+        worker.promote(2).expect("release 2 is deployed");
+        for _ in 0..100 {
+            let outcome = worker.demand().expect("demand");
+            assert_eq!(outcome.source, Some(2));
+        }
+        // No demand was dropped or double-counted across the cutover.
+        assert_eq!(worker.demands(), 200);
+        assert_eq!(
+            worker.promote(7),
+            Err(CoreError::UnknownRelease(crate::release::ReleaseId::new(7)))
+        );
     }
 }

@@ -236,3 +236,99 @@ fn steady_state_demand_loop_does_not_allocate() {
     assert_eq!(resp.body, snap.to_json());
     exporter.shutdown();
 }
+
+/// The weighted-fleet demand path must be allocation-free too: routing
+/// draws one uniform and walks the pre-computed cumulative-weight
+/// table — no per-demand `Vec`, no rebuilt state. Four releases at
+/// 40/30/20/10 weights, with timeouts mixed in so both verdict
+/// branches replay in the measured window.
+#[test]
+fn weighted_fleet_demand_loop_does_not_allocate() {
+    use wsu_core::modes::OperatingMode;
+    use wsu_core::release::ReleaseId;
+
+    const FLEET: usize = 4;
+    let mut middleware = UpgradeMiddleware::new(MiddlewareConfig {
+        mode: OperatingMode::WeightedFleet,
+        ..MiddlewareConfig::paper(TIMEOUT_SECS)
+    });
+    let weights = [0.4, 0.3, 0.2, 0.1];
+    for (index, weight) in weights.iter().enumerate() {
+        let mut endpoint = ScriptedEndpoint::new("Component", &format!("1.{index}"));
+        for i in 0..WARMUP + MEASURED {
+            // Every 13th routed invocation hangs past the timeout, so
+            // the unavailable branch is warm before measurement.
+            let secs = if i % 13 == 12 { 9.0 } else { 0.4 };
+            endpoint.push(planned(ResponseClass::Correct, secs));
+        }
+        let id = middleware.deploy(endpoint);
+        // Weight writes (and the cumulative-table rebuild they trigger)
+        // happen before the measured window only.
+        middleware
+            .releases_mut()
+            .set_weight(id, *weight)
+            .expect("weight is valid");
+    }
+    let registry = SharedRegistry::new();
+    let mut monitor = MonitoringSubsystem::new(0);
+    monitor.set_metrics(registry.clone());
+
+    let seed = MasterSeed::new(98);
+    let mut rng = seed.stream("alloc/fleet");
+    let mut mon_rng = seed.stream("alloc/fleet-monitor");
+    let request = Envelope::request("invoke");
+    let mut counts = [0u64; FLEET];
+    let mut clock = 0.0;
+    let mut run = |middleware: &mut UpgradeMiddleware,
+                   monitor: &mut MonitoringSubsystem,
+                   counts: &mut [u64; FLEET],
+                   clock: &mut f64,
+                   demands: u64| {
+        for _ in 0..demands {
+            middleware.set_virtual_time(*clock);
+            let record = middleware
+                .process(&request, &mut rng)
+                .expect("fleet serves");
+            if let Some(source) = record.system.source {
+                counts[source.index()] += 1;
+            }
+            *clock += record.system.response_time.as_secs();
+            monitor.observe(&record, &mut mon_rng);
+            middleware.recycle(record);
+        }
+    };
+    run(
+        &mut middleware,
+        &mut monitor,
+        &mut counts,
+        &mut clock,
+        WARMUP,
+    );
+
+    let before = allocation_count();
+    run(
+        &mut middleware,
+        &mut monitor,
+        &mut counts,
+        &mut clock,
+        MEASURED,
+    );
+    let allocs = allocation_count() - before;
+    assert_eq!(
+        allocs, 0,
+        "weighted-fleet demand loop allocated {allocs} times over {MEASURED} demands"
+    );
+
+    assert_eq!(middleware.demands(), WARMUP + MEASURED);
+    // Every release of the fleet took traffic, heaviest first.
+    assert!(counts.iter().all(|&c| c > 0), "counts: {counts:?}");
+    assert!(counts[0] > counts[3], "counts: {counts:?}");
+    // The cumulative table still matches the configured weights.
+    let releases = middleware.releases();
+    for (index, weight) in weights.iter().enumerate() {
+        assert_eq!(releases.weight(ReleaseId::new(index)), Ok(*weight));
+    }
+    registry.with(|r| {
+        assert_eq!(r.counter("wsu_demands_total", &[]), WARMUP + MEASURED);
+    });
+}

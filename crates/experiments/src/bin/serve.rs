@@ -11,7 +11,8 @@
 //! Usage:
 //!
 //! ```text
-//! wsu-serve [--addr HOST:PORT] [--workers N] [--spec paper|deterministic]
+//! wsu-serve [--addr HOST:PORT] [--workers N]
+//!           [--spec paper|deterministic|canary-fleet]
 //!           [--seed N] [--duration SECS]
 //! ```
 //!
@@ -81,7 +82,7 @@ fn main() {
             eprintln!("wsu-serve: {message}");
             eprintln!(
                 "usage: wsu-serve [--addr HOST:PORT] [--workers N] \
-                 [--spec paper|deterministic] [--seed N] [--duration SECS]"
+                 [--spec paper|deterministic|canary-fleet] [--seed N] [--duration SECS]"
             );
             exit(2);
         }
@@ -89,8 +90,9 @@ fn main() {
     let spec = match options.spec.as_str() {
         "paper" => ServeSpec::paper(options.seed),
         "deterministic" => ServeSpec::deterministic(options.seed),
+        "canary-fleet" => ServeSpec::canary_fleet(options.seed),
         other => {
-            eprintln!("wsu-serve: unknown --spec {other} (want paper|deterministic)");
+            eprintln!("wsu-serve: unknown --spec {other} (want paper|deterministic|canary-fleet)");
             exit(2);
         }
     };

@@ -37,6 +37,7 @@ pub mod bayes_study;
 pub mod campaign;
 pub mod capacity;
 pub mod figures;
+pub mod fleetstudy;
 pub mod loadgen;
 pub mod midsim;
 pub mod obs;

@@ -91,6 +91,11 @@ struct FrontShared {
     /// Total demands served, mirrored outside the registries so
     /// `/snapshot` and tests can read it without a merge.
     demands: AtomicU64,
+    /// Pending fleet promotion, encoded as `release + 1` (`0` = none).
+    /// `POST /promote/<n>` stores it; every worker applies it to its
+    /// private middleware before the next demand it serves, so the
+    /// cutover drops and double-counts nothing.
+    promote: AtomicU64,
 }
 
 /// A running serving front. Dropping it shuts the workers down.
@@ -117,6 +122,7 @@ impl HttpFront {
                 .map(|_| Mutex::new(MetricsRegistry::new()))
                 .collect(),
             demands: AtomicU64::new(0),
+            promote: AtomicU64::new(0),
         });
         let spec = Arc::new(config.spec);
         let mut handles = Vec::with_capacity(workers);
@@ -240,6 +246,7 @@ fn worker_loop(
     io_timeout: Duration,
 ) {
     let mut demand_worker = spec.worker(worker as u64);
+    let mut applied_promote = 0u64;
     let worker_label = worker.to_string();
     let metrics = {
         let mut registry = shared.registries[worker].lock().expect("registry poisoned");
@@ -258,6 +265,7 @@ fn worker_loop(
                     stream,
                     shared,
                     &mut demand_worker,
+                    &mut applied_promote,
                     &metrics,
                     worker,
                     io_timeout,
@@ -276,6 +284,7 @@ fn serve_connection(
     stream: TcpStream,
     shared: &FrontShared,
     demand_worker: &mut wsu_core::serve::DemandWorker,
+    applied_promote: &mut u64,
     metrics: &WorkerMetrics,
     worker: usize,
     io_timeout: Duration,
@@ -290,7 +299,15 @@ fn serve_connection(
         match conn.recv() {
             Ok(request) => {
                 let started = Instant::now();
-                let response = route(&request, shared, demand_worker, metrics, worker, json);
+                let response = route(
+                    &request,
+                    shared,
+                    demand_worker,
+                    applied_promote,
+                    metrics,
+                    worker,
+                    json,
+                );
                 let served_demand = request.method == "POST" && request.path == "/demand";
                 if served_demand {
                     let mut registry = shared.registries[worker].lock().expect("registry poisoned");
@@ -323,11 +340,30 @@ fn serve_connection(
     }
 }
 
+/// Applies any promotion posted since this worker last served a
+/// demand. One relaxed load on the hot path; the weight rewrite runs
+/// only when the stored value changes.
+fn apply_pending_promote(
+    shared: &FrontShared,
+    demand_worker: &mut wsu_core::serve::DemandWorker,
+    applied_promote: &mut u64,
+) {
+    let pending = shared.promote.load(Ordering::Acquire);
+    if pending != *applied_promote {
+        if pending > 0 {
+            let _ = demand_worker.promote((pending - 1) as usize);
+        }
+        *applied_promote = pending;
+    }
+}
+
 /// Routes one request on worker `worker`.
+#[allow(clippy::too_many_arguments)]
 fn route(
     request: &Request,
     shared: &FrontShared,
     demand_worker: &mut wsu_core::serve::DemandWorker,
+    applied_promote: &mut u64,
     metrics: &WorkerMetrics,
     worker: usize,
     json: &mut String,
@@ -343,21 +379,41 @@ fn route(
         let mut registry = shared.registries[worker].lock().expect("registry poisoned");
         registry.inc_counter_id(metrics.requests[route_index]);
     }
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/demand") => match demand_worker.demand() {
-            Ok(outcome) => {
-                {
-                    let mut registry = shared.registries[worker].lock().expect("registry poisoned");
-                    registry.inc_counter_id(metrics.demands);
-                    registry.inc_counter_id(metrics.verdict_id(outcome.verdict_label()));
-                    registry.observe_sketch_id(metrics.virtual_seconds, outcome.response_time);
+    if let Some(rest) = request.path.strip_prefix("/promote/") {
+        return match (request.method.as_str(), rest.parse::<usize>()) {
+            ("POST", Ok(release)) => {
+                // Validate against this worker's fleet before
+                // publishing — every worker deploys the same spec.
+                if demand_worker.promote(release).is_err() {
+                    return Response::text(404, format!("unknown release {release}\n"));
                 }
-                shared.demands.fetch_add(1, Ordering::Relaxed);
-                render_outcome_json(json, &outcome);
-                Response::json(200, json.clone())
+                *applied_promote = release as u64 + 1;
+                shared.promote.store(release as u64 + 1, Ordering::Release);
+                Response::json(200, format!("{{\"promoted\":{release}}}"))
             }
-            Err(err) => Response::text(503, format!("no active releases: {err:?}\n")),
-        },
+            ("POST", Err(_)) => Response::text(400, "promote wants /promote/<release>\n"),
+            (_, _) => Response::method_not_allowed("POST"),
+        };
+    }
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/demand") => {
+            apply_pending_promote(shared, demand_worker, applied_promote);
+            match demand_worker.demand() {
+                Ok(outcome) => {
+                    {
+                        let mut registry =
+                            shared.registries[worker].lock().expect("registry poisoned");
+                        registry.inc_counter_id(metrics.demands);
+                        registry.inc_counter_id(metrics.verdict_id(outcome.verdict_label()));
+                        registry.observe_sketch_id(metrics.virtual_seconds, outcome.response_time);
+                    }
+                    shared.demands.fetch_add(1, Ordering::Relaxed);
+                    render_outcome_json(json, &outcome);
+                    Response::json(200, json.clone())
+                }
+                Err(err) => Response::text(503, format!("no active releases: {err:?}\n")),
+            }
+        }
         ("GET" | "HEAD", "/demand") => Response::method_not_allowed("POST"),
         ("GET", "/metrics") => Response::bytes(
             200,

@@ -24,4 +24,6 @@ pub mod inject;
 pub mod plan;
 
 pub use inject::{FaultInjector, InjectionTally};
-pub use plan::{FaultAction, FaultClause, FaultPlan, FaultScenario, FaultTrigger};
+pub use plan::{
+    FaultAction, FaultClause, FaultPlan, FaultScenario, FaultTrigger, FleetFaultScenario,
+};

@@ -325,6 +325,55 @@ impl FaultScenario {
     }
 }
 
+/// A named N-release fleet fault scenario: one plan per release, in
+/// deployment order. The fleet analogue of [`FaultScenario`], used by
+/// canary-chain campaigns where the fault axis is (fleet size ×
+/// recovery strategy).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetFaultScenario {
+    /// Scenario label (used as the campaign row name).
+    pub name: String,
+    /// One fault plan per release, indexed by deployment order.
+    pub plans: Vec<FaultPlan>,
+}
+
+impl FleetFaultScenario {
+    /// An empty scenario with the given name and one empty plan per
+    /// release.
+    pub fn new(name: impl Into<String>, releases: usize) -> FleetFaultScenario {
+        FleetFaultScenario {
+            name: name.into(),
+            plans: vec![FaultPlan::new(); releases],
+        }
+    }
+
+    /// Number of releases the scenario covers.
+    pub fn releases(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Adds a clause to release `index`'s plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn release_clause(mut self, index: usize, clause: FaultClause) -> FleetFaultScenario {
+        self.plans[index].push(clause);
+        self
+    }
+
+    /// Adds the *same* clause to every release's plan — a correlated
+    /// fleet-wide fault. As with [`FaultScenario::coincident`],
+    /// probabilistic triggers naming the same stream fire on the same
+    /// demand indices across all releases.
+    pub fn coincident(mut self, clause: FaultClause) -> FleetFaultScenario {
+        for plan in &mut self.plans {
+            plan.push(clause.clone());
+        }
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,5 +514,34 @@ mod tests {
         assert_eq!(scenario.new.len(), 1);
         assert_eq!(scenario.new.clauses()[0], clause);
         assert_eq!(scenario.old.clauses()[1], clause);
+    }
+
+    #[test]
+    fn fleet_scenario_targets_releases_and_shares_coincident_clauses() {
+        let burst = FaultClause::new(
+            "burst",
+            FaultTrigger::Probabilistic {
+                p: 0.05,
+                stream: "burst".into(),
+            },
+            FaultAction::Crash,
+        );
+        let scenario = FleetFaultScenario::new("fleet", 3)
+            .release_clause(
+                2,
+                FaultClause::new(
+                    "canary-only",
+                    FaultTrigger::DemandWindow { from: 10, to: 20 },
+                    FaultAction::WrongValue { evident: true },
+                ),
+            )
+            .coincident(burst.clone());
+        assert_eq!(scenario.releases(), 3);
+        assert_eq!(scenario.plans[0].len(), 1);
+        assert_eq!(scenario.plans[1].len(), 1);
+        assert_eq!(scenario.plans[2].len(), 2);
+        for plan in &scenario.plans {
+            assert_eq!(plan.clauses().last().unwrap(), &burst);
+        }
     }
 }

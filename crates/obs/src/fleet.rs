@@ -1,0 +1,143 @@
+//! Per-release fleet gauges for staged canary chains.
+//!
+//! A weighted fleet exposes two things an operator watches during an
+//! online upgrade that the pairwise metrics don't carry: each release's
+//! current **traffic weight** and its **chain stage**. [`FleetGauges`]
+//! publishes both into a [`SharedRegistry`], plus counters for the
+//! fleet-level lifecycle decisions (incidents, recoveries, promotions,
+//! rollbacks, substitutions).
+//!
+//! Release labels for indices 0–7 are static strings, so the per-change
+//! update path allocates nothing for realistic fleet sizes; larger
+//! indices collapse into the `"8+"` label.
+
+use crate::metrics::SharedRegistry;
+
+/// The static label for a release index. Fleets larger than eight
+/// releases collapse the overflow into one `"8+"` series.
+fn release_label(index: usize) -> &'static str {
+    match index {
+        0 => "0",
+        1 => "1",
+        2 => "2",
+        3 => "3",
+        4 => "4",
+        5 => "5",
+        6 => "6",
+        7 => "7",
+        _ => "8+",
+    }
+}
+
+/// Publishes per-release weight/stage gauges and fleet lifecycle
+/// counters into a shared metrics registry.
+#[derive(Debug, Clone)]
+pub struct FleetGauges {
+    registry: SharedRegistry,
+}
+
+impl FleetGauges {
+    /// Wraps a shared registry.
+    pub fn new(registry: SharedRegistry) -> FleetGauges {
+        FleetGauges { registry }
+    }
+
+    /// Sets `wsu_fleet_weight{release="i"}` — the release's current
+    /// traffic weight share.
+    pub fn set_weight(&self, release: usize, weight: f64) {
+        self.registry.set_gauge(
+            "wsu_fleet_weight",
+            &[("release", release_label(release))],
+            weight,
+        );
+    }
+
+    /// Sets `wsu_fleet_stage{release="i"}` — the release's position in
+    /// the canary chain (0 = the initial stable release).
+    pub fn set_stage(&self, release: usize, stage: usize) {
+        self.registry.set_gauge(
+            "wsu_fleet_stage",
+            &[("release", release_label(release))],
+            stage as f64,
+        );
+    }
+
+    /// Counts a declared incident, labeled by the recovery strategy
+    /// that handles it.
+    pub fn incident(&self, strategy: &str) {
+        self.registry
+            .inc_counter("wsu_fleet_incidents_total", &[("strategy", strategy)]);
+    }
+
+    /// Counts a successful recovery probe, labeled by strategy.
+    pub fn recovered(&self, strategy: &str) {
+        self.registry
+            .inc_counter("wsu_fleet_recoveries_total", &[("strategy", strategy)]);
+    }
+
+    /// Counts a canary promotion.
+    pub fn promotion(&self) {
+        self.registry.inc_counter("wsu_fleet_promotions_total", &[]);
+    }
+
+    /// Counts a canary demotion (rollback).
+    pub fn rollback(&self) {
+        self.registry.inc_counter("wsu_fleet_rollbacks_total", &[]);
+    }
+
+    /// Counts an atomic substitution (a registry stand-in bound as a
+    /// replacement release).
+    pub fn substitution(&self) {
+        self.registry
+            .inc_counter("wsu_fleet_substitutions_total", &[]);
+    }
+
+    /// The wrapped registry.
+    pub fn registry(&self) -> &SharedRegistry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_and_counters_land_in_the_registry() {
+        let registry = SharedRegistry::new();
+        let gauges = FleetGauges::new(registry.clone());
+        gauges.set_weight(0, 0.9);
+        gauges.set_weight(1, 0.1);
+        gauges.set_stage(1, 2);
+        gauges.incident("restart");
+        gauges.recovered("restart");
+        gauges.promotion();
+        gauges.rollback();
+        gauges.substitution();
+        registry.with(|r| {
+            assert_eq!(r.gauge("wsu_fleet_weight", &[("release", "0")]), Some(0.9));
+            assert_eq!(r.gauge("wsu_fleet_weight", &[("release", "1")]), Some(0.1));
+            assert_eq!(r.gauge("wsu_fleet_stage", &[("release", "1")]), Some(2.0));
+            assert_eq!(
+                r.counter("wsu_fleet_incidents_total", &[("strategy", "restart")]),
+                1
+            );
+            assert_eq!(
+                r.counter("wsu_fleet_recoveries_total", &[("strategy", "restart")]),
+                1
+            );
+            assert_eq!(r.counter("wsu_fleet_promotions_total", &[]), 1);
+            assert_eq!(r.counter("wsu_fleet_rollbacks_total", &[]), 1);
+            assert_eq!(r.counter("wsu_fleet_substitutions_total", &[]), 1);
+        });
+        assert!(!format!("{gauges:?}").is_empty());
+        let _ = gauges.registry();
+    }
+
+    #[test]
+    fn large_indices_collapse_into_one_label() {
+        assert_eq!(release_label(7), "7");
+        assert_eq!(release_label(8), "8+");
+        assert_eq!(release_label(100), "8+");
+    }
+}

@@ -68,6 +68,7 @@
 
 pub mod event;
 pub mod export;
+pub mod fleet;
 pub mod http;
 pub mod jsonl;
 pub mod metrics;
@@ -78,6 +79,7 @@ pub mod span;
 
 pub use event::TraceEvent;
 pub use export::MetricsExporter;
+pub use fleet::FleetGauges;
 pub use http::{http_get, HttpClient, HttpConn, HttpResponse};
 pub use jsonl::{parse_jsonl, JsonValue};
 pub use metrics::{CounterId, GaugeId, HistogramId, MetricsRegistry, SharedRegistry, SketchId};

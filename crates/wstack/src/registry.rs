@@ -206,6 +206,26 @@ impl Registry {
         hits
     }
 
+    /// Finds functionally-equivalent candidates for a service: records
+    /// in the same category whose service name differs from
+    /// `exclude_name` (the failed service looking for a stand-in must
+    /// not be offered one of its own releases). Results are in key
+    /// order, so substitution is deterministic.
+    pub fn find_equivalent(
+        &self,
+        category: &str,
+        exclude_name: &str,
+    ) -> Vec<(ServiceKey, &ServiceRecord)> {
+        let mut hits: Vec<_> = self
+            .records
+            .iter()
+            .filter(|(_, r)| r.category == category && r.name != exclude_name)
+            .map(|(k, r)| (*k, r))
+            .collect();
+        hits.sort_by_key(|(k, _)| *k);
+        hits
+    }
+
     /// Records that `newer` is the next release of `older` (the registry
     /// notification mechanism of Section 7.2).
     ///
@@ -314,6 +334,22 @@ mod tests {
         assert_eq!(reg.find_by_category("test").len(), 1);
         assert_eq!(reg.find_by_category("other").len(), 1);
         assert!(reg.find_by_category("none").is_empty());
+    }
+
+    #[test]
+    fn find_equivalent_excludes_own_releases_and_sorts_by_key() {
+        let mut reg = Registry::new();
+        reg.publish(record("A", "1.0"));
+        reg.publish(record("A", "1.1"));
+        let b = reg.publish(record("B", "1.0"));
+        let c = reg.publish(record("C", "2.0"));
+        let mut other = record("D", "1.0");
+        other.category = "other".into();
+        reg.publish(other);
+        let hits = reg.find_equivalent("test", "A");
+        assert_eq!(hits.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![b, c]);
+        assert!(reg.find_equivalent("test", "A").len() == 2);
+        assert!(reg.find_equivalent("none", "A").is_empty());
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! End-to-end staged canary chain: a scripted 3-stage upgrade must
+//! promote its first canary, substitute a crash-bursting second canary
+//! with a registry stand-in, promote the stand-in, and finally roll
+//! back a persistently-faulty third canary once the substitute pool is
+//! exhausted — halting the chain.
+//!
+//! Timeline (chain stages behind the stable release `1.0`):
+//!
+//! * **stage 1** (`1.1`) is clean — the ramp walks it to full weight
+//!   and promotes it;
+//! * **stage 2** (`1.2`) crashes on every demand — the incident binds
+//!   the one registry stand-in as the stage's replacement canary, and
+//!   the stand-in then earns the promotion itself;
+//! * **stage 3** (`1.3`) returns evident wrong values on every second
+//!   demand — a persistent fault; with the pool now empty the
+//!   substitute strategy degrades to a rollback and the chain halts.
+//!
+//! The same chain, replicated through [`run_replications`], must
+//! produce byte-identical tables, traces and metrics at `--jobs 1` and
+//! `--jobs 4`.
+
+use wsu_core::composite::{CompositeEndpoint, CompositeService};
+use wsu_core::fleet::{
+    FleetOrchestrator, FleetPlan, FleetStatus, ProbeRule, PromotionRule, RollbackRule,
+    SubstitutePool,
+};
+use wsu_core::manage::RecoveryStrategy;
+use wsu_experiments::midsim::ObsSinks;
+use wsu_experiments::replicate::run_replications;
+use wsu_faults::{FaultAction, FaultClause, FaultInjector, FaultTrigger, FleetFaultScenario};
+use wsu_obs::{SharedRecorder, SharedRegistry, TraceEvent};
+use wsu_simcore::dist::DelayModel;
+use wsu_simcore::par::Jobs;
+use wsu_simcore::rng::MasterSeed;
+use wsu_wstack::endpoint::SyntheticService;
+use wsu_wstack::registry::ServiceRecord;
+use wsu_wstack::wsdl::ServiceDescription;
+
+const SEED: MasterSeed = MasterSeed::new(0xE2E_F1EE7);
+const DEMANDS: u64 = 1_500;
+
+fn service(release: &str) -> SyntheticService {
+    SyntheticService::builder("Composite", release)
+        .exec_time(DelayModel::constant(0.4))
+        .build()
+}
+
+/// The scripted faults: stage 2 crash-bursts from its first demand,
+/// stage 3 fails evidently on every second demand; the stable release
+/// and stage 1 stay clean.
+fn chain_scenario() -> FleetFaultScenario {
+    FleetFaultScenario::new("canary-chain-e2e", 4)
+        .release_clause(
+            2,
+            FaultClause::new(
+                "stage2-burst",
+                FaultTrigger::DemandWindow {
+                    from: 0,
+                    to: u64::MAX,
+                },
+                FaultAction::Crash,
+            ),
+        )
+        .release_clause(
+            3,
+            FaultClause::new(
+                "stage3-persistent",
+                FaultTrigger::EveryNth { n: 2, phase: 0 },
+                FaultAction::WrongValue { evident: true },
+            ),
+        )
+}
+
+fn chain_plan() -> FleetPlan {
+    FleetPlan {
+        assess_interval: 25,
+        promotion: PromotionRule {
+            target_pfd: 0.05,
+            confidence: 0.8,
+            min_demands: 20,
+        },
+        rollback: RollbackRule {
+            window: 10,
+            max_fault_rate: 0.4,
+        },
+        probe: ProbeRule {
+            window: 20,
+            min_availability: 0.9,
+        },
+        suspend_after: 5,
+        ..FleetPlan::with_strategy(RecoveryStrategy::Substitute)
+    }
+}
+
+/// One stand-in: a functionally-equivalent composite service published
+/// in the registry pool. The chain has two faulty canaries but only
+/// this one candidate, so the second incident must fall back to a
+/// rollback.
+fn single_stand_in_pool() -> SubstitutePool {
+    let mut pool = SubstitutePool::new();
+    let composite = CompositeService::builder("CompositeAlt")
+        .component(
+            "backend",
+            SyntheticService::builder("Backend", "1.0")
+                .exec_time(DelayModel::constant(0.4))
+                .build(),
+        )
+        .build();
+    pool.register(
+        ServiceRecord::new(
+            "CompositeAlt",
+            "http://standby/CompositeAlt",
+            "composite-equivalent",
+            ServiceDescription::new("CompositeAlt", "sub-1.0"),
+        ),
+        Box::new(CompositeEndpoint::new(composite, "sub-1.0")),
+    );
+    pool
+}
+
+fn run_chain(sinks: &ObsSinks) -> FleetStatus {
+    let scenario = chain_scenario();
+    let mut injectors = scenario.plans.iter().enumerate().map(|(i, plan)| {
+        let mut injector = FaultInjector::new(service(&format!("1.{i}")), plan.clone(), SEED);
+        if let Some(recorder) = &sinks.recorder {
+            injector = injector.with_recorder(recorder.clone());
+        }
+        if let Some(metrics) = &sinks.metrics {
+            injector = injector.with_metrics(metrics.clone());
+        }
+        injector
+    });
+    let mut fleet = FleetOrchestrator::new(
+        injectors.next().expect("stable release"),
+        chain_plan(),
+        SEED,
+    );
+    for injector in injectors {
+        fleet.push_stage(injector);
+    }
+    fleet.set_substitutes(single_stand_in_pool(), "composite-equivalent");
+    if let Some(recorder) = &sinks.recorder {
+        fleet.attach_recorder(recorder.clone());
+    }
+    if let Some(metrics) = &sinks.metrics {
+        fleet.attach_metrics(metrics);
+    }
+    fleet.run_demands(DEMANDS);
+    fleet.status()
+}
+
+#[test]
+fn chain_promotes_substitutes_then_rolls_back() {
+    let sinks = ObsSinks {
+        recorder: Some(SharedRecorder::new()),
+        metrics: Some(SharedRegistry::new()),
+    };
+    let status = run_chain(&sinks);
+
+    // Stage 1 promoted cleanly; the stand-in earned the second
+    // promotion after replacing the bursting stage-2 canary.
+    assert_eq!(status.stats.promotions, 2, "status: {status:?}");
+    assert_eq!(status.stats.substitutions, 1, "status: {status:?}");
+    // The persistent stage-3 fault found the pool empty: rollback.
+    assert_eq!(status.stats.rollbacks, 1, "status: {status:?}");
+    assert!(status.chain_halted, "status: {status:?}");
+    assert!(status.canary.is_none(), "status: {status:?}");
+    assert_eq!(status.pending_stages, 0, "status: {status:?}");
+    assert!(status.stats.incidents >= 2, "status: {status:?}");
+    // The stand-in (deployed right after the bursting stage-2 canary,
+    // before stage 3) is the final stable release, at full weight.
+    assert_eq!(status.stable.index(), 3, "status: {status:?}");
+    assert!((status.stable_weight - 1.0).abs() < 1e-12);
+    assert!(status.stats.availability() > 0.9, "status: {status:?}");
+
+    // The decision trail tells the same story, in order.
+    let decisions: Vec<String> = sinks
+        .recorder
+        .as_ref()
+        .unwrap()
+        .snapshot()
+        .iter()
+        .filter_map(|event| match event {
+            TraceEvent::SwitchDecision { decision, .. } => Some(decision.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        decisions,
+        vec![
+            "promote".to_owned(),
+            "substitute".to_owned(),
+            "promote".to_owned(),
+            "rollback-no-substitute".to_owned(),
+        ],
+        "unexpected decision trail"
+    );
+    // Ground truth was injected on both faulty stages.
+    let prom = sinks.metrics.as_ref().unwrap().render_snapshot();
+    assert!(prom.contains("wsu_fault_injected_total"), "{prom}");
+    assert!(prom.contains("wsu_fleet_substitutions_total"), "{prom}");
+}
+
+#[test]
+fn chain_is_jobs_invariant() {
+    let observed = |jobs: Jobs| {
+        let sinks = ObsSinks {
+            recorder: Some(SharedRecorder::new()),
+            metrics: Some(SharedRegistry::new()),
+        };
+        let statuses = run_replications(jobs, 3, &sinks, |_, local| run_chain(local));
+        let summary: Vec<String> = statuses.iter().map(|s| format!("{s:?}")).collect();
+        (
+            summary,
+            sinks.metrics.as_ref().unwrap().render_snapshot(),
+            sinks.recorder.as_ref().unwrap().snapshot(),
+        )
+    };
+    let (sum1, prom1, trace1) = observed(Jobs::serial());
+    let (sum4, prom4, trace4) = observed(Jobs::new(4));
+    assert_eq!(sum1, sum4, "statuses differ with jobs=4");
+    assert_eq!(prom1, prom4, "metrics snapshot differs with jobs=4");
+    assert_eq!(trace1, trace4, "event trace differs with jobs=4");
+    // The merged trace interleaves injections with fleet lifecycle
+    // events.
+    let kinds: Vec<&str> = trace1.iter().map(TraceEvent::kind).collect();
+    assert!(kinds.contains(&"FaultInjected"), "no injection events");
+    assert!(kinds.contains(&"SwitchDecision"), "no decision events");
+    assert!(kinds.contains(&"ConfidenceUpdated"), "no assessments");
+}

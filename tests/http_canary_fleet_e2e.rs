@@ -1,0 +1,108 @@
+//! HTTP round trip against a canary fleet: `wsu-serve`'s front serving
+//! the `canary-fleet` spec, driven closed-loop by `wsu-loadgen`'s
+//! driver, with a promotion posted mid-run. The cutover must not drop
+//! or double-count a single demand: the client-side success count, the
+//! front's demand counter, the `/metrics` scrape and the `/snapshot`
+//! aggregate must all agree exactly — and once the promotion has
+//! propagated, every demand must be served by the promoted release.
+
+use std::thread;
+use std::time::Duration;
+
+use wsu_core::serve::ServeSpec;
+use wsu_experiments::loadgen::{run_load, scrape_demand_total, LoadgenConfig};
+use wsu_experiments::serve::{FrontConfig, HttpFront};
+use wsu_obs::http::{http_get, HttpClient};
+
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn canary_front(workers: usize) -> HttpFront {
+    HttpFront::start(FrontConfig::new(
+        "127.0.0.1:0",
+        workers,
+        ServeSpec::canary_fleet(33),
+    ))
+    .expect("start front")
+}
+
+#[test]
+fn promote_endpoint_validates_its_input() {
+    let front = canary_front(1);
+    let addr = front.local_addr();
+    let mut client = HttpClient::connect(addr, IO_TIMEOUT).expect("connect");
+    // The canary fleet has releases 0..=2; release 9 does not exist.
+    let resp = client.request("POST", "/promote/9", b"").expect("promote");
+    assert_eq!(resp.status, 404, "{}", resp.body);
+    let resp = client
+        .request("POST", "/promote/abc", b"")
+        .expect("promote");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    let resp = client.request("GET", "/promote/1", b"").expect("promote");
+    assert_eq!(resp.status, 405, "{}", resp.body);
+    // A rejected promotion must not disturb serving.
+    let resp = client.request("POST", "/demand", b"").expect("demand");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(front.demands(), 1);
+    front.shutdown();
+}
+
+#[test]
+fn mid_run_promotion_drops_and_double_counts_nothing() {
+    let front = canary_front(3);
+    let addr = front.local_addr();
+
+    // Closed-loop load from the loadgen driver while the promotion
+    // lands on another connection mid-run.
+    let config = LoadgenConfig {
+        addr,
+        connections: 4,
+        requests_per_conn: 750,
+        warmup_per_conn: 50,
+        timeout: IO_TIMEOUT,
+    };
+    let summary = thread::scope(|scope| {
+        let load = scope.spawn(|| run_load(&config).expect("load run"));
+        thread::sleep(Duration::from_millis(5));
+        let mut client = HttpClient::connect(addr, IO_TIMEOUT).expect("connect");
+        let resp = client.request("POST", "/promote/2", b"").expect("promote");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert_eq!(resp.body, "{\"promoted\":2}");
+        load.join().expect("load thread")
+    });
+    assert_eq!(summary.errors, 0, "load saw request errors: {summary:?}");
+    let load_demands = summary.ok + summary.warmup_ok;
+    assert_eq!(
+        load_demands,
+        (config.requests_per_conn + config.warmup_per_conn) * config.connections as u64
+    );
+
+    // After the cutover has been applied by every worker, each demand
+    // must come from the promoted release.
+    let mut client = HttpClient::connect(addr, IO_TIMEOUT).expect("connect");
+    let verification = 24u64;
+    for _ in 0..verification {
+        let resp = client.request("POST", "/demand", b"").expect("demand");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(
+            resp.body.contains("\"source\":2,"),
+            "demand not served by the promoted release: {}",
+            resp.body
+        );
+    }
+    drop(client);
+
+    // Client-side count == front counter == /metrics scrape ==
+    // /snapshot aggregate: nothing dropped, nothing double-counted.
+    let expected = load_demands + verification;
+    assert_eq!(front.demands(), expected, "front counter disagrees");
+    let scraped = scrape_demand_total(addr).expect("scrape");
+    assert_eq!(scraped, expected, "metrics scrape disagrees");
+    let snapshot = http_get(addr, "/snapshot").expect("snapshot");
+    assert_eq!(snapshot.status, 200);
+    assert!(
+        snapshot.body.contains(&format!("\"demands\":{expected},")),
+        "snapshot disagrees: {}",
+        snapshot.body
+    );
+    front.shutdown();
+}
