@@ -88,6 +88,15 @@ pub struct ServeSpec {
     pub seed: u64,
     /// Operation name stamped on the request envelope.
     pub operation: String,
+    /// Sharded serving: demand randomness is keyed by a fleet-global
+    /// demand index (`indexed_stream("serve-demand", n)`) instead of
+    /// one sequential per-worker stream, so a demand's outcome depends
+    /// only on `(seed, n)` — not on which worker served it or how
+    /// requests interleaved. Fronts claim `n` atomically and call
+    /// [`DemandWorker::demand_indexed`]; this is the `--shards`
+    /// determinism contract applied to live serving, letting a front
+    /// scale its worker fleet without changing a single outcome.
+    pub sharded: bool,
 }
 
 impl ServeSpec {
@@ -98,6 +107,7 @@ impl ServeSpec {
             releases: Vec::new(),
             seed,
             operation: "invoke".to_string(),
+            sharded: false,
         }
     }
 
@@ -105,6 +115,14 @@ impl ServeSpec {
     #[must_use]
     pub fn with_release(mut self, release: ReleaseSpec) -> ServeSpec {
         self.releases.push(release);
+        self
+    }
+
+    /// Switches the spec to sharded serving (builder style); see the
+    /// [`sharded`](ServeSpec::sharded) field.
+    #[must_use]
+    pub fn with_sharding(mut self) -> ServeSpec {
+        self.sharded = true;
         self
     }
 
@@ -203,9 +221,11 @@ impl ServeSpec {
                 .set_weight(id, release.weight)
                 .expect("spec weights are finite and non-negative");
         }
+        let master = MasterSeed::new(self.seed);
         DemandWorker {
             middleware,
-            rng: MasterSeed::new(self.seed).indexed_stream("serve-worker", index),
+            rng: master.indexed_stream("serve-worker", index),
+            master,
             request: Envelope::request(&self.operation),
             clock: 0.0,
             worker: index,
@@ -248,6 +268,7 @@ impl DemandOutcome {
 pub struct DemandWorker {
     middleware: UpgradeMiddleware,
     rng: StreamRng,
+    master: MasterSeed,
     request: Envelope,
     clock: f64,
     worker: u64,
@@ -265,6 +286,31 @@ impl DemandWorker {
     pub fn demand(&mut self) -> Result<DemandOutcome, CoreError> {
         self.middleware.set_virtual_time(self.clock);
         let record = self.middleware.process(&self.request, &mut self.rng)?;
+        Ok(self.finish(record))
+    }
+
+    /// Serves one demand whose randomness is keyed by a fleet-global
+    /// demand index: the draw stream is
+    /// `indexed_stream("serve-demand", global)`, so the outcome
+    /// depends only on `(spec.seed, global)` — identical no matter
+    /// which worker serves it or how requests interleave across the
+    /// fleet. Fronts serving a [sharded](ServeSpec::sharded) spec
+    /// claim `global` atomically and call this instead of
+    /// [`demand`](DemandWorker::demand).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoActiveReleases`] if the spec deployed nothing.
+    pub fn demand_indexed(&mut self, global: u64) -> Result<DemandOutcome, CoreError> {
+        let mut rng = self.master.indexed_stream("serve-demand", global);
+        self.middleware.set_virtual_time(self.clock);
+        let record = self.middleware.process(&self.request, &mut rng)?;
+        Ok(self.finish(record))
+    }
+
+    /// Folds a processed record into the worker's clock and outcome
+    /// summary, recycling the record's buffer.
+    fn finish(&mut self, record: crate::middleware::DemandRecord) -> DemandOutcome {
         let outcome = DemandOutcome {
             seq: record.seq,
             worker: self.worker,
@@ -276,7 +322,7 @@ impl DemandWorker {
         };
         self.clock += outcome.response_time;
         self.middleware.recycle(record);
-        Ok(outcome)
+        outcome
     }
 
     /// Demands served by this worker so far.
@@ -388,6 +434,36 @@ mod tests {
         let a = run(0);
         let b = run(1);
         assert!(a.iter().zip(&b).any(|(x, y)| x.2 != y.2));
+    }
+
+    #[test]
+    fn indexed_demands_depend_only_on_seed_and_global_index() {
+        let spec = ServeSpec::paper(42).with_sharding();
+        assert!(spec.sharded);
+        let outcomes = |worker: u64| -> Vec<(String, f64)> {
+            let mut w = spec.worker(worker);
+            (0..40)
+                .map(|g| {
+                    let o = w.demand_indexed(g).expect("demand");
+                    (o.verdict_label().to_string(), o.response_time)
+                })
+                .collect()
+        };
+        // Any worker serving global demand `g` sees the same outcome.
+        let a = outcomes(0);
+        assert_eq!(a, outcomes(1));
+        // Interleaving demands across two workers changes nothing.
+        let mut w2 = spec.worker(2);
+        let mut w3 = spec.worker(3);
+        let mut c = Vec::new();
+        for g in 0..40u64 {
+            let w = if g % 2 == 0 { &mut w2 } else { &mut w3 };
+            let o = w.demand_indexed(g).expect("demand");
+            c.push((o.verdict_label().to_string(), o.response_time));
+        }
+        assert_eq!(a, c);
+        // The paper spec actually varies (exponential latencies).
+        assert!(a.iter().any(|(_, t)| *t != a[0].1));
     }
 
     #[test]

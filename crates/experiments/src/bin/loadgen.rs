@@ -1,4 +1,4 @@
-//! `wsu-loadgen` — closed-loop load generator for `wsu-serve`.
+//! `wsu-loadgen` — load generator for `wsu-serve`.
 //!
 //! Opens `--connections` keep-alive connections and drives each in a
 //! closed loop (one request in flight per connection), capturing
@@ -11,8 +11,17 @@
 //!
 //! ```text
 //! wsu-loadgen --addr HOST:PORT [--connections N] [--requests N]
-//!             [--warmup N] [--out PATH] [--expect-server-match]
+//!             [--warmup N] [--open-loop RATE] [--out PATH]
+//!             [--expect-server-match]
 //! ```
+//!
+//! `--open-loop RATE` switches the timed phase to a fixed-rate open
+//! loop: RATE requests/sec aggregate are scheduled across the
+//! connections whether or not earlier responses have arrived, latency
+//! is measured from each request's scheduled instant (no coordinated
+//! omission), and slots a connection cannot reach within one interval
+//! are dropped — the summary then reports the drop rate alongside
+//! p50/p99/p999, the open-loop overload signal.
 //!
 //! `--expect-server-match` scrapes the server's `/metrics` after the
 //! run and requires its summed `wsu_http_demands_total` to equal the
@@ -32,6 +41,7 @@ struct Options {
     requests: u64,
     warmup: u64,
     out: Option<String>,
+    open_loop: Option<f64>,
     expect_server_match: bool,
 }
 
@@ -42,6 +52,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         requests: 500,
         warmup: 50,
         out: None,
+        open_loop: None,
         expect_server_match: false,
     };
     let mut i = 0;
@@ -73,6 +84,15 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| format!("--warmup: not a count: {value}"))?;
             }
             "--out" => options.out = Some(value.clone()),
+            "--open-loop" => {
+                let rate: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--open-loop: not a rate: {value}"))?;
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(format!("--open-loop: rate must be positive: {value}"));
+                }
+                options.open_loop = Some(rate);
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
         i += 2;
@@ -101,7 +121,8 @@ fn main() {
             eprintln!("wsu-loadgen: {message}");
             eprintln!(
                 "usage: wsu-loadgen --addr HOST:PORT [--connections N] \
-                 [--requests N] [--warmup N] [--out PATH] [--expect-server-match]"
+                 [--requests N] [--warmup N] [--open-loop RATE] [--out PATH] \
+                 [--expect-server-match]"
             );
             exit(2);
         }
@@ -119,6 +140,7 @@ fn main() {
         requests_per_conn: options.requests,
         warmup_per_conn: options.warmup,
         timeout: Duration::from_secs(5),
+        open_rate: options.open_loop,
     };
     let summary = match run_load(&config) {
         Ok(summary) => summary,
@@ -128,15 +150,17 @@ fn main() {
         }
     };
     println!(
-        "connections={} ok={} errors={} elapsed={:.3}s",
+        "connections={} ok={} errors={} dropped={} elapsed={:.3}s",
         summary.connections,
         summary.ok,
         summary.errors,
+        summary.dropped,
         summary.elapsed.as_secs_f64(),
     );
     println!(
-        "requests/sec={:.1} p50={}ns p99={}ns p999={}ns",
+        "requests/sec={:.1} drop_rate={:.4} p50={}ns p99={}ns p999={}ns",
         summary.requests_per_sec,
+        summary.drop_rate(),
         summary.latency_ns(0.50),
         summary.latency_ns(0.99),
         summary.latency_ns(0.999),

@@ -12,13 +12,17 @@
 //!
 //! ```text
 //! wsu-serve [--addr HOST:PORT] [--workers N]
-//!           [--spec paper|deterministic|canary-fleet]
+//!           [--spec paper|deterministic|canary-fleet] [--sharded]
 //!           [--seed N] [--duration SECS]
 //! ```
 //!
 //! Defaults: `--addr 127.0.0.1:9100`, `--workers 0` (one per hardware
 //! thread), `--spec paper`, the workspace seed, `--duration 0` (serve
-//! until killed). Prints `listening on ADDR workers=N` once ready.
+//! until killed). `--sharded` keys each demand's randomness on a
+//! fleet-global demand index instead of a per-worker stream, so the
+//! outcome stream is identical at any `--workers` count (see
+//! `ServeSpec::sharded`). Prints `listening on ADDR workers=N` once
+//! ready.
 
 use std::process::exit;
 use std::time::Duration;
@@ -30,6 +34,7 @@ struct Options {
     addr: String,
     workers: usize,
     spec: String,
+    sharded: bool,
     seed: u64,
     duration: f64,
 }
@@ -39,6 +44,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         addr: "127.0.0.1:9100".to_string(),
         workers: 0,
         spec: "paper".to_string(),
+        sharded: false,
         seed: 0x5745_4253_5643_5550,
         duration: 0.0,
     };
@@ -57,6 +63,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| format!("--workers: not a count: {}", args[i + 1]))?;
             }
             "--spec" => options.spec = value(i)?.clone(),
+            "--sharded" => {
+                options.sharded = true;
+                i += 1;
+                continue;
+            }
             "--seed" => {
                 options.seed = value(i)?
                     .parse()
@@ -82,12 +93,13 @@ fn main() {
             eprintln!("wsu-serve: {message}");
             eprintln!(
                 "usage: wsu-serve [--addr HOST:PORT] [--workers N] \
-                 [--spec paper|deterministic|canary-fleet] [--seed N] [--duration SECS]"
+                 [--spec paper|deterministic|canary-fleet] [--sharded] \
+                 [--seed N] [--duration SECS]"
             );
             exit(2);
         }
     };
-    let spec = match options.spec.as_str() {
+    let mut spec = match options.spec.as_str() {
         "paper" => ServeSpec::paper(options.seed),
         "deterministic" => ServeSpec::deterministic(options.seed),
         "canary-fleet" => ServeSpec::canary_fleet(options.seed),
@@ -96,6 +108,9 @@ fn main() {
             exit(2);
         }
     };
+    if options.sharded {
+        spec = spec.with_sharding();
+    }
     let front = match HttpFront::start(FrontConfig::new(&options.addr, options.workers, spec)) {
         Ok(front) => front,
         Err(err) => {

@@ -1,19 +1,23 @@
 //! Regenerates Table 5 (correlated release failures).
 //!
-//! Usage: `table5 [--quick] [--calibrated] [--jobs N] [--trace PATH]
-//! [--metrics PATH] [--serve-metrics PORT] [--serve-hold SECS]
-//! [--phase-metrics]` — `--calibrated` uses the execution-time model
-//! whose unconditional MET matches the paper's reported values (see
-//! EXPERIMENTS.md); `--jobs` picks the replication worker-pool size
-//! (default: one per hardware thread) without changing any output;
-//! `--trace`/`--metrics` write a JSONL event trace and a metrics
-//! snapshot without changing the table on stdout; `--serve-metrics`
-//! serves the snapshot live on `http://127.0.0.1:PORT/metrics`
-//! (`--serve-hold` keeps it up after the run); `--phase-metrics` adds
-//! the wall-clock `wsu_phase_seconds` gauges to the snapshot.
+//! Usage: `table5 [--quick] [--calibrated] [--jobs N] [--shards K]
+//! [--trace PATH] [--metrics PATH] [--serve-metrics PORT]
+//! [--serve-hold SECS] [--phase-metrics]` — `--calibrated` uses the
+//! execution-time model whose unconditional MET matches the paper's
+//! reported values (see EXPERIMENTS.md); `--jobs` picks the
+//! replication worker-pool size (default: one per hardware thread)
+//! without changing any output; `--shards` adds intra-cell
+//! parallelism — each cell's demand loop runs as a prepare/commit
+//! pipeline over K shards (`0` = one per hardware thread; default:
+//! serial), also without changing any output; `--trace`/`--metrics`
+//! write a JSONL event trace and a metrics snapshot without changing
+//! the table on stdout; `--serve-metrics` serves the snapshot live on
+//! `http://127.0.0.1:PORT/metrics` (`--serve-hold` keeps it up after
+//! the run); `--phase-metrics` adds the wall-clock `wsu_phase_seconds`
+//! gauges to the snapshot.
 
-use wsu_experiments::obs::{jobs_from_env, ObsOptions};
-use wsu_experiments::table5::run_table5_jobs;
+use wsu_experiments::obs::{jobs_from_env, shards_from_env, ObsOptions};
+use wsu_experiments::table5::run_table5_sharded;
 use wsu_experiments::{DEFAULT_SEED, PAPER_REQUESTS, PAPER_TIMEOUTS};
 use wsu_workload::timing::ExecTimeModel;
 
@@ -21,6 +25,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let calibrated = std::env::args().any(|a| a == "--calibrated");
     let jobs = jobs_from_env();
+    let shards = shards_from_env();
     let mut ctx = ObsOptions::from_env().context();
     let timing = if calibrated {
         ExecTimeModel::calibrated()
@@ -30,13 +35,14 @@ fn main() {
     let requests = if quick { 2_000 } else { PAPER_REQUESTS };
     let sinks = ctx.sinks();
     let table = ctx.time("table5/simulate", || {
-        run_table5_jobs(
+        run_table5_sharded(
             DEFAULT_SEED,
             requests,
             &PAPER_TIMEOUTS,
             timing,
             &sinks,
             jobs,
+            shards,
         )
     });
     print!("{}", table.render());

@@ -43,6 +43,7 @@ pub mod midsim;
 pub mod obs;
 pub mod replicate;
 pub mod report;
+pub mod scalestudy;
 pub mod serve;
 pub mod table2;
 pub mod table5;

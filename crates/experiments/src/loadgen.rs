@@ -1,4 +1,4 @@
-//! Closed-loop HTTP load generator for the serving front.
+//! HTTP load generator for the serving front.
 //!
 //! [`run_load`] opens `connections` keep-alive connections to a
 //! `wsu-serve` front and drives each from its own thread in a **closed
@@ -8,6 +8,18 @@
 //! rather than open-loop queueing collapse. Per-request wall latency is
 //! captured in a per-thread [`QuantileSketch`] and merged at the end,
 //! so the hot loop shares nothing across threads.
+//!
+//! Setting [`LoadgenConfig::open_rate`] switches to a **fixed-rate
+//! open loop**: the configured aggregate rate is divided evenly across
+//! connections and each connection sends on its own fixed schedule,
+//! whether or not the previous response has arrived. Latency is
+//! measured from the request's *scheduled* send instant — the
+//! coordinated-omission-free definition, so queueing delay at an
+//! overloaded front shows up in the quantiles instead of silently
+//! stretching the schedule. A connection that falls more than one
+//! interval behind **drops** the missed slots (they are counted in
+//! [`LoadSummary::dropped`], never sent); the drop rate alongside
+//! p50/p99/p999 is the open-loop overload signal.
 //!
 //! The summary can be cross-checked against the server's own books:
 //! [`scrape_demand_total`] reads `GET /metrics` and sums the per-worker
@@ -45,6 +57,10 @@ pub struct LoadgenConfig {
     pub warmup_per_conn: u64,
     /// Per-request I/O timeout.
     pub timeout: Duration,
+    /// `Some(rate)` switches to the fixed-rate open loop: `rate`
+    /// requests per second aggregate, divided evenly across
+    /// connections. `None` is the closed loop.
+    pub open_rate: Option<f64>,
 }
 
 impl LoadgenConfig {
@@ -56,6 +72,7 @@ impl LoadgenConfig {
             requests_per_conn: 500,
             warmup_per_conn: 50,
             timeout: Duration::from_secs(5),
+            open_rate: None,
         }
     }
 }
@@ -73,11 +90,16 @@ pub struct LoadSummary {
     pub warmup_ok: u64,
     /// Requests that failed (I/O error or non-200 status).
     pub errors: u64,
+    /// Open loop only: scheduled requests never sent because their
+    /// connection had fallen more than one interval behind (0 in the
+    /// closed loop, where nothing is scheduled).
+    pub dropped: u64,
     /// Wall time of the timed phase.
     pub elapsed: Duration,
     /// Completed requests per wall second.
     pub requests_per_sec: f64,
-    /// Merged per-request wall-latency sketch (seconds).
+    /// Merged per-request wall-latency sketch (seconds). In the open
+    /// loop, latency runs from the *scheduled* send instant.
     pub latency: QuantileSketch,
 }
 
@@ -85,6 +107,18 @@ impl LoadSummary {
     /// A latency quantile in nanoseconds (0 when nothing was recorded).
     pub fn latency_ns(&self, q: f64) -> u64 {
         to_ns(self.latency.quantile(q).unwrap_or(0.0))
+    }
+
+    /// Fraction of scheduled requests that were dropped (0.0 when
+    /// nothing was scheduled or dropped — in particular, always 0.0
+    /// for a closed-loop run).
+    pub fn drop_rate(&self) -> f64 {
+        let attempted = self.ok + self.errors + self.dropped;
+        if attempted == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / attempted as f64
+        }
     }
 }
 
@@ -101,17 +135,40 @@ struct ConnResult {
     ok: u64,
     warmup_ok: u64,
     errors: u64,
+    dropped: u64,
     latency: QuantileSketch,
 }
 
-/// Drives the closed loop and returns the merged summary.
+impl ConnResult {
+    fn empty() -> ConnResult {
+        ConnResult {
+            ok: 0,
+            warmup_ok: 0,
+            errors: 0,
+            dropped: 0,
+            latency: QuantileSketch::new(SKETCH_ALPHA),
+        }
+    }
+}
+
+/// Drives the configured loop (closed, or open at a fixed rate) and
+/// returns the merged summary.
 ///
 /// # Errors
 ///
-/// Fails if any connection cannot be established; individual request
-/// failures after connect are counted in [`LoadSummary::errors`]
-/// instead (the loop keeps going so one hiccup doesn't void a run).
+/// Fails if any connection cannot be established or if an open-loop
+/// rate is not finite and positive; individual request failures after
+/// connect are counted in [`LoadSummary::errors`] instead (the loop
+/// keeps going so one hiccup doesn't void a run).
 pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadSummary> {
+    if let Some(rate) = config.open_rate {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("open-loop rate must be positive, got {rate}"),
+            ));
+        }
+    }
     let mut clients = Vec::with_capacity(config.connections);
     for _ in 0..config.connections {
         clients.push(HttpClient::connect(config.addr, config.timeout)?);
@@ -125,11 +182,10 @@ pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadSummary> {
         handles
             .into_iter()
             .map(|h| {
-                h.join().unwrap_or(ConnResult {
-                    ok: 0,
-                    warmup_ok: 0,
-                    errors: config.requests_per_conn,
-                    latency: QuantileSketch::new(SKETCH_ALPHA),
+                h.join().unwrap_or_else(|_| {
+                    let mut result = ConnResult::empty();
+                    result.errors = config.requests_per_conn;
+                    result
                 })
             })
             .collect()
@@ -139,10 +195,12 @@ pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadSummary> {
     let mut ok = 0;
     let mut warmup_ok = 0;
     let mut errors = 0;
+    let mut dropped = 0;
     for result in &results {
         ok += result.ok;
         warmup_ok += result.warmup_ok;
         errors += result.errors;
+        dropped += result.dropped;
         latency.merge(&result.latency);
     }
     let secs = elapsed.as_secs_f64().max(1e-9);
@@ -151,25 +209,31 @@ pub fn run_load(config: &LoadgenConfig) -> io::Result<LoadSummary> {
         ok,
         warmup_ok,
         errors,
+        dropped,
         elapsed,
         requests_per_sec: ok as f64 / secs,
         latency,
     })
 }
 
-/// One connection's closed loop: warmup, then timed requests.
+/// One connection's run: warmup (always closed-loop), then the timed
+/// phase in the configured mode.
 fn drive_connection(mut client: HttpClient, config: &LoadgenConfig) -> ConnResult {
-    let mut result = ConnResult {
-        ok: 0,
-        warmup_ok: 0,
-        errors: 0,
-        latency: QuantileSketch::new(SKETCH_ALPHA),
-    };
+    let mut result = ConnResult::empty();
     for _ in 0..config.warmup_per_conn {
         if matches!(client.request("POST", "/demand", b""), Ok(r) if r.status == 200) {
             result.warmup_ok += 1;
         }
     }
+    match config.open_rate {
+        None => drive_closed(&mut client, config, &mut result),
+        Some(rate) => drive_open(&mut client, config, rate, &mut result),
+    }
+    result
+}
+
+/// Closed loop: one request in flight, back to back.
+fn drive_closed(client: &mut HttpClient, config: &LoadgenConfig, result: &mut ConnResult) {
     for _ in 0..config.requests_per_conn {
         let started = Instant::now();
         match client.request("POST", "/demand", b"") {
@@ -180,7 +244,43 @@ fn drive_connection(mut client: HttpClient, config: &LoadgenConfig) -> ConnResul
             Ok(_) | Err(_) => result.errors += 1,
         }
     }
-    result
+}
+
+/// Open loop: this connection's share of the aggregate rate is one
+/// request every `connections / rate` seconds, on a fixed schedule
+/// anchored at the start of its timed phase. Latency runs from the
+/// scheduled instant (no coordinated omission). Slots that are already
+/// more than one interval stale when the connection gets to them are
+/// dropped, so a saturated front degrades into a rising drop rate
+/// instead of a silently slowed schedule.
+fn drive_open(client: &mut HttpClient, config: &LoadgenConfig, rate: f64, result: &mut ConnResult) {
+    let interval = config.connections as f64 / rate;
+    let start = Instant::now();
+    let mut slot: u64 = 0;
+    while slot < config.requests_per_conn {
+        let scheduled = start + Duration::from_secs_f64(slot as f64 * interval);
+        let now = Instant::now();
+        if now > scheduled + Duration::from_secs_f64(interval) {
+            // Behind by more than a full interval: drop every stale
+            // slot and resume at the first one still fresh.
+            let caught_up = ((now - start).as_secs_f64() / interval) as u64;
+            let resume = caught_up.min(config.requests_per_conn);
+            result.dropped += resume - slot;
+            slot = resume;
+            continue;
+        }
+        if let Some(wait) = scheduled.checked_duration_since(now) {
+            std::thread::sleep(wait);
+        }
+        match client.request("POST", "/demand", b"") {
+            Ok(resp) if resp.status == 200 => {
+                result.ok += 1;
+                result.latency.observe(scheduled.elapsed().as_secs_f64());
+            }
+            Ok(_) | Err(_) => result.errors += 1,
+        }
+        slot += 1;
+    }
 }
 
 /// Sums the server's per-worker `wsu_http_demands_total` counters from
@@ -240,6 +340,8 @@ pub fn render_bench_json(summary: &LoadSummary) -> String {
     let _ = writeln!(out, "  \"connections\": {},", summary.connections);
     let _ = writeln!(out, "  \"requests_ok\": {},", summary.ok);
     let _ = writeln!(out, "  \"requests_failed\": {},", summary.errors);
+    let _ = writeln!(out, "  \"requests_dropped\": {},", summary.dropped);
+    let _ = writeln!(out, "  \"drop_rate\": {:.6},", summary.drop_rate());
     out.push_str("  \"results\": [\n");
     let min = to_ns(summary.latency.min().unwrap_or(0.0));
     let max = to_ns(summary.latency.max().unwrap_or(0.0));
@@ -298,6 +400,7 @@ mod tests {
             ok: 100,
             warmup_ok: 10,
             errors: 0,
+            dropped: 0,
             elapsed: Duration::from_millis(10),
             requests_per_sec: 10_000.0,
             latency,
@@ -320,6 +423,7 @@ mod tests {
             ok: 0,
             warmup_ok: 0,
             errors: 5,
+            dropped: 0,
             elapsed: Duration::from_millis(1),
             requests_per_sec: 0.0,
             latency: QuantileSketch::new(SKETCH_ALPHA),

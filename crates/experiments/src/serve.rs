@@ -16,7 +16,12 @@
 //! * `POST /demand` — one closed-loop demand through the middleware:
 //!   dispatch, adjudicate, respond. The response is a small JSON
 //!   object with the adjudicated verdict, virtual response time,
-//!   responder count and forwarding source.
+//!   responder count and forwarding source. For a
+//!   [sharded](wsu_core::serve::ServeSpec::sharded) spec the front
+//!   claims a fleet-global demand index atomically and keys the
+//!   demand's randomness on it, so the stream of outcomes is
+//!   identical at any `--workers` count — the sharding determinism
+//!   contract applied to live serving.
 //! * `GET /metrics` — Prometheus-text rendering of the merged
 //!   per-worker registries.
 //! * `GET /snapshot` — aggregate JSON (total demands, per-verdict
@@ -246,6 +251,7 @@ fn worker_loop(
     io_timeout: Duration,
 ) {
     let mut demand_worker = spec.worker(worker as u64);
+    let sharded = spec.sharded;
     let mut applied_promote = 0u64;
     let worker_label = worker.to_string();
     let metrics = {
@@ -265,6 +271,7 @@ fn worker_loop(
                     stream,
                     shared,
                     &mut demand_worker,
+                    sharded,
                     &mut applied_promote,
                     &metrics,
                     worker,
@@ -284,6 +291,7 @@ fn serve_connection(
     stream: TcpStream,
     shared: &FrontShared,
     demand_worker: &mut wsu_core::serve::DemandWorker,
+    sharded: bool,
     applied_promote: &mut u64,
     metrics: &WorkerMetrics,
     worker: usize,
@@ -303,6 +311,7 @@ fn serve_connection(
                     &request,
                     shared,
                     demand_worker,
+                    sharded,
                     applied_promote,
                     metrics,
                     worker,
@@ -363,6 +372,7 @@ fn route(
     request: &Request,
     shared: &FrontShared,
     demand_worker: &mut wsu_core::serve::DemandWorker,
+    sharded: bool,
     applied_promote: &mut u64,
     metrics: &WorkerMetrics,
     worker: usize,
@@ -398,7 +408,18 @@ fn route(
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/demand") => {
             apply_pending_promote(shared, demand_worker, applied_promote);
-            match demand_worker.demand() {
+            // Sharded specs key each demand's randomness on a
+            // fleet-global index claimed atomically before serving, so
+            // the outcome is identical no matter which worker gets the
+            // request (see `ServeSpec::sharded`). The plain path keeps
+            // the per-worker sequential stream and counts afterwards.
+            let result = if sharded {
+                let global = shared.demands.fetch_add(1, Ordering::Relaxed);
+                demand_worker.demand_indexed(global)
+            } else {
+                demand_worker.demand()
+            };
+            match result {
                 Ok(outcome) => {
                     {
                         let mut registry =
@@ -407,7 +428,9 @@ fn route(
                         registry.inc_counter_id(metrics.verdict_id(outcome.verdict_label()));
                         registry.observe_sketch_id(metrics.virtual_seconds, outcome.response_time);
                     }
-                    shared.demands.fetch_add(1, Ordering::Relaxed);
+                    if !sharded {
+                        shared.demands.fetch_add(1, Ordering::Relaxed);
+                    }
                     render_outcome_json(json, &outcome);
                     Response::json(200, json.clone())
                 }
@@ -552,6 +575,47 @@ mod tests {
         let resp = client.request("GET", "/nope", b"").expect("GET /nope");
         assert_eq!(resp.status, 404);
         front.shutdown();
+    }
+
+    #[test]
+    fn sharded_spec_outcomes_are_worker_count_invariant() {
+        // Pull the fields that must not depend on the worker fleet out
+        // of the /demand body (seq and worker legitimately differ).
+        fn essence(body: &str) -> String {
+            let from = body.find("\"verdict\"").expect("verdict field");
+            let to = body.find(",\"source\"").expect("source field");
+            body[from..to].to_string()
+        }
+        // Drive 24 demands through `conns` sequential connections so
+        // different workers get a turn, and record the outcome stream.
+        let run = |workers: usize, conns: usize| -> Vec<String> {
+            let front = HttpFront::start(FrontConfig::new(
+                "127.0.0.1:0",
+                workers,
+                ServeSpec::paper(77).with_sharding(),
+            ))
+            .expect("start front");
+            let addr = front.local_addr();
+            let mut out = Vec::new();
+            for _ in 0..conns {
+                let mut client =
+                    HttpClient::connect(addr, Duration::from_secs(5)).expect("connect");
+                for _ in 0..24 / conns {
+                    let resp = client.request("POST", "/demand", b"").expect("demand");
+                    assert_eq!(resp.status, 200);
+                    out.push(essence(&resp.body));
+                }
+            }
+            assert_eq!(front.demands(), 24);
+            front.shutdown();
+            out
+        };
+        let baseline = run(1, 1);
+        // The paper spec has exponential latencies: outcomes vary, so
+        // agreement below is meaningful.
+        assert!(baseline.iter().any(|o| *o != baseline[0]));
+        assert_eq!(baseline, run(2, 4));
+        assert_eq!(baseline, run(4, 8));
     }
 
     #[test]

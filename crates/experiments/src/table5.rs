@@ -8,11 +8,12 @@
 use wsu_core::middleware::MiddlewareConfig;
 use wsu_simcore::par::Jobs;
 use wsu_simcore::rng::MasterSeed;
+use wsu_simcore::shard::Shards;
 use wsu_workload::outcomes::CorrelatedOutcomes;
 use wsu_workload::runs::RunSpec;
 use wsu_workload::timing::ExecTimeModel;
 
-use crate::midsim::{plan_run, simulate_cell_observed, CellResult, ObsSinks};
+use crate::midsim::{plan_run, simulate_cell_sharded, CellResult, ObsSinks};
 use crate::replicate::run_replications;
 use crate::report::TextTable;
 use crate::{PAPER_REQUESTS, PAPER_TIMEOUTS};
@@ -116,6 +117,31 @@ pub fn run_table5_jobs(
     sinks: &ObsSinks,
     jobs: Jobs,
 ) -> SimulationTable {
+    run_table5_sharded(
+        seed,
+        requests,
+        timeouts,
+        timing,
+        sinks,
+        jobs,
+        Shards::serial(),
+    )
+}
+
+/// [`run_table5_jobs`] with intra-cell sharding on top: each cell's
+/// demand loop runs as a prepare/commit pipeline over `shards` workers
+/// (see [`crate::midsim::simulate_cell_sharded`]). Neither knob changes
+/// a byte of output.
+#[allow(clippy::too_many_arguments)]
+pub fn run_table5_sharded(
+    seed: MasterSeed,
+    requests: u64,
+    timeouts: &[f64],
+    timing: ExecTimeModel,
+    sinks: &ObsSinks,
+    jobs: Jobs,
+    shards: Shards,
+) -> SimulationTable {
     let specs = RunSpec::all();
     let cells = simulate_table_cells(
         "table5",
@@ -126,6 +152,7 @@ pub fn run_table5_jobs(
         seed,
         sinks,
         jobs,
+        shards,
         CorrelatedOutcomes::from_run,
     );
     SimulationTable {
@@ -149,6 +176,7 @@ pub(crate) fn simulate_table_cells<G, F>(
     seed: MasterSeed,
     sinks: &ObsSinks,
     jobs: Jobs,
+    shards: Shards,
     make_gen: F,
 ) -> Vec<CellResult>
 where
@@ -161,12 +189,13 @@ where
         let gen = make_gen(spec);
         let run_tag = format!("{table_tag}/run{}", spec.run);
         let plan = plan_run(&gen, timing, requests, seed, &run_tag);
-        simulate_cell_observed(
+        simulate_cell_sharded(
             &plan,
             MiddlewareConfig::paper(timeout),
             seed,
             local,
             &format!("{run_tag}/t{timeout}"),
+            shards,
         )
     })
 }

@@ -9,6 +9,7 @@
 
 use wsu_simcore::par::Jobs;
 use wsu_simcore::rng::MasterSeed;
+use wsu_simcore::shard::Shards;
 use wsu_workload::outcomes::IndependentOutcomes;
 use wsu_workload::runs::RunSpec;
 use wsu_workload::timing::ExecTimeModel;
@@ -60,6 +61,31 @@ pub fn run_table6_jobs(
     sinks: &ObsSinks,
     jobs: Jobs,
 ) -> SimulationTable {
+    run_table6_sharded(
+        seed,
+        requests,
+        timeouts,
+        timing,
+        sinks,
+        jobs,
+        Shards::serial(),
+    )
+}
+
+/// [`run_table6_jobs`] with intra-cell sharding on top: each cell's
+/// demand loop runs as a prepare/commit pipeline over `shards` workers
+/// (see [`crate::midsim::simulate_cell_sharded`]). Neither knob changes
+/// a byte of output.
+#[allow(clippy::too_many_arguments)]
+pub fn run_table6_sharded(
+    seed: MasterSeed,
+    requests: u64,
+    timeouts: &[f64],
+    timing: ExecTimeModel,
+    sinks: &ObsSinks,
+    jobs: Jobs,
+    shards: Shards,
+) -> SimulationTable {
     let specs = RunSpec::all();
     let cells = simulate_table_cells(
         "table6",
@@ -70,6 +96,7 @@ pub fn run_table6_jobs(
         seed,
         sinks,
         jobs,
+        shards,
         IndependentOutcomes::from_run,
     );
     SimulationTable {

@@ -28,6 +28,7 @@ fn closed_loop_roundtrip_against_two_workers() {
         requests_per_conn: 200,
         warmup_per_conn: 20,
         timeout: Duration::from_secs(5),
+        open_rate: None,
     };
     let summary = run_load(&config).expect("load run");
 
@@ -84,6 +85,75 @@ fn closed_loop_roundtrip_against_two_workers() {
     let json = render_bench_json(&summary);
     assert!(json.contains("\"bench\": \"BENCH_http\""));
     assert!(json.contains("http/demand/latency_p999"));
+
+    front.shutdown();
+}
+
+#[test]
+fn open_loop_reports_drops_under_overload_and_none_when_feasible() {
+    let front = start_front(2);
+    let addr = front.local_addr();
+    let base = LoadgenConfig {
+        addr,
+        connections: 2,
+        requests_per_conn: 150,
+        warmup_per_conn: 10,
+        timeout: Duration::from_secs(5),
+        open_rate: None,
+    };
+
+    // A feasible rate: loopback serves a demand in well under 20 ms,
+    // so a 100/s schedule keeps up. (Oversleeps under a loaded test
+    // harness can still shed the odd slot — the claim is statistical:
+    // nearly everything is sent, and every slot is accounted for.)
+    let feasible = LoadgenConfig {
+        open_rate: Some(100.0),
+        requests_per_conn: 20,
+        ..base.clone()
+    };
+    let summary = run_load(&feasible).expect("load run");
+    assert_eq!(summary.errors, 0);
+    assert_eq!(
+        summary.ok + summary.dropped,
+        40,
+        "every slot is accounted for"
+    );
+    assert!(
+        summary.drop_rate() < 0.5,
+        "a feasible schedule mostly sends, got drop_rate {}",
+        summary.drop_rate()
+    );
+    // The schedule paces the run: 20 slots at 20 ms each ≈ 400 ms
+    // (shortened only by whatever slots were shed).
+    assert!(summary.elapsed.as_secs_f64() > 0.15);
+    assert!(summary.latency_ns(0.50) > 0);
+
+    // An absurd rate: the schedule outruns loopback service time, so
+    // slots are dropped and every sent request still succeeds.
+    let overload = LoadgenConfig {
+        open_rate: Some(50_000_000.0),
+        ..base.clone()
+    };
+    let summary = run_load(&overload).expect("load run");
+    assert_eq!(summary.errors, 0);
+    assert!(
+        summary.drop_rate() > 0.5,
+        "a 50M/s schedule must shed most load, got ok={} dropped={}",
+        summary.ok,
+        summary.dropped
+    );
+    assert_eq!(summary.ok + summary.dropped, 300);
+    // The bench report carries the drop accounting.
+    let json = render_bench_json(&summary);
+    assert!(json.contains("\"requests_dropped\":"));
+    assert!(json.contains("\"drop_rate\":"));
+
+    // A non-positive rate is a config error, not a hang.
+    let bad = LoadgenConfig {
+        open_rate: Some(0.0),
+        ..base
+    };
+    assert!(run_load(&bad).is_err());
 
     front.shutdown();
 }

@@ -137,6 +137,37 @@ impl<E> Engine<E> {
         self.processed - start
     }
 
+    /// Runs every event strictly before `until`, leaving later events
+    /// queued. Returns the number of events processed by this call.
+    ///
+    /// Unlike [`set_horizon`](Engine::set_horizon) — which ends the
+    /// whole simulation and discards the first too-late pop — this is
+    /// non-destructive: the engine can be resumed with a later `until`.
+    /// It is the building block for epoch-windowed sharded execution
+    /// (see [`crate::shard`]): each shard drains its window, exchanges
+    /// cross-shard events at the barrier, then runs the next window.
+    /// Honors [`stop`](Engine::stop) and the event limit.
+    pub fn run_window<W: Handler<E>>(&mut self, until: SimTime, world: &mut W) -> u64 {
+        let start = self.processed;
+        while !self.stopped {
+            if let Some(limit) = self.limit {
+                if self.processed >= limit {
+                    break;
+                }
+            }
+            match self.queue.peek_time() {
+                Some(due) if due < until => {}
+                _ => break,
+            }
+            let (due, event) = self.queue.pop().expect("peeked event is poppable");
+            debug_assert!(due >= self.now, "event queue went backwards");
+            self.now = due;
+            self.processed += 1;
+            world.handle(self, event);
+        }
+        self.processed - start
+    }
+
     /// Processes a single event, if one is pending. Returns `true` if an
     /// event was handled. Ignores the horizon and event limit.
     pub fn step<W: Handler<E>>(&mut self, world: &mut W) -> bool {
@@ -266,6 +297,24 @@ mod tests {
         engine.run(&mut world);
         // Draining the queue does not lower the mark.
         assert_eq!(engine.queue_high_water(), 4);
+    }
+
+    #[test]
+    fn run_window_is_resumable() {
+        let mut engine = Engine::new();
+        for i in 0..6 {
+            engine.schedule_at(SimTime::from_secs(i as f64), Ev::Boom);
+        }
+        let mut world = World::default();
+        // Strictly-before semantics: the event at t=3 stays queued.
+        assert_eq!(engine.run_window(SimTime::from_secs(3.0), &mut world), 3);
+        assert_eq!(world.booms, 3);
+        assert_eq!(engine.pending(), 3);
+        // Resume with a later window; nothing was discarded.
+        assert_eq!(engine.run_window(SimTime::from_secs(100.0), &mut world), 3);
+        assert_eq!(world.booms, 6);
+        assert!(engine.pending() == 0);
+        assert_eq!(engine.run_window(SimTime::from_secs(200.0), &mut world), 0);
     }
 
     #[test]

@@ -9,9 +9,13 @@
 //! fixed ring of day-wide buckets, so `push` is an append into a reused
 //! `Vec` slot and `pop` scans forward from the current day. Bucket
 //! storage is retained across pops, so after warm-up the steady-state
-//! demand loop schedules without touching the allocator. The previous
-//! binary-heap implementation survives as [`HeapEventQueue`]; the two
-//! pop identical `(time, seq)` orders (see the equivalence test below).
+//! demand loop schedules without touching the allocator. Events due
+//! beyond a full ring lap of the cursor go to a *far-future spill
+//! list* instead of wrapping into a bucket they don't belong to yet;
+//! they migrate into the ring as the cursor approaches (see
+//! `migrate_spill`). The previous binary-heap implementation survives
+//! as [`HeapEventQueue`]; the two pop identical `(time, seq)` orders
+//! (see the equivalence tests below).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -96,6 +100,11 @@ impl<E> Ord for Scheduled<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     buckets: Vec<Vec<Scheduled<E>>>,
+    /// Events due more than a full ring lap past the cursor at push
+    /// time. Unsorted; scanned only while non-empty (far-future events
+    /// are rare in the closed demand loop) and migrated into the ring
+    /// as the cursor approaches.
+    spill: Vec<Scheduled<E>>,
     /// The day the next pop starts scanning from; always at or below the
     /// earliest pending event's day.
     current_day: u64,
@@ -110,6 +119,7 @@ impl<E> EventQueue<E> {
             buckets: (0..BUCKETS)
                 .map(|_| Vec::with_capacity(BUCKET_CAPACITY))
                 .collect(),
+            spill: Vec::new(),
             current_day: 0,
             len: 0,
             next_seq: 0,
@@ -125,15 +135,37 @@ impl<E> EventQueue<E> {
             self.current_day = day;
         }
         self.len += 1;
-        self.buckets[(day & BUCKET_MASK) as usize].push(Scheduled { due, seq, event });
+        let scheduled = Scheduled { due, seq, event };
+        if day >= self.current_day.saturating_add(BUCKETS as u64) {
+            // More than a full lap ahead: a bucket would alias an
+            // earlier lap's day. Spill and migrate later.
+            self.spill.push(scheduled);
+        } else {
+            self.buckets[(day & BUCKET_MASK) as usize].push(scheduled);
+        }
     }
 
-    /// Index (bucket, slot) of the earliest `(due, seq)` pending event,
-    /// plus its day.
-    fn find_earliest(&self) -> Option<(usize, usize, u64)> {
-        if self.len == 0 {
-            return None;
+    /// Moves every spilled event whose day is now within one ring lap
+    /// of the cursor into its bucket.
+    fn migrate_spill(&mut self) {
+        if self.spill.is_empty() {
+            return;
         }
+        let horizon = self.current_day.saturating_add(BUCKETS as u64);
+        let mut i = 0;
+        while i < self.spill.len() {
+            if self.spill[i].day() < horizon {
+                let s = self.spill.swap_remove(i);
+                self.buckets[(s.day() & BUCKET_MASK) as usize].push(s);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Index (bucket, slot, day) of the earliest `(due, seq)` event
+    /// within one ring lap of the cursor, if any.
+    fn find_in_lap(&self) -> Option<(usize, usize, u64)> {
         // One lap of the ring starting at the current day: in each bucket,
         // only events belonging to that exact day are candidates (later
         // laps share the bucket but must not be popped early).
@@ -157,8 +189,14 @@ impl<E> EventQueue<E> {
                 return Some((bucket, slot, day));
             }
         }
-        // Everything pending is more than a full lap ahead: fall back to
-        // a global scan for the overall minimum and jump the cursor.
+        None
+    }
+
+    /// Global-scan backstop: the earliest `(due, seq)` bucket resident
+    /// regardless of the cursor. Needed when a push behind the cursor
+    /// rewound it past events that were in-horizon when they were
+    /// pushed and now sit more than a lap ahead.
+    fn bucket_global_earliest(&self) -> Option<(usize, usize, SimTime, u64)> {
         let mut best: Option<(usize, usize, SimTime, u64)> = None;
         for (bucket, events) in self.buckets.iter().enumerate() {
             for (slot, s) in events.iter().enumerate() {
@@ -171,27 +209,89 @@ impl<E> EventQueue<E> {
                 }
             }
         }
-        best.map(|(bucket, slot, due, _)| (bucket, slot, day_of(due)))
+        best
+    }
+
+    /// The earliest `(due, seq)` spilled event, if any.
+    fn spill_earliest(&self) -> Option<(SimTime, u64)> {
+        self.spill.iter().map(|s| (s.due, s.seq)).min()
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let (bucket, slot, day) = self.find_earliest()?;
-        self.current_day = day;
-        self.len -= 1;
-        let s = self.buckets[bucket].swap_remove(slot);
-        Some((s.due, s.event))
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            self.migrate_spill();
+            if let Some((bucket, slot, day)) = self.find_in_lap() {
+                // In-lap events precede every migrated-out spill entry
+                // (spill days are ≥ cursor + one lap after migration).
+                self.current_day = day;
+                self.len -= 1;
+                let s = self.buckets[bucket].swap_remove(slot);
+                return Some((s.due, s.event));
+            }
+            // Nothing within one lap: the earliest pending event is a
+            // beyond-horizon bucket resident (cursor was rewound past
+            // it) or the spill minimum — whichever is earlier.
+            let bucket_best = self.bucket_global_earliest();
+            let spill_best = self.spill_earliest();
+            match (bucket_best, spill_best) {
+                (Some((bucket, slot, due, seq)), spill) => {
+                    if spill.is_some_and(|(sd, ss)| (sd, ss) < (due, seq)) {
+                        // Jump the cursor to the spill minimum; the next
+                        // iteration migrates it in and the lap scan
+                        // finds it.
+                        let (sd, _) = spill.expect("spill minimum exists");
+                        self.current_day = day_of(sd);
+                        continue;
+                    }
+                    self.current_day = day_of(due);
+                    self.len -= 1;
+                    let s = self.buckets[bucket].swap_remove(slot);
+                    return Some((s.due, s.event));
+                }
+                (None, Some((due, _))) => {
+                    self.current_day = day_of(due);
+                    continue;
+                }
+                (None, None) => unreachable!("len > 0 but no pending event found"),
+            }
+        }
     }
 
     /// Returns the due time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.find_earliest()
-            .map(|(bucket, slot, _)| self.buckets[bucket][slot].due)
+        // A lap hit is the earliest bucket resident, but an unmigrated
+        // spill entry can still precede it (the cursor advanced since
+        // the entry spilled), so always take the minimum of both sides.
+        let bucket = match self.find_in_lap() {
+            Some((bucket, slot, _)) => {
+                let s = &self.buckets[bucket][slot];
+                Some((s.due, s.seq))
+            }
+            None => self
+                .bucket_global_earliest()
+                .map(|(_, _, due, seq)| (due, seq)),
+        };
+        match (bucket, self.spill_earliest()) {
+            (Some(b), Some(s)) => Some(b.min(s).0),
+            (Some((due, _)), None) | (None, Some((due, _))) => Some(due),
+            (None, None) => None,
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Number of pending events currently parked on the far-future
+    /// spill list (diagnostic; they pop in exactly the same global
+    /// order as bucket residents).
+    pub fn spilled(&self) -> usize {
+        self.spill.len()
     }
 
     /// Returns `true` if no events are pending.
@@ -205,6 +305,7 @@ impl<E> EventQueue<E> {
         for bucket in &mut self.buckets {
             bucket.clear();
         }
+        self.spill.clear();
         self.len = 0;
     }
 }
@@ -428,6 +529,130 @@ mod tests {
                 assert!(w[0].0 <= w[1].0, "seed {seed}: out of order");
             }
         }
+    }
+
+    #[test]
+    fn far_future_pushes_land_on_the_spill_list() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(0.5), "near");
+        q.push(SimTime::from_secs(63.5), "edge"); // last in-lap day
+        q.push(SimTime::from_secs(64.5), "spilled"); // one lap ahead
+        q.push(SimTime::from_secs(1.0e6), "far");
+        assert_eq!(q.spilled(), 2);
+        assert_eq!(q.len(), 4);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["near", "edge", "spilled", "far"]);
+        assert_eq!(q.spilled(), 0);
+    }
+
+    #[test]
+    fn unmigrated_spill_precedes_lap_hit_in_peek_and_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(0.5), "a");
+        // Beyond one lap of cursor day 0: spilled.
+        q.push(SimTime::from_secs(64.5), "s");
+        q.push(SimTime::from_secs(50.5), "c");
+        assert_eq!(q.spilled(), 1);
+        assert_eq!(q.pop().unwrap().1, "a");
+        // Popping "c" advances the cursor to day 50 without migrating
+        // "s" (day 64 was beyond the lap when the pop began).
+        assert_eq!(q.pop().unwrap().1, "c");
+        // "b" is within the new lap, but the still-spilled "s" is due
+        // earlier; neither peek nor pop may prefer the lap hit.
+        q.push(SimTime::from_secs(100.5), "b");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(64.5)));
+        assert_eq!(q.pop().unwrap().1, "s");
+        assert_eq!(q.spilled(), 0);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rewound_cursor_bucket_resident_vs_spill_ordering() {
+        let mut q = EventQueue::new();
+        // Cursor starts at day 100; a same-bucket later event stays put.
+        q.push(SimTime::from_secs(100.5), "anchor");
+        q.push(SimTime::from_secs(170.5), "spilled"); // ≥ 100 + 64: spill
+                                                      // Rewind: the anchor is now a beyond-horizon *bucket* resident.
+        q.push(SimTime::from_secs(0.5), "early");
+        assert_eq!(q.spilled(), 1);
+        assert_eq!(q.pop().unwrap().1, "early");
+        // Global-scan backstop must pick the bucket resident (100.5)
+        // over the spill minimum (170.5).
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(100.5)));
+        assert_eq!(q.pop().unwrap().1, "anchor");
+        assert_eq!(q.pop().unwrap().1, "spilled");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn clear_discards_spilled_events_too() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(0.5), 1);
+        q.push(SimTime::from_secs(1.0e7), 2);
+        assert_eq!(q.spilled(), 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.spilled(), 0);
+        assert_eq!(q.pop(), None);
+    }
+
+    /// The spill-heavy mirror of `calendar_and_heap_pop_identical_orders`:
+    /// a 32-seed sweep whose push mix is dominated by beyond-horizon
+    /// offsets (one lap to ~10⁷ s ahead), including same-instant bursts
+    /// entirely in the far future, so pop order across the
+    /// bucket/spill boundary — and FIFO ties inside the spill list —
+    /// are checked against the reference heap.
+    #[test]
+    fn spill_heavy_schedules_match_heap_order() {
+        let mut saw_spill = false;
+        for seed in 0..32u64 {
+            let mut rng = StreamRng::from_seed(0x5B11_0000 + seed);
+            let mut cal: EventQueue<u64> = EventQueue::new();
+            let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+            let mut event = 0u64;
+            for _step in 0..500 {
+                let roll = rng.next_f64();
+                if roll < 0.5 {
+                    let pick = rng.next_f64();
+                    let t = if pick < 0.35 {
+                        rng.next_f64() * 63.0 // in-lap
+                    } else if pick < 0.65 {
+                        64.0 + rng.next_f64() * 500.0 // just past one lap
+                    } else {
+                        1.0e3 + rng.next_f64() * 1.0e7 // deep future
+                    };
+                    let due = SimTime::from_secs(t);
+                    cal.push(due, event);
+                    heap.push(due, event);
+                    event += 1;
+                } else if roll < 0.65 {
+                    // Same-instant burst in the far future: FIFO order
+                    // must survive the spill list and migration.
+                    let t = SimTime::from_secs(200.0 + (rng.next_f64() * 1.0e4).floor());
+                    let burst = 2 + (rng.next_u64() % 5);
+                    for _ in 0..burst {
+                        cal.push(t, event);
+                        heap.push(t, event);
+                        event += 1;
+                    }
+                } else {
+                    assert_eq!(cal.peek_time(), heap.peek_time(), "seed {seed}");
+                    assert_eq!(cal.pop(), heap.pop(), "seed {seed}");
+                }
+                assert_eq!(cal.len(), heap.len(), "seed {seed}");
+                saw_spill |= cal.spilled() > 0;
+            }
+            loop {
+                let a = cal.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "seed {seed}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        assert!(saw_spill, "sweep never exercised the spill list");
     }
 
     #[test]

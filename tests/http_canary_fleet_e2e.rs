@@ -59,6 +59,7 @@ fn mid_run_promotion_drops_and_double_counts_nothing() {
         requests_per_conn: 750,
         warmup_per_conn: 50,
         timeout: IO_TIMEOUT,
+        open_rate: None,
     };
     let summary = thread::scope(|scope| {
         let load = scope.spawn(|| run_load(&config).expect("load run"));
